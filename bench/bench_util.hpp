@@ -1,0 +1,52 @@
+#pragma once
+// Shared helpers for the benchmark/figure harnesses: aligned table output
+// and human-readable units.
+
+#include <cstdio>
+#include <string>
+
+#include "common/units.hpp"
+
+namespace vdc::bench {
+
+inline void banner(const std::string& title, const std::string& subtitle) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  if (!subtitle.empty()) std::printf("%s\n", subtitle.c_str());
+  std::printf("================================================================\n");
+}
+
+inline std::string fmt_time(SimTime t) {
+  char buf[64];
+  if (t < 1e-3)
+    std::snprintf(buf, sizeof buf, "%.1f us", t * 1e6);
+  else if (t < 1.0)
+    std::snprintf(buf, sizeof buf, "%.2f ms", t * 1e3);
+  else if (t < 120.0)
+    std::snprintf(buf, sizeof buf, "%.2f s", t);
+  else if (t < 2.0 * 3600.0)
+    std::snprintf(buf, sizeof buf, "%.1f min", t / 60.0);
+  else
+    std::snprintf(buf, sizeof buf, "%.2f h", t / 3600.0);
+  return buf;
+}
+
+inline std::string fmt_bytes(double b) {
+  char buf[64];
+  if (b < 1024.0)
+    std::snprintf(buf, sizeof buf, "%.0f B", b);
+  else if (b < 1024.0 * 1024.0)
+    std::snprintf(buf, sizeof buf, "%.1f KiB", b / 1024.0);
+  else if (b < 1024.0 * 1024.0 * 1024.0)
+    std::snprintf(buf, sizeof buf, "%.1f MiB", b / (1024.0 * 1024.0));
+  else
+    std::snprintf(buf, sizeof buf, "%.2f GiB",
+                  b / (1024.0 * 1024.0 * 1024.0));
+  return buf;
+}
+
+inline std::string fmt_rate(double bytes_per_sec) {
+  return fmt_bytes(bytes_per_sec) + "/s";
+}
+
+}  // namespace vdc::bench

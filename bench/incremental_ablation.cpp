@@ -1,0 +1,93 @@
+// ABL-INC — Section II-B.1 / IV-C: incremental capture plus compressed
+// differences shrink what must cross the network, as a function of how
+// fast and how locally the guest dirties memory.
+//
+// For each workload model and write rate we run three committed DVDC
+// epochs and report the steady-state (3rd epoch) wire bytes for:
+//   full      — whole images every epoch
+//   dirty     — raw dirty pages (incremental, uncompressed)
+//   xor+rle   — what the protocol actually ships
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "core/runtime.hpp"
+
+using namespace vdc;
+using namespace vdc::core;
+
+namespace {
+
+std::unique_ptr<vm::Workload> make_workload(const char* kind, double rate) {
+  if (std::string(kind) == "uniform")
+    return std::make_unique<vm::UniformWorkload>(rate);
+  if (std::string(kind) == "hot-cold")
+    return std::make_unique<vm::HotColdWorkload>(rate, 0.1, 0.9);
+  return std::make_unique<vm::SequentialWorkload>(rate);
+}
+
+struct Probe {
+  Bytes full = 0;
+  Bytes dirty = 0;
+  Bytes wire = 0;
+};
+
+Probe run(const char* kind, double rate, bool incremental) {
+  simkit::Simulator sim;
+  cluster::ClusterManager cluster(sim, Rng(31));
+  const Bytes page = kib(4);
+  const std::size_t pages = 256;
+  for (int n = 0; n < 4; ++n) cluster.add_node();
+  for (int n = 0; n < 4; ++n)
+    for (int v = 0; v < 3; ++v)
+      cluster.boot_vm(n, page, pages, make_workload(kind, rate));
+
+  DvdcState state;
+  ProtocolConfig pc;
+  pc.incremental = incremental;
+  DvdcCoordinator coord(sim, cluster, state, pc);
+  auto placed = PlacedPlan::make(GroupPlanner().plan(cluster), cluster,
+                                 ParityScheme::Raid5);
+
+  Probe probe;
+  probe.full = 12ull * page * pages;
+  for (checkpoint::Epoch e = 1; e <= 3; ++e) {
+    cluster.advance_workloads(1.0);  // one second between epochs
+    EpochStats stats;
+    coord.run_epoch(placed, e, [&](const EpochStats& s) { stats = s; });
+    sim.run();
+    if (e == 3) {
+      probe.dirty = stats.raw_dirty_bytes;
+      probe.wire = stats.bytes_shipped;
+    }
+  }
+  return probe;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "ABL-INC  bytes shipped per epoch vs. workload and dirty rate",
+      "12 VMs x 1 MiB, 1 s epochs; steady-state (3rd) epoch reported");
+
+  std::printf("%-12s %10s  %10s  %10s  %10s  %8s\n", "workload", "writes/s",
+              "full", "dirty pages", "xor+rle", "vs full");
+  for (const char* kind : {"uniform", "hot-cold", "sequential"}) {
+    for (double rate : {50.0, 500.0, 5000.0}) {
+      const Probe probe = run(kind, rate, true);
+      std::printf("%-12s %10.0f  %10s  %10s  %10s  %7.1f%%\n", kind, rate,
+                  bench::fmt_bytes(static_cast<double>(probe.full)).c_str(),
+                  bench::fmt_bytes(static_cast<double>(probe.dirty)).c_str(),
+                  bench::fmt_bytes(static_cast<double>(probe.wire)).c_str(),
+                  100.0 * static_cast<double>(probe.wire) /
+                      static_cast<double>(probe.full));
+    }
+  }
+  std::printf("\nLocality (hot-cold) keeps increments small even at high "
+              "write rates; uniform writes at 5000/s approach the full-\n"
+              "image cost — the regime where incremental checkpointing "
+              "stops paying (Section II-B.1).\n");
+  return 0;
+}

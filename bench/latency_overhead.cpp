@@ -1,0 +1,113 @@
+// CLAIM-LAT — Section II-B.2: "diskless checkpointing is primarily a
+// method not for reducing overhead, but latency" (Plank measured a 34x
+// latency win). Overhead = time guests are suspended; latency = time until
+// the checkpoint is usable/durable.
+//
+// Four variants, one DES epoch each, identical cluster and data:
+//   disk-full sync   — paused until durable on the NAS (the baseline)
+//   disk-full async  — resume after local capture; flush in background
+//   DVDC sync        — paused through exchange + XOR
+//   DVDC COW         — resume after the 40 ms quiesce; exchange overlaps
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/baseline.hpp"
+#include "core/runtime.hpp"
+
+using namespace vdc;
+using namespace vdc::core;
+
+namespace {
+
+ClusterConfig shape() {
+  ClusterConfig cc;
+  cc.nodes = 4;
+  cc.vms_per_node = 3;
+  cc.page_size = kib(4);
+  cc.pages_per_vm = 256;  // 1 MiB images
+  cc.write_rate = 0.0;
+  cc.node_spec.nic_rate = mib_per_s(100);
+  return cc;
+}
+
+template <typename MakeBackend>
+EpochStats run_epoch(MakeBackend make_backend) {
+  simkit::Simulator sim;
+  cluster::ClusterManager cluster(sim, Rng(3));
+  const ClusterConfig cc = shape();
+  auto workloads = make_workload_factory(cc);
+  for (std::uint32_t n = 0; n < cc.nodes; ++n)
+    cluster.add_node(cc.node_spec);
+  for (std::uint32_t n = 0; n < cc.nodes; ++n)
+    for (std::uint32_t v = 0; v < cc.vms_per_node; ++v)
+      cluster.boot_vm(n, cc.page_size, cc.pages_per_vm, workloads(0));
+
+  auto backend = make_backend(sim, cluster, workloads);
+  for (cluster::NodeId nid : cluster.alive_nodes())
+    cluster.node(nid).hypervisor().pause_all();
+  EpochStats stats;
+  backend->checkpoint(1, [&](const EpochStats& s) { stats = s; });
+  sim.run();
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("CLAIM-LAT  overhead vs. latency per checkpoint",
+                "4 nodes x 3 VMs x 1 MiB; 100 MiB/s NICs; 40 ms quiesce");
+
+  DiskFullConfig df_sync;
+  df_sync.nas.frontend_rate = mib_per_s(100);
+  df_sync.nas.array = storage::DiskSpec{mib_per_s(60), mib_per_s(80),
+                                        milliseconds(5)};
+  DiskFullConfig df_async = df_sync;
+  df_async.synchronous = false;
+
+  ProtocolConfig dvdc_sync;
+  dvdc_sync.copy_on_write = false;
+  ProtocolConfig dvdc_cow;
+  dvdc_cow.copy_on_write = true;
+
+  struct Row {
+    const char* name;
+    EpochStats stats;
+  };
+  Row rows[] = {
+      {"disk-full sync",
+       run_epoch([&](auto& sim, auto& cluster, auto& workloads) {
+         return std::make_unique<DiskFullBackend>(sim, cluster, workloads,
+                                                  df_sync);
+       })},
+      {"disk-full async",
+       run_epoch([&](auto& sim, auto& cluster, auto& workloads) {
+         return std::make_unique<DiskFullBackend>(sim, cluster, workloads,
+                                                  df_async);
+       })},
+      {"DVDC sync",
+       run_epoch([&](auto& sim, auto& cluster, auto& workloads) {
+         return std::make_unique<DvdcBackend>(sim, cluster, dvdc_sync,
+                                              RecoveryConfig{}, workloads);
+       })},
+      {"DVDC copy-on-write",
+       run_epoch([&](auto& sim, auto& cluster, auto& workloads) {
+         return std::make_unique<DvdcBackend>(sim, cluster, dvdc_cow,
+                                              RecoveryConfig{}, workloads);
+       })},
+  };
+
+  std::printf("%-20s %14s %14s %12s\n", "variant", "overhead", "latency",
+              "lat/ovh");
+  for (const auto& row : rows)
+    std::printf("%-20s %14s %14s %11.1fx\n", row.name,
+                bench::fmt_time(row.stats.overhead).c_str(),
+                bench::fmt_time(row.stats.latency).c_str(),
+                row.stats.latency / row.stats.overhead);
+
+  const double lat_win = rows[0].stats.latency / rows[3].stats.latency;
+  std::printf("\nDVDC-COW checkpoint usable %.0fx sooner than the sync "
+              "disk-full flush (Plank reported ~34x on his testbed).\n",
+              lat_win);
+  return 0;
+}

@@ -1,0 +1,212 @@
+// Micro-benchmarks (google-benchmark) of the hot kernels: the blocked XOR
+// used for parity, RLE compression of sparse deltas, RDP encode/decode,
+// and full-image page diffing.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "checkpoint/delta.hpp"
+#include "checkpoint/rle.hpp"
+#include "checkpoint/wire.hpp"
+#include "common/crc32.hpp"
+#include "common/rng.hpp"
+#include "parity/gf256.hpp"
+#include "parity/parallel.hpp"
+#include "parity/raid5.hpp"
+#include "parity/rdp.hpp"
+#include "parity/reed_solomon.hpp"
+#include "parity/xor.hpp"
+
+namespace {
+
+using vdc::Rng;
+
+std::vector<std::byte> random_bytes(Rng& rng, std::size_t n) {
+  std::vector<std::byte> out(n);
+  for (auto& b : out) b = static_cast<std::byte>(rng.next());
+  return out;
+}
+
+void BM_XorInto(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  auto dst = random_bytes(rng, n);
+  const auto src = random_bytes(rng, n);
+  for (auto _ : state) {
+    vdc::parity::xor_into(dst, src);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_XorInto)->Arg(4096)->Arg(1 << 20)->Arg(16 << 20);
+
+void BM_Raid5Encode(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kBlock = 1 << 20;
+  Rng rng(2);
+  std::vector<vdc::parity::Block> data;
+  for (std::size_t i = 0; i < k; ++i)
+    data.push_back(random_bytes(rng, kBlock));
+  std::vector<vdc::parity::BlockView> views(data.begin(), data.end());
+  vdc::parity::Raid5Codec codec(k);
+  for (auto _ : state) {
+    auto parity = codec.encode(views);
+    benchmark::DoNotOptimize(parity[0].data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(k * kBlock));
+}
+BENCHMARK(BM_Raid5Encode)->Arg(3)->Arg(7)->Arg(15);
+
+void BM_RdpEncode(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const std::size_t p = vdc::parity::RdpCodec::next_prime_at_least(k + 1);
+  const std::size_t block = (p - 1) * 16384;
+  Rng rng(3);
+  std::vector<vdc::parity::Block> data;
+  for (std::size_t i = 0; i < k; ++i) data.push_back(random_bytes(rng, block));
+  std::vector<vdc::parity::BlockView> views(data.begin(), data.end());
+  vdc::parity::RdpCodec codec(k, p);
+  for (auto _ : state) {
+    auto parity = codec.encode(views);
+    benchmark::DoNotOptimize(parity[0].data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(k * block));
+}
+BENCHMARK(BM_RdpEncode)->Arg(3)->Arg(6)->Arg(12);
+
+void BM_RdpReconstructTwo(benchmark::State& state) {
+  const std::size_t k = 6;
+  const std::size_t p = vdc::parity::RdpCodec::next_prime_at_least(k + 1);
+  const std::size_t block = (p - 1) * 16384;
+  Rng rng(4);
+  std::vector<vdc::parity::Block> data;
+  for (std::size_t i = 0; i < k; ++i) data.push_back(random_bytes(rng, block));
+  std::vector<vdc::parity::BlockView> views(data.begin(), data.end());
+  vdc::parity::RdpCodec codec(k, p);
+  const auto parity = codec.encode(views);
+  for (auto _ : state) {
+    std::vector<std::optional<vdc::parity::Block>> stripe;
+    for (const auto& d : data) stripe.emplace_back(d);
+    stripe.emplace_back(parity[0]);
+    stripe.emplace_back(parity[1]);
+    stripe[0] = std::nullopt;
+    stripe[3] = std::nullopt;
+    codec.reconstruct(stripe);
+    benchmark::DoNotOptimize(stripe[0]->data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * block));
+}
+BENCHMARK(BM_RdpReconstructTwo);
+
+void BM_RleEncodeSparse(benchmark::State& state) {
+  // A typical XOR delta: 4 KiB page, one 64-byte run of changes.
+  std::vector<std::byte> page(4096, std::byte{0});
+  for (std::size_t i = 1000; i < 1064; ++i) page[i] = std::byte{0x5a};
+  for (auto _ : state) {
+    auto enc = vdc::checkpoint::rle_encode(page);
+    benchmark::DoNotOptimize(enc.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          4096);
+}
+BENCHMARK(BM_RleEncodeSparse);
+
+void BM_DiffImages(benchmark::State& state) {
+  const std::size_t bytes = 1 << 22;  // 4 MiB image
+  Rng rng(5);
+  auto old_img = random_bytes(rng, bytes);
+  auto new_img = old_img;
+  for (std::size_t i = 0; i < bytes; i += 64 * 4096)
+    new_img[i] ^= std::byte{1};
+  for (auto _ : state) {
+    auto delta = vdc::checkpoint::diff_images(old_img, new_img, 4096);
+    benchmark::DoNotOptimize(delta.pages.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_DiffImages);
+
+void BM_ParallelXor(benchmark::State& state) {
+  const auto threads = static_cast<unsigned>(state.range(0));
+  constexpr std::size_t kSize = 32 << 20;
+  Rng rng(11);
+  auto dst = random_bytes(rng, kSize);
+  const auto src = random_bytes(rng, kSize);
+  for (auto _ : state) {
+    vdc::parity::parallel_xor_into(dst, src, threads);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kSize);
+}
+BENCHMARK(BM_ParallelXor)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_Gf256MulAdd(benchmark::State& state) {
+  constexpr std::size_t kSize = 1 << 20;
+  Rng rng(12);
+  const auto src = random_bytes(rng, kSize);
+  auto dst = random_bytes(rng, kSize);
+  for (auto _ : state) {
+    vdc::parity::gf256::mul_add(
+        0xd3, reinterpret_cast<const std::uint8_t*>(src.data()),
+        reinterpret_cast<std::uint8_t*>(dst.data()), kSize);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kSize);
+}
+BENCHMARK(BM_Gf256MulAdd);
+
+void BM_RsEncode(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kBlock = 1 << 19;
+  Rng rng(13);
+  std::vector<vdc::parity::Block> data;
+  for (int i = 0; i < 6; ++i) data.push_back(random_bytes(rng, kBlock));
+  std::vector<vdc::parity::BlockView> views(data.begin(), data.end());
+  vdc::parity::ReedSolomonCodec codec(6, m);
+  for (auto _ : state) {
+    auto parity = codec.encode(views);
+    benchmark::DoNotOptimize(parity[0].data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(6 * kBlock));
+}
+BENCHMARK(BM_RsEncode)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_Crc32(benchmark::State& state) {
+  constexpr std::size_t kSize = 1 << 20;
+  Rng rng(14);
+  const auto data = random_bytes(rng, kSize);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vdc::crc32(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kSize);
+}
+BENCHMARK(BM_Crc32);
+
+void BM_WireRoundtrip(benchmark::State& state) {
+  Rng rng(15);
+  vdc::checkpoint::Checkpoint cp;
+  cp.vm = 1;
+  cp.epoch = 2;
+  cp.page_size = 4096;
+  cp.payload = random_bytes(rng, 1 << 20);
+  for (auto _ : state) {
+    auto frame = vdc::checkpoint::encode_frame(cp);
+    auto back = vdc::checkpoint::decode_frame(frame);
+    benchmark::DoNotOptimize(back.payload.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          (1 << 20));
+}
+BENCHMARK(BM_WireRoundtrip);
+
+}  // namespace

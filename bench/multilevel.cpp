@@ -1,0 +1,151 @@
+// ABL-ML — putting numbers on "how safe is diskless?" and the multilevel
+// answer.
+//
+// Part 1: mean time to data loss (MTTDL) of a checkpoint stripe as a
+// function of the parity degree — the classic RAID reliability calculus
+// applied to the paper's VM-image stripes (closed-form birth-death chain,
+// cross-checked by Monte-Carlo in the tests).
+//
+// Part 2: the two-level backend (DVDC + periodic async NAS flush) under a
+// failure process hot enough to produce occasional double failures. A
+// plain RAID-5 DVDC restarts the job from scratch on every catastrophic
+// loss; the multilevel variant falls back to the last durable NAS level,
+// paying only the flush lag.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/twolevel.hpp"
+#include "model/reliability.hpp"
+
+using namespace vdc;
+using namespace vdc::core;
+
+namespace {
+
+ClusterConfig shape() {
+  ClusterConfig cc;
+  cc.nodes = 5;
+  cc.vms_per_node = 2;
+  cc.page_size = kib(4);
+  cc.pages_per_vm = 64;
+  cc.write_rate = 200.0;
+  return cc;
+}
+
+struct CatastropheOutcome {
+  bool survived = false;       // avoided restarting from scratch
+  std::uint32_t rolled_back = 0;  // committed epochs lost to the fallback
+  SimTime recovery_time = 0.0;
+};
+
+/// Scripted correlated catastrophe: commit 10 DVDC epochs (flushing per
+/// the backend's cadence), then two nodes die AT ONCE — beyond RAID-5.
+CatastropheOutcome scripted_catastrophe(std::uint32_t flush_every) {
+  simkit::Simulator sim;
+  cluster::ClusterManager cluster(sim, Rng(404));
+  const ClusterConfig cc = shape();
+  auto workloads = make_workload_factory(cc);
+  for (std::uint32_t n = 0; n < cc.nodes; ++n) cluster.add_node();
+  for (std::uint32_t n = 0; n < cc.nodes; ++n)
+    for (std::uint32_t v = 0; v < cc.vms_per_node; ++v)
+      cluster.boot_vm(n, cc.page_size, cc.pages_per_vm, workloads(0));
+
+  PlannerConfig planner;
+  planner.group_size = 4;
+  std::unique_ptr<CheckpointBackend> backend;
+  if (flush_every == 0) {
+    backend = std::make_unique<DvdcBackend>(sim, cluster, ProtocolConfig{},
+                                            RecoveryConfig{}, workloads,
+                                            planner);
+  } else {
+    TwoLevelConfig tl;
+    tl.flush_every = flush_every;
+    backend = std::make_unique<TwoLevelBackend>(
+        sim, cluster, ProtocolConfig{}, RecoveryConfig{}, workloads, tl,
+        planner);
+  }
+
+  for (checkpoint::Epoch e = 1; e <= 10; ++e) {
+    cluster.advance_workloads(30.0);
+    for (cluster::NodeId nid : cluster.alive_nodes())
+      cluster.node(nid).hypervisor().pause_all();
+    backend->checkpoint(e, [](const EpochStats&) {});
+    sim.run();
+  }
+
+  std::vector<vm::VmId> lost = cluster.node(0).hypervisor().vm_ids();
+  const auto lost1 = cluster.node(1).hypervisor().vm_ids();
+  lost.insert(lost.end(), lost1.begin(), lost1.end());
+  cluster.kill_node(0);
+  cluster.kill_node(1);
+  cluster.revive_node(0);
+  cluster.revive_node(1);
+
+  CatastropheOutcome outcome;
+  const SimTime start = sim.now();
+  backend->handle_failure(0, lost, [&](const RecoveryStats& rs) {
+    outcome.survived = rs.success;
+    outcome.rolled_back = rs.epochs_rolled_back;
+    outcome.recovery_time = sim.now() - start;
+  });
+  sim.run();
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("ABL-ML  reliability calculus + multilevel checkpointing",
+                "stripe MTTDL by parity degree; then DVDC vs DVDC+NAS "
+                "under a hostile failure process");
+
+  std::printf("stripe MTTDL (5-node stripe, node MTBF 1000 h, stripe "
+              "re-protected in 60 s):\n");
+  std::printf("%18s %16s %18s\n", "code", "stripe MTTDL",
+              "4-group cluster");
+  for (std::uint32_t m : {1u, 2u, 3u}) {
+    model::StripeReliability config;
+    config.width = 4 + m;
+    config.tolerance = m;
+    config.node_mtbf = hours(1000);
+    config.mttr = 60.0;
+    const double stripe = model::mttdl(config);
+    char label[32];
+    std::snprintf(label, sizeof label, "m=%u%s", m,
+                  m == 1 ? " (RAID-5)" : (m == 2 ? " (RDP/RS)" : " (RS)"));
+    std::printf("%18s %13.1f yr %15.1f yr\n", label,
+                stripe / (365.25 * 86400.0),
+                model::cluster_mttdl(config, 4) / (365.25 * 86400.0));
+  }
+
+  std::printf("\ncorrelated double-node failure after 10 committed epochs "
+              "(wide k=4 RAID-5 groups):\n");
+  std::printf("%-24s %12s %14s %14s\n", "backend", "outcome",
+              "epochs lost", "recovery");
+  struct Row {
+    const char* label;
+    std::uint32_t flush_every;  // 0 = DVDC only
+  } rows[] = {{"DVDC only", 0},
+              {"DVDC + NAS (every 1)", 1},
+              {"DVDC + NAS (every 4)", 4},
+              {"DVDC + NAS (every 8)", 8}};
+  for (const auto& row : rows) {
+    const auto outcome = scripted_catastrophe(row.flush_every);
+    char lost[24];
+    if (outcome.survived)
+      std::snprintf(lost, sizeof lost, "%u of 10", outcome.rolled_back);
+    else
+      std::snprintf(lost, sizeof lost, "all 10");
+    std::printf("%-24s %12s %14s %14s\n", row.label,
+                outcome.survived ? "RECOVERED" : "RESTART",
+                lost,
+                outcome.survived
+                    ? bench::fmt_time(outcome.recovery_time).c_str()
+                    : "-");
+  }
+  std::printf("\nParity degree buys stripe lifetime multiplicatively; the\n"
+              "NAS level converts the residual catastrophic tail from\n"
+              "'restart the job' into 'lose the flush lag'.\n");
+  return 0;
+}

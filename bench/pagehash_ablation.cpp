@@ -1,0 +1,99 @@
+// ABL-HASH — the paper's Section VII future work: "using page hashes to
+// speed up live migration when similar VMs reside at the host
+// destination."
+//
+// A VM is migrated to a host that already runs a clone which has diverged
+// by X% of its pages. Plain stop-and-copy ships the whole image; the
+// page-hash migrator ships a manifest plus only the diverged pages (each
+// match byte-verified). We sweep divergence and report bytes and time.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "migration/pagehash.hpp"
+#include "migration/precopy.hpp"
+#include "vm/workload.hpp"
+
+using namespace vdc;
+using namespace vdc::migration;
+
+namespace {
+
+constexpr std::size_t kPages = 1024;  // 4 MiB guest
+constexpr Bytes kPage = kib(4);
+
+struct Result {
+  Bytes plain_bytes = 0;
+  SimTime plain_time = 0;
+  Bytes dedup_bytes = 0;
+  SimTime dedup_time = 0;
+  std::size_t matched = 0;
+};
+
+Result run(double divergence) {
+  Result result;
+
+  for (int mode = 0; mode < 2; ++mode) {
+    simkit::Simulator sim;
+    net::Fabric fabric(sim, 50e-6);
+    const auto src_host = fabric.add_host(mib_per_s(10), "src");
+    const auto dst_host = fabric.add_host(mib_per_s(10), "dst");
+    // Same RNG seed => the two hypervisors boot identical "clone" images.
+    vm::Hypervisor src(Rng(1)), dst(Rng(1));
+    src.create_vm(1, "migrant", kPage, kPages,
+                  std::make_unique<vm::IdleWorkload>());
+    dst.create_vm(2, "resident-clone", kPage, kPages,
+                  std::make_unique<vm::IdleWorkload>());
+
+    // Diverge the migrant from the resident clone.
+    Rng rng(9);
+    auto& image = src.get(1).image();
+    const auto diverge = static_cast<std::size_t>(divergence * kPages);
+    for (std::size_t i = 0; i < diverge; ++i) {
+      std::vector<std::byte> w(32);
+      for (auto& b : w) b = static_cast<std::byte>(rng.next());
+      image.write(i, 0, w);
+    }
+
+    if (mode == 0) {
+      StopAndCopyMigrator plain(sim, fabric);
+      plain.migrate(1, src, src_host, dst, dst_host,
+                    [&](const MigrationStats& s) {
+                      result.plain_bytes = s.bytes_sent;
+                      result.plain_time = s.total_time;
+                    });
+    } else {
+      DedupMigrator dedup(sim, fabric);
+      dedup.migrate(1, src, src_host, dst, dst_host,
+                    [&](const DedupStats& s) {
+                      result.dedup_bytes = s.bytes_sent;
+                      result.dedup_time = s.total_time;
+                      result.matched = s.pages_matched;
+                    });
+    }
+    sim.run();
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("ABL-HASH  page-hash dedup migration (paper Section VII)",
+                "4 MiB guest to a host with a diverged clone; 10 MiB/s link");
+  std::printf("%12s %10s %12s %10s %12s %10s\n", "divergence", "matched",
+              "plain bytes", "plain t", "dedup bytes", "dedup t");
+  for (double divergence : {0.0, 0.05, 0.25, 0.5, 0.75, 1.0}) {
+    const Result r = run(divergence);
+    std::printf("%11.0f%% %10zu %12s %10s %12s %10s\n", divergence * 100.0,
+                r.matched,
+                bench::fmt_bytes(static_cast<double>(r.plain_bytes)).c_str(),
+                bench::fmt_time(r.plain_time).c_str(),
+                bench::fmt_bytes(static_cast<double>(r.dedup_bytes)).c_str(),
+                bench::fmt_time(r.dedup_time).c_str());
+  }
+  std::printf("\nAgainst an undiverged clone the migration collapses to a "
+              "hash manifest; savings decay linearly with divergence and "
+              "the manifest (8 B/page) is the only overhead at 100%%.\n");
+  return 0;
+}

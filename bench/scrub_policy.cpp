@@ -1,0 +1,129 @@
+// ABL-SCRUB — how often must parity be scrubbed?
+//
+// Diskless checkpoints live in volatile RAM (the unreliability the paper's
+// §II-B.2 RAID analogy is about). If a bit flips in a stored parity block
+// and a node then fails, reconstruction silently produces a corrupted VM.
+// We inject random parity bit-flips as a Poisson process, run periodic
+// scrub-and-repair at different periods, strike node failures at random
+// instants, and count how many recoveries would have been poisoned.
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "bench_util.hpp"
+#include "core/recovery.hpp"
+#include "core/runtime.hpp"
+#include "core/scrub.hpp"
+
+using namespace vdc;
+using namespace vdc::core;
+
+namespace {
+
+struct Trial {
+  int recoveries = 0;
+  int poisoned = 0;
+};
+
+Trial run(SimTime scrub_period, SimTime corruption_mtbf, int events,
+          std::uint64_t seed) {
+  Trial trial;
+  Rng rng(seed);
+
+  for (int e = 0; e < events; ++e) {
+    simkit::Simulator sim;
+    cluster::ClusterManager cluster(sim, Rng(seed * 1000 + e));
+    ClusterConfig cc;
+    cc.page_size = kib(4);
+    cc.pages_per_vm = 32;
+    cc.write_rate = 0.0;
+    auto workloads = make_workload_factory(cc);
+    for (int n = 0; n < 4; ++n) cluster.add_node();
+    for (int n = 0; n < 4; ++n)
+      for (int v = 0; v < 2; ++v)
+        cluster.boot_vm(n, cc.page_size, cc.pages_per_vm, workloads(0));
+
+    DvdcState state;
+    DvdcCoordinator coord(sim, cluster, state);
+    RecoveryManager recovery(sim, cluster, state, workloads);
+    ParityScrubber scrubber(sim, cluster, state);
+    auto placed = PlacedPlan::make(GroupPlanner().plan(cluster), cluster);
+    coord.run_epoch(placed, 1, [](const EpochStats&) {});
+    sim.run();
+
+    std::map<vm::VmId, std::vector<std::byte>> committed;
+    for (vm::VmId vmid : cluster.all_vms())
+      committed[vmid] = state.node_store(*cluster.locate(vmid))
+                            .find(vmid, 1)
+                            ->payload;
+
+    // Timeline until the node failure: corruption events arrive at rate
+    // 1/corruption_mtbf; scrubs repair at the period boundaries.
+    const SimTime fail_at = rng.uniform(0.0, hours(1));
+    SimTime t = 0.0;
+    SimTime next_corruption = rng.exponential(1.0 / corruption_mtbf);
+    SimTime next_scrub =
+        scrub_period > 0 ? scrub_period : fail_at + 1.0;
+    while (true) {
+      const SimTime next = std::min({next_corruption, next_scrub, fail_at});
+      t = next;
+      if (t >= fail_at) break;
+      if (next == next_corruption) {
+        const auto gid = static_cast<GroupId>(
+            rng.uniform_u64(placed.plan.groups.size()));
+        const auto offset = rng.uniform_u64(kib(4) * 32);
+        scrubber.inject_corruption(gid, 0, offset);
+        next_corruption = t + rng.exponential(1.0 / corruption_mtbf);
+      } else {
+        scrubber.scrub(placed, /*repair=*/true, [](const ScrubReport&) {});
+        sim.run();
+        next_scrub = t + scrub_period;
+      }
+    }
+
+    // Node failure + recovery; check the rebuilt bytes.
+    const cluster::NodeId victim = 1;
+    const auto lost = cluster.node(victim).hypervisor().vm_ids();
+    cluster.kill_node(victim);
+    state.drop_node(victim);
+    bool ok = false;
+    recovery.recover(placed, lost,
+                     [&](const RecoveryStats& s) { ok = s.success; });
+    sim.run();
+    if (!ok) continue;
+    ++trial.recoveries;
+    for (vm::VmId vmid : lost) {
+      if (cluster.machine(vmid).image().flatten() != committed.at(vmid)) {
+        ++trial.poisoned;
+        break;
+      }
+    }
+  }
+  return trial;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("ABL-SCRUB  scrub period vs. silent parity corruption",
+                "random bit flips (MTBF 10 min) before a failure at a "
+                "random instant within 1 h; 40 trials per cell");
+  std::printf("%16s %12s %12s %12s\n", "scrub period", "recoveries",
+              "poisoned", "rate");
+  const SimTime corruption_mtbf = minutes(10);
+  for (SimTime period : {0.0, hours(1), minutes(15), minutes(2)}) {
+    const Trial trial = run(period, corruption_mtbf, 40, 99);
+    std::printf("%16s %12d %12d %11.0f%%\n",
+                period > 0 ? bench::fmt_time(period).c_str() : "never",
+                trial.recoveries, trial.poisoned,
+                trial.recoveries
+                    ? 100.0 * trial.poisoned / trial.recoveries
+                    : 0.0);
+  }
+  std::printf("\nWithout scrubbing, most recoveries silently rebuild "
+              "corrupted VMs once bit flips outpace failures; scrubbing "
+              "at a period well under the corruption MTBF shrinks the "
+              "exposure window toward zero.\n");
+  return 0;
+}

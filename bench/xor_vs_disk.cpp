@@ -1,0 +1,69 @@
+// CLAIM-XOR — Section V-B: "an in-memory XOR operation is going to be
+// orders-of-magnitude faster than a disk write operation of the same
+// size."
+//
+// The XOR side is *measured* (wall clock over the real blocked-XOR kernel
+// this library uses for parity); the disk side uses the simulator's timing
+// model for the paper-era NAS array (400 MiB/s + 5 ms positioning) and a
+// commodity local disk (150 MiB/s + 8 ms). The ratio is the claim.
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "parity/xor.hpp"
+#include "storage/disk.hpp"
+
+using namespace vdc;
+
+namespace {
+
+double measure_xor_rate(std::size_t bytes) {
+  Rng rng(1);
+  std::vector<std::byte> dst(bytes), src(bytes);
+  for (auto& b : src) b = static_cast<std::byte>(rng.next());
+  // Warm up.
+  parity::xor_into(dst, src);
+
+  const int reps = bytes >= mib(64) ? 4 : 16;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < reps; ++i) parity::xor_into(dst, src);
+  const auto end = std::chrono::steady_clock::now();
+  const double secs =
+      std::chrono::duration<double>(end - start).count() / reps;
+  return static_cast<double>(bytes) / secs;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("CLAIM-XOR  in-memory XOR vs. disk write of the same size",
+                "XOR measured on this machine; disks from the timing model");
+
+  storage::DiskSpec nas_array{mib_per_s(400), mib_per_s(500),
+                              milliseconds(5)};
+  storage::DiskSpec local{mib_per_s(150), mib_per_s(160), milliseconds(8)};
+  simkit::Simulator sim;
+  storage::Disk nas_disk(sim, nas_array);
+  storage::Disk local_disk(sim, local);
+
+  std::printf("%10s  %14s  %12s  %12s  %10s  %10s\n", "size", "XOR rate",
+              "XOR time", "NAS write", "local", "NAS/XOR");
+  for (Bytes size : {mib(16), mib(64), mib(256)}) {
+    const double xor_rate = measure_xor_rate(size);
+    const double xor_time = static_cast<double>(size) / xor_rate;
+    const double nas_time = nas_disk.write_service_time(size);
+    const double local_time = local_disk.write_service_time(size);
+    std::printf("%10s  %14s  %12s  %12s  %10s  %9.0fx\n",
+                bench::fmt_bytes(static_cast<double>(size)).c_str(),
+                bench::fmt_rate(xor_rate).c_str(),
+                bench::fmt_time(xor_time).c_str(),
+                bench::fmt_time(nas_time).c_str(),
+                bench::fmt_time(local_time).c_str(), nas_time / xor_time);
+  }
+  std::printf("\nAnything above ~10x supports the paper's argument; on "
+              "modern memory the gap is 1-2 orders of magnitude.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Failover campaign: a 4-hour HPC job on an unreliable cluster, executed
+// three ways — DVDC diskless checkpointing, traditional disk-full
+// checkpointing to a NAS, and no checkpointing at all — with identical
+// failure seeds. This is the workload the paper's introduction motivates:
+// long-running parallel jobs on machines whose MTBF is a few hours.
+//
+//   $ ./failover_campaign
+
+#include <cstdio>
+
+#include "core/baseline.hpp"
+#include "core/runtime.hpp"
+
+using namespace vdc;
+using namespace vdc::core;
+
+int main() {
+  ClusterConfig cc;
+  cc.nodes = 4;
+  cc.vms_per_node = 3;
+  cc.page_size = kib(4);
+  cc.pages_per_vm = 512;  // 2 MiB guests (simulation-sized)
+  cc.write_rate = 200.0;
+
+  JobConfig job;
+  job.total_work = hours(4);
+  job.interval = minutes(10);
+  job.lambda = 1.0 / hours(1);  // hostile: MTBF one hour
+  job.seed = 2012;              // same failures for every scheme
+
+  struct Entry {
+    const char* name;
+    JobRunner::BackendFactory factory;
+    double interval;
+  };
+  DiskFullConfig df;
+  df.nas.frontend_rate = mib_per_s(10);
+  df.nas.array =
+      storage::DiskSpec{mib_per_s(8), mib_per_s(10), milliseconds(5)};
+
+  const Entry entries[] = {
+      {"DVDC (diskless, COW)",
+       [cc](simkit::Simulator& sim, cluster::ClusterManager& cluster,
+            Rng&) -> std::unique_ptr<CheckpointBackend> {
+         return std::make_unique<DvdcBackend>(sim, cluster, ProtocolConfig{},
+                                              RecoveryConfig{},
+                                              make_workload_factory(cc));
+       },
+       minutes(2)},  // cheap checkpoints: take them often
+      {"disk-full (NAS, sync)",
+       [cc, df](simkit::Simulator& sim, cluster::ClusterManager& cluster,
+                Rng&) -> std::unique_ptr<CheckpointBackend> {
+         return std::make_unique<DiskFullBackend>(
+             sim, cluster, make_workload_factory(cc), df);
+       },
+       minutes(10)},  // expensive checkpoints: space them out
+      {"no checkpointing",
+       [](simkit::Simulator&, cluster::ClusterManager&,
+          Rng&) -> std::unique_ptr<CheckpointBackend> {
+         return std::make_unique<NoCheckpointBackend>();
+       },
+       0.0},
+  };
+
+  std::printf("4-hour job, 12 VMs on 4 nodes, cluster MTBF 1 h.\n"
+              "Each scheme checkpoints near its own optimum: DVDC every "
+              "2 min, disk-full every 10 min.\n\n");
+  std::printf("%-24s %10s %7s %7s %9s %10s %9s\n", "scheme", "completion",
+              "ratio", "fails", "restarts", "lost work", "overhead");
+  for (const auto& entry : entries) {
+    JobConfig j = job;
+    j.interval = entry.interval;
+    JobRunner runner(j, cc, entry.factory);
+    const RunResult r = runner.run();
+    if (!r.finished) {
+      std::printf("%-24s did not finish within the event budget\n",
+                  entry.name);
+      continue;
+    }
+    std::printf("%-24s %9.2fh %7.3f %7u %9u %8.1fm %8.1fs\n", entry.name,
+                r.completion / 3600.0, r.time_ratio, r.failures,
+                r.job_restarts, r.lost_work / 60.0, r.total_overhead);
+  }
+
+  std::printf("\nSame failure trace everywhere: diskless checkpointing "
+              "turns hours of rework into seconds of overhead; skipping "
+              "checkpoints entirely makes completion a lottery.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+#include "checkpoint/checkpointer.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace vdc::checkpoint {
+
+Checkpoint FullCheckpointer::capture(const vm::VirtualMachine& machine,
+                                     Epoch epoch) const {
+  Checkpoint cp;
+  cp.vm = machine.id();
+  cp.epoch = epoch;
+  cp.page_size = machine.image().page_size();
+  cp.payload = machine.image().flatten();
+  return cp;
+}
+
+IncrementalCheckpointer::Result IncrementalCheckpointer::capture(
+    vm::VirtualMachine& machine, Epoch epoch) {
+  Result result;
+  auto& image = machine.image();
+
+  auto it = bases_.find(machine.id());
+  if (it == bases_.end()) {
+    // First epoch: the delta is the whole image.
+    image.mark_all_dirty();
+    it = bases_.emplace(machine.id(), std::vector<std::byte>(
+                                          image.size_bytes())).first;
+  }
+  std::vector<std::byte>& base = it->second;
+
+  result.delta = capture_delta(image, /*clear_dirty=*/true);
+  result.shipped_raw = result.delta.raw_bytes();
+  if (base.size() == image.size_bytes() && result.delta.page_count() > 0) {
+    // Compression is measured against the previous base (zero-filled on
+    // the first epoch, which still compresses well for sparse images).
+    result.shipped_compressed =
+        compress_delta(result.delta, base).wire_bytes();
+  }
+
+  apply_delta(base, result.delta);
+
+  result.checkpoint.vm = machine.id();
+  result.checkpoint.epoch = epoch;
+  result.checkpoint.page_size = image.page_size();
+  result.checkpoint.payload = base;  // copy: the store owns its bytes
+  return result;
+}
+
+const std::vector<std::byte>& IncrementalCheckpointer::base(
+    vm::VmId vm) const {
+  auto it = bases_.find(vm);
+  VDC_REQUIRE(it != bases_.end(), "no incremental base for this VM");
+  return it->second;
+}
+
+ForkedCheckpointer::Result ForkedCheckpointer::materialize(
+    const vm::VirtualMachine& machine,
+    std::unique_ptr<vm::CowSnapshot> snapshot, Epoch epoch) const {
+  VDC_REQUIRE(snapshot != nullptr, "materialize: null snapshot");
+  Result result;
+  result.preserved_pages = snapshot->preserved_page_count();
+  result.checkpoint.vm = machine.id();
+  result.checkpoint.epoch = epoch;
+  result.checkpoint.page_size = snapshot->page_size();
+  result.checkpoint.payload = snapshot->materialize();
+  return result;
+}
+
+}  // namespace vdc::checkpoint

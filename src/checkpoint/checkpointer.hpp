@@ -1,0 +1,94 @@
+#pragma once
+// The three checkpoint variants from Plank's diskless checkpointing,
+// lifted to the hypervisor level (paper Section II-B.2 / IV-A):
+//
+//  * FullCheckpointer     — "normal": stop-the-world copy of the image.
+//  * IncrementalCheckpointer — ships only pages dirtied since the last
+//    epoch; maintains the reconstructed full image per VM.
+//  * ForkedCheckpointer   — copy-on-write fork: the guest resumes
+//    immediately and the checkpoint content is read from the frozen view;
+//    memory cost is only the pages dirtied while the fork is alive.
+//
+// All variants produce the same logical artifact: the VM's full memory
+// contents at the checkpoint instant (verified byte-exact by tests).
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "checkpoint/delta.hpp"
+#include "common/units.hpp"
+#include "vm/machine.hpp"
+
+namespace vdc::checkpoint {
+
+using Epoch = std::uint64_t;
+
+/// A captured checkpoint: the full memory contents of one VM at one epoch.
+struct Checkpoint {
+  vm::VmId vm = 0;
+  Epoch epoch = 0;
+  Bytes page_size = 0;
+  std::vector<std::byte> payload;
+
+  Bytes size_bytes() const { return payload.size(); }
+};
+
+/// Stop-the-world full copy. The caller is responsible for pausing the VM
+/// around capture if a consistent cluster-wide cut is required.
+class FullCheckpointer {
+ public:
+  Checkpoint capture(const vm::VirtualMachine& machine, Epoch epoch) const;
+};
+
+/// Incremental capture: returns the delta (what must be shipped) and keeps
+/// the running full image per VM so the full checkpoint is always
+/// available locally.
+class IncrementalCheckpointer {
+ public:
+  struct Result {
+    Checkpoint checkpoint;  // reconstructed full image at this epoch
+    PageDelta delta;        // pages changed since the previous epoch
+    Bytes shipped_raw = 0;  // delta.raw_bytes()
+    Bytes shipped_compressed = 0;  // wire size after XOR+RLE compression
+  };
+
+  /// Capture VM state. The first capture for a VM ships the full image.
+  /// Clears the VM's dirty log.
+  Result capture(vm::VirtualMachine& machine, Epoch epoch);
+
+  /// Drop per-VM state (e.g. the VM was destroyed or re-placed).
+  void forget(vm::VmId vm) { bases_.erase(vm); }
+
+  bool has_base(vm::VmId vm) const { return bases_.count(vm) != 0; }
+  /// Previous full image for a VM (valid after a capture).
+  const std::vector<std::byte>& base(vm::VmId vm) const;
+
+ private:
+  std::unordered_map<vm::VmId, std::vector<std::byte>> bases_;
+};
+
+/// Copy-on-write fork capture. In the simulator the fork is taken, the
+/// guest is resumed by the caller, and materialisation happens afterwards;
+/// `preserved_pages` reports how many pages the guest touched while the
+/// fork was alive (the transient extra memory of Plank's forked variant).
+class ForkedCheckpointer {
+ public:
+  struct Result {
+    Checkpoint checkpoint;
+    std::size_t preserved_pages = 0;
+  };
+
+  /// Take the fork (cheap) — guest may resume right after this returns.
+  std::unique_ptr<vm::CowSnapshot> fork(vm::VirtualMachine& machine) const {
+    return machine.image().fork_cow();
+  }
+
+  /// Materialise the forked view into a checkpoint and release the fork.
+  Result materialize(const vm::VirtualMachine& machine,
+                     std::unique_ptr<vm::CowSnapshot> snapshot,
+                     Epoch epoch) const;
+};
+
+}  // namespace vdc::checkpoint

@@ -1,0 +1,90 @@
+#include "checkpoint/rle.hpp"
+
+#include <cstdint>
+
+#include "common/assert.hpp"
+
+namespace vdc::checkpoint {
+
+namespace {
+
+void put_varint(std::vector<std::byte>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::byte>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::byte>(v));
+}
+
+std::uint64_t get_varint(std::span<const std::byte> in, std::size_t& pos) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    if (pos >= in.size()) throw Error("rle: truncated varint");
+    const auto b = static_cast<std::uint8_t>(in[pos++]);
+    if (shift >= 63 && (b >> 1) != 0) throw Error("rle: varint overflow");
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+}  // namespace
+
+std::vector<std::byte> rle_encode(std::span<const std::byte> data) {
+  std::vector<std::byte> out;
+  out.reserve(data.size() / 8 + 16);
+  std::size_t i = 0;
+  while (i < data.size()) {
+    // Count the zero run.
+    std::size_t zeros = 0;
+    while (i + zeros < data.size() && data[i + zeros] == std::byte{0})
+      ++zeros;
+    // Count the literal run that follows. A literal run ends at a zero run
+    // long enough (>= 4) to be worth a record boundary.
+    std::size_t lit_start = i + zeros;
+    std::size_t lit_len = 0;
+    std::size_t scan = lit_start;
+    while (scan < data.size()) {
+      if (data[scan] == std::byte{0}) {
+        std::size_t z = 0;
+        while (scan + z < data.size() && data[scan + z] == std::byte{0}) ++z;
+        if (z >= 4 || scan + z == data.size()) break;
+        scan += z;
+        lit_len += z;
+      } else {
+        ++scan;
+        ++lit_len;
+      }
+    }
+    put_varint(out, zeros);
+    put_varint(out, lit_len);
+    out.insert(out.end(), data.begin() + static_cast<std::ptrdiff_t>(lit_start),
+               data.begin() + static_cast<std::ptrdiff_t>(lit_start + lit_len));
+    i = lit_start + lit_len;
+  }
+  return out;
+}
+
+std::vector<std::byte> rle_decode(std::span<const std::byte> encoded,
+                                  std::size_t expected_size) {
+  std::vector<std::byte> out;
+  out.reserve(expected_size);
+  std::size_t pos = 0;
+  while (out.size() < expected_size) {
+    if (pos >= encoded.size()) throw Error("rle: truncated stream");
+    const std::uint64_t zeros = get_varint(encoded, pos);
+    const std::uint64_t lits = get_varint(encoded, pos);
+    if (out.size() + zeros + lits > expected_size)
+      throw Error("rle: output overrun");
+    out.insert(out.end(), zeros, std::byte{0});
+    if (pos + lits > encoded.size()) throw Error("rle: truncated literals");
+    out.insert(out.end(), encoded.begin() + static_cast<std::ptrdiff_t>(pos),
+               encoded.begin() + static_cast<std::ptrdiff_t>(pos + lits));
+    pos += lits;
+  }
+  if (pos != encoded.size()) throw Error("rle: trailing garbage");
+  return out;
+}
+
+}  // namespace vdc::checkpoint

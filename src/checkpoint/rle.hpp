@@ -1,0 +1,28 @@
+#pragma once
+// Zero-run-length encoding for checkpoint deltas.
+//
+// The increments shipped between checkpoints are XORs of a page against its
+// previous contents — mostly zero except where the guest actually wrote
+// (Plank's "compressed differences"). A simple zero-run/literal-run format
+// captures nearly all of that redundancy with trivial encode/decode cost.
+//
+// Wire format: a sequence of records
+//   varint zero_len | varint literal_len | literal_len raw bytes
+// until the decoded output reaches the expected size.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace vdc::checkpoint {
+
+/// Encode `data`. Output never exceeds input by more than a few varints
+/// per literal run, and collapses zero runs to ~1-5 bytes.
+std::vector<std::byte> rle_encode(std::span<const std::byte> data);
+
+/// Decode an rle_encode() buffer; `expected_size` is the original length.
+/// Throws vdc::Error on malformed input.
+std::vector<std::byte> rle_decode(std::span<const std::byte> encoded,
+                                  std::size_t expected_size);
+
+}  // namespace vdc::checkpoint

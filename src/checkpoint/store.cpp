@@ -1,0 +1,67 @@
+#include "checkpoint/store.hpp"
+
+#include <utility>
+
+namespace vdc::checkpoint {
+
+void CheckpointStore::put(const Checkpoint& cp) { put(Checkpoint(cp)); }
+
+void CheckpointStore::put(Checkpoint&& cp) {
+  auto& epochs = by_vm_[cp.vm];
+  auto it = epochs.find(cp.epoch);
+  if (it != epochs.end()) {
+    total_bytes_ -= it->second.size_bytes();
+    it->second = std::move(cp);
+    total_bytes_ += it->second.size_bytes();
+  } else {
+    total_bytes_ += cp.size_bytes();
+    epochs.emplace(cp.epoch, std::move(cp));
+  }
+}
+
+const Checkpoint* CheckpointStore::find(vm::VmId vm, Epoch epoch) const {
+  auto it = by_vm_.find(vm);
+  if (it == by_vm_.end()) return nullptr;
+  auto jt = it->second.find(epoch);
+  return jt == it->second.end() ? nullptr : &jt->second;
+}
+
+std::optional<Epoch> CheckpointStore::latest_epoch(vm::VmId vm) const {
+  auto it = by_vm_.find(vm);
+  if (it == by_vm_.end() || it->second.empty()) return std::nullopt;
+  return it->second.rbegin()->first;
+}
+
+void CheckpointStore::gc_before(Epoch epoch) {
+  for (auto& [vm, epochs] : by_vm_) {
+    for (auto it = epochs.begin();
+         it != epochs.end() && it->first < epoch;) {
+      total_bytes_ -= it->second.size_bytes();
+      it = epochs.erase(it);
+    }
+  }
+}
+
+void CheckpointStore::erase(vm::VmId vm, Epoch epoch) {
+  auto it = by_vm_.find(vm);
+  if (it == by_vm_.end()) return;
+  auto jt = it->second.find(epoch);
+  if (jt == it->second.end()) return;
+  total_bytes_ -= jt->second.size_bytes();
+  it->second.erase(jt);
+}
+
+void CheckpointStore::drop_vm(vm::VmId vm) {
+  auto it = by_vm_.find(vm);
+  if (it == by_vm_.end()) return;
+  for (auto& [epoch, cp] : it->second) total_bytes_ -= cp.size_bytes();
+  by_vm_.erase(it);
+}
+
+std::size_t CheckpointStore::entry_count() const {
+  std::size_t n = 0;
+  for (const auto& [vm, epochs] : by_vm_) n += epochs.size();
+  return n;
+}
+
+}  // namespace vdc::checkpoint

@@ -1,0 +1,51 @@
+#pragma once
+// In-memory checkpoint store.
+//
+// Diskless checkpointing keeps checkpoints in RAM: each node stores the
+// current (and, during a checkpoint, the previous) epoch of the VMs and
+// parity blocks it is responsible for. The store tracks total bytes so the
+// paper's "modest memory overhead" claim can be measured.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "checkpoint/checkpointer.hpp"
+#include "common/units.hpp"
+
+namespace vdc::checkpoint {
+
+class CheckpointStore {
+ public:
+  /// Insert or replace the checkpoint for (vm, epoch).
+  void put(const Checkpoint& cp);
+  void put(Checkpoint&& cp);
+
+  /// Fetch a checkpoint payload; nullopt if absent.
+  const Checkpoint* find(vm::VmId vm, Epoch epoch) const;
+
+  /// Latest stored epoch for a VM, if any.
+  std::optional<Epoch> latest_epoch(vm::VmId vm) const;
+
+  /// Drop all epochs strictly older than `epoch` for every VM (commit-time
+  /// garbage collection: once epoch e is globally committed, e-1 dies).
+  void gc_before(Epoch epoch);
+
+  /// Drop one (vm, epoch) entry if present (abort of an in-flight epoch).
+  void erase(vm::VmId vm, Epoch epoch);
+
+  /// Drop everything stored for one VM.
+  void drop_vm(vm::VmId vm);
+
+  std::size_t entry_count() const;
+  Bytes total_bytes() const { return total_bytes_; }
+
+ private:
+  // vm -> epoch -> checkpoint
+  std::unordered_map<vm::VmId, std::map<Epoch, Checkpoint>> by_vm_;
+  Bytes total_bytes_ = 0;
+};
+
+}  // namespace vdc::checkpoint

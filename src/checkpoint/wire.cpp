@@ -1,0 +1,69 @@
+#include "checkpoint/wire.hpp"
+
+#include <cstring>
+
+#include "common/crc32.hpp"
+
+namespace vdc::checkpoint {
+
+namespace {
+
+constexpr std::size_t kHeaderSize = 40;
+constexpr char kMagic[4] = {'V', 'D', 'C', '1'};
+
+void put_u32(std::byte* dst, std::uint32_t v) { std::memcpy(dst, &v, 4); }
+void put_u64(std::byte* dst, std::uint64_t v) { std::memcpy(dst, &v, 8); }
+std::uint32_t get_u32(const std::byte* src) {
+  std::uint32_t v;
+  std::memcpy(&v, src, 4);
+  return v;
+}
+std::uint64_t get_u64(const std::byte* src) {
+  std::uint64_t v;
+  std::memcpy(&v, src, 8);
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::byte> encode_frame(const Checkpoint& checkpoint) {
+  std::vector<std::byte> frame(kHeaderSize + checkpoint.payload.size());
+  std::memcpy(frame.data(), kMagic, 4);
+  put_u32(frame.data() + 8, checkpoint.vm);
+  put_u64(frame.data() + 12, checkpoint.epoch);
+  put_u64(frame.data() + 20, checkpoint.page_size);
+  put_u64(frame.data() + 28, checkpoint.payload.size());
+  put_u32(frame.data() + 36, crc32(checkpoint.payload));
+  // Header CRC covers everything after itself up to the payload.
+  put_u32(frame.data() + 4,
+          crc32({frame.data() + 8, kHeaderSize - 8}));
+  std::memcpy(frame.data() + kHeaderSize, checkpoint.payload.data(),
+              checkpoint.payload.size());
+  return frame;
+}
+
+Checkpoint decode_frame(std::span<const std::byte> frame) {
+  if (frame.size() < kHeaderSize)
+    throw WireError("checkpoint frame: truncated header");
+  if (std::memcmp(frame.data(), kMagic, 4) != 0)
+    throw WireError("checkpoint frame: bad magic");
+  if (get_u32(frame.data() + 4) !=
+      crc32({frame.data() + 8, kHeaderSize - 8}))
+    throw WireError("checkpoint frame: header crc mismatch");
+
+  Checkpoint cp;
+  cp.vm = get_u32(frame.data() + 8);
+  cp.epoch = get_u64(frame.data() + 12);
+  cp.page_size = get_u64(frame.data() + 20);
+  const std::uint64_t payload_len = get_u64(frame.data() + 28);
+  const std::uint32_t payload_crc = get_u32(frame.data() + 36);
+
+  if (frame.size() != kHeaderSize + payload_len)
+    throw WireError("checkpoint frame: length mismatch");
+  cp.payload.assign(frame.begin() + kHeaderSize, frame.end());
+  if (crc32(cp.payload) != payload_crc)
+    throw WireError("checkpoint frame: payload crc mismatch");
+  return cp;
+}
+
+}  // namespace vdc::checkpoint

@@ -1,0 +1,46 @@
+#pragma once
+// Checkpoint wire format.
+//
+// Checkpoints cross the fabric during the exchange, recovery and scrub
+// phases; this frame format makes those transfers self-describing and
+// integrity-checked:
+//
+//   offset  size  field
+//        0     4  magic  "VDC1"
+//        4     4  header crc32 (over bytes 8..39)
+//        8     4  vm id
+//       12     8  epoch
+//       20     8  page size
+//       28     8  payload length
+//       36     4  payload crc32
+//       40     n  payload bytes
+//
+// decode() rejects bad magic, truncated frames, and CRC mismatches with
+// typed errors, so a corrupted frame can never be restored into a guest.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "checkpoint/checkpointer.hpp"
+
+namespace vdc::checkpoint {
+
+/// A frame failed magic/CRC/shape validation.
+class WireError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Serialize a checkpoint into a framed byte vector.
+std::vector<std::byte> encode_frame(const Checkpoint& checkpoint);
+
+/// Parse and validate a frame. Throws WireError on any corruption.
+Checkpoint decode_frame(std::span<const std::byte> frame);
+
+/// Frame size for a payload of `payload_bytes` (header is 40 bytes).
+constexpr std::size_t frame_size(std::size_t payload_bytes) {
+  return 40 + payload_bytes;
+}
+
+}  // namespace vdc::checkpoint

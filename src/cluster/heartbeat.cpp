@@ -1,0 +1,77 @@
+#include "cluster/heartbeat.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace vdc::cluster {
+
+HeartbeatDetector::HeartbeatDetector(simkit::Simulator& sim,
+                                     ClusterManager& cluster,
+                                     HeartbeatConfig config)
+    : sim_(sim), cluster_(cluster), config_(config) {
+  VDC_REQUIRE(config.period > 0.0, "heartbeat period must be positive");
+  VDC_REQUIRE(config.timeout >= config.period,
+              "timeout must cover at least one period");
+}
+
+void HeartbeatDetector::start(DetectCallback on_detect) {
+  VDC_REQUIRE(!running_, "detector already running");
+  running_ = true;
+  on_detect_ = std::move(on_detect);
+  trackers_.assign(cluster_.node_count(), Tracker{});
+  for (auto& t : trackers_) t.last_seen = sim_.now();
+  timer_ = sim_.after(config_.period, [this] { tick(); });
+}
+
+void HeartbeatDetector::stop() {
+  running_ = false;
+  if (timer_ != simkit::kInvalidEvent) {
+    sim_.cancel(timer_);
+    timer_ = simkit::kInvalidEvent;
+  }
+}
+
+void HeartbeatDetector::note_failure(NodeId node, SimTime t) {
+  VDC_ASSERT(node < trackers_.size());
+  trackers_[node].failed_at = t;
+  trackers_[node].reported = false;
+}
+
+void HeartbeatDetector::note_repair(NodeId node) {
+  VDC_ASSERT(node < trackers_.size());
+  trackers_[node] = Tracker{};
+  trackers_[node].last_seen = sim_.now();
+}
+
+void HeartbeatDetector::tick() {
+  timer_ = simkit::kInvalidEvent;
+  if (!running_) return;
+
+  // Grow trackers if nodes were added after start().
+  if (trackers_.size() < cluster_.node_count()) {
+    Tracker fresh;
+    fresh.last_seen = sim_.now();
+    trackers_.resize(cluster_.node_count(), fresh);
+  }
+
+  for (NodeId id = 0; id < trackers_.size(); ++id) {
+    Tracker& t = trackers_[id];
+    if (cluster_.node(id).alive()) {
+      t.last_seen = sim_.now();
+      continue;
+    }
+    if (t.reported) continue;
+    if (sim_.now() - t.last_seen >= config_.timeout) {
+      t.reported = true;
+      ++detections_;
+      const SimTime latency =
+          t.failed_at >= 0.0 ? sim_.now() - t.failed_at : 0.0;
+      if (on_detect_) on_detect_(id, latency);
+      if (!running_) return;  // callback may stop us
+    }
+  }
+  timer_ = sim_.after(config_.period, [this] { tick(); });
+}
+
+}  // namespace vdc::cluster

@@ -1,0 +1,63 @@
+#pragma once
+// Heartbeat-based failure detection.
+//
+// Each node is expected to emit a heartbeat every `period`; the detector
+// (conceptually running on the checkpoint coordinator) declares a node
+// failed after `timeout` without one. In the simulator a live node's
+// heartbeat always arrives, so detection latency is the time from the
+// actual crash to the first missed-timeout check — which is exactly the
+// component that recovery-time benchmarks must include.
+
+#include <functional>
+#include <vector>
+
+#include "cluster/manager.hpp"
+#include "simkit/simulator.hpp"
+
+namespace vdc::cluster {
+
+struct HeartbeatConfig {
+  SimTime period = milliseconds(100);
+  SimTime timeout = milliseconds(500);
+};
+
+class HeartbeatDetector {
+ public:
+  /// `on_detect(node, detection_latency)` fires once per detected failure.
+  using DetectCallback = std::function<void(NodeId, SimTime)>;
+
+  HeartbeatDetector(simkit::Simulator& sim, ClusterManager& cluster,
+                    HeartbeatConfig config = {});
+
+  void start(DetectCallback on_detect);
+  void stop();
+
+  /// Tell the detector a node failed at `t` (the ClusterManager's
+  /// kill_node caller does this so detection latency can be measured).
+  void note_failure(NodeId node, SimTime t);
+
+  /// Forget a node's failure record (after repair/revive).
+  void note_repair(NodeId node);
+
+  std::uint64_t detections() const { return detections_; }
+
+ private:
+  void tick();
+
+  struct Tracker {
+    SimTime last_seen = 0.0;
+    SimTime failed_at = -1.0;  // < 0: believed alive
+    bool reported = false;
+  };
+
+  simkit::Simulator& sim_;
+  ClusterManager& cluster_;
+  HeartbeatConfig config_;
+  DetectCallback on_detect_;
+  std::vector<Tracker> trackers_;
+  simkit::EventId timer_ = simkit::kInvalidEvent;
+  bool running_ = false;
+  std::uint64_t detections_ = 0;
+};
+
+}  // namespace vdc::cluster

@@ -1,0 +1,191 @@
+#include "cluster/manager.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace vdc::cluster {
+
+void NameService::bind(vm::VmId id, NodeId node) {
+  auto [it, inserted] = bindings_.insert_or_assign(id, node);
+  if (!inserted) ++rebinds_;
+  (void)it;
+}
+
+void NameService::unbind(vm::VmId id) { bindings_.erase(id); }
+
+std::optional<NodeId> NameService::resolve(vm::VmId id) const {
+  auto it = bindings_.find(id);
+  if (it == bindings_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string NameService::address(vm::VmId id) {
+  // Synthetic 10.x.y.z address derived from the VM id.
+  return "10." + std::to_string((id >> 16) & 0xff) + "." +
+         std::to_string((id >> 8) & 0xff) + "." + std::to_string(id & 0xff);
+}
+
+ClusterManager::ClusterManager(simkit::Simulator& sim, Rng rng,
+                               SimTime link_latency)
+    : sim_(sim), rng_(rng), fabric_(sim, link_latency) {}
+
+NodeId ClusterManager::add_node(NodeSpec spec, std::string name) {
+  const auto id = static_cast<NodeId>(nodes_.size());
+  if (name.empty()) name = "node" + std::to_string(id);
+  const net::HostId host = fabric_.add_host(spec.nic_rate, name, spec.rack);
+  nodes_.push_back(std::make_unique<PhysicalNode>(id, std::move(name), host,
+                                                  spec, rng_.fork()));
+  return id;
+}
+
+PhysicalNode& ClusterManager::node(NodeId id) {
+  VDC_REQUIRE(id < nodes_.size(), "unknown node id");
+  return *nodes_[id];
+}
+
+const PhysicalNode& ClusterManager::node(NodeId id) const {
+  VDC_REQUIRE(id < nodes_.size(), "unknown node id");
+  return *nodes_[id];
+}
+
+std::vector<NodeId> ClusterManager::alive_nodes() const {
+  std::vector<NodeId> out;
+  for (const auto& n : nodes_)
+    if (n->alive()) out.push_back(n->id());
+  return out;
+}
+
+vm::VmId ClusterManager::boot_vm(NodeId node_id, Bytes page_size,
+                                 std::size_t page_count,
+                                 std::unique_ptr<vm::Workload> workload,
+                                 std::string name) {
+  PhysicalNode& n = node(node_id);
+  VDC_REQUIRE(n.alive(), "cannot boot a VM on a dead node");
+  if (enforce_capacity_)
+    VDC_REQUIRE(fits(node_id, page_size * page_count),
+                "node memory capacity exceeded");
+  const vm::VmId id = next_vm_id_++;
+  if (name.empty()) name = "vm" + std::to_string(id);
+  n.hypervisor().create_vm(id, std::move(name), page_size, page_count,
+                           std::move(workload));
+  placement_[id] = node_id;
+  names_.bind(id, node_id);
+  return id;
+}
+
+std::optional<NodeId> ClusterManager::locate(vm::VmId id) const {
+  auto it = placement_.find(id);
+  if (it == placement_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<vm::VmId> ClusterManager::all_vms() const {
+  std::vector<vm::VmId> out;
+  out.reserve(placement_.size());
+  for (const auto& [id, node] : placement_) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+vm::VirtualMachine& ClusterManager::machine(vm::VmId id) {
+  auto loc = locate(id);
+  VDC_REQUIRE(loc.has_value(), "VM is not placed anywhere");
+  return node(*loc).hypervisor().get(id);
+}
+
+void ClusterManager::place(std::unique_ptr<vm::VirtualMachine> m,
+                           NodeId node_id) {
+  VDC_ASSERT(m != nullptr);
+  PhysicalNode& n = node(node_id);
+  VDC_REQUIRE(n.alive(), "cannot place a VM on a dead node");
+  if (enforce_capacity_)
+    VDC_REQUIRE(fits(node_id, m->image().size_bytes()),
+                "node memory capacity exceeded");
+  const vm::VmId id = m->id();
+  n.hypervisor().adopt(std::move(m));
+  placement_[id] = node_id;
+  names_.bind(id, node_id);
+}
+
+void ClusterManager::destroy_vm(vm::VmId id) {
+  auto loc = locate(id);
+  VDC_REQUIRE(loc.has_value(), "VM is not placed anywhere");
+  node(*loc).hypervisor().destroy_vm(id);
+  placement_.erase(id);
+  names_.unbind(id);
+}
+
+void ClusterManager::kill_node(NodeId id) {
+  PhysicalNode& n = node(id);
+  VDC_REQUIRE(n.alive(), "node already dead");
+  n.alive_ = false;
+
+  std::vector<vm::VmId> lost = n.hypervisor().vm_ids();
+  for (vm::VmId vmid : lost) {
+    n.hypervisor().get(vmid).mark_failed();
+    n.hypervisor().destroy_vm(vmid);
+    placement_.erase(vmid);
+    names_.unbind(vmid);
+  }
+  VDC_INFO("cluster", "node ", n.name(), " failed, lost ", lost.size(),
+           " VMs");
+  if (on_failure_) on_failure_(id, lost);
+}
+
+void ClusterManager::revive_node(NodeId id) {
+  PhysicalNode& n = node(id);
+  VDC_REQUIRE(!n.alive(), "node is not dead");
+  VDC_ASSERT(n.hypervisor().vm_count() == 0);
+  n.alive_ = true;
+}
+
+void ClusterManager::advance_workloads(SimTime dt) {
+  for (auto& n : nodes_)
+    if (n->alive()) n->hypervisor().advance_all(dt);
+}
+
+std::vector<vm::VmId> ClusterManager::kill_rack(RackId rack) {
+  std::vector<vm::VmId> all_lost;
+  // Snapshot victims first: kill_node mutates alive state.
+  std::vector<NodeId> victims;
+  for (const auto& n : nodes_)
+    if (n->alive() && n->rack() == rack) victims.push_back(n->id());
+  VDC_REQUIRE(!victims.empty(), "no alive nodes in that rack");
+  for (NodeId nid : victims) {
+    const auto lost = node(nid).hypervisor().vm_ids();
+    all_lost.insert(all_lost.end(), lost.begin(), lost.end());
+    kill_node(nid);
+  }
+  return all_lost;
+}
+
+std::vector<RackId> ClusterManager::alive_racks() const {
+  std::vector<RackId> racks;
+  for (const auto& n : nodes_)
+    if (n->alive()) racks.push_back(n->rack());
+  std::sort(racks.begin(), racks.end());
+  racks.erase(std::unique(racks.begin(), racks.end()), racks.end());
+  return racks;
+}
+
+void ClusterManager::set_boot_zero_fraction(double fraction) {
+  for (auto& n : nodes_) n->hypervisor().set_boot_zero_fraction(fraction);
+}
+
+bool ClusterManager::fits(NodeId id, Bytes extra) const {
+  const PhysicalNode& n = node(id);
+  return node_guest_bytes(id) + extra <= n.spec().memory;
+}
+
+Bytes ClusterManager::node_guest_bytes(NodeId id) const {
+  const PhysicalNode& n = node(id);
+  Bytes total = 0;
+  for (vm::VmId vmid : n.hypervisor().vm_ids())
+    total += n.hypervisor().get(vmid).image().size_bytes();
+  return total;
+}
+
+}  // namespace vdc::cluster

@@ -1,0 +1,176 @@
+#pragma once
+// Cluster management: physical nodes, VM placement, and global names.
+//
+// The manager owns the fabric, one hypervisor per physical node, and the
+// VM -> node placement registry. It is the substrate both checkpointing
+// runtimes (DVDC and the NAS baseline) are built on. Killing a node takes
+// its hypervisor — and every VM placed there — down with it, which is the
+// correlated-failure fact that forces the orthogonal RAID-group placement
+// of Section IV-B.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/fabric.hpp"
+#include "vm/machine.hpp"
+
+namespace vdc::cluster {
+
+using NodeId = std::uint32_t;
+
+struct NodeSpec {
+  Rate nic_rate = gbit_per_s(10);
+  /// Memory XOR/copy bandwidth for parity work on this node.
+  Rate xor_rate = gib_per_s(4);
+  /// RAM available for guests + in-memory checkpoints.
+  Bytes memory = gib(64);
+  /// Fault domain: nodes in the same rack share power/switch and can fail
+  /// together (rack-level correlated failures).
+  std::uint32_t rack = 0;
+};
+
+using RackId = std::uint32_t;
+
+class PhysicalNode {
+ public:
+  PhysicalNode(NodeId id, std::string name, net::HostId host, NodeSpec spec,
+               Rng rng)
+      : id_(id),
+        name_(std::move(name)),
+        host_(host),
+        spec_(spec),
+        hypervisor_(rng) {}
+
+  NodeId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  net::HostId host() const { return host_; }
+  const NodeSpec& spec() const { return spec_; }
+  RackId rack() const { return spec_.rack; }
+  bool alive() const { return alive_; }
+
+  vm::Hypervisor& hypervisor() { return hypervisor_; }
+  const vm::Hypervisor& hypervisor() const { return hypervisor_; }
+
+ private:
+  friend class ClusterManager;
+  NodeId id_;
+  std::string name_;
+  net::HostId host_;
+  NodeSpec spec_;
+  bool alive_ = true;
+  vm::Hypervisor hypervisor_;
+};
+
+/// Maps VM ids to cluster-global names (virtual IPs). On recovery the VM
+/// keeps its name but the binding moves — the "ARP update" of Section II-A.
+class NameService {
+ public:
+  void bind(vm::VmId id, NodeId node);
+  void unbind(vm::VmId id);
+  std::optional<NodeId> resolve(vm::VmId id) const;
+  /// Stable virtual address for a VM (derived, never changes).
+  static std::string address(vm::VmId id);
+  std::uint64_t rebind_count() const { return rebinds_; }
+
+ private:
+  std::unordered_map<vm::VmId, NodeId> bindings_;
+  std::uint64_t rebinds_ = 0;
+};
+
+class ClusterManager {
+ public:
+  using FailureCallback =
+      std::function<void(NodeId, const std::vector<vm::VmId>&)>;
+
+  ClusterManager(simkit::Simulator& sim, Rng rng,
+                 SimTime link_latency = 50e-6);
+
+  /// Add a physical node. Nodes are numbered densely from 0.
+  NodeId add_node(NodeSpec spec = {}, std::string name = {});
+
+  std::size_t node_count() const { return nodes_.size(); }
+  PhysicalNode& node(NodeId id);
+  const PhysicalNode& node(NodeId id) const;
+  std::vector<NodeId> alive_nodes() const;
+
+  net::Fabric& fabric() { return fabric_; }
+  simkit::Simulator& sim() { return sim_; }
+
+  // --- VM lifecycle --------------------------------------------------------
+  /// Boot a VM on `node`; returns its cluster-wide id.
+  vm::VmId boot_vm(NodeId node, Bytes page_size, std::size_t page_count,
+                   std::unique_ptr<vm::Workload> workload,
+                   std::string name = {});
+
+  /// Where a VM currently lives (nullopt if destroyed or lost).
+  std::optional<NodeId> locate(vm::VmId id) const;
+
+  /// All live VM ids, ascending.
+  std::vector<vm::VmId> all_vms() const;
+
+  /// Hypervisor access for a VM's current node.
+  vm::VirtualMachine& machine(vm::VmId id);
+
+  /// Move a (re-created or evicted) VM onto `node` and rebind its name.
+  void place(std::unique_ptr<vm::VirtualMachine> machine, NodeId node);
+
+  /// Remove a VM from the cluster entirely.
+  void destroy_vm(vm::VmId id);
+
+  // --- failure handling ----------------------------------------------------
+  /// Kill a node: its VMs are lost immediately. Fires the failure callback
+  /// with the list of lost VM ids and unbinds their names.
+  void kill_node(NodeId id);
+
+  /// Correlated failure: kill every alive node in `rack`. Returns all VMs
+  /// lost across the rack (the failure callback fires once per node).
+  std::vector<vm::VmId> kill_rack(RackId rack);
+
+  /// Distinct rack ids among alive nodes, ascending.
+  std::vector<RackId> alive_racks() const;
+
+  /// Bring a node back empty (repaired hardware, fresh hypervisor).
+  void revive_node(NodeId id);
+
+  void set_on_failure(FailureCallback cb) { on_failure_ = std::move(cb); }
+
+  // --- time ----------------------------------------------------------------
+  /// Advance every running guest on every live node by `dt`.
+  void advance_workloads(SimTime dt);
+
+  NameService& names() { return names_; }
+
+  /// Total guest memory placed on a node (for capacity checks).
+  Bytes node_guest_bytes(NodeId id) const;
+
+  /// True if `extra` more guest bytes still fit under the node's memory.
+  bool fits(NodeId id, Bytes extra) const;
+
+  /// Enforce guest-memory capacity on boot_vm/place (default off so small
+  /// experiments need not size NodeSpec::memory).
+  void set_enforce_capacity(bool on) { enforce_capacity_ = on; }
+
+  /// Fraction of pages left zero when booting fresh guests, applied to
+  /// every node's hypervisor (see Hypervisor::set_boot_zero_fraction).
+  void set_boot_zero_fraction(double fraction);
+
+ private:
+  simkit::Simulator& sim_;
+  Rng rng_;
+  net::Fabric fabric_;
+  std::vector<std::unique_ptr<PhysicalNode>> nodes_;
+  std::unordered_map<vm::VmId, NodeId> placement_;
+  NameService names_;
+  FailureCallback on_failure_;
+  vm::VmId next_vm_id_ = 1;
+  bool enforce_capacity_ = false;
+};
+
+}  // namespace vdc::cluster

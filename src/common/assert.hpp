@@ -1,0 +1,65 @@
+#pragma once
+// Internal invariant checking and error types.
+//
+// VDC_ASSERT is always on (simulation correctness over raw speed; the hot
+// byte-level loops avoid it). Failures throw so tests can observe them.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace vdc {
+
+/// Base class for all library errors.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A broken internal invariant (a bug in the library or its caller).
+class InvariantError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// An invalid configuration or argument supplied by the caller.
+class ConfigError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Data loss: recovery was attempted but the erasure pattern is not
+/// correctable by the configured code (e.g. two failures under RAID-5).
+class DataLossError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": assertion failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+}  // namespace detail
+
+}  // namespace vdc
+
+#define VDC_ASSERT(expr)                                              \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::vdc::detail::assert_fail(#expr, __FILE__, __LINE__, "");      \
+  } while (0)
+
+#define VDC_ASSERT_MSG(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::vdc::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));   \
+  } while (0)
+
+#define VDC_REQUIRE(expr, msg)                            \
+  do {                                                    \
+    if (!(expr)) throw ::vdc::ConfigError(msg);           \
+  } while (0)

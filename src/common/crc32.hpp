@@ -1,0 +1,18 @@
+#pragma once
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//
+// Used to seal checkpoint wire frames: recovery and migration move
+// checkpoint images between nodes, and a frame whose CRC disagrees must be
+// rejected rather than silently decoded into a corrupt VM.
+
+#include <cstdint>
+#include <span>
+
+namespace vdc {
+
+/// CRC-32 of `data`, optionally continuing from a previous value (pass the
+/// prior result to checksum data in chunks).
+std::uint32_t crc32(std::span<const std::byte> data,
+                    std::uint32_t seed = 0);
+
+}  // namespace vdc

@@ -1,0 +1,22 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace vdc {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, const std::string& component,
+                   const std::string& message) {
+  static const char* names[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  const int idx = static_cast<int>(level);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fprintf(stderr, "[%s] %s: %s\n",
+               (idx >= 0 && idx < 4) ? names[idx] : "?", component.c_str(),
+               message.c_str());
+}
+
+}  // namespace vdc

@@ -1,0 +1,64 @@
+#pragma once
+// Minimal leveled logger.
+//
+// Logging defaults to Warn so tests and benchmarks stay quiet; examples turn
+// on Info/Debug to narrate what the cluster is doing. The logger is a
+// process-wide singleton guarded for concurrent use from worker threads.
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace vdc {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Process-wide logger. Thread-safe.
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  bool enabled(LogLevel level) const {
+    return static_cast<int>(level) >= static_cast<int>(level_);
+  }
+
+  /// Write one line (used by the VDC_LOG macros).
+  void write(LogLevel level, const std::string& component,
+             const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::Warn;
+  std::mutex mu_;
+};
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+}  // namespace detail
+
+}  // namespace vdc
+
+#define VDC_LOG_AT(level, component, ...)                                \
+  do {                                                                   \
+    auto& vdc_logger = ::vdc::Logger::instance();                        \
+    if (vdc_logger.enabled(level))                                       \
+      vdc_logger.write(level, (component),                               \
+                       ::vdc::detail::concat(__VA_ARGS__));              \
+  } while (0)
+
+#define VDC_DEBUG(component, ...) \
+  VDC_LOG_AT(::vdc::LogLevel::Debug, component, __VA_ARGS__)
+#define VDC_INFO(component, ...) \
+  VDC_LOG_AT(::vdc::LogLevel::Info, component, __VA_ARGS__)
+#define VDC_WARN(component, ...) \
+  VDC_LOG_AT(::vdc::LogLevel::Warn, component, __VA_ARGS__)
+#define VDC_ERROR(component, ...) \
+  VDC_LOG_AT(::vdc::LogLevel::Error, component, __VA_ARGS__)

@@ -1,0 +1,40 @@
+#pragma once
+// Units used throughout the library.
+//
+// Simulated time is a double in seconds (the discrete-event simulator needs
+// continuous time; failure interarrivals are exponential). Byte quantities
+// are 64-bit unsigned. Helper literals/functions keep call sites readable
+// and dimensionally honest.
+
+#include <cstdint>
+
+namespace vdc {
+
+/// Simulated time, in seconds.
+using SimTime = double;
+
+/// A byte count.
+using Bytes = std::uint64_t;
+
+/// A data rate, in bytes per second.
+using Rate = double;
+
+// --- time helpers ---------------------------------------------------------
+constexpr SimTime milliseconds(double ms) { return ms * 1e-3; }
+constexpr SimTime seconds(double s) { return s; }
+constexpr SimTime minutes(double m) { return m * 60.0; }
+constexpr SimTime hours(double h) { return h * 3600.0; }
+constexpr SimTime days(double d) { return d * 86400.0; }
+
+// --- byte helpers ----------------------------------------------------------
+constexpr Bytes kib(std::uint64_t n) { return n * 1024ull; }
+constexpr Bytes mib(std::uint64_t n) { return n * 1024ull * 1024ull; }
+constexpr Bytes gib(std::uint64_t n) { return n * 1024ull * 1024ull * 1024ull; }
+
+// --- rate helpers ----------------------------------------------------------
+constexpr Rate mib_per_s(double n) { return n * 1024.0 * 1024.0; }
+constexpr Rate gib_per_s(double n) { return n * 1024.0 * 1024.0 * 1024.0; }
+/// Gigabit-per-second link speed expressed in bytes/s.
+constexpr Rate gbit_per_s(double n) { return n * 1e9 / 8.0; }
+
+}  // namespace vdc

@@ -1,0 +1,156 @@
+#include "core/plan.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/assert.hpp"
+
+namespace vdc::core {
+
+std::optional<GroupId> GroupPlan::group_of(vm::VmId vm) const {
+  for (const auto& g : groups)
+    if (std::binary_search(g.members.begin(), g.members.end(), vm))
+      return g.id;
+  return std::nullopt;
+}
+
+std::size_t GroupPlan::total_members() const {
+  std::size_t n = 0;
+  for (const auto& g : groups) n += g.members.size();
+  return n;
+}
+
+GroupPlan GroupPlanner::plan(const cluster::ClusterManager& cluster) const {
+  const auto alive = cluster.alive_nodes();
+  VDC_REQUIRE(alive.size() >= 2, "DVDC needs at least two alive nodes");
+
+  std::uint32_t k = config_.group_size;
+  if (k == 0) {
+    VDC_REQUIRE(config_.parity_reserve >= 1 &&
+                    alive.size() > config_.parity_reserve,
+                "not enough alive nodes for the parity reserve");
+    k = static_cast<std::uint32_t>(alive.size()) - config_.parity_reserve;
+  }
+  VDC_REQUIRE(k >= 1, "group size must be at least 1");
+  VDC_REQUIRE(k < alive.size(),
+              "group size must leave at least one node free for parity");
+
+  // Unassigned VMs per node, ascending VM id within a node.
+  struct NodeQueue {
+    cluster::NodeId node;
+    std::vector<vm::VmId> vms;  // back() is next to assign
+  };
+  std::vector<NodeQueue> queues;
+  for (cluster::NodeId nid : alive) {
+    NodeQueue q{nid, cluster.node(nid).hypervisor().vm_ids()};
+    // Reverse so back() pops the lowest id first (deterministic).
+    std::reverse(q.vms.begin(), q.vms.end());
+    if (!q.vms.empty()) queues.push_back(std::move(q));
+  }
+
+  GroupPlan plan;
+  plan.rack_aware = config_.rack_aware;
+  for (;;) {
+    // Nodes with work left, most-loaded first (ties: lower node id).
+    std::sort(queues.begin(), queues.end(),
+              [](const NodeQueue& a, const NodeQueue& b) {
+                if (a.vms.size() != b.vms.size())
+                  return a.vms.size() > b.vms.size();
+                return a.node < b.node;
+              });
+    while (!queues.empty() && queues.back().vms.empty()) queues.pop_back();
+    if (queues.empty()) break;
+
+    // Draw one VM from each of the first up-to-k queues, skipping queues
+    // whose rack is already represented when rack orthogonality is on.
+    RaidGroup group;
+    group.id = static_cast<GroupId>(plan.groups.size());
+    std::unordered_set<cluster::RackId> used_racks;
+    for (std::size_t i = 0;
+         i < queues.size() && group.members.size() < k; ++i) {
+      if (queues[i].vms.empty()) continue;
+      const cluster::RackId rack = cluster.node(queues[i].node).rack();
+      if (config_.rack_aware && used_racks.count(rack)) continue;
+      used_racks.insert(rack);
+      group.members.push_back(queues[i].vms.back());
+      queues[i].vms.pop_back();
+    }
+    if (group.members.empty())
+      throw ConfigError(
+          "rack-aware planning is stuck: remaining VMs cannot be grouped "
+          "without sharing a rack");
+    std::sort(group.members.begin(), group.members.end());
+    plan.groups.push_back(std::move(group));
+  }
+
+  // Verify there is a parity node for every group.
+  for (const auto& g : plan.groups) {
+    if (eligible_parity_nodes(g, cluster, plan.rack_aware).empty())
+      throw ConfigError(
+          "group has no eligible parity node under the plan's "
+          "orthogonality constraints");
+  }
+
+  if (config_.require_full_coverage) {
+    std::size_t total_vms = 0;
+    for (cluster::NodeId nid : alive)
+      total_vms += cluster.node(nid).hypervisor().vm_count();
+    VDC_REQUIRE(plan.total_members() == total_vms,
+                "planner left VMs unprotected");
+  }
+  return plan;
+}
+
+bool GroupPlanner::validate(const GroupPlan& plan,
+                            const cluster::ClusterManager& cluster) {
+  std::unordered_set<vm::VmId> seen;
+  for (const auto& g : plan.groups) {
+    if (g.members.empty()) return false;
+    std::unordered_set<cluster::NodeId> nodes;
+    std::unordered_set<cluster::RackId> racks;
+    for (vm::VmId vm : g.members) {
+      if (!seen.insert(vm).second) return false;  // VM in two groups
+      const auto loc = cluster.locate(vm);
+      if (!loc.has_value()) return false;  // member vanished
+      if (!cluster.node(*loc).alive()) return false;
+      if (!nodes.insert(*loc).second) return false;  // orthogonality broken
+      if (plan.rack_aware && !racks.insert(cluster.node(*loc).rack()).second)
+        return false;  // two members share a rack
+    }
+    if (eligible_parity_nodes(g, cluster, plan.rack_aware).empty())
+      return false;
+  }
+  return true;
+}
+
+std::vector<cluster::NodeId> GroupPlanner::eligible_parity_nodes(
+    const RaidGroup& group, const cluster::ClusterManager& cluster,
+    bool rack_aware) {
+  std::unordered_set<cluster::NodeId> member_nodes;
+  std::unordered_set<cluster::RackId> member_racks;
+  for (vm::VmId vm : group.members) {
+    const auto loc = cluster.locate(vm);
+    if (!loc.has_value()) continue;
+    member_nodes.insert(*loc);
+    member_racks.insert(cluster.node(*loc).rack());
+  }
+  std::vector<cluster::NodeId> eligible;
+  for (cluster::NodeId nid : cluster.alive_nodes()) {
+    if (member_nodes.count(nid)) continue;
+    if (rack_aware && member_racks.count(cluster.node(nid).rack())) continue;
+    eligible.push_back(nid);
+  }
+  return eligible;
+}
+
+cluster::NodeId GroupPlanner::parity_holder(
+    const RaidGroup& group, checkpoint::Epoch epoch,
+    const cluster::ClusterManager& cluster) {
+  const auto eligible = eligible_parity_nodes(group, cluster);
+  VDC_REQUIRE(!eligible.empty(), "no eligible parity node for group");
+  const std::size_t idx =
+      parity::ParityRotation::holder_index(group.id, epoch, eligible.size());
+  return eligible[idx];
+}
+
+}  // namespace vdc::core

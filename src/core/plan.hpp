@@ -1,0 +1,91 @@
+#pragma once
+// Orthogonal RAID-group planning (paper Section IV-B).
+//
+// VMs are partitioned into RAID groups subject to the orthogonality
+// constraint borrowed from gridding RAID sets across controllers: no two
+// members of one group — nor its parity block — may live on the same
+// physical node, so a single node failure erases at most one block per
+// group and XOR parity suffices to rebuild it. The planner forms groups
+// greedily, always drawing the next group's members from the nodes with
+// the most unassigned VMs (which also balances groups across the cluster),
+// and the parity-holder choice rotates RAID-5-style per group and epoch.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "checkpoint/checkpointer.hpp"
+#include "cluster/manager.hpp"
+#include "parity/rotation.hpp"
+#include "vm/machine.hpp"
+
+namespace vdc::core {
+
+using GroupId = std::uint32_t;
+
+struct RaidGroup {
+  GroupId id = 0;
+  std::vector<vm::VmId> members;  // data VMs, ascending
+};
+
+struct GroupPlan {
+  std::vector<RaidGroup> groups;
+  /// Plan was built with rack orthogonality: no two members of a group —
+  /// nor its parity — share a *rack*, so a whole-rack failure erases at
+  /// most one block per stripe.
+  bool rack_aware = false;
+
+  /// Group containing `vm`, if any.
+  std::optional<GroupId> group_of(vm::VmId vm) const;
+
+  std::size_t total_members() const;
+};
+
+struct PlannerConfig {
+  /// Target data members per group. 0 = auto: alive_nodes minus
+  /// `parity_reserve` (Figure 4 for single parity).
+  std::uint32_t group_size = 0;
+  /// Nodes to leave parity-eligible when group_size is auto — the parity
+  /// width of the scheme (1 for RAID-5, 2 for RDP, m for RS).
+  std::uint32_t parity_reserve = 1;
+  /// If true, refuse plans that leave any VM ungrouped (unprotected).
+  bool require_full_coverage = true;
+  /// Orthogonality at rack granularity: members (and parity holders) of a
+  /// group must sit in pairwise distinct racks, making rack-level
+  /// correlated failures single erasures per stripe.
+  bool rack_aware = false;
+};
+
+class GroupPlanner {
+ public:
+  explicit GroupPlanner(PlannerConfig config = {}) : config_(config) {}
+
+  /// Plan groups over every VM on the cluster's alive nodes.
+  /// Throws ConfigError if the constraint set is unsatisfiable (e.g. more
+  /// than `group_size` VMs would be forced onto one node's group slot).
+  GroupPlan plan(const cluster::ClusterManager& cluster) const;
+
+  /// Verify orthogonality: every group's members lie on pairwise distinct
+  /// nodes and at least one alive non-member node exists to hold parity.
+  /// Returns false (rather than throwing) so it can run as an invariant
+  /// check after recovery re-placements.
+  static bool validate(const GroupPlan& plan,
+                       const cluster::ClusterManager& cluster);
+
+  /// Eligible parity-holder nodes for a group: alive nodes hosting no
+  /// member (and, with `rack_aware`, in no member's rack), ascending.
+  static std::vector<cluster::NodeId> eligible_parity_nodes(
+      const RaidGroup& group, const cluster::ClusterManager& cluster,
+      bool rack_aware = false);
+
+  /// The holder for `group` at `epoch`, rotated RAID-5-style over the
+  /// eligible nodes.
+  static cluster::NodeId parity_holder(const RaidGroup& group,
+                                       checkpoint::Epoch epoch,
+                                       const cluster::ClusterManager& cluster);
+
+ private:
+  PlannerConfig config_;
+};
+
+}  // namespace vdc::core

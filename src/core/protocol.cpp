@@ -1,0 +1,458 @@
+#include "core/protocol.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "checkpoint/rle.hpp"
+#include "common/log.hpp"
+#include "parity/gf256.hpp"
+#include "parity/raid5.hpp"
+#include "parity/rdp.hpp"
+#include "parity/reed_solomon.hpp"
+#include "parity/xor.hpp"
+
+namespace vdc::core {
+
+std::size_t parity_width(ParityScheme scheme, std::size_t rs_m) {
+  switch (scheme) {
+    case ParityScheme::Raid5:
+      return 1;
+    case ParityScheme::Rdp:
+      return 2;
+    case ParityScheme::Rs:
+      return rs_m;
+  }
+  throw InvariantError("unknown parity scheme");
+}
+
+std::unique_ptr<parity::GroupCodec> make_codec(ParityScheme scheme,
+                                               std::size_t k,
+                                               std::size_t rs_m) {
+  switch (scheme) {
+    case ParityScheme::Raid5:
+      return std::make_unique<parity::Raid5Codec>(k);
+    case ParityScheme::Rdp: {
+      const std::size_t p = parity::RdpCodec::next_prime_at_least(
+          std::max<std::size_t>(k + 1, 3));
+      return std::make_unique<parity::RdpCodec>(k, p);
+    }
+    case ParityScheme::Rs:
+      return std::make_unique<parity::ReedSolomonCodec>(k, rs_m);
+  }
+  throw InvariantError("unknown parity scheme");
+}
+
+PlacedPlan PlacedPlan::make(GroupPlan plan,
+                            const cluster::ClusterManager& cluster,
+                            ParityScheme scheme, std::size_t rs_m) {
+  const std::size_t m = parity_width(scheme, rs_m);
+  PlacedPlan placed;
+  placed.holders.reserve(plan.groups.size());
+  for (const auto& g : plan.groups) {
+    const auto eligible =
+        GroupPlanner::eligible_parity_nodes(g, cluster, plan.rack_aware);
+    VDC_REQUIRE(eligible.size() >= m,
+                "not enough parity-eligible nodes for this scheme");
+    const std::size_t base =
+        parity::ParityRotation::holder_index(g.id, 0, eligible.size());
+    std::vector<cluster::NodeId> holders;
+    for (std::size_t j = 0; j < m; ++j)
+      holders.push_back(eligible[(base + j) % eligible.size()]);
+    placed.holders.push_back(std::move(holders));
+  }
+  placed.plan = std::move(plan);
+  return placed;
+}
+
+bool PlacedPlan::still_orthogonal(
+    const cluster::ClusterManager& cluster) const {
+  if (!GroupPlanner::validate(plan, cluster)) return false;
+  for (std::size_t gi = 0; gi < plan.groups.size(); ++gi) {
+    for (cluster::NodeId holder : holders[gi]) {
+      if (!cluster.node(holder).alive()) return false;
+      const auto holder_rack = cluster.node(holder).rack();
+      for (vm::VmId member : plan.groups[gi].members) {
+        const auto loc = cluster.locate(member);
+        if (!loc.has_value()) continue;
+        if (*loc == holder) return false;
+        if (plan.rack_aware && cluster.node(*loc).rack() == holder_rack)
+          return false;
+      }
+    }
+  }
+  return true;
+}
+
+const DvdcState::ParityRecord* DvdcState::parity(GroupId group) const {
+  auto it = parity_.find(group);
+  return it == parity_.end() ? nullptr : &it->second;
+}
+
+void DvdcState::set_parity(GroupId group, ParityRecord record) {
+  parity_[group] = std::move(record);
+}
+
+const VmInfo& DvdcState::vm_info(vm::VmId id) const {
+  auto it = vms_.find(id);
+  VDC_REQUIRE(it != vms_.end(), "unknown VM in DVDC state");
+  return it->second;
+}
+
+void DvdcState::drop_node(cluster::NodeId node) {
+  stores_.erase(node);
+  for (auto& [gid, record] : parity_) {
+    for (std::size_t i = 0; i < record.holders.size(); ++i) {
+      if (record.holders[i] == node) record.blocks[i].clear();
+    }
+  }
+}
+
+Bytes DvdcState::memory_bytes() const {
+  Bytes total = 0;
+  for (const auto& [node, store] : stores_) total += store.total_bytes();
+  for (const auto& [group, record] : parity_)
+    for (const auto& block : record.blocks) total += block.size();
+  return total;
+}
+
+// --- coordinator ------------------------------------------------------------
+
+struct DvdcCoordinator::GroupWork {
+  GroupId gid = 0;
+  std::vector<cluster::NodeId> holders;
+  std::vector<parity::Block> new_blocks;  // content, computed at capture
+  std::vector<vm::VmId> members;
+  bool full_exchange = false;
+  Bytes block_size = 0;
+
+  struct Contribution {
+    cluster::NodeId src_node = 0;
+    Bytes wire = 0;       // bytes over the fabric, per holder stream
+    Bytes xor_bytes = 0;  // parity work per holder
+  };
+  std::vector<Contribution> contribs;  // per member
+  std::size_t tasks_done = 0;
+  std::size_t tasks_total = 0;  // members x holders
+};
+
+DvdcCoordinator::DvdcCoordinator(simkit::Simulator& sim,
+                                 cluster::ClusterManager& cluster,
+                                 DvdcState& state, ProtocolConfig config)
+    : sim_(sim), cluster_(cluster), state_(state), config_(config) {}
+
+DvdcCoordinator::~DvdcCoordinator() = default;
+
+simkit::Resource& DvdcCoordinator::node_cpu(cluster::NodeId node) {
+  auto it = cpus_.find(node);
+  if (it == cpus_.end())
+    it = cpus_.emplace(node, std::make_unique<simkit::Resource>(sim_, 1))
+             .first;
+  return *it->second;
+}
+
+void DvdcCoordinator::run_epoch(const PlacedPlan& plan,
+                                checkpoint::Epoch epoch, DoneCallback done) {
+  VDC_REQUIRE(!in_flight_, "an epoch is already in flight");
+  VDC_REQUIRE(epoch > state_.committed_epoch(),
+              "epoch must advance past the committed one");
+  VDC_REQUIRE(plan.holders.size() == plan.plan.groups.size(),
+              "plan is missing parity holders");
+  in_flight_ = true;
+  const std::uint64_t gen = ++generation_;
+  plan_ = &plan;
+  epoch_ = epoch;
+  epoch_start_ = sim_.now();
+  done_ = std::move(done);
+  stats_ = EpochStats{};
+  stats_.epoch = epoch;
+  stats_.groups = plan.plan.groups.size();
+  work_.clear();
+  groups_pending_ = plan.plan.groups.size();
+
+  // 1. Quiesce: a consistent cluster-wide cut.
+  for (cluster::NodeId nid : cluster_.alive_nodes())
+    cluster_.node(nid).hypervisor().pause_all();
+
+  // 2. Capture + diff every member at the cut, build per-group work.
+  std::unordered_map<cluster::NodeId, Bytes> captured_per_node;
+  for (std::size_t gi = 0; gi < plan.plan.groups.size(); ++gi) {
+    const RaidGroup& group = plan.plan.groups[gi];
+    auto gw = std::make_unique<GroupWork>();
+    gw->gid = group.id;
+    gw->holders = plan.holders[gi];
+    gw->members = group.members;
+    const std::size_t k = group.members.size();
+
+    const DvdcState::ParityRecord* committed = state_.parity(group.id);
+    // Linear codes (XOR parity, Reed-Solomon) can fold per-page deltas
+    // into the standing parity blocks; RDP's diagonal layout cannot.
+    const bool linear = config_.scheme != ParityScheme::Rdp;
+    bool incremental =
+        linear && config_.incremental && committed != nullptr &&
+        committed->scheme == config_.scheme &&
+        committed->members == group.members &&
+        committed->epoch == state_.committed_epoch() &&
+        committed->holders == gw->holders;
+    if (incremental) {
+      for (const auto& block : committed->blocks)
+        if (block.empty()) incremental = false;  // a holder died
+    }
+    if (incremental) {
+      for (vm::VmId vmid : group.members) {
+        const auto loc = cluster_.locate(vmid);
+        if (!loc.has_value() ||
+            state_.node_store(*loc).find(vmid, state_.committed_epoch()) ==
+                nullptr) {
+          incremental = false;
+          break;
+        }
+      }
+    }
+    gw->full_exchange = !incremental;
+    if (gw->full_exchange) stats_.full_exchange = true;
+
+    // Gather payloads (content frozen at the cut) and per-member costs.
+    std::vector<std::vector<std::byte>> payloads;
+    payloads.reserve(k);
+    std::vector<checkpoint::PageDelta> xor_deltas(k);
+    Bytes max_payload = 0;
+
+    for (std::size_t mi = 0; mi < k; ++mi) {
+      const vm::VmId vmid = group.members[mi];
+      const auto loc = cluster_.locate(vmid);
+      VDC_REQUIRE(loc.has_value(), "group member is not placed");
+      auto& machine = cluster_.node(*loc).hypervisor().get(vmid);
+      auto& store = state_.node_store(*loc);
+      const Bytes page_size = machine.image().page_size();
+
+      GroupWork::Contribution contrib;
+      contrib.src_node = *loc;
+      std::vector<std::byte> payload = machine.image().flatten();
+      max_payload = std::max<Bytes>(max_payload, payload.size());
+
+      if (incremental) {
+        const checkpoint::Checkpoint* prev =
+            store.find(vmid, state_.committed_epoch());
+        VDC_ASSERT(prev != nullptr);
+        checkpoint::PageDelta diff =
+            checkpoint::diff_images(prev->payload, payload, page_size);
+        const checkpoint::CompressedDelta compressed =
+            checkpoint::compress_delta(diff, prev->payload);
+        contrib.wire = compressed.wire_bytes();
+        contrib.xor_bytes = diff.raw_bytes();
+        stats_.raw_dirty_bytes += diff.raw_bytes();
+        captured_per_node[*loc] += diff.raw_bytes();
+        // Holder-side content: new xor old per changed page.
+        xor_deltas[mi].page_size = page_size;
+        xor_deltas[mi].pages = diff.pages;
+        for (std::size_t i = 0; i < diff.pages.size(); ++i) {
+          std::vector<std::byte> x = diff.contents[i];
+          parity::xor_into(
+              x, std::span<const std::byte>(
+                     prev->payload.data() + diff.pages[i] * page_size,
+                     page_size));
+          xor_deltas[mi].contents.push_back(std::move(x));
+        }
+      } else {
+        contrib.wire = config_.compress_full
+                           ? checkpoint::rle_encode(payload).size() + 16
+                           : payload.size();
+        contrib.xor_bytes = payload.size();
+        stats_.raw_dirty_bytes += payload.size();
+        captured_per_node[*loc] += payload.size();
+      }
+      stats_.bytes_shipped += contrib.wire * gw->holders.size();
+      stats_.bytes_xored += contrib.xor_bytes * gw->holders.size();
+
+      checkpoint::Checkpoint cp;
+      cp.vm = vmid;
+      cp.epoch = epoch;
+      cp.page_size = page_size;
+      cp.payload = payload;
+      store.put(std::move(cp));
+
+      state_.register_vm(vmid, VmInfo{machine.name(), page_size,
+                                      machine.image().page_count()});
+      payloads.push_back(std::move(payload));
+      gw->contribs.push_back(contrib);
+    }
+
+    // Parity content, computed exactly.
+    if (incremental) {
+      gw->block_size = committed->block_size;
+      gw->new_blocks = committed->blocks;  // copy: abort-safe
+      // Reed-Solomon needs the per-(holder, member) Cauchy coefficient;
+      // for XOR parity every coefficient is 1.
+      std::unique_ptr<parity::ReedSolomonCodec> rs;
+      if (config_.scheme == ParityScheme::Rs)
+        rs = std::make_unique<parity::ReedSolomonCodec>(k,
+                                                        config_.rs_parity);
+      for (std::size_t mi = 0; mi < k; ++mi) {
+        const auto& delta = xor_deltas[mi];
+        for (std::size_t hi = 0; hi < gw->new_blocks.size(); ++hi) {
+          const std::uint8_t coeff =
+              rs ? rs->coefficient(hi, mi) : std::uint8_t{1};
+          for (std::size_t i = 0; i < delta.pages.size(); ++i) {
+            const std::size_t off = delta.pages[i] * delta.page_size;
+            VDC_ASSERT(off + delta.page_size <= gw->new_blocks[hi].size());
+            parity::gf256::mul_add(
+                coeff,
+                reinterpret_cast<const std::uint8_t*>(
+                    delta.contents[i].data()),
+                reinterpret_cast<std::uint8_t*>(gw->new_blocks[hi].data() +
+                                                off),
+                delta.page_size);
+          }
+        }
+      }
+    } else {
+      auto codec = make_codec(config_.scheme, k, config_.rs_parity);
+      gw->block_size =
+          parity::round_up(max_payload, codec->block_granularity());
+      std::vector<parity::Block> padded;
+      padded.reserve(k);
+      std::vector<parity::BlockView> views;
+      views.reserve(k);
+      for (const auto& p : payloads)
+        padded.push_back(parity::padded_copy(p, gw->block_size));
+      for (const auto& p : padded) views.emplace_back(p);
+      gw->new_blocks = codec->encode(views);
+      VDC_ASSERT(gw->new_blocks.size() == gw->holders.size());
+    }
+
+    gw->tasks_total = k * gw->holders.size();
+    work_.push_back(std::move(gw));
+  }
+
+  // 3. Local capture stall, then resume (COW) and start the exchange.
+  SimTime stall = config_.base_overhead;
+  if (!config_.copy_on_write) {
+    Bytes worst = 0;
+    for (const auto& [node, bytes] : captured_per_node)
+      worst = std::max(worst, bytes);
+    stall += static_cast<double>(worst) / config_.snapshot_rate;
+  }
+  overhead_ = stall;
+
+  sim_.after(stall, [this, gen] {
+    if (gen != generation_ || !in_flight_) return;
+    if (config_.copy_on_write) {
+      for (cluster::NodeId nid : cluster_.alive_nodes())
+        cluster_.node(nid).hypervisor().resume_all();
+    }
+    // Launch every member's stream toward each of its group's holders.
+    for (std::size_t gi = 0; gi < work_.size(); ++gi) {
+      GroupWork& gw = *work_[gi];
+      for (std::size_t mi = 0; mi < gw.contribs.size(); ++mi) {
+        for (std::size_t hi = 0; hi < gw.holders.size(); ++hi) {
+          const auto& contrib = gw.contribs[mi];
+          if (contrib.wire == 0) {
+            sim_.after(0.0, [this, gen, gi, mi, hi] {
+              on_member_arrival(gen, gi, mi, hi);
+            });
+            continue;
+          }
+          const net::HostId src = cluster_.node(contrib.src_node).host();
+          const net::HostId dst = cluster_.node(gw.holders[hi]).host();
+          if (src == dst) {
+            // Member and holder co-located (transiently possible after a
+            // recovery re-placement): the contribution is a local memory
+            // copy, no fabric traffic.
+            sim_.after(0.0, [this, gen, gi, mi, hi] {
+              on_member_arrival(gen, gi, mi, hi);
+            });
+            continue;
+          }
+          cluster_.fabric().transfer(src, dst, contrib.wire,
+                                     [this, gen, gi, mi, hi] {
+                                       on_member_arrival(gen, gi, mi, hi);
+                                     });
+        }
+      }
+    }
+  });
+}
+
+void DvdcCoordinator::on_member_arrival(std::uint64_t gen,
+                                        std::size_t group_idx,
+                                        std::size_t member_idx,
+                                        std::size_t holder_idx) {
+  if (gen != generation_ || !in_flight_) return;
+  GroupWork& gw = *work_[group_idx];
+  const auto& contrib = gw.contribs[member_idx];
+
+  const cluster::NodeId holder = gw.holders[holder_idx];
+  const double xor_time = static_cast<double>(contrib.xor_bytes) /
+                          cluster_.node(holder).spec().xor_rate;
+  node_cpu(holder).serve(xor_time, [this, gen, group_idx] {
+    if (gen != generation_ || !in_flight_) return;
+    GroupWork& g = *work_[group_idx];
+    if (++g.tasks_done == g.tasks_total) on_group_parity_done(gen);
+  });
+}
+
+void DvdcCoordinator::on_group_parity_done(std::uint64_t gen) {
+  if (gen != generation_ || !in_flight_) return;
+  VDC_ASSERT(groups_pending_ > 0);
+  if (--groups_pending_ == 0)
+    sim_.after(config_.commit_latency, [this, gen] { try_commit(gen); });
+}
+
+void DvdcCoordinator::try_commit(std::uint64_t gen) {
+  if (gen != generation_ || !in_flight_) return;
+
+  // Commit: publish parity, advance the epoch, GC old checkpoints.
+  for (auto& gw : work_) {
+    DvdcState::ParityRecord record;
+    record.epoch = epoch_;
+    record.scheme = config_.scheme;
+    record.members = gw->members;
+    record.holders = gw->holders;
+    record.blocks = std::move(gw->new_blocks);
+    record.block_size = gw->block_size;
+    state_.set_parity(gw->gid, std::move(record));
+  }
+  state_.set_committed_epoch(epoch_);
+  for (cluster::NodeId nid : cluster_.alive_nodes())
+    state_.node_store(nid).gc_before(epoch_);
+
+  if (!config_.copy_on_write) {
+    for (cluster::NodeId nid : cluster_.alive_nodes())
+      cluster_.node(nid).hypervisor().resume_all();
+    overhead_ = sim_.now() - epoch_start_;
+  }
+
+  stats_.overhead = overhead_;
+  stats_.latency = sim_.now() - epoch_start_;
+  in_flight_ = false;
+  work_.clear();
+  plan_ = nullptr;
+  VDC_DEBUG("dvdc", "epoch ", epoch_, " committed, latency ",
+            stats_.latency, "s");
+  if (done_) {
+    auto done = std::move(done_);
+    done(stats_);
+  }
+}
+
+void DvdcCoordinator::abort() {
+  if (!in_flight_) return;
+  ++generation_;
+  in_flight_ = false;
+
+  // Discard the aborted epoch's captures on every surviving node.
+  if (plan_ != nullptr) {
+    for (const auto& group : plan_->plan.groups) {
+      for (vm::VmId vmid : group.members) {
+        const auto loc = cluster_.locate(vmid);
+        if (loc.has_value()) state_.node_store(*loc).erase(vmid, epoch_);
+      }
+    }
+  }
+  work_.clear();
+  plan_ = nullptr;
+  VDC_DEBUG("dvdc", "epoch ", epoch_, " aborted");
+}
+
+}  // namespace vdc::core

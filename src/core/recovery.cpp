@@ -1,0 +1,501 @@
+#include "core/recovery.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace vdc::core {
+
+namespace {
+
+/// Per-recovery bookkeeping shared by the event callbacks.
+struct RecoveryCtx {
+  RecoveryStats stats;
+  SimTime start = 0.0;
+  std::size_t groups_pending = 0;
+  std::vector<RecoveryManager::DoneCallback> done_holder;
+};
+
+}  // namespace
+
+RecoveryManager::RecoveryManager(simkit::Simulator& sim,
+                                 cluster::ClusterManager& cluster,
+                                 DvdcState& state, WorkloadFactory workloads,
+                                 RecoveryConfig config)
+    : sim_(sim),
+      cluster_(cluster),
+      state_(state),
+      workloads_(std::move(workloads)),
+      config_(config) {
+  VDC_REQUIRE(workloads_ != nullptr, "recovery needs a workload factory");
+}
+
+cluster::NodeId RecoveryManager::pick_target(
+    const RaidGroup& group,
+    const std::unordered_map<cluster::NodeId, std::size_t>& pending_load,
+    const std::unordered_set<cluster::NodeId>& claimed) const {
+  // Chosen fresh for each lost VM: prefer alive nodes that host neither a
+  // member nor a parity block of this group (keeps the plan orthogonal),
+  // least-loaded first — counting placements already decided in this
+  // recovery pass so the lost VMs spread out.
+  std::unordered_set<cluster::NodeId> excluded;
+  for (vm::VmId member : group.members) {
+    const auto loc = cluster_.locate(member);
+    if (loc.has_value()) excluded.insert(*loc);
+  }
+  if (const auto* record = state_.parity(group.id))
+    for (cluster::NodeId holder : record->holders) excluded.insert(holder);
+  for (cluster::NodeId nid : claimed) excluded.insert(nid);
+
+  const auto load_of = [&](cluster::NodeId nid) {
+    std::size_t load = cluster_.node(nid).hypervisor().vm_count();
+    if (auto it = pending_load.find(nid); it != pending_load.end())
+      load += it->second;
+    return load;
+  };
+
+  std::optional<cluster::NodeId> best, fallback;
+  std::size_t best_load = 0, fallback_load = 0;
+  for (cluster::NodeId nid : cluster_.alive_nodes()) {
+    const std::size_t load = load_of(nid);
+    if (!fallback || load < fallback_load) {
+      fallback = nid;
+      fallback_load = load;
+    }
+    if (excluded.count(nid)) continue;
+    if (!best || load < best_load) {
+      best = nid;
+      best_load = load;
+    }
+  }
+  VDC_REQUIRE(fallback.has_value(), "no alive node to recover onto");
+  return best.value_or(*fallback);
+}
+
+cluster::NodeId RecoveryManager::pick_parity_holder(
+    const RaidGroup& group, const DvdcState::ParityRecord& record,
+    const std::unordered_map<cluster::NodeId, std::size_t>& pending_load,
+    const std::unordered_set<cluster::NodeId>& claimed) const {
+  std::unordered_set<cluster::NodeId> excluded(claimed.begin(),
+                                               claimed.end());
+  for (vm::VmId member : group.members) {
+    const auto loc = cluster_.locate(member);
+    if (loc.has_value()) excluded.insert(*loc);
+  }
+  // Keep holders of the stripe's surviving blocks distinct.
+  for (std::size_t hi = 0; hi < record.blocks.size(); ++hi)
+    if (!record.blocks[hi].empty()) excluded.insert(record.holders[hi]);
+
+  const auto load_of = [&](cluster::NodeId nid) {
+    std::size_t load = cluster_.node(nid).hypervisor().vm_count();
+    if (auto it = pending_load.find(nid); it != pending_load.end())
+      load += it->second;
+    return load;
+  };
+  std::optional<cluster::NodeId> best, fallback;
+  std::size_t best_load = 0, fallback_load = 0;
+  for (cluster::NodeId nid : cluster_.alive_nodes()) {
+    const std::size_t load = load_of(nid);
+    if (!fallback || load < fallback_load) {
+      fallback = nid;
+      fallback_load = load;
+    }
+    if (excluded.count(nid)) continue;
+    if (!best || load < best_load) {
+      best = nid;
+      best_load = load;
+    }
+  }
+  VDC_REQUIRE(fallback.has_value(), "no alive node for parity");
+  return best.value_or(*fallback);
+}
+
+void RecoveryManager::recover(const PlacedPlan& plan,
+                              std::vector<vm::VmId> lost,
+                              DoneCallback done) {
+  auto ctx = std::make_shared<RecoveryCtx>();
+  ctx->start = sim_.now();
+  ctx->stats.success = true;
+
+  const auto fail = [&](std::string reason) {
+    ctx->stats.success = false;
+    ctx->stats.reason = std::move(reason);
+    ctx->stats.duration = sim_.now() - ctx->start;
+    for (cluster::NodeId nid : cluster_.alive_nodes())
+      cluster_.node(nid).hypervisor().resume_all();
+    done(ctx->stats);
+  };
+
+  VDC_REQUIRE(!lost.empty(), "recover called with nothing lost");
+  if (state_.committed_epoch() == 0) {
+    fail("no committed checkpoint epoch yet");
+    return;
+  }
+
+  // Freeze the cluster during recovery.
+  for (cluster::NodeId nid : cluster_.alive_nodes())
+    cluster_.node(nid).hypervisor().pause_all();
+
+  // 1. Bucket the losses by RAID group.
+  std::map<GroupId, std::vector<vm::VmId>> lost_by_group;
+  for (vm::VmId vmid : lost) {
+    const auto gid = plan.plan.group_of(vmid);
+    if (!gid.has_value()) {
+      fail("lost VM is not covered by the group plan");
+      return;
+    }
+    lost_by_group[*gid].push_back(vmid);
+  }
+
+  // 2. Reconstruct content per group and lay out the timed operations.
+  struct GroupOps {
+    cluster::NodeId leader = 0;
+    SimTime xor_time = 0.0;
+    std::vector<std::pair<net::HostId, Bytes>> inbound;   // -> leader
+    std::vector<std::pair<cluster::NodeId, Bytes>> forwards;  // leader ->
+    std::vector<PendingVm> vms;
+    // Parity blocks lost with their holder are rebuilt during recovery
+    // (otherwise the group is unprotected until the next epoch — a second
+    // failure in that window would be data loss).
+    bool publish_record = false;
+    GroupId gid = 0;
+    DvdcState::ParityRecord new_record;
+  };
+  std::vector<GroupOps> ops;
+
+  const checkpoint::Epoch committed = state_.committed_epoch();
+  std::unordered_map<cluster::NodeId, std::size_t> pending_load;
+  for (auto& [gid, lost_members] : lost_by_group) {
+    VDC_REQUIRE(gid < plan.plan.groups.size(), "group id out of range");
+    const RaidGroup& group = plan.plan.groups[gid];
+    VDC_ASSERT(group.id == gid);
+
+    const DvdcState::ParityRecord* record = state_.parity(gid);
+    if (record == nullptr || record->members != group.members ||
+        record->epoch != committed) {
+      fail("no committed parity stripe for an affected group");
+      return;
+    }
+
+    const std::size_t k = group.members.size();
+    auto codec = make_codec(record->scheme, k, record->blocks.size());
+    std::vector<std::optional<parity::Block>> stripe(k +
+                                                     record->blocks.size());
+
+    GroupOps gops;
+    std::size_t erasures = 0;
+    for (std::size_t mi = 0; mi < k; ++mi) {
+      const vm::VmId member = group.members[mi];
+      const bool is_lost =
+          std::find(lost_members.begin(), lost_members.end(), member) !=
+          lost_members.end();
+      if (is_lost) {
+        ++erasures;
+        continue;
+      }
+      const auto loc = cluster_.locate(member);
+      if (!loc.has_value()) {
+        fail("surviving member is unplaced");
+        return;
+      }
+      const checkpoint::Checkpoint* cp =
+          state_.node_store(*loc).find(member, committed);
+      if (cp == nullptr) {
+        fail("surviving member lost its committed checkpoint");
+        return;
+      }
+      stripe[mi] = parity::padded_copy(cp->payload, record->block_size);
+      gops.inbound.emplace_back(cluster_.node(*loc).host(),
+                                record->block_size);
+    }
+    for (std::size_t hi = 0; hi < record->blocks.size(); ++hi) {
+      if (record->blocks[hi].empty()) {
+        ++erasures;
+        continue;
+      }
+      stripe[k + hi] = record->blocks[hi];
+      if (!cluster_.node(record->holders[hi]).alive()) {
+        fail("parity holder marked alive state inconsistent");
+        return;
+      }
+      gops.inbound.emplace_back(cluster_.node(record->holders[hi]).host(),
+                                record->block_size);
+    }
+
+    if (erasures > codec->fault_tolerance()) {
+      VDC_INFO("recovery", "group ", gid,
+               ": erasure pattern exceeds the codec's fault tolerance");
+      fail("erasure pattern exceeds the codec's fault tolerance");
+      return;
+    }
+    try {
+      codec->reconstruct(stripe);
+    } catch (const DataLossError& e) {
+      fail(e.what());
+      return;
+    }
+
+    // Any parity block that died with its holder was just re-decoded as
+    // part of the stripe: publish it on a fresh holder so the group is
+    // fully protected again the moment recovery commits.
+    gops.gid = gid;
+    std::unordered_set<cluster::NodeId> claimed;
+    for (std::size_t hi = 0; hi < record->blocks.size(); ++hi) {
+      if (!record->blocks[hi].empty()) continue;
+      if (!gops.publish_record) {
+        gops.new_record = *record;
+        gops.publish_record = true;
+      }
+      // Pick the holder while the slot still reads as empty so the dead
+      // block's former (now repaired) node stays eligible.
+      const cluster::NodeId new_holder =
+          pick_parity_holder(group, gops.new_record, pending_load, claimed);
+      gops.new_record.blocks[hi] = *stripe[k + hi];
+      ++pending_load[new_holder];
+      claimed.insert(new_holder);
+      gops.new_record.holders[hi] = new_holder;
+    }
+
+    // Assign targets and extract the recovered payloads.
+    bool first = true;
+    for (std::size_t mi = 0; mi < k; ++mi) {
+      const vm::VmId member = group.members[mi];
+      if (std::find(lost_members.begin(), lost_members.end(), member) ==
+          lost_members.end())
+        continue;
+      PendingVm pending;
+      pending.id = member;
+      pending.target = pick_target(group, pending_load, claimed);
+      ++pending_load[pending.target];
+      claimed.insert(pending.target);
+      const VmInfo& info = state_.vm_info(member);
+      VDC_ASSERT(stripe[mi].has_value());
+      pending.payload.assign(
+          stripe[mi]->begin(),
+          stripe[mi]->begin() + static_cast<std::ptrdiff_t>(
+                                    info.image_bytes()));
+      if (first) {
+        gops.leader = pending.target;
+        first = false;
+      } else if (pending.target != gops.leader) {
+        gops.forwards.emplace_back(pending.target, info.image_bytes());
+      }
+      gops.vms.push_back(std::move(pending));
+      ++ctx->stats.vms_recovered;
+    }
+
+    if (gops.publish_record) {
+      // Rebuilt parity blocks travel from the decoding leader to their
+      // replacement holders.
+      for (std::size_t hi = 0; hi < record->blocks.size(); ++hi)
+        if (record->blocks[hi].empty() &&
+            gops.new_record.holders[hi] != gops.leader)
+          gops.forwards.emplace_back(gops.new_record.holders[hi],
+                                     record->block_size);
+    }
+
+    Bytes inbound_total = 0;
+    for (const auto& [host, bytes] : gops.inbound) inbound_total += bytes;
+    gops.xor_time = static_cast<double>(inbound_total) /
+                    cluster_.node(gops.leader).spec().xor_rate;
+    for (const auto& [host, bytes] : gops.inbound)
+      ctx->stats.bytes_transferred += bytes;
+    for (const auto& [node, bytes] : gops.forwards)
+      ctx->stats.bytes_transferred += bytes;
+
+    ops.push_back(std::move(gops));
+  }
+  // Groups that lost only parity (their holder died, no member did):
+  // re-encode from the members' committed checkpoints on a new holder.
+  for (const auto& group : plan.plan.groups) {
+    if (lost_by_group.count(group.id)) continue;
+    const DvdcState::ParityRecord* record = state_.parity(group.id);
+    if (record == nullptr || record->members != group.members ||
+        record->epoch != committed)
+      continue;
+    bool damaged = false;
+    for (const auto& block : record->blocks)
+      if (block.empty()) damaged = true;
+    if (!damaged) continue;
+
+    std::vector<parity::Block> padded;
+    std::vector<parity::BlockView> views;
+    GroupOps gops;
+    gops.gid = group.id;
+    bool complete = true;
+    for (vm::VmId member : group.members) {
+      const auto loc = cluster_.locate(member);
+      if (!loc.has_value()) {
+        complete = false;
+        break;
+      }
+      const auto* cp = state_.node_store(*loc).find(member, committed);
+      if (cp == nullptr) {
+        complete = false;
+        break;
+      }
+      padded.push_back(parity::padded_copy(cp->payload, record->block_size));
+      gops.inbound.emplace_back(cluster_.node(*loc).host(),
+                                record->block_size);
+    }
+    if (!complete) continue;  // cannot rebuild; next epoch will
+    for (const auto& blk : padded) views.emplace_back(blk);
+    auto codec = make_codec(record->scheme, group.members.size(),
+                            record->blocks.size());
+    const auto fresh = codec->encode(views);
+
+    gops.new_record = *record;
+    gops.publish_record = true;
+    std::unordered_set<cluster::NodeId> claimed;
+    for (std::size_t hi = 0; hi < record->blocks.size(); ++hi) {
+      if (!record->blocks[hi].empty()) continue;
+      gops.new_record.blocks[hi] = fresh[hi];
+      // Note: the record passed still has this block empty, so the old
+      // holder is NOT excluded — the repaired node may take it back.
+      DvdcState::ParityRecord probe = gops.new_record;
+      probe.blocks[hi].clear();
+      const cluster::NodeId new_holder =
+          pick_parity_holder(group, probe, pending_load, claimed);
+      ++pending_load[new_holder];
+      claimed.insert(new_holder);
+      gops.new_record.holders[hi] = new_holder;
+    }
+    // The members stream to the first replacement holder, which encodes.
+    gops.leader = gops.new_record.holders.front();
+    for (std::size_t hi = 0; hi < record->blocks.size(); ++hi)
+      if (record->blocks[hi].empty() &&
+          gops.new_record.holders[hi] != gops.leader)
+        gops.forwards.emplace_back(gops.new_record.holders[hi],
+                                   record->block_size);
+    Bytes inbound_total = 0;
+    for (const auto& [host, bytes] : gops.inbound) inbound_total += bytes;
+    gops.xor_time = static_cast<double>(inbound_total) /
+                    cluster_.node(gops.leader).spec().xor_rate;
+    for (const auto& [host, bytes] : gops.inbound)
+      ctx->stats.bytes_transferred += bytes;
+    ops.push_back(std::move(gops));
+  }
+
+  ctx->stats.groups_touched = ops.size();
+
+  // 3. Timed execution: inbound streams -> XOR -> forwards, per group in
+  // parallel; then instantiate VMs, roll everyone back, resume.
+  ctx->groups_pending = ops.size();
+  ctx->done_holder.push_back(std::move(done));
+
+  // Shared continuation once every group's data movement is done.
+  auto ops_shared = std::make_shared<std::vector<GroupOps>>(std::move(ops));
+  auto after_all_groups = [this, ctx, ops_shared] {
+    // Publish rebuilt parity records: the stripes are whole again.
+    for (auto& gops : *ops_shared) {
+      if (gops.publish_record)
+        state_.set_parity(gops.gid, std::move(gops.new_record));
+    }
+    // Re-create the lost VMs (paused; they resume with everyone else).
+    for (auto& gops : *ops_shared) {
+      for (auto& pending : gops.vms) {
+        const VmInfo& info = state_.vm_info(pending.id);
+        auto machine = std::make_unique<vm::VirtualMachine>(
+            pending.id, info.name, info.page_size, info.page_count,
+            workloads_(pending.id));
+        machine->image().restore(pending.payload);
+        machine->pause();
+        // The recovered checkpoint is this VM's committed state on its
+        // new node, so a later failure can recover it again.
+        checkpoint::Checkpoint cp;
+        cp.vm = pending.id;
+        cp.epoch = state_.committed_epoch();
+        cp.page_size = info.page_size;
+        cp.payload = std::move(pending.payload);
+        state_.node_store(pending.target).put(std::move(cp));
+        cluster_.place(std::move(machine), pending.target);
+      }
+    }
+
+    // Global rollback: every surviving VM returns to the committed cut.
+    Bytes worst_restore = 0;
+    std::unordered_map<cluster::NodeId, Bytes> per_node;
+    for (vm::VmId vmid : cluster_.all_vms()) {
+      const auto loc = cluster_.locate(vmid);
+      VDC_ASSERT(loc.has_value());
+      const checkpoint::Checkpoint* cp =
+          state_.node_store(*loc).find(vmid, state_.committed_epoch());
+      if (cp == nullptr) continue;  // recovered VM already at the cut
+      auto& machine = cluster_.node(*loc).hypervisor().get(vmid);
+      if (machine.image().flatten() != cp->payload)
+        machine.image().restore(cp->payload);
+      per_node[*loc] += cp->payload.size();
+    }
+    for (const auto& [node, bytes] : per_node)
+      worst_restore = std::max(worst_restore, bytes);
+    const SimTime restore_stall =
+        static_cast<double>(worst_restore) / config_.restore_rate;
+
+    sim_.after(config_.resume_time + restore_stall, [this, ctx] {
+      for (cluster::NodeId nid : cluster_.alive_nodes())
+        cluster_.node(nid).hypervisor().resume_all();
+      ctx->stats.duration = sim_.now() - ctx->start;
+      ctx->stats.success = true;
+      VDC_INFO("recovery", "recovered ", ctx->stats.vms_recovered,
+               " VMs in ", ctx->stats.duration, "s");
+      ctx->done_holder.front()(ctx->stats);
+    });
+  };
+
+  if (ops_shared->empty()) {
+    sim_.after(0.0, after_all_groups);
+    return;
+  }
+
+  for (std::size_t gi = 0; gi < ops_shared->size(); ++gi) {
+    auto& gops = (*ops_shared)[gi];
+    auto flows_left = std::make_shared<std::size_t>(gops.inbound.size());
+    const net::HostId leader_host = cluster_.node(gops.leader).host();
+
+    auto after_xor = [this, ctx, ops_shared, gi, leader_host,
+                      after_all_groups] {
+      auto& gops = (*ops_shared)[gi];
+      auto fwd_left = std::make_shared<std::size_t>(gops.forwards.size());
+      auto group_done = [ctx, after_all_groups] {
+        if (--ctx->groups_pending == 0) after_all_groups();
+      };
+      if (gops.forwards.empty()) {
+        group_done();
+        return;
+      }
+      for (const auto& [node, bytes] : gops.forwards) {
+        cluster_.fabric().transfer(leader_host, cluster_.node(node).host(),
+                                   bytes, [fwd_left, group_done] {
+                                     if (--*fwd_left == 0) group_done();
+                                   });
+      }
+    };
+
+    auto on_flow_done = [this, ops_shared, gi, flows_left, after_xor] {
+      if (--*flows_left > 0) return;
+      sim_.after((*ops_shared)[gi].xor_time, after_xor);
+    };
+
+    if (gops.inbound.empty()) {
+      sim_.after(gops.xor_time, after_xor);
+      continue;
+    }
+    for (const auto& [src_host, bytes] : gops.inbound) {
+      if (src_host == leader_host) {
+        // Contribution already local to the leader (it hosts a survivor
+        // or a parity block): no fabric transfer needed.
+        sim_.after(0.0, on_flow_done);
+        continue;
+      }
+      cluster_.fabric().transfer(src_host, leader_host, bytes, on_flow_done);
+    }
+  }
+}
+
+}  // namespace vdc::core

@@ -1,0 +1,373 @@
+#include "core/runtime.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace vdc::core {
+
+WorkloadFactory make_workload_factory(const ClusterConfig& config) {
+  return [config](vm::VmId) -> std::unique_ptr<vm::Workload> {
+    if (config.write_rate <= 0.0)
+      return std::make_unique<vm::IdleWorkload>();
+    return std::make_unique<vm::HotColdWorkload>(
+        config.write_rate, config.hot_fraction, config.hot_probability);
+  };
+}
+
+JobRunner::JobRunner(JobConfig job, ClusterConfig cluster_config,
+                     BackendFactory backend_factory)
+    : job_(job),
+      cluster_config_(cluster_config),
+      backend_factory_(std::move(backend_factory)),
+      rng_(job.seed) {
+  VDC_REQUIRE(job.total_work > 0.0, "job needs positive work");
+  VDC_REQUIRE(backend_factory_ != nullptr, "backend factory required");
+}
+
+void JobRunner::boot_cluster() {
+  cluster_ = std::make_unique<cluster::ClusterManager>(sim_, rng_.fork());
+  auto workloads = make_workload_factory(cluster_config_);
+  for (std::uint32_t n = 0; n < cluster_config_.nodes; ++n)
+    cluster_->add_node(cluster_config_.node_spec);
+  if (cluster_config_.zero_fraction > 0.0)
+    cluster_->set_boot_zero_fraction(cluster_config_.zero_fraction);
+  for (std::uint32_t n = 0; n < cluster_config_.nodes; ++n) {
+    for (std::uint32_t v = 0; v < cluster_config_.vms_per_node; ++v) {
+      cluster_->boot_vm(n, cluster_config_.page_size,
+                        cluster_config_.pages_per_vm, workloads(0));
+    }
+  }
+}
+
+SimTime JobRunner::current_work() const {
+  if (!computing_) return work_at_resume_;
+  return work_at_resume_ + (sim_.now() - resume_time_);
+}
+
+void JobRunner::settle_workloads() {
+  const SimTime w = current_work();
+  const SimTime dt = w - advanced_work_;
+  if (dt > 0.0) {
+    cluster_->advance_workloads(dt);
+    advanced_work_ = w;
+  }
+}
+
+RunResult JobRunner::run() {
+  boot_cluster();
+  backend_ = backend_factory_(sim_, *cluster_, rng_);
+
+  result_ = RunResult{};
+  result_.total_work = job_.total_work;
+  current_interval_ = job_.interval_policy
+                          ? job_.interval_policy->initial_interval()
+                          : job_.interval;
+  committed_work_ = 0.0;
+  work_at_resume_ = 0.0;
+  resume_time_ = sim_.now();
+  advanced_work_ = 0.0;
+  computing_ = true;
+  recovering_ = false;
+  finished_ = false;
+
+  if (job_.lambda > 0.0 || !job_.failure_trace.empty()) {
+    std::shared_ptr<failure::TtfDistribution> ttf;
+    if (!job_.failure_trace.empty())
+      ttf = std::make_shared<failure::TraceTtf>(job_.failure_trace);
+    else
+      ttf = std::make_shared<failure::ExponentialTtf>(job_.lambda);
+    injector_ = std::make_unique<failure::ClusterFailureInjector>(
+        sim_, rng_.fork(), std::move(ttf), cluster_config_.nodes);
+    injector_->start(
+        [this](failure::NodeId victim) { on_failure_event(victim); });
+  }
+
+  schedule_segment();
+
+  while (!finished_) {
+    if (!sim_.step()) break;
+    if (sim_.executed() > job_.max_events) {
+      VDC_WARN("runtime", "event budget exhausted; giving up");
+      break;
+    }
+  }
+  if (injector_) injector_->stop();
+
+  result_.finished = finished_;
+  if (finished_) {
+    result_.completion = sim_.now();
+    result_.time_ratio = result_.completion / job_.total_work;
+  }
+  return result_;
+}
+
+void JobRunner::schedule_segment() {
+  VDC_ASSERT(computing_ && !recovering_);
+  if (pending_event_ != simkit::kInvalidEvent) sim_.cancel(pending_event_);
+
+  const SimTime w = current_work();
+  const bool checkpointing = current_interval_ > 0.0;
+  const SimTime target =
+      checkpointing
+          ? std::min(committed_work_ + current_interval_, job_.total_work)
+          : job_.total_work;
+
+  if (!checkpointing || target >= job_.total_work - 1e-12) {
+    // Final stretch: run to completion, no trailing checkpoint needed.
+    const SimTime remaining = std::max(0.0, job_.total_work - w);
+    pending_event_ = sim_.after(remaining, [this] {
+      pending_event_ = simkit::kInvalidEvent;
+      settle_workloads();
+      finished_ = true;
+      if (injector_) injector_->stop();
+    });
+    return;
+  }
+
+  const SimTime until_capture = std::max(0.0, target - w);
+  pending_event_ = sim_.after(until_capture, [this] {
+    pending_event_ = simkit::kInvalidEvent;
+    on_capture_point();
+  });
+}
+
+void JobRunner::on_capture_point() {
+  settle_workloads();
+  work_at_resume_ = current_work();
+  computing_ = false;
+  for (cluster::NodeId nid : cluster_->alive_nodes())
+    cluster_->node(nid).hypervisor().pause_all();
+
+  const SimTime cut_time = sim_.now();
+  const SimTime cut_work = work_at_resume_;
+  const checkpoint::Epoch epoch = backend_->committed_epoch() + 1;
+
+  backend_->checkpoint(epoch, [this, cut_time, cut_work](
+                                  const EpochStats& stats) {
+    ++result_.epochs;
+    result_.total_overhead += stats.overhead;
+    result_.checkpoint_latency_sum += stats.latency;
+    result_.bytes_shipped += stats.bytes_shipped;
+    committed_work_ = cut_work;
+    if (job_.interval_policy)
+      current_interval_ = job_.interval_policy->next_interval(stats);
+
+    // Where did the guests actually resume?
+    const SimTime early = backend_->early_resume_delay();
+    resume_time_ = early >= 0.0 ? cut_time + early : sim_.now();
+    VDC_ASSERT(resume_time_ <= sim_.now() + 1e-9);
+    computing_ = true;
+    schedule_segment();
+  });
+}
+
+void JobRunner::on_failure_event(cluster::NodeId raw_victim) {
+  if (finished_) return;
+  if (recovering_) {
+    ++result_.failures_ignored;
+    return;
+  }
+  ++result_.failures;
+
+  const auto alive = cluster_->alive_nodes();
+  VDC_ASSERT(!alive.empty());
+  const cluster::NodeId victim = alive[raw_victim % alive.size()];
+
+  // Work since the last committed cut is lost.
+  const SimTime w = current_work();
+  result_.lost_work += std::max(0.0, w - committed_work_);
+  computing_ = false;
+  work_at_resume_ = committed_work_;
+  if (pending_event_ != simkit::kInvalidEvent) {
+    sim_.cancel(pending_event_);
+    pending_event_ = simkit::kInvalidEvent;
+  }
+  backend_->abort_checkpoint();
+
+  const std::vector<vm::VmId> lost =
+      cluster_->node(victim).hypervisor().vm_ids();
+  cluster_->kill_node(victim);
+  recovering_ = true;
+
+  sim_.after(job_.detection_time, [this, victim, lost] {
+    // The failed machine is rebooted/replaced by the time reconstruction
+    // starts (the constant-cluster-size assumption behind the Section V
+    // model's flat T_r) — recovery can re-place the lost VMs onto it,
+    // preserving group orthogonality even at k = n-1.
+    cluster_->revive_node(victim);
+    backend_->handle_failure(
+        victim, lost, [this, victim, lost](const RecoveryStats& rs) {
+          (void)victim;
+          result_.total_recovery += job_.detection_time + rs.duration;
+          if (rs.success) {
+            if (rs.epochs_rolled_back > 0) {
+              // A multilevel backend restored an older durable level:
+              // roll the work watermark back by that many intervals
+              // (exact for fixed intervals, the policy's current value
+              // otherwise).
+              const SimTime regress =
+                  rs.epochs_rolled_back *
+                  (current_interval_ > 0 ? current_interval_
+                                         : job_.interval);
+              result_.lost_work += std::min(committed_work_, regress);
+              committed_work_ = std::max(0.0, committed_work_ - regress);
+            }
+            recovering_ = false;
+            computing_ = true;
+            resume_time_ = sim_.now();
+            work_at_resume_ = committed_work_;
+            advanced_work_ = committed_work_;
+            schedule_segment();
+          } else {
+            ++result_.job_restarts;
+            VDC_INFO("runtime", "job restart at t=", sim_.now(), ": ",
+                     rs.reason);
+            restart_job(lost);
+          }
+        });
+  });
+}
+
+void JobRunner::restart_job(const std::vector<vm::VmId>& missing) {
+  // Unrecoverable: re-create whatever is gone with fresh images and start
+  // the job over.
+  auto workloads = make_workload_factory(cluster_config_);
+  for (vm::VmId vmid : missing) {
+    if (cluster_->locate(vmid).has_value()) continue;
+    // Least-loaded alive node.
+    cluster::NodeId target = cluster_->alive_nodes().front();
+    std::size_t best = ~std::size_t{0};
+    for (cluster::NodeId nid : cluster_->alive_nodes()) {
+      const std::size_t load = cluster_->node(nid).hypervisor().vm_count();
+      if (load < best) {
+        best = load;
+        target = nid;
+      }
+    }
+    auto machine = std::make_unique<vm::VirtualMachine>(
+        vmid, "vm" + std::to_string(vmid), cluster_config_.page_size,
+        cluster_config_.pages_per_vm, workloads(vmid));
+    Rng boot = rng_.fork();
+    machine->image().fill_random(boot);
+    machine->image().clear_dirty();
+    machine->pause();
+    cluster_->place(std::move(machine), target);
+  }
+  backend_->on_job_restart();
+  committed_work_ = 0.0;
+  work_at_resume_ = 0.0;
+  advanced_work_ = 0.0;
+
+  sim_.after(job_.restart_time, [this] {
+    for (cluster::NodeId nid : cluster_->alive_nodes())
+      cluster_->node(nid).hypervisor().resume_all();
+    recovering_ = false;
+    computing_ = true;
+    resume_time_ = sim_.now();
+    schedule_segment();
+  });
+}
+
+// --- DVDC backend ------------------------------------------------------------
+
+namespace {
+PlannerConfig with_scheme_reserve(PlannerConfig planner,
+                                  const ProtocolConfig& protocol) {
+  // Auto-sized groups must leave one node per parity block eligible.
+  if (planner.group_size == 0 && planner.parity_reserve == 1)
+    planner.parity_reserve = static_cast<std::uint32_t>(
+        parity_width(protocol.scheme, protocol.rs_parity));
+  return planner;
+}
+}  // namespace
+
+DvdcBackend::DvdcBackend(simkit::Simulator& sim,
+                         cluster::ClusterManager& cluster,
+                         ProtocolConfig protocol, RecoveryConfig recovery,
+                         WorkloadFactory workloads, PlannerConfig planner)
+    : cluster_(cluster),
+      protocol_config_(protocol),
+      coordinator_(sim, cluster, state_, protocol),
+      recovery_(sim, cluster, state_, std::move(workloads), recovery),
+      planner_(with_scheme_reserve(planner, protocol)) {}
+
+void DvdcBackend::ensure_plan() {
+  if (placed_.has_value() && placed_->still_orthogonal(cluster_)) return;
+  placed_ = PlacedPlan::make(planner_.plan(cluster_), cluster_,
+                             protocol_config_.scheme,
+                             protocol_config_.rs_parity);
+}
+
+const PlacedPlan& DvdcBackend::placed_plan() {
+  ensure_plan();
+  return *placed_;
+}
+
+void DvdcBackend::checkpoint(checkpoint::Epoch epoch, EpochDone done) {
+  ensure_plan();
+  coordinator_.run_epoch(*placed_, epoch,
+                         [this, done = std::move(done)](
+                             const EpochStats& stats) {
+                           // The committed stripes now match this plan.
+                           committed_plan_ = placed_;
+                           done(stats);
+                         });
+}
+
+SimTime DvdcBackend::early_resume_delay() const {
+  return protocol_config_.copy_on_write ? protocol_config_.base_overhead
+                                        : -1.0;
+}
+
+void DvdcBackend::abort_checkpoint() { coordinator_.abort(); }
+
+void DvdcBackend::handle_failure(cluster::NodeId victim,
+                                 const std::vector<vm::VmId>& lost,
+                                 RecoveryDone done) {
+  state_.drop_node(victim);
+  if (lost.empty()) {
+    // The node held no guests (e.g. a dedicated parity holder): nothing to
+    // reconstruct. Its parity blocks are gone; the next epoch re-plans and
+    // rebuilds them with a full exchange.
+    placed_.reset();
+    RecoveryStats rs;
+    rs.success = true;
+    done(rs);
+    return;
+  }
+  if (!committed_plan_.has_value()) {
+    // No epoch has ever committed: there is nothing to recover from.
+    RecoveryStats rs;
+    rs.success = false;
+    rs.reason = "no committed checkpoint plan yet";
+    done(rs);
+    return;
+  }
+  // Recover against the plan whose stripes are committed — NOT the
+  // (possibly re-planned) next-epoch plan.
+  recovery_.recover(*committed_plan_, lost,
+                    [this, done = std::move(done)](const RecoveryStats& rs) {
+                      if (rs.success && placed_.has_value() &&
+                          !placed_->still_orthogonal(cluster_)) {
+                        // Placement changed: the NEXT epoch needs a fresh
+                        // plan (full exchange); the committed plan stays
+                        // usable for recovery until then.
+                        placed_.reset();
+                      }
+                      done(rs);
+                    });
+}
+
+void DvdcBackend::on_job_restart() {
+  // Stale stripes would roll the fresh job back into the old execution.
+  placed_.reset();
+  committed_plan_.reset();
+  // Parity records die with their groups; the next epoch re-plans and
+  // does a full exchange.
+  state_ = DvdcState{};
+}
+
+}  // namespace vdc::core

@@ -1,0 +1,213 @@
+#pragma once
+// End-to-end job execution under failures.
+//
+// The runtime drives a long-running SPMD job on a virtualized cluster:
+// guests compute, a checkpoint is captured every `interval` of useful work,
+// Poisson failures strike nodes, and the configured backend (DVDC, the
+// disk-full NAS baseline, or none) decides what a checkpoint costs and how
+// recovery happens. The same loop therefore serves as (a) the system
+// itself, (b) the discrete-event corroboration of the Section V model, and
+// (c) the harness behind the comparison benches.
+//
+// Work accounting: the job needs `total_work` seconds of fault-free
+// compute. Work accrues while guests run, stops during capture stalls and
+// recovery, and rolls back to the last committed checkpoint on failure.
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "cluster/heartbeat.hpp"
+#include "cluster/manager.hpp"
+#include "core/adaptive.hpp"
+#include "core/protocol.hpp"
+#include "core/recovery.hpp"
+#include "failure/injector.hpp"
+
+namespace vdc::core {
+
+/// What a checkpoint/recovery scheme must provide to the job loop.
+class CheckpointBackend {
+ public:
+  using EpochDone = std::function<void(const EpochStats&)>;
+  using RecoveryDone = std::function<void(const RecoveryStats&)>;
+
+  virtual ~CheckpointBackend() = default;
+
+  /// Called with all guests paused at a consistent cut. Must eventually
+  /// invoke `done`; guests may be resumed earlier by the backend (COW).
+  virtual void checkpoint(checkpoint::Epoch epoch, EpochDone done) = 0;
+
+  /// If >= 0, guests resume this long after the cut even though the
+  /// checkpoint commits later (overlapped capture). If < 0, guests resume
+  /// only at commit.
+  virtual SimTime early_resume_delay() const = 0;
+
+  /// Abort an in-flight checkpoint (failure interrupted it).
+  virtual void abort_checkpoint() = 0;
+
+  /// A node died and `lost` VMs with it (node already marked dead, its
+  /// state dropped). Recover and roll the cluster back to the last
+  /// committed cut. success == false means unrecoverable data loss.
+  virtual void handle_failure(cluster::NodeId victim,
+                              const std::vector<vm::VmId>& lost,
+                              RecoveryDone done) = 0;
+
+  /// Epochs committed so far.
+  virtual checkpoint::Epoch committed_epoch() const = 0;
+
+  /// The job restarted from scratch (data loss): drop stale redundancy
+  /// state so the next checkpoint starts a fresh stripe generation.
+  virtual void on_job_restart() {}
+
+  virtual std::string name() const = 0;
+};
+
+struct JobConfig {
+  SimTime total_work = hours(2);
+  /// Useful work between checkpoint captures; <= 0 disables checkpointing.
+  /// Ignored when `interval_policy` is set.
+  SimTime interval = minutes(10);
+  /// Optional dynamic interval policy (e.g. AdaptiveIntervalPolicy);
+  /// overrides `interval` when non-null.
+  std::shared_ptr<IntervalPolicy> interval_policy;
+  /// Cluster-wide failure rate (1/MTBF); 0 disables failures.
+  double lambda = 0.0;
+  /// Optional explicit failure interarrival gaps; when non-empty the
+  /// injector replays this trace (cycling) instead of the Poisson
+  /// process, regardless of `lambda`.
+  std::vector<SimTime> failure_trace;
+  /// Heartbeat detection delay charged before recovery starts.
+  SimTime detection_time = 0.5;
+  /// Penalty to restart the job from scratch (data loss / no checkpoint).
+  SimTime restart_time = 30.0;
+  std::uint64_t seed = 42;
+  /// Safety valve on simulator events.
+  std::uint64_t max_events = 50'000'000;
+};
+
+struct ClusterConfig {
+  std::uint32_t nodes = 4;
+  std::uint32_t vms_per_node = 3;
+  cluster::NodeSpec node_spec{};
+  Bytes page_size = kib(4);
+  std::size_t pages_per_vm = 128;
+  /// Guest page-write rate (writes/sec per VM).
+  double write_rate = 500.0;
+  /// Fraction of each guest's pages left zero at boot (sparse images).
+  double zero_fraction = 0.0;
+  /// Hot/cold working set: fraction of pages taking most writes.
+  double hot_fraction = 0.1;
+  double hot_probability = 0.9;
+};
+
+/// Builds per-VM guest workloads from a ClusterConfig (hot/cold model).
+WorkloadFactory make_workload_factory(const ClusterConfig& config);
+
+struct RunResult {
+  bool finished = false;
+  SimTime completion = 0.0;       // wall-clock (simulated) time
+  SimTime total_work = 0.0;
+  double time_ratio = 0.0;        // completion / total_work (Fig. 5 y-axis)
+  std::uint32_t failures = 0;
+  std::uint32_t failures_ignored = 0;  // struck during recovery
+  std::uint32_t epochs = 0;
+  std::uint32_t job_restarts = 0;      // data-loss or pre-checkpoint
+  SimTime total_overhead = 0.0;        // guests suspended for checkpoints
+  SimTime checkpoint_latency_sum = 0.0;
+  SimTime total_recovery = 0.0;
+  SimTime lost_work = 0.0;
+  Bytes bytes_shipped = 0;
+  Bytes peak_state_bytes = 0;          // checkpoint+parity memory highwater
+};
+
+/// Owns the whole stack for one experiment run: simulator, cluster,
+/// workloads, failure injection and a checkpoint backend.
+class JobRunner {
+ public:
+  using BackendFactory = std::function<std::unique_ptr<CheckpointBackend>(
+      simkit::Simulator&, cluster::ClusterManager&, Rng&)>;
+
+  JobRunner(JobConfig job, ClusterConfig cluster_config,
+            BackendFactory backend_factory);
+
+  /// Execute the job to completion (or until the event budget runs out).
+  RunResult run();
+
+  /// Access after run() for extra assertions in tests.
+  cluster::ClusterManager& cluster() { return *cluster_; }
+  simkit::Simulator& sim() { return sim_; }
+  CheckpointBackend* backend() { return backend_.get(); }
+
+ private:
+  void boot_cluster();
+  void schedule_segment();
+  void on_capture_point();
+  void on_failure_event(cluster::NodeId raw_victim);
+  void restart_job(const std::vector<vm::VmId>& missing);
+  SimTime current_work() const;
+  void settle_workloads();
+
+  JobConfig job_;
+  ClusterConfig cluster_config_;
+  BackendFactory backend_factory_;
+
+  simkit::Simulator sim_;
+  Rng rng_;
+  std::unique_ptr<cluster::ClusterManager> cluster_;
+  std::unique_ptr<CheckpointBackend> backend_;
+  std::unique_ptr<failure::ClusterFailureInjector> injector_;
+
+  RunResult result_;
+  // Work tracking.
+  SimTime current_interval_ = 0.0;
+  SimTime committed_work_ = 0.0;
+  SimTime work_at_resume_ = 0.0;
+  SimTime resume_time_ = 0.0;
+  SimTime advanced_work_ = 0.0;  // workload content advanced this far
+  bool computing_ = false;
+  bool recovering_ = false;
+  bool finished_ = false;
+  simkit::EventId pending_event_ = simkit::kInvalidEvent;
+};
+
+/// The DVDC backend: coordinator + recovery + (re)planning.
+class DvdcBackend final : public CheckpointBackend {
+ public:
+  DvdcBackend(simkit::Simulator& sim, cluster::ClusterManager& cluster,
+              ProtocolConfig protocol, RecoveryConfig recovery,
+              WorkloadFactory workloads, PlannerConfig planner = {});
+
+  void checkpoint(checkpoint::Epoch epoch, EpochDone done) override;
+  SimTime early_resume_delay() const override;
+  void abort_checkpoint() override;
+  void handle_failure(cluster::NodeId victim,
+                      const std::vector<vm::VmId>& lost,
+                      RecoveryDone done) override;
+  checkpoint::Epoch committed_epoch() const override {
+    return state_.committed_epoch();
+  }
+  void on_job_restart() override;
+  std::string name() const override { return "dvdc"; }
+
+  DvdcState& state() { return state_; }
+  const PlacedPlan& placed_plan();
+
+ private:
+  void ensure_plan();
+
+  cluster::ClusterManager& cluster_;
+  ProtocolConfig protocol_config_;
+  DvdcState state_;
+  DvdcCoordinator coordinator_;
+  RecoveryManager recovery_;
+  GroupPlanner planner_;
+  std::optional<PlacedPlan> placed_;
+  /// The plan whose epoch is currently committed. Recovery must use THIS
+  /// plan (its memberships match the committed parity stripes), even if
+  /// `placed_` has since been rebuilt for the next epoch.
+  std::optional<PlacedPlan> committed_plan_;
+};
+
+}  // namespace vdc::core

@@ -1,0 +1,47 @@
+#include "failure/distributions.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/assert.hpp"
+
+namespace vdc::failure {
+
+ExponentialTtf::ExponentialTtf(double rate) : rate_(rate) {
+  VDC_REQUIRE(rate > 0.0, "failure rate must be positive");
+}
+
+WeibullTtf::WeibullTtf(double shape, SimTime scale)
+    : shape_(shape), scale_(scale) {
+  VDC_REQUIRE(shape > 0.0 && scale > 0.0,
+              "Weibull shape and scale must be positive");
+}
+
+SimTime WeibullTtf::mtbf() const {
+  return scale_ * std::tgamma(1.0 + 1.0 / shape_);
+}
+
+TraceTtf::TraceTtf(std::vector<SimTime> gaps) : gaps_(std::move(gaps)) {
+  VDC_REQUIRE(!gaps_.empty(), "failure trace must not be empty");
+  for (SimTime g : gaps_)
+    VDC_REQUIRE(g > 0.0, "failure trace gaps must be positive");
+}
+
+SimTime TraceTtf::sample(Rng&) {
+  const SimTime g = gaps_[next_];
+  next_ = (next_ + 1) % gaps_.size();
+  return g;
+}
+
+SimTime TraceTtf::mtbf() const {
+  const double sum = std::accumulate(gaps_.begin(), gaps_.end(), 0.0);
+  return sum / static_cast<double>(gaps_.size());
+}
+
+SimTime estimate_mtbf(const std::vector<SimTime>& gaps) {
+  VDC_REQUIRE(!gaps.empty(), "cannot estimate MTBF from zero observations");
+  const double sum = std::accumulate(gaps.begin(), gaps.end(), 0.0);
+  return sum / static_cast<double>(gaps.size());
+}
+
+}  // namespace vdc::failure

@@ -1,0 +1,75 @@
+#pragma once
+// Time-to-failure distributions.
+//
+// Section V of the paper assumes Poisson arrivals (exponential
+// interarrivals), explicitly noting the "bathtub curve" as a case where
+// that assumption breaks. We provide exponential (the model's assumption),
+// Weibull (bathtub phases: shape < 1 infant mortality, > 1 wear-out), and
+// a replayable trace for empirical logs.
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace vdc::failure {
+
+/// Interface: sample the time from "now" until the next failure.
+class TtfDistribution {
+ public:
+  virtual ~TtfDistribution() = default;
+  virtual SimTime sample(Rng& rng) = 0;
+  /// Mean time between failures implied by this distribution.
+  virtual SimTime mtbf() const = 0;
+};
+
+/// Exponential TTF (Poisson failure process) — the paper's assumption.
+class ExponentialTtf final : public TtfDistribution {
+ public:
+  /// `rate` is lambda = 1 / MTBF, in failures per second.
+  explicit ExponentialTtf(double rate);
+  static ExponentialTtf from_mtbf(SimTime mtbf) {
+    return ExponentialTtf(1.0 / mtbf);
+  }
+  SimTime sample(Rng& rng) override { return rng.exponential(rate_); }
+  SimTime mtbf() const override { return 1.0 / rate_; }
+  double rate() const { return rate_; }
+
+ private:
+  double rate_;
+};
+
+/// Weibull TTF: shape < 1 gives decreasing hazard (infant mortality),
+/// shape > 1 increasing hazard (wear-out).
+class WeibullTtf final : public TtfDistribution {
+ public:
+  WeibullTtf(double shape, SimTime scale);
+  SimTime sample(Rng& rng) override { return rng.weibull(shape_, scale_); }
+  SimTime mtbf() const override;
+  double shape() const { return shape_; }
+  SimTime scale() const { return scale_; }
+
+ private:
+  double shape_;
+  SimTime scale_;
+};
+
+/// Replays a fixed sequence of interarrival gaps, cycling at the end.
+/// Useful for regression tests and trace-driven studies.
+class TraceTtf final : public TtfDistribution {
+ public:
+  explicit TraceTtf(std::vector<SimTime> gaps);
+  SimTime sample(Rng& rng) override;
+  SimTime mtbf() const override;
+
+ private:
+  std::vector<SimTime> gaps_;
+  std::size_t next_ = 0;
+};
+
+/// Maximum-likelihood MTBF estimate from observed interarrival gaps,
+/// assuming an exponential process (sample mean).
+SimTime estimate_mtbf(const std::vector<SimTime>& gaps);
+
+}  // namespace vdc::failure

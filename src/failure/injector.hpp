@@ -1,0 +1,101 @@
+#pragma once
+// Failure injection over the discrete-event simulator.
+//
+// Two granularities are offered:
+//  * NodeFailureInjector — each physical node has an independent TTF
+//    process; on failure, the node is reported down and (optionally)
+//    re-armed after a repair time, matching the component-level view.
+//  * ClusterFailureInjector — one aggregate process for the whole system,
+//    where each event strikes a uniformly random node. This is exactly the
+//    "one Poisson process with rate lambda" abstraction the Section V model
+//    uses, so the Monte-Carlo validation of Eqs. (1)-(3) uses this one.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "failure/distributions.hpp"
+#include "simkit/simulator.hpp"
+
+namespace vdc::failure {
+
+using NodeId = std::uint32_t;
+
+class NodeFailureInjector {
+ public:
+  /// `on_failure(node)` fires at each failure instant.
+  using FailureCallback = std::function<void(NodeId)>;
+  /// `on_repair(node)` fires when a failed node comes back (if repair
+  /// re-arming is enabled).
+  using RepairCallback = std::function<void(NodeId)>;
+
+  NodeFailureInjector(simkit::Simulator& sim, Rng rng)
+      : sim_(sim), rng_(rng) {}
+
+  /// Register a node with its own TTF distribution and start its clock.
+  void arm(NodeId node, std::shared_ptr<TtfDistribution> ttf);
+
+  /// Stop injecting failures for this node.
+  void disarm(NodeId node);
+
+  /// If set (> 0), a failed node is repaired after this long and re-armed.
+  void set_repair_time(SimTime t) { repair_time_ = t; }
+
+  void set_on_failure(FailureCallback cb) { on_failure_ = std::move(cb); }
+  void set_on_repair(RepairCallback cb) { on_repair_ = std::move(cb); }
+
+  std::uint64_t failures_injected() const { return failures_; }
+
+ private:
+  void schedule_next(NodeId node);
+  void fire(NodeId node);
+
+  struct Armed {
+    std::shared_ptr<TtfDistribution> ttf;
+    simkit::EventId pending = simkit::kInvalidEvent;
+  };
+
+  simkit::Simulator& sim_;
+  Rng rng_;
+  SimTime repair_time_ = 0.0;
+  FailureCallback on_failure_;
+  RepairCallback on_repair_;
+  std::unordered_map<NodeId, Armed> armed_;
+  std::uint64_t failures_ = 0;
+};
+
+class ClusterFailureInjector {
+ public:
+  using FailureCallback = std::function<void(NodeId)>;
+
+  /// One aggregate TTF process over `node_count` nodes; every failure
+  /// event picks a victim uniformly at random.
+  ClusterFailureInjector(simkit::Simulator& sim, Rng rng,
+                         std::shared_ptr<TtfDistribution> ttf,
+                         std::uint32_t node_count);
+
+  /// Start injecting (idempotent).
+  void start(FailureCallback on_failure);
+
+  /// Stop injecting.
+  void stop();
+
+  std::uint64_t failures_injected() const { return failures_; }
+
+ private:
+  void schedule_next();
+
+  simkit::Simulator& sim_;
+  Rng rng_;
+  std::shared_ptr<TtfDistribution> ttf_;
+  std::uint32_t node_count_;
+  FailureCallback on_failure_;
+  simkit::EventId pending_ = simkit::kInvalidEvent;
+  bool running_ = false;
+  std::uint64_t failures_ = 0;
+};
+
+}  // namespace vdc::failure

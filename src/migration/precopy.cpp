@@ -1,0 +1,126 @@
+#include "migration/precopy.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace vdc::migration {
+
+PreCopyMigrator::PreCopyMigrator(simkit::Simulator& sim, net::Fabric& fabric,
+                                 PreCopyConfig config)
+    : sim_(sim), fabric_(fabric), config_(config) {
+  VDC_REQUIRE(config.max_rounds >= 1, "pre-copy needs at least one round");
+}
+
+void PreCopyMigrator::migrate(vm::VmId id, vm::Hypervisor& src,
+                              net::HostId src_host, vm::Hypervisor& dst,
+                              net::HostId dst_host, DoneCallback done) {
+  VDC_REQUIRE(!busy_, "PreCopyMigrator handles one migration at a time");
+  VDC_REQUIRE(src.hosts(id), "migrate: VM not on source node");
+  busy_ = true;
+  vm_ = id;
+  src_ = &src;
+  dst_ = &dst;
+  src_host_ = src_host;
+  dst_host_ = dst_host;
+  done_ = std::move(done);
+  stats_ = {};
+  start_time_ = sim_.now();
+
+  // Round 0 ships the full image; clear the dirty log so each later round
+  // sees exactly the pages dirtied during the previous transfer.
+  auto& image = src.get(id).image();
+  image.clear_dirty();
+  run_round(0, sim_.now(), image.size_bytes(), image.page_count());
+}
+
+void PreCopyMigrator::run_round(std::uint32_t round, SimTime round_start,
+                                Bytes to_send, std::size_t prev_dirty) {
+  stats_.rounds = round + 1;
+  stats_.bytes_sent += to_send;
+  fabric_.transfer(src_host_, dst_host_, to_send, [this, round, round_start,
+                                                   prev_dirty] {
+    // The guest kept running during the transfer: account its dirtying.
+    const SimTime elapsed = sim_.now() - round_start;
+    src_->advance_vm(vm_, elapsed);
+
+    auto& image = src_->get(vm_).image();
+    const std::size_t dirty = image.dirty_count();
+
+    const bool small_enough = dirty <= config_.stop_dirty_pages;
+    const bool plateaued =
+        prev_dirty > 0 &&
+        static_cast<double>(dirty) >=
+            config_.min_shrink * static_cast<double>(prev_dirty);
+    const bool out_of_rounds = round + 1 >= config_.max_rounds;
+
+    if (small_enough || plateaued || out_of_rounds) {
+      stats_.converged = small_enough;
+      final_copy(sim_.now());
+      return;
+    }
+
+    const Bytes bytes = static_cast<Bytes>(dirty) * image.page_size();
+    image.clear_dirty();
+    run_round(round + 1, sim_.now(), bytes, dirty);
+  });
+}
+
+void PreCopyMigrator::final_copy(SimTime start) {
+  auto& machine = src_->get(vm_);
+  machine.pause();
+  auto& image = machine.image();
+  const Bytes residue =
+      static_cast<Bytes>(image.dirty_count()) * image.page_size();
+  stats_.bytes_sent += residue;
+  image.clear_dirty();
+
+  fabric_.transfer(src_host_, dst_host_, residue, [this, start] {
+    sim_.after(config_.switch_overhead, [this, start] {
+      stats_.downtime = sim_.now() - start;
+      finish();
+    });
+  });
+}
+
+void PreCopyMigrator::finish() {
+  auto machine = src_->evict(vm_);
+  machine->resume();
+  dst_->adopt(std::move(machine));
+  stats_.total_time = sim_.now() - start_time_;
+  busy_ = false;
+  if (done_) {
+    auto done = std::move(done_);
+    done(stats_);
+  }
+}
+
+void StopAndCopyMigrator::migrate(vm::VmId id, vm::Hypervisor& src,
+                                  net::HostId src_host, vm::Hypervisor& dst,
+                                  net::HostId dst_host, DoneCallback done) {
+  VDC_REQUIRE(src.hosts(id), "migrate: VM not on source node");
+  const SimTime start = sim_.now();
+  auto& machine = src.get(id);
+  machine.pause();
+  const Bytes bytes = machine.image().size_bytes();
+
+  fabric_.transfer(
+      src_host, dst_host, bytes,
+      [this, id, &src, &dst, start, bytes, done = std::move(done)]() mutable {
+        sim_.after(switch_overhead_, [this, id, &src, &dst, start, bytes,
+                                      done = std::move(done)]() mutable {
+          auto machine = src.evict(id);
+          machine->resume();
+          dst.adopt(std::move(machine));
+          MigrationStats stats;
+          stats.total_time = sim_.now() - start;
+          stats.downtime = stats.total_time;
+          stats.bytes_sent = bytes;
+          stats.rounds = 0;
+          stats.converged = true;
+          if (done) done(stats);
+        });
+      });
+}
+
+}  // namespace vdc::migration

@@ -1,0 +1,97 @@
+#pragma once
+// Live migration of VMs between physical hosts (Clark et al., NSDI'05).
+//
+// Pre-copy: round 0 ships the whole image while the guest runs; each
+// following round ships the pages dirtied during the previous round. When
+// the dirty set is small enough (or rounds run out), the guest is paused
+// and the residue is shipped — that final stop-and-copy window is the
+// downtime, which the paper quotes at tens of milliseconds. The guest
+// workload keeps dirtying memory *during* transfer rounds, so convergence
+// genuinely depends on the dirty rate vs. link speed, as in the original
+// paper. StopAndCopy (pause, ship everything, resume) is the baseline.
+
+#include <functional>
+
+#include "net/fabric.hpp"
+#include "vm/machine.hpp"
+
+namespace vdc::migration {
+
+struct PreCopyConfig {
+  std::uint32_t max_rounds = 8;   // including round 0 (full image)
+  /// Enter stop-and-copy when the dirty set drops to this many pages.
+  std::size_t stop_dirty_pages = 64;
+  /// Enter stop-and-copy when a round shrinks the dirty set by less than
+  /// this factor (writable-working-set plateau).
+  double min_shrink = 0.95;
+  /// Fixed guest suspend/resume cost added to downtime.
+  SimTime switch_overhead = milliseconds(3);
+};
+
+struct MigrationStats {
+  SimTime total_time = 0.0;  // first byte to guest running on destination
+  SimTime downtime = 0.0;    // guest paused
+  Bytes bytes_sent = 0;
+  std::uint32_t rounds = 0;  // pre-copy rounds before stop-and-copy
+  bool converged = false;    // dirty set met the threshold (vs. round cap)
+};
+
+/// Migrates one VM between two hypervisors over the fabric. The migrator
+/// advances the guest's workload across each transfer round, so dirtying
+/// during migration is accounted for. One migration at a time per instance.
+class PreCopyMigrator {
+ public:
+  using DoneCallback = std::function<void(const MigrationStats&)>;
+
+  PreCopyMigrator(simkit::Simulator& sim, net::Fabric& fabric,
+                  PreCopyConfig config = {});
+
+  /// Begin migrating `id` from (src hypervisor, src host) to (dst
+  /// hypervisor, dst host). `done` fires when the guest runs on dst.
+  void migrate(vm::VmId id, vm::Hypervisor& src, net::HostId src_host,
+               vm::Hypervisor& dst, net::HostId dst_host, DoneCallback done);
+
+  bool busy() const { return busy_; }
+
+ private:
+  void run_round(std::uint32_t round, SimTime round_start, Bytes to_send,
+                 std::size_t prev_dirty);
+  void final_copy(SimTime start);
+  void finish();
+
+  simkit::Simulator& sim_;
+  net::Fabric& fabric_;
+  PreCopyConfig config_;
+
+  // In-flight migration state.
+  bool busy_ = false;
+  vm::VmId vm_ = 0;
+  vm::Hypervisor* src_ = nullptr;
+  vm::Hypervisor* dst_ = nullptr;
+  net::HostId src_host_ = 0;
+  net::HostId dst_host_ = 0;
+  DoneCallback done_;
+  MigrationStats stats_;
+  SimTime start_time_ = 0.0;
+};
+
+/// Pause, ship the whole image, resume on the destination. Downtime is the
+/// entire transfer: the baseline pre-copy beats.
+class StopAndCopyMigrator {
+ public:
+  using DoneCallback = std::function<void(const MigrationStats&)>;
+
+  StopAndCopyMigrator(simkit::Simulator& sim, net::Fabric& fabric,
+                      SimTime switch_overhead = milliseconds(3))
+      : sim_(sim), fabric_(fabric), switch_overhead_(switch_overhead) {}
+
+  void migrate(vm::VmId id, vm::Hypervisor& src, net::HostId src_host,
+               vm::Hypervisor& dst, net::HostId dst_host, DoneCallback done);
+
+ private:
+  simkit::Simulator& sim_;
+  net::Fabric& fabric_;
+  SimTime switch_overhead_;
+};
+
+}  // namespace vdc::migration

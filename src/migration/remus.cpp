@@ -1,0 +1,111 @@
+#include "migration/remus.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace vdc::migration {
+
+RemusReplicator::RemusReplicator(simkit::Simulator& sim, net::Fabric& fabric,
+                                 vm::Hypervisor& primary,
+                                 net::HostId primary_host,
+                                 net::HostId backup_host,
+                                 vm::VmId protected_vm, RemusConfig config)
+    : sim_(sim),
+      fabric_(fabric),
+      primary_(primary),
+      primary_host_(primary_host),
+      backup_host_(backup_host),
+      vm_(protected_vm),
+      config_(config) {
+  VDC_REQUIRE(config.epoch_interval > 0.0, "epoch interval must be positive");
+  VDC_REQUIRE(config.buffer_copy_rate > 0.0, "copy rate must be positive");
+  VDC_REQUIRE(primary.hosts(protected_vm), "protected VM not on primary");
+}
+
+void RemusReplicator::start() {
+  VDC_REQUIRE(!running_, "replicator already running");
+  running_ = true;
+  last_advance_ = sim_.now();
+  last_ack_capture_time_ = sim_.now();
+  timer_ = sim_.after(config_.epoch_interval, [this] { on_epoch_timer(); });
+}
+
+void RemusReplicator::stop() {
+  running_ = false;
+  if (timer_ != simkit::kInvalidEvent) {
+    sim_.cancel(timer_);
+    timer_ = simkit::kInvalidEvent;
+  }
+}
+
+void RemusReplicator::on_epoch_timer() {
+  timer_ = simkit::kInvalidEvent;
+  if (!running_) return;
+
+  if (ship_in_flight_) {
+    // Back-pressure: the previous epoch is still being shipped. Skip this
+    // tick; the ack path will re-arm the timer.
+    ++stats_.epochs_skipped;
+    return;
+  }
+  capture_and_ship();
+}
+
+void RemusReplicator::capture_and_ship() {
+  // Bring the guest's virtual time up to now, then freeze it.
+  auto& machine = primary_.get(vm_);
+  primary_.advance_vm(vm_, sim_.now() - last_advance_);
+  last_advance_ = sim_.now();
+  machine.pause();
+
+  const SimTime capture_time = sim_.now();
+  auto result = incremental_.capture(machine, next_epoch_++);
+  ++stats_.epochs_captured;
+
+  const Bytes staged = result.shipped_raw;
+  const Bytes wire = (config_.compress && result.shipped_compressed > 0)
+                         ? result.shipped_compressed
+                         : staged;
+  const SimTime pause =
+      config_.pause_overhead +
+      static_cast<double>(staged) / config_.buffer_copy_rate;
+
+  pending_image_ = result.checkpoint.payload;
+
+  // Resume after the staging copy completes; ship asynchronously.
+  sim_.after(pause, [this, capture_time, wire, pause] {
+    stats_.total_pause_time += pause;
+    auto& machine = primary_.get(vm_);
+    machine.resume();
+    last_advance_ = sim_.now();
+
+    ship_in_flight_ = true;
+    stats_.bytes_shipped += wire;
+    fabric_.transfer(primary_host_, backup_host_, wire,
+                     [this, capture_time] {
+                       ship_in_flight_ = false;
+                       backup_image_ = std::move(pending_image_);
+                       pending_image_.clear();
+                       last_ack_capture_time_ = capture_time;
+                       ++stats_.epochs_committed;
+                       if (!running_) return;
+                       // Re-arm: next epoch fires one interval after the
+                       // last capture, or immediately if we are behind.
+                       const SimTime next =
+                           std::max(sim_.now(), capture_time +
+                                                    config_.epoch_interval);
+                       timer_ = sim_.at(next, [this] { on_epoch_timer(); });
+                     });
+  });
+}
+
+RemusReplicator::Failover RemusReplicator::failover() {
+  Failover result;
+  result.lost_work = sim_.now() - last_ack_capture_time_;
+  result.image = backup_image_;
+  stop();
+  return result;
+}
+
+}  // namespace vdc::migration

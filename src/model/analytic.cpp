@@ -1,0 +1,128 @@
+#include "model/analytic.hpp"
+
+#include <cmath>
+
+namespace vdc::model {
+
+namespace {
+void check_params(double lambda, SimTime work) {
+  VDC_REQUIRE(lambda > 0.0, "failure rate must be positive");
+  VDC_REQUIRE(work > 0.0, "work length must be positive");
+}
+}  // namespace
+
+double expected_failures(double lambda, SimTime span) {
+  VDC_REQUIRE(lambda > 0.0 && span >= 0.0, "invalid parameters");
+  return std::expm1(lambda * span);
+}
+
+double expected_ttf_truncated(double lambda, SimTime limit) {
+  VDC_REQUIRE(lambda > 0.0 && limit > 0.0, "invalid parameters");
+  const double x = lambda * limit;
+  const double em = std::exp(-x);
+  return (1.0 - (x + 1.0) * em) / (lambda * (1.0 - em));
+}
+
+double expected_time_no_checkpoint(double lambda, SimTime total_work) {
+  check_params(lambda, total_work);
+  return std::expm1(lambda * total_work) / lambda;
+}
+
+double expected_time_checkpoint(double lambda, SimTime total_work,
+                                SimTime interval) {
+  check_params(lambda, total_work);
+  VDC_REQUIRE(interval > 0.0, "interval must be positive");
+  const double segments = total_work / interval;
+  return segments * std::expm1(lambda * interval) / lambda;
+}
+
+double expected_time_checkpoint_overhead(double lambda, SimTime total_work,
+                                         SimTime interval, SimTime overhead,
+                                         SimTime repair) {
+  check_params(lambda, total_work);
+  VDC_REQUIRE(interval > 0.0, "interval must be positive");
+  VDC_REQUIRE(overhead >= 0.0 && repair >= 0.0,
+              "overhead and repair must be non-negative");
+  const double segment = interval + overhead;
+  const double retries = std::expm1(lambda * segment);  // E[F] per segment
+  const double per_segment = retries / lambda + retries * repair;
+  return (total_work / interval) * per_segment;
+}
+
+double expected_time_ratio(double lambda, SimTime total_work,
+                           SimTime interval, SimTime overhead,
+                           SimTime repair) {
+  return expected_time_checkpoint_overhead(lambda, total_work, interval,
+                                           overhead, repair) /
+         total_work;
+}
+
+OptimalInterval optimal_interval(double lambda, SimTime total_work,
+                                 SimTime overhead, SimTime repair,
+                                 SimTime lo, SimTime hi) {
+  check_params(lambda, total_work);
+  if (hi <= 0.0) hi = total_work;
+  VDC_REQUIRE(lo > 0.0 && hi > lo, "invalid search bracket");
+
+  const auto f = [&](double log_n) {
+    return expected_time_ratio(lambda, total_work, std::exp(log_n), overhead,
+                               repair);
+  };
+
+  // Golden-section search on log(N): the ratio is unimodal in N.
+  const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double a = std::log(lo), b = std::log(hi);
+  double c = b - phi * (b - a);
+  double d = a + phi * (b - a);
+  double fc = f(c), fd = f(d);
+  for (int iter = 0; iter < 200 && (b - a) > 1e-10; ++iter) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - phi * (b - a);
+      fc = f(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + phi * (b - a);
+      fd = f(d);
+    }
+  }
+  OptimalInterval result;
+  result.interval = std::exp((a + b) / 2.0);
+  result.ratio = expected_time_ratio(lambda, total_work, result.interval,
+                                     overhead, repair);
+  return result;
+}
+
+SimTime young_interval(double lambda, SimTime overhead) {
+  VDC_REQUIRE(lambda > 0.0 && overhead > 0.0, "invalid parameters");
+  return std::sqrt(2.0 * overhead / lambda);
+}
+
+namespace paper_literal {
+
+double eq1(double lambda, SimTime total_work) {
+  check_params(lambda, total_work);
+  const double x = lambda * total_work;
+  // E[F] as printed: (e^{lT} - 1) / (1 - e^{-lT})  [= e^{lT}]
+  const double ef = std::expm1(x) / (1.0 - std::exp(-x));
+  // E[T_fail | T_fail < T] as printed (denominator (1-e^{-lT}) missing):
+  const double cond = (1.0 - (x + 1.0) * std::exp(-x)) / lambda;
+  return ef * cond + total_work;
+}
+
+double eq3(double lambda, SimTime total_work, SimTime interval) {
+  check_params(lambda, total_work);
+  VDC_REQUIRE(interval > 0.0, "interval must be positive");
+  const double x = lambda * total_work;  // the printed formula uses T here
+  const double ef = std::expm1(x) / (1.0 - std::exp(-x));
+  const double cond = (1.0 - (x + 1.0) * std::exp(-x)) / lambda;
+  return (ef * cond + interval) * (total_work / interval);
+}
+
+}  // namespace paper_literal
+
+}  // namespace vdc::model

@@ -1,0 +1,88 @@
+#pragma once
+// Section V analytical model: expected time-to-completion under Poisson
+// failures, with and without checkpointing.
+//
+// Notation follows the paper:
+//   T      fault-free execution length
+//   lambda failure rate (1 / MTBF)
+//   N      checkpoint interval (compute time between checkpoints)
+//   T_ov   overhead added per checkpoint
+//   T_r    repair time paid per failure
+//
+// The paper's printed formulas contain typos that cancel in Eq. (1) and do
+// not cancel in Eq. (3); see paper_literal below and EXPERIMENTS.md. The
+// primary entry points here implement the *corrected* model:
+//
+//   E[T_nochk]   = (e^{lambda T} - 1) / lambda                     (Eq. 1)
+//   E[T_chk]     = (T/N) (e^{lambda N} - 1) / lambda               (Eq. 3)
+//   E[T_chk;ov]  = (T/N) [ (e^{lambda S} - 1)/lambda
+//                          + (e^{lambda S} - 1) T_r ],  S = N+T_ov
+//
+// each of which follows from the classic restart argument: a segment that
+// must complete S seconds of work without a failure takes expected time
+// (e^{lambda S} - 1)/lambda including retries, plus T_r per failed try.
+
+#include "common/assert.hpp"
+#include "common/units.hpp"
+
+namespace vdc::model {
+
+/// Expected number of failed attempts before a failure-free span of
+/// length `span` is achieved: e^{lambda*span} - 1 (geometric argument).
+double expected_failures(double lambda, SimTime span);
+
+/// E[T_fail | T_fail < limit] for an exponential with rate lambda:
+/// [1 - (lambda*limit + 1) e^{-lambda*limit}] / (lambda (1 - e^{-lambda*limit})).
+double expected_ttf_truncated(double lambda, SimTime limit);
+
+/// Eq. (1): expected completion time with no checkpointing.
+double expected_time_no_checkpoint(double lambda, SimTime total_work);
+
+/// Eq. (3) corrected: expected completion with free checkpoints every N.
+double expected_time_checkpoint(double lambda, SimTime total_work,
+                                SimTime interval);
+
+/// Full model: checkpoint overhead T_ov per interval and repair time T_r
+/// per failure.
+double expected_time_checkpoint_overhead(double lambda, SimTime total_work,
+                                         SimTime interval, SimTime overhead,
+                                         SimTime repair);
+
+/// Ratio of expected completion to the fault-free time (the Fig. 5 y-axis).
+double expected_time_ratio(double lambda, SimTime total_work,
+                           SimTime interval, SimTime overhead,
+                           SimTime repair);
+
+struct OptimalInterval {
+  SimTime interval = 0.0;      // argmin over N
+  double ratio = 0.0;          // E[T]/T at the optimum
+};
+
+/// Minimise the expected-time ratio over the checkpoint interval via
+/// golden-section search on log(N) in [lo, hi].
+OptimalInterval optimal_interval(double lambda, SimTime total_work,
+                                 SimTime overhead, SimTime repair,
+                                 SimTime lo = 1.0, SimTime hi = 0.0);
+
+/// Young's classic first-order approximation N* ~= sqrt(2 T_ov / lambda),
+/// used as a sanity cross-check on the search.
+SimTime young_interval(double lambda, SimTime overhead);
+
+// --- paper-literal renditions ----------------------------------------------
+// The formulas exactly as printed, kept so tests can document which typos
+// cancel and which do not.
+namespace paper_literal {
+
+/// Eq. (1) as printed: E[F] = (e^{lT}-1)/(1-e^{-lT}) times a conditional
+/// expectation printed without its (1-e^{-lT}) denominator, plus T.
+/// Algebraically identical to the corrected Eq. (1) — the typos cancel.
+double eq1(double lambda, SimTime total_work);
+
+/// Eq. (3) as printed: the per-segment factor uses e^{lambda T} where the
+/// derivation requires e^{lambda N}. NOT equal to the corrected form
+/// unless N == T; tests pin down the discrepancy.
+double eq3(double lambda, SimTime total_work, SimTime interval);
+
+}  // namespace paper_literal
+
+}  // namespace vdc::model

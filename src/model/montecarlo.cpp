@@ -1,0 +1,90 @@
+#include "model/montecarlo.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace vdc::model {
+
+SimTime sample_completion_time(const McConfig& config, Rng& rng) {
+  VDC_REQUIRE(config.lambda > 0.0, "lambda must be positive");
+  VDC_REQUIRE(config.total_work > 0.0, "total work must be positive");
+
+  const bool checkpointing = config.interval > 0.0;
+  const SimTime segment_work =
+      checkpointing ? std::min(config.interval, config.total_work)
+                    : config.total_work;
+
+  SimTime clock = 0.0;
+  SimTime done = 0.0;  // committed (checkpointed) work
+  SimTime ttf = rng.exponential(config.lambda);
+
+  while (done < config.total_work) {
+    const SimTime work = std::min(segment_work, config.total_work - done);
+    // A segment occupies work + overhead seconds of exposure; only a
+    // failure-free pass commits.
+    const SimTime exposure =
+        work + (checkpointing ? config.overhead : 0.0);
+    if (ttf >= exposure) {
+      clock += exposure;
+      ttf -= exposure;
+      done += work;
+    } else {
+      clock += ttf + config.repair;
+      ttf = rng.exponential(config.lambda);
+      // Roll back to the last checkpoint: the partial segment is lost.
+    }
+  }
+  return clock;
+}
+
+RunningStats simulate_completion_times(const McConfig& config, Rng rng) {
+  VDC_REQUIRE(config.trials > 0, "need at least one trial");
+  RunningStats stats;
+  for (std::size_t i = 0; i < config.trials; ++i)
+    stats.add(sample_completion_time(config, rng));
+  return stats;
+}
+
+SimTime sample_completion_time_ttf(const McConfig& config,
+                                   failure::TtfDistribution& ttf,
+                                   Rng& rng) {
+  VDC_REQUIRE(config.total_work > 0.0, "total work must be positive");
+  const bool checkpointing = config.interval > 0.0;
+  const SimTime segment_work =
+      checkpointing ? std::min(config.interval, config.total_work)
+                    : config.total_work;
+
+  // A renewal failure process on the wall clock: gaps are iid from `ttf`
+  // and restart after each failure (the failed component is replaced).
+  SimTime clock = 0.0;
+  SimTime done = 0.0;
+  SimTime next_failure = ttf.sample(rng);
+
+  while (done < config.total_work) {
+    const SimTime work = std::min(segment_work, config.total_work - done);
+    const SimTime exposure =
+        work + (checkpointing ? config.overhead : 0.0);
+    if (clock + exposure <= next_failure) {
+      clock += exposure;
+      done += work;
+    } else {
+      clock = next_failure + config.repair;
+      next_failure = clock + ttf.sample(rng);
+      // Roll back: the partial segment is lost.
+    }
+  }
+  return clock;
+}
+
+RunningStats simulate_completion_times_ttf(const McConfig& config,
+                                           failure::TtfDistribution& ttf,
+                                           Rng rng) {
+  VDC_REQUIRE(config.trials > 0, "need at least one trial");
+  RunningStats stats;
+  for (std::size_t i = 0; i < config.trials; ++i)
+    stats.add(sample_completion_time_ttf(config, ttf, rng));
+  return stats;
+}
+
+}  // namespace vdc::model

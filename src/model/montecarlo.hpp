@@ -1,0 +1,45 @@
+#pragma once
+// Monte-Carlo corroboration of the Section V model.
+//
+// The paper states it built "models to corroborate our equations" without
+// showing them; this is that corroboration. We simulate the renewal
+// process directly — draw exponential failure times, run segments of
+// N + T_ov, pay T_r per failure, roll back to the last checkpoint — and
+// compare the sample mean completion time with the closed form.
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/units.hpp"
+#include "failure/distributions.hpp"
+
+namespace vdc::model {
+
+struct McConfig {
+  double lambda = 9.26e-5;
+  SimTime total_work = days(2);
+  SimTime interval = hours(1);   // N; <= 0 means no checkpointing
+  SimTime overhead = 0.0;        // T_ov
+  SimTime repair = 0.0;          // T_r
+  std::size_t trials = 10000;
+};
+
+/// One sampled completion time (wall clock including failures).
+SimTime sample_completion_time(const McConfig& config, Rng& rng);
+
+/// Run `config.trials` independent trials.
+RunningStats simulate_completion_times(const McConfig& config, Rng rng);
+
+/// One sampled completion time under an arbitrary renewal failure process
+/// (interarrival gaps drawn from `ttf`). For ExponentialTtf this matches
+/// sample_completion_time; for Weibull it probes the paper's own caveat
+/// that the Poisson assumption "may not hold" (the bathtub curve).
+/// `config.lambda` is ignored; the distribution supplies the failure law.
+SimTime sample_completion_time_ttf(const McConfig& config,
+                                   failure::TtfDistribution& ttf, Rng& rng);
+
+/// Trials under an arbitrary TTF distribution.
+RunningStats simulate_completion_times_ttf(const McConfig& config,
+                                           failure::TtfDistribution& ttf,
+                                           Rng rng);
+
+}  // namespace vdc::model

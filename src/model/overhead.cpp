@@ -1,0 +1,63 @@
+#include "model/overhead.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace vdc::model {
+
+CheckpointCosts diskfull_costs(const ClusterShape& shape,
+                               const HardwareProfile& hw) {
+  VDC_REQUIRE(shape.nodes >= 1, "need at least one node");
+  const double total = static_cast<double>(shape.total_bytes());
+
+  // All streams fan into the NAS front-end; the aggregate NIC egress can
+  // only help if it is smaller than the front-end link.
+  const double ingest_rate =
+      std::min(hw.nas_frontend, static_cast<double>(shape.nodes) * hw.nic);
+  const double stream_time = total / ingest_rate;
+  const double write_time = total / hw.nas_disk_write;
+
+  CheckpointCosts costs;
+  costs.overhead = hw.base_overhead + stream_time + write_time;
+  costs.latency = costs.overhead;  // durable == usable, all synchronous
+
+  // Recovery: detect, read the lost VM's image off the array, stream it to
+  // the replacement node, resume. (Surviving VMs roll back from their own
+  // local copies.)
+  const double image = static_cast<double>(shape.vm_image);
+  costs.repair = hw.detection_time + image / hw.nas_disk_read +
+                 image / std::min(hw.nas_frontend, hw.nic) + hw.resume_time;
+  return costs;
+}
+
+CheckpointCosts diskless_costs(const ClusterShape& shape,
+                               const HardwareProfile& hw,
+                               bool overlap_exchange) {
+  VDC_REQUIRE(shape.nodes >= 2, "DVDC needs at least two nodes");
+  const double image = static_cast<double>(shape.vm_image);
+  const double per_node = static_cast<double>(shape.vms_per_node) * image;
+
+  // Peer exchange: each node ships its v checkpoints to parity holders and
+  // simultaneously receives the v checkpoint streams it holds parity for
+  // (g*k == n*v implies send == receive). Full duplex NICs: one NIC-time.
+  const double exchange_time = per_node / hw.nic;
+  // Each node XORs the bytes it received into its parity blocks.
+  const double xor_time = per_node / hw.xor_rate;
+
+  CheckpointCosts costs;
+  costs.latency = hw.base_overhead + exchange_time + xor_time;
+  costs.overhead = overlap_exchange ? hw.base_overhead : costs.latency;
+
+  // Recovery: detect; the k surviving group members of each lost VM stream
+  // their checkpoints to the reconstruction node (fan-in over one NIC),
+  // which XORs them with the parity block and resumes the VM.
+  const double k = static_cast<double>(shape.group_size());
+  costs.repair = hw.detection_time + k * image / hw.nic +
+                 k * image / hw.xor_rate + hw.resume_time;
+  return costs;
+}
+
+Fig5Scenario fig5_scenario() { return Fig5Scenario{}; }
+
+}  // namespace vdc::model

@@ -1,0 +1,88 @@
+#include "model/reliability.hpp"
+
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace vdc::model {
+
+namespace {
+void check(const StripeReliability& config) {
+  VDC_REQUIRE(config.width >= 2, "stripe needs at least two nodes");
+  VDC_REQUIRE(config.tolerance >= 1 && config.tolerance < config.width,
+              "tolerance must be in [1, width)");
+  VDC_REQUIRE(config.node_mtbf > 0 && config.mttr > 0,
+              "MTBF and MTTR must be positive");
+}
+}  // namespace
+
+SimTime mttdl(const StripeReliability& config) {
+  check(config);
+  const std::size_t m = config.tolerance;
+  // T_i = expected time to absorption from i failed nodes, i = 0..m.
+  //   (l_i + u_i) T_i - l_i T_{i+1} - u_i T_{i-1} = 1,  T_{m+1} = 0.
+  // Solve the (m+1)x(m+1) tridiagonal system by Gaussian elimination.
+  const auto lambda = [&](std::size_t i) {
+    return static_cast<double>(config.width - i) / config.node_mtbf;
+  };
+  const auto mu = [&](std::size_t i) {
+    return static_cast<double>(i) / config.mttr;
+  };
+
+  const std::size_t n = m + 1;
+  std::vector<std::vector<double>> a(n, std::vector<double>(n, 0.0));
+  std::vector<double> b(n, 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i][i] = lambda(i) + mu(i);
+    if (i + 1 < n) a[i][i + 1] = -lambda(i);
+    if (i > 0) a[i][i - 1] = -mu(i);
+  }
+  // Forward elimination (the system is diagonally dominant).
+  for (std::size_t col = 0; col + 1 < n; ++col) {
+    const double f = a[col + 1][col] / a[col][col];
+    for (std::size_t c = col; c < n; ++c) a[col + 1][c] -= f * a[col][c];
+    b[col + 1] -= f * b[col];
+  }
+  // Back substitution.
+  std::vector<double> t(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double rhs = b[i];
+    if (i + 1 < n) rhs -= a[i][i + 1] * t[i + 1];
+    t[i] = rhs / a[i][i];
+  }
+  return t[0];
+}
+
+SimTime cluster_mttdl(const StripeReliability& config, std::size_t groups) {
+  VDC_REQUIRE(groups >= 1, "need at least one group");
+  // Stripes are treated as independent series components (they share
+  // nodes, so this is the standard slightly-pessimistic approximation):
+  // loss rates add.
+  return mttdl(config) / static_cast<double>(groups);
+}
+
+RunningStats simulate_mttdl(const StripeReliability& config,
+                            std::size_t trials, Rng rng) {
+  check(config);
+  VDC_REQUIRE(trials > 0, "need at least one trial");
+  RunningStats stats;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    SimTime t = 0.0;
+    std::size_t down = 0;
+    while (down <= config.tolerance) {
+      const double fail_rate =
+          static_cast<double>(config.width - down) / config.node_mtbf;
+      const double repair_rate = static_cast<double>(down) / config.mttr;
+      const double total = fail_rate + repair_rate;
+      t += rng.exponential(total);
+      if (rng.uniform() < fail_rate / total)
+        ++down;
+      else
+        --down;
+    }
+    stats.add(t);
+  }
+  return stats;
+}
+
+}  // namespace vdc::model

@@ -1,0 +1,58 @@
+#include "net/fabric.hpp"
+
+namespace vdc::net {
+
+HostId Fabric::add_host(Rate nic_rate, const std::string& name,
+                        RackId rack) {
+  const auto id = static_cast<HostId>(tx_.size());
+  tx_.push_back(network_.add_port(nic_rate, name + "/tx"));
+  rx_.push_back(network_.add_port(nic_rate, name + "/rx"));
+  rack_.push_back(rack);
+  return id;
+}
+
+void Fabric::set_rack_uplink(RackId rack, Rate rate) {
+  VDC_REQUIRE(!uplinks_.count(rack), "rack uplink already configured");
+  RackUplink uplink;
+  uplink.up = network_.add_port(rate, "rack" + std::to_string(rack) + "/up");
+  uplink.down =
+      network_.add_port(rate, "rack" + std::to_string(rack) + "/down");
+  uplinks_.emplace(rack, uplink);
+}
+
+PortId Fabric::add_shared_port(Rate rate, const std::string& name) {
+  return network_.add_port(rate, name);
+}
+
+FlowId Fabric::transfer(HostId src, HostId dst, Bytes bytes,
+                        FlowNetwork::Callback on_complete) {
+  VDC_ASSERT(src < tx_.size() && dst < rx_.size());
+  VDC_ASSERT_MSG(src != dst, "loopback transfers don't traverse the fabric");
+  std::vector<PortId> path{tx_[src]};
+  if (rack_[src] != rack_[dst]) {
+    // Cross-rack: traverse the oversubscribed core where configured.
+    if (auto it = uplinks_.find(rack_[src]); it != uplinks_.end())
+      path.push_back(it->second.up);
+    if (auto it = uplinks_.find(rack_[dst]); it != uplinks_.end())
+      path.push_back(it->second.down);
+  }
+  path.push_back(rx_[dst]);
+  return network_.start_flow(std::move(path), bytes, std::move(on_complete),
+                             link_latency_);
+}
+
+FlowId Fabric::transfer_to_port(HostId src, PortId sink, Bytes bytes,
+                                FlowNetwork::Callback on_complete) {
+  VDC_ASSERT(src < tx_.size());
+  return network_.start_flow({tx_[src], sink}, bytes, std::move(on_complete),
+                             link_latency_);
+}
+
+FlowId Fabric::transfer_from_port(PortId source, HostId dst, Bytes bytes,
+                                  FlowNetwork::Callback on_complete) {
+  VDC_ASSERT(dst < rx_.size());
+  return network_.start_flow({source, rx_[dst]}, bytes,
+                             std::move(on_complete), link_latency_);
+}
+
+}  // namespace vdc::net

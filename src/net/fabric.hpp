@@ -1,0 +1,84 @@
+#pragma once
+// Host-level convenience layer over FlowNetwork.
+//
+// A Fabric is a set of hosts connected through a non-blocking switch: each
+// host contributes a full-duplex NIC modelled as a TX port and an RX port.
+// Additional shared ports (a NAS front-end link, a disk array) can be
+// created and spliced into transfer paths, which is how the single-NAS
+// bottleneck of baseline disk-full checkpointing is expressed.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/flow_network.hpp"
+
+namespace vdc::net {
+
+using HostId = std::uint32_t;
+using RackId = std::uint32_t;
+
+class Fabric {
+ public:
+  /// `link_latency` is the one-way propagation/setup latency applied to
+  /// every transfer (the paper's LAN context: tens of microseconds).
+  Fabric(simkit::Simulator& sim, SimTime link_latency = 50e-6)
+      : network_(sim), link_latency_(link_latency) {}
+
+  /// Add a host with a full-duplex NIC of the given speed. `rack` places
+  /// the host behind that rack's uplink (see set_rack_uplink); hosts in
+  /// the same rack talk switch-locally.
+  HostId add_host(Rate nic_rate, const std::string& name = {},
+                  RackId rack = 0);
+
+  /// Add a standalone shared port (e.g. the NAS uplink).
+  PortId add_shared_port(Rate rate, const std::string& name = {});
+
+  /// Give `rack` an oversubscribed full-duplex uplink to the core switch:
+  /// all traffic between different racks traverses the source rack's
+  /// uplink and the destination rack's downlink. Racks without an uplink
+  /// reach the core unconstrained (the default flat-switch model).
+  void set_rack_uplink(RackId rack, Rate rate);
+
+  std::size_t host_count() const { return tx_.size(); }
+
+  /// Host-to-host transfer through the switch.
+  FlowId transfer(HostId src, HostId dst, Bytes bytes,
+                  FlowNetwork::Callback on_complete);
+
+  /// Host-to-shared-port transfer (e.g. checkpoint stream to the NAS).
+  /// The path is src TX -> shared port (the shared port is the sink).
+  FlowId transfer_to_port(HostId src, PortId sink, Bytes bytes,
+                          FlowNetwork::Callback on_complete);
+
+  /// Shared-port-to-host transfer (e.g. restart image read from the NAS).
+  FlowId transfer_from_port(PortId source, HostId dst, Bytes bytes,
+                            FlowNetwork::Callback on_complete);
+
+  bool cancel(FlowId id) { return network_.cancel_flow(id); }
+
+  PortId tx_port(HostId h) const { return tx_.at(h); }
+  PortId rx_port(HostId h) const { return rx_.at(h); }
+  RackId host_rack(HostId h) const { return rack_.at(h); }
+
+  FlowNetwork& network() { return network_; }
+  const FlowNetwork& network() const { return network_; }
+  SimTime link_latency() const { return link_latency_; }
+
+ private:
+  struct RackUplink {
+    PortId up;
+    PortId down;
+  };
+
+  FlowNetwork network_;
+  SimTime link_latency_;
+  std::vector<PortId> tx_;
+  std::vector<PortId> rx_;
+  std::vector<RackId> rack_;
+  std::unordered_map<RackId, RackUplink> uplinks_;
+};
+
+}  // namespace vdc::net

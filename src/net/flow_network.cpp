@@ -1,0 +1,215 @@
+#include "net/flow_network.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace vdc::net {
+
+namespace {
+// A flow whose remaining volume drops below this is considered delivered.
+// One byte of slack at double precision; avoids infinite zeno re-scheduling.
+constexpr double kDoneEpsilon = 0.5;
+}  // namespace
+
+PortId FlowNetwork::add_port(Rate capacity, std::string name) {
+  VDC_REQUIRE(capacity > 0.0, "port capacity must be positive");
+  ports_.push_back(Port{capacity, std::move(name)});
+  return static_cast<PortId>(ports_.size() - 1);
+}
+
+void FlowNetwork::set_capacity(PortId port, Rate capacity) {
+  VDC_REQUIRE(capacity > 0.0, "port capacity must be positive");
+  VDC_ASSERT(port < ports_.size());
+  settle_progress();
+  ports_[port].cap = capacity;
+  resolve_rates();
+  schedule_next_completion();
+}
+
+Rate FlowNetwork::capacity(PortId port) const {
+  VDC_ASSERT(port < ports_.size());
+  return ports_[port].cap;
+}
+
+const std::string& FlowNetwork::port_name(PortId port) const {
+  VDC_ASSERT(port < ports_.size());
+  return ports_[port].name;
+}
+
+double FlowNetwork::port_bytes(PortId port) const {
+  VDC_ASSERT(port < ports_.size());
+  return ports_[port].bytes_through;
+}
+
+FlowId FlowNetwork::start_flow(std::vector<PortId> path, Bytes bytes,
+                               Callback on_complete, SimTime latency) {
+  for (PortId p : path) VDC_ASSERT(p < ports_.size());
+  VDC_ASSERT(latency >= 0.0);
+  const FlowId id = next_flow_id_++;
+  Flow flow{std::move(path), static_cast<double>(bytes),
+            0.0, std::move(on_complete)};
+
+  if (latency > 0.0) {
+    auto ev = sim_.after(latency, [this, id, flow = std::move(flow)]() mutable {
+      pending_latency_.erase(id);
+      activate(id, std::move(flow));
+    });
+    pending_latency_.emplace(id, ev);
+  } else {
+    activate(id, std::move(flow));
+  }
+  return id;
+}
+
+void FlowNetwork::activate(FlowId id, Flow flow) {
+  if (flow.remaining < kDoneEpsilon) {
+    // Zero-length transfer: complete as its own event to keep callback
+    // ordering uniform with real transfers.
+    if (flow.on_complete)
+      sim_.after(0.0, std::move(flow.on_complete));
+    return;
+  }
+  settle_progress();
+  flows_.emplace(id, std::move(flow));
+  resolve_rates();
+  schedule_next_completion();
+}
+
+bool FlowNetwork::cancel_flow(FlowId id) {
+  if (auto it = pending_latency_.find(id); it != pending_latency_.end()) {
+    sim_.cancel(it->second);
+    pending_latency_.erase(it);
+    return true;
+  }
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return false;
+  settle_progress();
+  flows_.erase(it);
+  resolve_rates();
+  schedule_next_completion();
+  return true;
+}
+
+Rate FlowNetwork::flow_rate(FlowId id) const {
+  auto it = flows_.find(id);
+  return it == flows_.end() ? 0.0 : it->second.rate;
+}
+
+void FlowNetwork::settle_progress() {
+  const SimTime now = sim_.now();
+  const double dt = now - last_settle_;
+  last_settle_ = now;
+  if (dt <= 0.0) return;
+  for (auto& [id, flow] : flows_) {
+    const double moved = std::min(flow.remaining, flow.rate * dt);
+    flow.remaining -= moved;
+    for (PortId p : flow.path) ports_[p].bytes_through += moved;
+  }
+}
+
+void FlowNetwork::resolve_rates() {
+  // Water-filling max-min fair allocation.
+  if (flows_.empty()) return;
+
+  std::vector<double> residual(ports_.size());
+  std::vector<std::uint32_t> unfixed_on_port(ports_.size(), 0);
+  for (std::size_t p = 0; p < ports_.size(); ++p) residual[p] = ports_[p].cap;
+
+  // Deterministic iteration order: sort flow ids.
+  std::vector<FlowId> ids;
+  ids.reserve(flows_.size());
+  for (auto& [id, f] : flows_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+
+  std::unordered_map<FlowId, bool> fixed;
+  fixed.reserve(ids.size());
+  for (FlowId id : ids) {
+    fixed[id] = false;
+    for (PortId p : flows_[id].path) ++unfixed_on_port[p];
+  }
+
+  std::size_t remaining_flows = ids.size();
+  while (remaining_flows > 0) {
+    // Find the port giving the smallest fair share among loaded ports.
+    double best_share = std::numeric_limits<double>::infinity();
+    for (std::size_t p = 0; p < ports_.size(); ++p) {
+      if (unfixed_on_port[p] == 0) continue;
+      const double share = residual[p] / unfixed_on_port[p];
+      best_share = std::min(best_share, share);
+    }
+    VDC_ASSERT(std::isfinite(best_share));
+
+    // Freeze every unfixed flow crossing a port that is saturated at
+    // best_share (within numerical tolerance).
+    bool froze_any = false;
+    for (FlowId id : ids) {
+      if (fixed[id]) continue;
+      bool bottlenecked = false;
+      for (PortId p : flows_[id].path) {
+        const double share = residual[p] / unfixed_on_port[p];
+        if (share <= best_share * (1.0 + 1e-12)) {
+          bottlenecked = true;
+          break;
+        }
+      }
+      if (!bottlenecked) continue;
+      Flow& f = flows_[id];
+      f.rate = best_share;
+      fixed[id] = true;
+      froze_any = true;
+      --remaining_flows;
+      for (PortId p : f.path) {
+        residual[p] -= best_share;
+        if (residual[p] < 0.0) residual[p] = 0.0;
+        --unfixed_on_port[p];
+      }
+    }
+    VDC_ASSERT_MSG(froze_any, "water-filling failed to make progress");
+  }
+}
+
+void FlowNetwork::schedule_next_completion() {
+  if (timer_ != simkit::kInvalidEvent) {
+    sim_.cancel(timer_);
+    timer_ = simkit::kInvalidEvent;
+  }
+  if (flows_.empty()) return;
+
+  double next_dt = std::numeric_limits<double>::infinity();
+  for (auto& [id, f] : flows_) {
+    VDC_ASSERT_MSG(f.rate > 0.0, "active flow with zero rate");
+    next_dt = std::min(next_dt, f.remaining / f.rate);
+  }
+  VDC_ASSERT(std::isfinite(next_dt));
+  timer_ = sim_.after(next_dt, [this] { on_timer(); });
+}
+
+void FlowNetwork::on_timer() {
+  timer_ = simkit::kInvalidEvent;
+  settle_progress();
+
+  // Collect finished flows in deterministic (FlowId) order.
+  std::vector<FlowId> done;
+  for (auto& [id, f] : flows_)
+    if (f.remaining < kDoneEpsilon) done.push_back(id);
+  std::sort(done.begin(), done.end());
+
+  std::vector<Callback> callbacks;
+  callbacks.reserve(done.size());
+  for (FlowId id : done) {
+    auto it = flows_.find(id);
+    if (it->second.on_complete)
+      callbacks.push_back(std::move(it->second.on_complete));
+    flows_.erase(it);
+  }
+
+  resolve_rates();
+  schedule_next_completion();
+
+  // Run completions after the network state is consistent, so callbacks
+  // may immediately start new flows.
+  for (auto& cb : callbacks) cb();
+}
+
+}  // namespace vdc::net

@@ -1,0 +1,40 @@
+#include "parity/gf256.hpp"
+
+namespace vdc::parity::gf256 {
+namespace detail {
+
+Tables::Tables() {
+  std::uint16_t x = 1;
+  for (int i = 0; i < 255; ++i) {
+    exp[i] = static_cast<std::uint8_t>(x);
+    log[static_cast<std::uint8_t>(x)] = static_cast<std::uint8_t>(i);
+    x <<= 1;
+    if (x & 0x100) x ^= 0x11d;
+  }
+  for (int i = 255; i < 512; ++i) exp[i] = exp[i - 255];
+  log[0] = 0;  // never read: mul/div guard zero operands
+}
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace detail
+
+void mul_add(std::uint8_t c, const std::uint8_t* src, std::uint8_t* dst,
+             std::size_t n) {
+  if (c == 0) return;
+  if (c == 1) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] ^= src[i];
+    return;
+  }
+  const auto& t = detail::tables();
+  const unsigned lc = t.log[c];
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t s = src[i];
+    if (s != 0) dst[i] ^= t.exp[lc + t.log[s]];
+  }
+}
+
+}  // namespace vdc::parity::gf256

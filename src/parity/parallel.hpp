@@ -1,0 +1,33 @@
+#pragma once
+// Thread-parallel parity kernels.
+//
+// Checkpoint images are hundreds of MiB to GiB; a parity holder that XORs
+// them on one core leaves the epoch's critical path longer than it needs
+// to be. These kernels split the buffers into contiguous shards and fan
+// them out over a small worker pool (plain std::thread — the operations
+// are embarrassingly parallel over disjoint byte ranges). Results are
+// bit-identical to the serial kernels; tests verify across thread counts.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "parity/codec.hpp"
+
+namespace vdc::parity {
+
+/// dst ^= src using up to `threads` workers (1 = serial xor_into).
+void parallel_xor_into(std::span<std::byte> dst,
+                       std::span<const std::byte> src,
+                       unsigned threads);
+
+/// XOR-reduce `sources` (equal sizes) into a fresh block, sharded across
+/// up to `threads` workers.
+Block parallel_xor_all(std::span<const BlockView> sources,
+                       unsigned threads);
+
+/// A sensible worker count for this machine (hardware_concurrency,
+/// clamped to [1, 16]).
+unsigned default_parity_threads();
+
+}  // namespace vdc::parity

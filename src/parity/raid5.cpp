@@ -1,0 +1,58 @@
+#include "parity/raid5.hpp"
+
+#include "parity/xor.hpp"
+
+namespace vdc::parity {
+
+Raid5Codec::Raid5Codec(std::size_t k) : k_(k) {
+  VDC_REQUIRE(k >= 1, "RAID-5 group needs at least one data block");
+}
+
+std::vector<Block> Raid5Codec::encode(std::span<const BlockView> data) const {
+  VDC_REQUIRE(data.size() == k_, "encode: wrong number of data blocks");
+  const std::size_t size = data.front().size();
+  for (const auto& d : data)
+    VDC_REQUIRE(d.size() == size, "encode: block size mismatch");
+
+  Block parity(size, std::byte{0});
+  for (const auto& d : data) xor_into(parity, d);
+  return {std::move(parity)};
+}
+
+void Raid5Codec::reconstruct(
+    std::vector<std::optional<Block>>& blocks) const {
+  VDC_REQUIRE(blocks.size() == k_ + 1, "reconstruct: wrong stripe width");
+
+  std::size_t erased = 0, erased_at = 0, size = 0;
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    if (!blocks[i]) {
+      ++erased;
+      erased_at = i;
+    } else {
+      if (size == 0) size = blocks[i]->size();
+      VDC_REQUIRE(blocks[i]->size() == size,
+                  "reconstruct: block size mismatch");
+    }
+  }
+  if (erased == 0) return;
+  if (erased > 1)
+    throw DataLossError(
+        "RAID-5 parity cannot correct more than one erasure per group");
+
+  Block rebuilt(size, std::byte{0});
+  for (std::size_t i = 0; i < blocks.size(); ++i)
+    if (i != erased_at) xor_into(rebuilt, *blocks[i]);
+  blocks[erased_at] = std::move(rebuilt);
+}
+
+void Raid5Codec::apply_delta(Block& parity, BlockView old_block,
+                             BlockView new_block) {
+  VDC_REQUIRE(old_block.size() == new_block.size(),
+              "apply_delta: old/new size mismatch");
+  VDC_REQUIRE(parity.size() >= new_block.size(),
+              "apply_delta: delta larger than parity");
+  xor_into(std::span<std::byte>(parity.data(), old_block.size()), old_block);
+  xor_into(std::span<std::byte>(parity.data(), new_block.size()), new_block);
+}
+
+}  // namespace vdc::parity

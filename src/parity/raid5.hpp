@@ -1,0 +1,36 @@
+#pragma once
+// RAID-5-style single XOR parity over k checkpoint blocks.
+//
+// This is the code the paper's DVDC scheme uses: the parity holder of a
+// RAID group keeps P = C_1 xor ... xor C_k, and any single lost block
+// (data or parity) is the XOR of the survivors. It also supports
+// incremental updates: when one member ships a delta d = C_new xor C_old,
+// the holder applies P ^= d without touching the other members — which is
+// what makes incremental diskless checkpointing cheap.
+
+#include "parity/codec.hpp"
+
+namespace vdc::parity {
+
+class Raid5Codec final : public GroupCodec {
+ public:
+  /// k data blocks, one parity block, tolerates one erasure.
+  explicit Raid5Codec(std::size_t k);
+
+  std::size_t data_blocks() const override { return k_; }
+  std::size_t parity_blocks() const override { return 1; }
+  std::size_t fault_tolerance() const override { return 1; }
+
+  std::vector<Block> encode(std::span<const BlockView> data) const override;
+  void reconstruct(std::vector<std::optional<Block>>& blocks) const override;
+
+  /// In-place parity refresh for one changed member:
+  /// parity ^= (old_block xor new_block). All sizes must match.
+  static void apply_delta(Block& parity, BlockView old_block,
+                          BlockView new_block);
+
+ private:
+  std::size_t k_;
+};
+
+}  // namespace vdc::parity

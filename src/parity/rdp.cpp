@@ -1,0 +1,183 @@
+#include "parity/rdp.hpp"
+
+#include <algorithm>
+
+#include "parity/xor.hpp"
+
+namespace vdc::parity {
+
+namespace {
+
+bool is_prime(std::size_t n) {
+  if (n < 2) return false;
+  for (std::size_t d = 2; d * d <= n; ++d)
+    if (n % d == 0) return false;
+  return true;
+}
+
+}  // namespace
+
+std::size_t RdpCodec::next_prime_at_least(std::size_t n) {
+  std::size_t p = std::max<std::size_t>(n, 3);
+  while (!is_prime(p)) ++p;
+  return p;
+}
+
+RdpCodec::RdpCodec(std::size_t k, std::size_t p) : k_(k), p_(p) {
+  VDC_REQUIRE(k >= 1, "RDP group needs at least one data block");
+  VDC_REQUIRE(is_prime(p), "RDP parameter p must be prime");
+  VDC_REQUIRE(k <= p - 1, "RDP supports at most p-1 data blocks");
+}
+
+std::vector<Block> RdpCodec::encode(std::span<const BlockView> data) const {
+  VDC_REQUIRE(data.size() == k_, "encode: wrong number of data blocks");
+  const std::size_t size = data.front().size();
+  VDC_REQUIRE(size > 0, "encode: empty blocks");
+  VDC_REQUIRE(size % (p_ - 1) == 0,
+              "encode: block size must be a multiple of p-1");
+  for (const auto& d : data)
+    VDC_REQUIRE(d.size() == size, "encode: block size mismatch");
+
+  const std::size_t rows = p_ - 1;
+  const std::size_t row_bytes = size / rows;
+
+  // Row parity: XOR across data columns (virtual columns k..p-2 are zero).
+  Block rp(size, std::byte{0});
+  for (const auto& d : data) xor_into(rp, d);
+
+  // Diagonal parity. Diagonal d covers cells (r, c) with r = (d - c) mod p
+  // over columns c != (d+1) mod p; columns are data 0..p-2 and row parity
+  // at column p-1.
+  Block dp(size, std::byte{0});
+  for (std::size_t d = 0; d < p_ - 1; ++d) {
+    std::span<std::byte> dst(dp.data() + d * row_bytes, row_bytes);
+    for (std::size_t c = 0; c < p_; ++c) {
+      if (c == (d + 1) % p_) continue;
+      const std::size_t r = (d + p_ - (c % p_)) % p_;
+      VDC_ASSERT(r < rows);
+      std::span<const std::byte> src;
+      if (c < k_) {
+        src = data[c].subspan(r * row_bytes, row_bytes);
+      } else if (c == p_ - 1) {
+        src = std::span<const std::byte>(rp.data() + r * row_bytes, row_bytes);
+      } else {
+        continue;  // virtual zero data column
+      }
+      xor_into(dst, src);
+    }
+  }
+  return {std::move(rp), std::move(dp)};
+}
+
+void RdpCodec::reconstruct(std::vector<std::optional<Block>>& blocks) const {
+  VDC_REQUIRE(blocks.size() == k_ + 2, "reconstruct: wrong stripe width");
+
+  std::vector<std::size_t> erased;
+  std::size_t size = 0;
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    if (!blocks[i]) {
+      erased.push_back(i);
+    } else {
+      if (size == 0) size = blocks[i]->size();
+      VDC_REQUIRE(blocks[i]->size() == size,
+                  "reconstruct: block size mismatch");
+    }
+  }
+  if (erased.empty()) return;
+  if (erased.size() > 2)
+    throw DataLossError("RDP cannot correct more than two erasures");
+  VDC_REQUIRE(size > 0 && size % (p_ - 1) == 0,
+              "reconstruct: block size must be a multiple of p-1");
+
+  const std::size_t rows = p_ - 1;
+  const std::size_t row_bytes = size / rows;
+
+  // Internal columns: 0..p-2 data (>= k_ are virtual zeros), p-1 row
+  // parity, p diagonal parity.
+  const auto col_of_ext = [this](std::size_t e) {
+    return e < k_ ? e : (e == k_ ? p_ - 1 : p_);
+  };
+
+  std::vector<Block> cols(p_ + 1, Block(size, std::byte{0}));
+  std::vector<std::vector<char>> known(p_ + 1,
+                                       std::vector<char>(rows, 1));
+  std::size_t unknown_cells = 0;
+
+  for (std::size_t e = 0; e < blocks.size(); ++e) {
+    const std::size_t c = col_of_ext(e);
+    if (blocks[e]) {
+      cols[c] = *blocks[e];
+    } else {
+      std::fill(known[c].begin(), known[c].end(), 0);
+      unknown_cells += rows;
+    }
+  }
+
+  const auto cell = [&](std::size_t c, std::size_t r) {
+    return std::span<std::byte>(cols[c].data() + r * row_bytes, row_bytes);
+  };
+
+  // Peel: repeatedly solve any row/diagonal equation with one unknown.
+  bool progress = true;
+  while (unknown_cells > 0 && progress) {
+    progress = false;
+
+    // Row equations: XOR over columns 0..p-1 of row r equals zero.
+    for (std::size_t r = 0; r < rows; ++r) {
+      std::size_t n_unknown = 0, uc = 0;
+      for (std::size_t c = 0; c < p_; ++c)
+        if (!known[c][r]) {
+          ++n_unknown;
+          uc = c;
+        }
+      if (n_unknown != 1) continue;
+      auto dst = cell(uc, r);
+      std::fill(dst.begin(), dst.end(), std::byte{0});
+      for (std::size_t c = 0; c < p_; ++c)
+        if (c != uc) xor_into(dst, cell(c, r));
+      known[uc][r] = 1;
+      --unknown_cells;
+      progress = true;
+    }
+
+    // Diagonal equations: XOR over the diagonal's cells plus the stored
+    // diagonal-parity cell equals zero.
+    for (std::size_t d = 0; d < p_ - 1; ++d) {
+      std::size_t n_unknown = 0, uc = 0, ur = 0;
+      if (!known[p_][d]) {
+        ++n_unknown;
+        uc = p_;
+        ur = d;
+      }
+      for (std::size_t c = 0; c < p_; ++c) {
+        if (c == (d + 1) % p_) continue;
+        const std::size_t r = (d + p_ - c) % p_;
+        if (!known[c][r]) {
+          ++n_unknown;
+          uc = c;
+          ur = r;
+        }
+      }
+      if (n_unknown != 1) continue;
+      auto dst = cell(uc, ur);
+      std::fill(dst.begin(), dst.end(), std::byte{0});
+      if (!(uc == p_ && ur == d)) xor_into(dst, cell(p_, d));
+      for (std::size_t c = 0; c < p_; ++c) {
+        if (c == (d + 1) % p_) continue;
+        const std::size_t r = (d + p_ - c) % p_;
+        if (c == uc && r == ur) continue;
+        xor_into(dst, cell(c, r));
+      }
+      known[uc][ur] = 1;
+      --unknown_cells;
+      progress = true;
+    }
+  }
+
+  if (unknown_cells > 0)
+    throw DataLossError("RDP peeling decoder failed to converge");
+
+  for (std::size_t e : erased) blocks[e] = std::move(cols[col_of_ext(e)]);
+}
+
+}  // namespace vdc::parity

@@ -1,0 +1,52 @@
+#pragma once
+// Row-Diagonal Parity (RDP) — double-erasure protection.
+//
+// Corbett et al., FAST'04, cited by the paper (via Wang et al.) as the
+// natural upgrade from single XOR parity: two parity blocks per group
+// tolerate any two simultaneous block losses, covering correlated
+// double-node failures that defeat RAID-5-style DVDC.
+//
+// Layout for prime p: a stripe has p+1 columns of p-1 rows each —
+//   columns 0..k-1   : data (k <= p-1; missing data columns are zero)
+//   column  p-1      : row parity     (XOR across each row)
+//   column  p        : diagonal parity; diagonal d in {0..p-2} collects the
+//                      cells (r, c) with (r + c) mod p == d over columns
+//                      0..p-1. Each diagonal misses exactly one column
+//                      ((d+1) mod p), and diagonal p-1 is not stored — that
+//                      asymmetry is what makes two-erasure recovery chains
+//                      terminate.
+//
+// Reconstruction here is a peeling decoder over the row and diagonal
+// equations: repeatedly find an equation with exactly one unknown cell and
+// solve it. For any <= 2 erased columns this recovers everything (the tests
+// verify all erasure pairs exhaustively for several primes).
+
+#include "parity/codec.hpp"
+
+namespace vdc::parity {
+
+class RdpCodec final : public GroupCodec {
+ public:
+  /// `k` data blocks protected with prime parameter `p` (k <= p-1).
+  /// Block sizes must be multiples of (p-1).
+  RdpCodec(std::size_t k, std::size_t p);
+
+  std::size_t data_blocks() const override { return k_; }
+  std::size_t parity_blocks() const override { return 2; }
+  std::size_t fault_tolerance() const override { return 2; }
+  std::size_t block_granularity() const override { return p_ - 1; }
+
+  std::size_t prime() const { return p_; }
+
+  std::vector<Block> encode(std::span<const BlockView> data) const override;
+  void reconstruct(std::vector<std::optional<Block>>& blocks) const override;
+
+  /// Smallest prime >= max(n+1, 3); used to pick p for a group of n VMs.
+  static std::size_t next_prime_at_least(std::size_t n);
+
+ private:
+  std::size_t k_;  // data columns in use
+  std::size_t p_;  // prime parameter
+};
+
+}  // namespace vdc::parity

@@ -1,0 +1,131 @@
+#include "parity/reed_solomon.hpp"
+
+#include <vector>
+
+#include "parity/gf256.hpp"
+
+namespace vdc::parity {
+
+ReedSolomonCodec::ReedSolomonCodec(std::size_t k, std::size_t m)
+    : k_(k), m_(m) {
+  VDC_REQUIRE(k >= 1, "RS needs at least one data block");
+  VDC_REQUIRE(m >= 1, "RS needs at least one parity block");
+  VDC_REQUIRE(k + m <= 256, "RS over GF(256) supports k + m <= 256");
+}
+
+std::uint8_t ReedSolomonCodec::coefficient(std::size_t j,
+                                           std::size_t i) const {
+  VDC_ASSERT(j < m_ && i < k_);
+  // Cauchy: x_j = j, y_i = m + i — all 2 elements distinct, x_j + y_i != 0.
+  const auto x = static_cast<std::uint8_t>(j);
+  const auto y = static_cast<std::uint8_t>(m_ + i);
+  return gf256::inv(gf256::add(x, y));
+}
+
+std::vector<Block> ReedSolomonCodec::encode(
+    std::span<const BlockView> data) const {
+  VDC_REQUIRE(data.size() == k_, "encode: wrong number of data blocks");
+  const std::size_t size = data.front().size();
+  for (const auto& d : data)
+    VDC_REQUIRE(d.size() == size, "encode: block size mismatch");
+
+  std::vector<Block> parity(m_, Block(size, std::byte{0}));
+  for (std::size_t j = 0; j < m_; ++j) {
+    auto* dst = reinterpret_cast<std::uint8_t*>(parity[j].data());
+    for (std::size_t i = 0; i < k_; ++i) {
+      const auto* src =
+          reinterpret_cast<const std::uint8_t*>(data[i].data());
+      gf256::mul_add(coefficient(j, i), src, dst, size);
+    }
+  }
+  return parity;
+}
+
+void ReedSolomonCodec::reconstruct(
+    std::vector<std::optional<Block>>& blocks) const {
+  VDC_REQUIRE(blocks.size() == k_ + m_, "reconstruct: wrong stripe width");
+
+  std::vector<std::size_t> erased, present;
+  std::size_t size = 0;
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    if (!blocks[i]) {
+      erased.push_back(i);
+    } else {
+      if (size == 0) size = blocks[i]->size();
+      VDC_REQUIRE(blocks[i]->size() == size,
+                  "reconstruct: block size mismatch");
+      present.push_back(i);
+    }
+  }
+  if (erased.empty()) return;
+  if (erased.size() > m_)
+    throw DataLossError("RS cannot correct more erasures than parity rows");
+  VDC_REQUIRE(size > 0, "reconstruct: no surviving block to size from");
+
+  // Row of the full generator [I; A] for stripe slot `r`.
+  const auto generator_row = [&](std::size_t r, std::vector<std::uint8_t>& row) {
+    row.assign(k_, 0);
+    if (r < k_) {
+      row[r] = 1;
+    } else {
+      for (std::size_t i = 0; i < k_; ++i) row[i] = coefficient(r - k_, i);
+    }
+  };
+
+  // Solve G_sub * data = survivors for the data blocks, using the first k
+  // surviving slots. Build [G_sub | I] and Gauss-Jordan to get inv(G_sub).
+  VDC_ASSERT(present.size() >= k_);
+  std::vector<std::vector<std::uint8_t>> a(k_);
+  std::vector<std::vector<std::uint8_t>> invm(
+      k_, std::vector<std::uint8_t>(k_, 0));
+  for (std::size_t r = 0; r < k_; ++r) {
+    generator_row(present[r], a[r]);
+    invm[r][r] = 1;
+  }
+  for (std::size_t col = 0; col < k_; ++col) {
+    // Pivot: the Cauchy structure guarantees a nonzero pivot exists.
+    std::size_t pivot = col;
+    while (pivot < k_ && a[pivot][col] == 0) ++pivot;
+    VDC_ASSERT_MSG(pivot < k_, "RS generator submatrix is singular");
+    std::swap(a[pivot], a[col]);
+    std::swap(invm[pivot], invm[col]);
+    const std::uint8_t d = gf256::inv(a[col][col]);
+    for (std::size_t c = 0; c < k_; ++c) {
+      a[col][c] = gf256::mul(a[col][c], d);
+      invm[col][c] = gf256::mul(invm[col][c], d);
+    }
+    for (std::size_t r = 0; r < k_; ++r) {
+      if (r == col || a[r][col] == 0) continue;
+      const std::uint8_t f = a[r][col];
+      for (std::size_t c = 0; c < k_; ++c) {
+        a[r][c] = gf256::sub(a[r][c], gf256::mul(f, a[col][c]));
+        invm[r][c] = gf256::sub(invm[r][c], gf256::mul(f, invm[col][c]));
+      }
+    }
+  }
+
+  // data_i = sum_r inv[i][r] * survivor_r.
+  std::vector<Block> data(k_, Block(size, std::byte{0}));
+  for (std::size_t i = 0; i < k_; ++i) {
+    auto* dst = reinterpret_cast<std::uint8_t*>(data[i].data());
+    for (std::size_t r = 0; r < k_; ++r) {
+      const auto* src =
+          reinterpret_cast<const std::uint8_t*>(blocks[present[r]]->data());
+      gf256::mul_add(invm[i][r], src, dst, size);
+    }
+  }
+
+  // Fill in the erased slots (data directly; parity by re-encoding).
+  std::vector<BlockView> views(data.begin(), data.end());
+  std::vector<Block> parity;  // lazily computed
+  for (std::size_t e : erased) {
+    if (e < k_) {
+      blocks[e] = data[e];
+    } else {
+      if (parity.empty()) parity = encode(views);
+      blocks[e] = parity[e - k_];
+    }
+  }
+}
+
+}  // namespace vdc::parity

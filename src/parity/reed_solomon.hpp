@@ -1,0 +1,39 @@
+#pragma once
+// Systematic Reed-Solomon erasure code over GF(256) with a Cauchy
+// generator — arbitrary fault tolerance m for a checkpoint group.
+//
+// The paper's scheme is m = 1 (XOR) and it cites RDP for m = 2; this codec
+// generalises the "more advanced codes" direction of Section II-B.2 to any
+// m: the stripe survives ANY m simultaneous block losses. The generator's
+// parity rows are a Cauchy matrix A[j][i] = 1/(x_j + y_i) with distinct
+// x_j, y_i, so every square submatrix is invertible and the code is MDS by
+// construction (also verified exhaustively in the tests).
+//
+// Decode: take any k surviving rows of [I; A], invert the k x k system in
+// GF(256) by Gauss-Jordan, and re-multiply to recover the erased rows.
+
+#include "parity/codec.hpp"
+
+namespace vdc::parity {
+
+class ReedSolomonCodec final : public GroupCodec {
+ public:
+  /// k data blocks, m parity blocks; k + m <= 256.
+  ReedSolomonCodec(std::size_t k, std::size_t m);
+
+  std::size_t data_blocks() const override { return k_; }
+  std::size_t parity_blocks() const override { return m_; }
+  std::size_t fault_tolerance() const override { return m_; }
+
+  std::vector<Block> encode(std::span<const BlockView> data) const override;
+  void reconstruct(std::vector<std::optional<Block>>& blocks) const override;
+
+  /// Cauchy coefficient of parity row j, data column i.
+  std::uint8_t coefficient(std::size_t j, std::size_t i) const;
+
+ private:
+  std::size_t k_;
+  std::size_t m_;
+};
+
+}  // namespace vdc::parity

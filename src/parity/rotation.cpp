@@ -1,0 +1,16 @@
+#include "parity/rotation.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace vdc::parity {
+
+double RotationLedger::imbalance() const {
+  if (counts_.empty()) return 1.0;
+  const auto [lo, hi] = std::minmax_element(counts_.begin(), counts_.end());
+  if (*hi == 0) return 1.0;
+  if (*lo == 0) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(*hi) / static_cast<double>(*lo);
+}
+
+}  // namespace vdc::parity

@@ -1,0 +1,52 @@
+#pragma once
+// RAID-5-style rotation of the parity role.
+//
+// Classic RAID-5 rotates which disk holds parity per stripe so that parity
+// I/O is spread evenly; DVDC does the same with *nodes*: which node holds a
+// group's parity rotates per group and per checkpoint epoch, so the XOR
+// work and the fan-in traffic are distributed instead of pinned to a
+// dedicated checkpoint node (Figure 3 vs. Figure 4 of the paper).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace vdc::parity {
+
+class ParityRotation {
+ public:
+  /// Left-symmetric rotation: for `group` at `epoch`, pick an index into
+  /// the group's ordered list of `eligible` holders.
+  static std::size_t holder_index(std::size_t group, std::uint64_t epoch,
+                                  std::size_t eligible) {
+    VDC_ASSERT(eligible > 0);
+    return static_cast<std::size_t>((group + epoch) % eligible);
+  }
+};
+
+/// Tracks how many times each holder was assigned parity duty, to verify
+/// the even-spread property (used by tests and the parity_scaling bench).
+class RotationLedger {
+ public:
+  explicit RotationLedger(std::size_t holders) : counts_(holders, 0) {}
+
+  void record(std::size_t holder) { ++counts_.at(holder); }
+
+  std::uint64_t count(std::size_t holder) const { return counts_.at(holder); }
+  std::uint64_t total() const {
+    std::uint64_t t = 0;
+    for (auto c : counts_) t += c;
+    return t;
+  }
+
+  /// max/min assignment ratio (1.0 = perfectly even). Holders with zero
+  /// assignments make this infinite unless everything is zero.
+  double imbalance() const;
+
+ private:
+  std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace vdc::parity

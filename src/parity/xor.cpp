@@ -1,0 +1,56 @@
+#include "parity/xor.hpp"
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/assert.hpp"
+
+namespace vdc::parity {
+
+void xor_into(std::span<std::byte> dst, std::span<const std::byte> src) {
+  VDC_ASSERT_MSG(dst.size() == src.size(), "xor_into size mismatch");
+  std::size_t i = 0;
+  const std::size_t n = dst.size();
+
+  // Word-blocked middle. memcpy in/out keeps this free of alignment UB;
+  // compilers turn the 8-byte memcpys into plain loads/stores.
+  constexpr std::size_t kWord = sizeof(std::uint64_t);
+  for (; i + 4 * kWord <= n; i += 4 * kWord) {
+    std::uint64_t a[4], b[4];
+    std::memcpy(a, dst.data() + i, sizeof a);
+    std::memcpy(b, src.data() + i, sizeof b);
+    a[0] ^= b[0];
+    a[1] ^= b[1];
+    a[2] ^= b[2];
+    a[3] ^= b[3];
+    std::memcpy(dst.data() + i, a, sizeof a);
+  }
+  for (; i + kWord <= n; i += kWord) {
+    std::uint64_t a, b;
+    std::memcpy(&a, dst.data() + i, kWord);
+    std::memcpy(&b, src.data() + i, kWord);
+    a ^= b;
+    std::memcpy(dst.data() + i, &a, kWord);
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+std::vector<std::byte> xor_all(
+    std::span<const std::span<const std::byte>> sources) {
+  VDC_REQUIRE(!sources.empty(), "xor_all needs at least one source");
+  std::size_t max_len = 0;
+  for (const auto& s : sources) max_len = std::max(max_len, s.size());
+
+  std::vector<std::byte> out(max_len, std::byte{0});
+  for (const auto& s : sources)
+    xor_into(std::span<std::byte>(out.data(), s.size()), s);
+  return out;
+}
+
+bool all_zero(std::span<const std::byte> data) {
+  for (std::byte b : data)
+    if (b != std::byte{0}) return false;
+  return true;
+}
+
+}  // namespace vdc::parity

@@ -1,0 +1,27 @@
+#pragma once
+// Blocked XOR primitives — the inner loop of diskless checkpointing.
+//
+// The paper's Section V-B performance argument leans on "an in-memory XOR
+// operation is orders-of-magnitude faster than a disk write of the same
+// size"; bench/xor_vs_disk measures exactly this routine. The kernel works
+// word-at-a-time on the aligned middle of the buffers and byte-at-a-time on
+// the unaligned edges, so any buffer size is accepted.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace vdc::parity {
+
+/// dst ^= src, element-wise. Sizes must match.
+void xor_into(std::span<std::byte> dst, std::span<const std::byte> src);
+
+/// XOR of all sources (at least one); result sized to the longest source,
+/// shorter sources are treated as zero-padded.
+std::vector<std::byte> xor_all(
+    std::span<const std::span<const std::byte>> sources);
+
+/// True if every byte is zero (used to verify parity identities).
+bool all_zero(std::span<const std::byte> data);
+
+}  // namespace vdc::parity

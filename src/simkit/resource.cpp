@@ -1,0 +1,59 @@
+#include "simkit/resource.hpp"
+
+#include <utility>
+
+namespace vdc::simkit {
+
+Resource::Resource(Simulator& sim, std::uint32_t capacity)
+    : sim_(sim), capacity_(capacity) {
+  VDC_REQUIRE(capacity > 0, "Resource capacity must be positive");
+}
+
+void Resource::account() {
+  busy_accum_ += static_cast<double>(in_use_) * (sim_.now() - last_change_);
+  last_change_ = sim_.now();
+}
+
+void Resource::grant(Callback cb) {
+  account();
+  ++in_use_;
+  // Run as a fresh event so acquire() never re-enters caller code directly.
+  sim_.after(0.0, std::move(cb));
+}
+
+void Resource::acquire(Callback granted) {
+  VDC_ASSERT(granted != nullptr);
+  if (in_use_ < capacity_) {
+    grant(std::move(granted));
+  } else {
+    waiting_.push_back(std::move(granted));
+  }
+}
+
+void Resource::release() {
+  VDC_ASSERT_MSG(in_use_ > 0, "release() without matching acquire()");
+  account();
+  --in_use_;
+  if (!waiting_.empty()) {
+    Callback next = std::move(waiting_.front());
+    waiting_.pop_front();
+    grant(std::move(next));
+  }
+}
+
+void Resource::serve(SimTime service_time, Callback done) {
+  VDC_ASSERT(service_time >= 0.0);
+  acquire([this, service_time, done = std::move(done)]() mutable {
+    sim_.after(service_time, [this, done = std::move(done)]() mutable {
+      release();
+      if (done) done();
+    });
+  });
+}
+
+double Resource::busy_time() const {
+  return busy_accum_ +
+         static_cast<double>(in_use_) * (sim_.now() - last_change_);
+}
+
+}  // namespace vdc::simkit

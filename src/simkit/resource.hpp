@@ -1,0 +1,56 @@
+#pragma once
+// FCFS resources over the event engine.
+//
+// Resource models a server with integer capacity (CPU slots, a disk head,
+// the coordinator): requests beyond capacity queue in arrival order. The
+// `serve` convenience holds one slot for a service time and then invokes a
+// completion callback — the building block for disk writes and CPU-bound
+// parity work.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "common/units.hpp"
+#include "simkit/simulator.hpp"
+
+namespace vdc::simkit {
+
+class Resource {
+ public:
+  using Callback = std::function<void()>;
+
+  /// A resource with `capacity` concurrent slots attached to `sim`.
+  Resource(Simulator& sim, std::uint32_t capacity);
+
+  /// Request a slot; `granted` runs (as a scheduled event at the current
+  /// time) once a slot is available. Caller must later call release().
+  void acquire(Callback granted);
+
+  /// Release one slot, admitting the next waiter if any.
+  void release();
+
+  /// Acquire a slot, hold it for `service_time`, release, then run `done`.
+  void serve(SimTime service_time, Callback done);
+
+  std::uint32_t capacity() const { return capacity_; }
+  std::uint32_t in_use() const { return in_use_; }
+  std::size_t queue_length() const { return waiting_.size(); }
+
+  /// Total busy time integrated over all slots (for utilisation metrics).
+  double busy_time() const;
+
+ private:
+  void grant(Callback cb);
+  void account();
+
+  Simulator& sim_;
+  std::uint32_t capacity_;
+  std::uint32_t in_use_ = 0;
+  std::deque<Callback> waiting_;
+  // Utilisation accounting.
+  double busy_accum_ = 0.0;
+  SimTime last_change_ = 0.0;
+};
+
+}  // namespace vdc::simkit

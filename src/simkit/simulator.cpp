@@ -1,0 +1,60 @@
+#include "simkit/simulator.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace vdc::simkit {
+
+EventId Simulator::at(SimTime t, Callback cb) {
+  VDC_ASSERT_MSG(std::isfinite(t), "event time must be finite");
+  VDC_ASSERT_MSG(t >= now_ - 1e-12, "cannot schedule events in the past");
+  VDC_ASSERT(cb != nullptr);
+  const EventId id = next_id_++;
+  heap_.push(HeapItem{std::max(t, now_), id});
+  callbacks_.emplace(id, std::move(cb));
+  return id;
+}
+
+bool Simulator::cancel(EventId id) {
+  // The heap entry stays behind as a tombstone and is skipped on pop.
+  return callbacks_.erase(id) != 0;
+}
+
+bool Simulator::step() {
+  while (!heap_.empty()) {
+    const HeapItem item = heap_.top();
+    heap_.pop();
+    auto it = callbacks_.find(item.id);
+    if (it == callbacks_.end()) continue;  // cancelled
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    VDC_ASSERT(item.t >= now_ - 1e-12);
+    now_ = std::max(now_, item.t);
+    ++executed_;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run(std::uint64_t max_events) {
+  for (std::uint64_t i = 0; i < max_events; ++i) {
+    if (!step()) return;
+  }
+}
+
+void Simulator::run_until(SimTime t) {
+  VDC_ASSERT(t >= now_);
+  while (!heap_.empty()) {
+    // Skip tombstones at the head so we don't stop early on cancelled events.
+    if (!callbacks_.count(heap_.top().id)) {
+      heap_.pop();
+      continue;
+    }
+    if (heap_.top().t > t) break;
+    step();
+  }
+  now_ = t;
+}
+
+}  // namespace vdc::simkit

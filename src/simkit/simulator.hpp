@@ -1,0 +1,82 @@
+#pragma once
+// Deterministic discrete-event simulation core.
+//
+// The simulator owns a virtual clock and an event queue. Events scheduled
+// for the same instant fire in schedule order (FIFO), which — together with
+// the seeded Rng — makes every run bit-reproducible. All higher-level
+// substrates (network flows, disks, failures, the DVDC protocol) are built
+// as callbacks over this engine.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/units.hpp"
+
+namespace vdc::simkit {
+
+/// Handle to a scheduled event; may be used to cancel it.
+/// Value 0 is reserved as "invalid".
+using EventId = std::uint64_t;
+constexpr EventId kInvalidEvent = 0;
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time in seconds.
+  SimTime now() const { return now_; }
+
+  /// Schedule `cb` at absolute time `t` (>= now). Returns a cancellable id.
+  EventId at(SimTime t, Callback cb);
+
+  /// Schedule `cb` after `dt` seconds (dt >= 0).
+  EventId after(SimTime dt, Callback cb) { return at(now_ + dt, std::move(cb)); }
+
+  /// Cancel a pending event. Returns true if it was still pending.
+  bool cancel(EventId id);
+
+  /// True if `id` refers to a still-pending event.
+  bool pending(EventId id) const { return callbacks_.count(id) != 0; }
+
+  /// Number of pending events.
+  std::size_t pending_count() const { return callbacks_.size(); }
+
+  /// Execute the next event, if any. Returns false when the queue is empty.
+  bool step();
+
+  /// Run until the event queue drains or `max_events` have fired.
+  void run(std::uint64_t max_events = ~0ull);
+
+  /// Run all events with time <= t, then advance the clock to exactly t.
+  void run_until(SimTime t);
+
+  /// Total events executed so far (for determinism checks and budgets).
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct HeapItem {
+    SimTime t;
+    EventId id;
+    // Min-heap on (time, id): id order gives same-time FIFO.
+    bool operator>(const HeapItem& o) const {
+      if (t != o.t) return t > o.t;
+      return id > o.id;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap_;
+  std::unordered_map<EventId, Callback> callbacks_;
+};
+
+}  // namespace vdc::simkit

@@ -1,0 +1,36 @@
+#include "storage/disk.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace vdc::storage {
+
+Disk::Disk(simkit::Simulator& sim, DiskSpec spec)
+    : sim_(sim), spec_(spec), head_(sim, 1) {
+  VDC_REQUIRE(spec.write_bandwidth > 0 && spec.read_bandwidth > 0,
+              "disk bandwidth must be positive");
+  VDC_REQUIRE(spec.access_latency >= 0, "disk latency must be non-negative");
+}
+
+SimTime Disk::write_service_time(Bytes bytes) const {
+  return spec_.access_latency +
+         static_cast<double>(bytes) / spec_.write_bandwidth;
+}
+
+SimTime Disk::read_service_time(Bytes bytes) const {
+  return spec_.access_latency +
+         static_cast<double>(bytes) / spec_.read_bandwidth;
+}
+
+void Disk::write(Bytes bytes, Callback done) {
+  bytes_written_ += bytes;
+  head_.serve(write_service_time(bytes), std::move(done));
+}
+
+void Disk::read(Bytes bytes, Callback done) {
+  bytes_read_ += bytes;
+  head_.serve(read_service_time(bytes), std::move(done));
+}
+
+}  // namespace vdc::storage

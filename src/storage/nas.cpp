@@ -1,0 +1,27 @@
+#include "storage/nas.hpp"
+
+#include <utility>
+
+namespace vdc::storage {
+
+Nas::Nas(simkit::Simulator& sim, net::Fabric& fabric, NasSpec spec)
+    : fabric_(fabric),
+      spec_(spec),
+      frontend_(fabric.add_shared_port(spec.frontend_rate, "nas/frontend")),
+      array_(sim, spec.array) {}
+
+void Nas::store(net::HostId src, Bytes bytes, Callback done) {
+  bytes_stored_ += bytes;
+  fabric_.transfer_to_port(src, frontend_, bytes,
+                           [this, bytes, done = std::move(done)]() mutable {
+                             array_.write(bytes, std::move(done));
+                           });
+}
+
+void Nas::fetch(net::HostId dst, Bytes bytes, Callback done) {
+  array_.read(bytes, [this, dst, bytes, done = std::move(done)]() mutable {
+    fabric_.transfer_from_port(frontend_, dst, bytes, std::move(done));
+  });
+}
+
+}  // namespace vdc::storage

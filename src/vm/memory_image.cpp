@@ -1,0 +1,147 @@
+#include "vm/memory_image.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace vdc::vm {
+
+MemoryImage::MemoryImage(Bytes page_size, std::size_t page_count)
+    : page_size_(page_size),
+      page_count_(page_count),
+      data_(page_size * page_count),
+      dirty_(page_count, 0) {
+  VDC_REQUIRE(page_size > 0, "page size must be positive");
+  VDC_REQUIRE(page_count > 0, "image needs at least one page");
+}
+
+std::span<const std::byte> MemoryImage::page(PageIndex i) const {
+  VDC_ASSERT(i < page_count_);
+  return {data_.data() + i * page_size_, page_size_};
+}
+
+void MemoryImage::preserve_for_snapshot(PageIndex i) {
+  if (snapshot_ == nullptr) return;
+  auto& preserved = snapshot_->preserved_;
+  if (preserved.count(i)) return;
+  auto view = page(i);
+  preserved.emplace(i, std::vector<std::byte>(view.begin(), view.end()));
+}
+
+void MemoryImage::write(PageIndex i, std::size_t offset,
+                        std::span<const std::byte> bytes) {
+  VDC_ASSERT(i < page_count_);
+  VDC_ASSERT(offset + bytes.size() <= page_size_);
+  preserve_for_snapshot(i);
+  std::memcpy(data_.data() + i * page_size_ + offset, bytes.data(),
+              bytes.size());
+  if (!dirty_[i]) {
+    dirty_[i] = 1;
+    ++dirty_count_;
+  }
+}
+
+void MemoryImage::write_page(PageIndex i, std::span<const std::byte> bytes) {
+  VDC_ASSERT(bytes.size() == page_size_);
+  write(i, 0, bytes);
+}
+
+void MemoryImage::fill_random(Rng& rng, double zero_fraction) {
+  VDC_REQUIRE(zero_fraction >= 0.0 && zero_fraction <= 1.0,
+              "zero fraction must be in [0, 1]");
+  for (PageIndex p = 0; p < page_count_; ++p) {
+    std::byte* page = data_.data() + p * page_size_;
+    if (rng.chance(zero_fraction)) {
+      std::memset(page, 0, page_size_);
+      continue;
+    }
+    // Fill with 64-bit chunks of PRNG output; deterministic given the rng.
+    std::size_t off = 0;
+    while (off + 8 <= page_size_) {
+      const std::uint64_t v = rng.next();
+      std::memcpy(page + off, &v, 8);
+      off += 8;
+    }
+    for (; off < page_size_; ++off)
+      page[off] = static_cast<std::byte>(rng.next() & 0xff);
+  }
+  mark_all_dirty();
+}
+
+bool MemoryImage::is_dirty(PageIndex i) const {
+  VDC_ASSERT(i < page_count_);
+  return dirty_[i] != 0;
+}
+
+std::vector<PageIndex> MemoryImage::dirty_pages() const {
+  std::vector<PageIndex> out;
+  out.reserve(dirty_count_);
+  for (PageIndex i = 0; i < page_count_; ++i)
+    if (dirty_[i]) out.push_back(i);
+  return out;
+}
+
+void MemoryImage::clear_dirty() {
+  std::fill(dirty_.begin(), dirty_.end(), 0);
+  dirty_count_ = 0;
+}
+
+void MemoryImage::mark_all_dirty() {
+  std::fill(dirty_.begin(), dirty_.end(), 1);
+  dirty_count_ = page_count_;
+}
+
+std::unique_ptr<CowSnapshot> MemoryImage::fork_cow() {
+  VDC_REQUIRE(snapshot_ == nullptr,
+              "only one COW snapshot may be active per image");
+  auto snap = std::unique_ptr<CowSnapshot>(new CowSnapshot(*this));
+  snapshot_ = snap.get();
+  return snap;
+}
+
+void MemoryImage::restore(std::span<const std::byte> flat) {
+  VDC_REQUIRE(flat.size() == data_.size(),
+              "restore image size mismatch");
+  // A restore rewrites everything: preserve all pages for any active
+  // snapshot, then copy.
+  if (snapshot_ != nullptr)
+    for (PageIndex i = 0; i < page_count_; ++i) preserve_for_snapshot(i);
+  std::memcpy(data_.data(), flat.data(), flat.size());
+  mark_all_dirty();
+}
+
+CowSnapshot::~CowSnapshot() {
+  if (owner_ != nullptr) {
+    VDC_ASSERT(owner_->snapshot_ == this);
+    owner_->snapshot_ = nullptr;
+  }
+}
+
+std::span<const std::byte> CowSnapshot::page(PageIndex i) const {
+  VDC_ASSERT_MSG(owner_ != nullptr, "snapshot outlived its image");
+  auto it = preserved_.find(i);
+  if (it != preserved_.end()) return {it->second.data(), it->second.size()};
+  return owner_->page(i);
+}
+
+std::size_t CowSnapshot::page_count() const {
+  VDC_ASSERT(owner_ != nullptr);
+  return owner_->page_count();
+}
+
+Bytes CowSnapshot::page_size() const {
+  VDC_ASSERT(owner_ != nullptr);
+  return owner_->page_size();
+}
+
+std::vector<std::byte> CowSnapshot::materialize() const {
+  VDC_ASSERT(owner_ != nullptr);
+  std::vector<std::byte> out;
+  out.reserve(page_count() * page_size());
+  for (PageIndex i = 0; i < page_count(); ++i) {
+    auto view = page(i);
+    out.insert(out.end(), view.begin(), view.end());
+  }
+  return out;
+}
+
+}  // namespace vdc::vm

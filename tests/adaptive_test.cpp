@@ -1,0 +1,193 @@
+// Tests for adaptive checkpoint-interval policies and the bursty/skewed
+// workload models they respond to.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/adaptive.hpp"
+#include "core/baseline.hpp"
+#include "core/runtime.hpp"
+#include "vm/workload.hpp"
+
+namespace vdc::core {
+namespace {
+
+EpochStats stats_with(SimTime overhead, SimTime latency) {
+  EpochStats s;
+  s.overhead = overhead;
+  s.latency = latency;
+  return s;
+}
+
+TEST(FixedPolicy, AlwaysSameInterval) {
+  FixedIntervalPolicy policy(minutes(5));
+  EXPECT_DOUBLE_EQ(policy.initial_interval(), minutes(5));
+  EXPECT_DOUBLE_EQ(policy.next_interval(stats_with(1.0, 2.0)), minutes(5));
+  EXPECT_THROW(FixedIntervalPolicy(0.0), ConfigError);
+}
+
+TEST(AdaptivePolicy, ConvergesToYoungForConstantCost) {
+  AdaptiveConfig config;
+  config.lambda = 1e-4;
+  config.alpha = 0.5;
+  AdaptiveIntervalPolicy policy(config);
+  SimTime interval = policy.initial_interval();
+  for (int i = 0; i < 20; ++i)
+    interval = policy.next_interval(stats_with(10.0, 10.0));
+  EXPECT_NEAR(interval, std::sqrt(2.0 * 10.0 / 1e-4), 1.0);
+}
+
+TEST(AdaptivePolicy, CheapEpochsShrinkTheInterval) {
+  AdaptiveConfig config;
+  config.lambda = 1e-4;
+  AdaptiveIntervalPolicy policy(config);
+  SimTime expensive = 0, cheap = 0;
+  for (int i = 0; i < 10; ++i)
+    expensive = policy.next_interval(stats_with(60.0, 60.0));
+  for (int i = 0; i < 10; ++i)
+    cheap = policy.next_interval(stats_with(0.04, 0.04));
+  EXPECT_LT(cheap, expensive / 5.0);
+}
+
+TEST(AdaptivePolicy, TracksACostStep) {
+  AdaptiveConfig config;
+  config.lambda = 1e-4;
+  config.alpha = 0.5;
+  AdaptiveIntervalPolicy policy(config);
+  for (int i = 0; i < 10; ++i) policy.next_interval(stats_with(1.0, 1.0));
+  const SimTime before = policy.cost_estimate();
+  for (int i = 0; i < 10; ++i) policy.next_interval(stats_with(20.0, 20.0));
+  EXPECT_GT(policy.cost_estimate(), before * 10.0);
+}
+
+TEST(AdaptivePolicy, LatencySignalSelectable) {
+  AdaptiveConfig ov;
+  ov.use_latency = false;
+  AdaptiveConfig lat = ov;
+  lat.use_latency = true;
+  AdaptiveIntervalPolicy a(ov), b(lat);
+  a.next_interval(stats_with(1.0, 100.0));
+  b.next_interval(stats_with(1.0, 100.0));
+  EXPECT_NEAR(a.cost_estimate(), 1.0, 1e-9);
+  EXPECT_NEAR(b.cost_estimate(), 100.0, 1e-9);
+}
+
+TEST(AdaptivePolicy, RespectsClamps) {
+  AdaptiveConfig config;
+  config.lambda = 1e-4;
+  config.min_interval = 30.0;
+  config.max_interval = 60.0;
+  AdaptiveIntervalPolicy policy(config);
+  EXPECT_DOUBLE_EQ(policy.next_interval(stats_with(1e-9, 1e-9)), 30.0);
+  AdaptiveIntervalPolicy policy2(config);
+  EXPECT_DOUBLE_EQ(policy2.next_interval(stats_with(1e6, 1e6)), 60.0);
+}
+
+TEST(AdaptivePolicy, InvalidConfigRejected) {
+  AdaptiveConfig bad;
+  bad.lambda = 0.0;
+  EXPECT_THROW(AdaptiveIntervalPolicy{bad}, ConfigError);
+  bad = AdaptiveConfig{};
+  bad.alpha = 1.5;
+  EXPECT_THROW(AdaptiveIntervalPolicy{bad}, ConfigError);
+  bad = AdaptiveConfig{};
+  bad.max_interval = bad.min_interval;
+  EXPECT_THROW(AdaptiveIntervalPolicy{bad}, ConfigError);
+}
+
+TEST(JobRunner, PolicyDrivesIntervals) {
+  // With an adaptive policy and cheap COW epochs, the runner should take
+  // many more checkpoints than the (huge) fixed default would.
+  ClusterConfig cc;
+  cc.nodes = 3;
+  cc.vms_per_node = 1;
+  cc.page_size = kib(1);
+  cc.pages_per_vm = 16;
+  cc.write_rate = 10.0;
+
+  JobConfig job;
+  job.total_work = minutes(30);
+  job.interval = hours(10);  // would mean zero checkpoints...
+  AdaptiveConfig ac;
+  ac.lambda = 1.0 / minutes(10);
+  ac.initial = minutes(2);
+  ac.min_interval = seconds(30);
+  job.interval_policy = std::make_shared<AdaptiveIntervalPolicy>(ac);
+  job.lambda = 0.0;
+
+  auto factory = [cc](simkit::Simulator& sim,
+                      cluster::ClusterManager& cluster,
+                      Rng&) -> std::unique_ptr<CheckpointBackend> {
+    return std::make_unique<DvdcBackend>(sim, cluster, ProtocolConfig{},
+                                         RecoveryConfig{},
+                                         make_workload_factory(cc));
+  };
+  JobRunner runner(job, cc, factory);
+  const RunResult result = runner.run();
+  ASSERT_TRUE(result.finished);
+  // Young for 40 ms overhead at MTBF 10 min is ~7 s -> clamped to 30 s;
+  // a 30-minute job then takes dozens of checkpoints.
+  EXPECT_GT(result.epochs, 20u);
+}
+
+TEST(Workload, ZipfSkewsTowardLowPages) {
+  vm::MemoryImage img(64, 1000);
+  Rng rng(7);
+  vm::ZipfWorkload w(1.0, 1.2);
+  // Draw many writes and compare head vs. tail hit mass.
+  w.advance(img, 5000.0, rng);
+  std::size_t head = 0, tail = 0;
+  for (vm::PageIndex p = 0; p < 1000; ++p) {
+    if (!img.is_dirty(p)) continue;
+    (p < 100 ? head : tail) += 1;
+  }
+  EXPECT_EQ(head, 100u);       // the head saturates
+  EXPECT_LT(tail, 700u);       // the tail stays sparse
+  EXPECT_GT(tail, 10u);        // but is not empty (heavy tail)
+}
+
+TEST(Workload, ZipfInvalidExponent) {
+  EXPECT_THROW(vm::ZipfWorkload(1.0, 0.0), ConfigError);
+}
+
+TEST(Workload, PhasedAlternatesRates) {
+  vm::MemoryImage img(64, 4096);
+  Rng rng(8);
+  vm::PhasedWorkload w(1000.0, 0.0, /*phase_length=*/10.0);
+  EXPECT_DOUBLE_EQ(w.write_rate(), 500.0);
+
+  // Phase A: writes happen.
+  w.advance(img, 10.0, rng);
+  const std::size_t after_a = img.dirty_count();
+  EXPECT_GT(after_a, 500u);
+  // Phase B: silence.
+  w.advance(img, 10.0, rng);
+  EXPECT_EQ(img.dirty_count(), after_a);
+  // Phase A again.
+  w.advance(img, 10.0, rng);
+  EXPECT_GT(img.dirty_count(), after_a);
+}
+
+TEST(Workload, PhasedHandlesPartialSteps) {
+  vm::MemoryImage img(64, 4096);
+  Rng rng(9);
+  vm::PhasedWorkload w(100.0, 0.0, 1.0);
+  // 0.4s steps straddle phase boundaries; total active time = 5 of 10 s.
+  for (int i = 0; i < 25; ++i) w.advance(img, 0.4, rng);
+  // ~500 writes expected (100/s for 5 s).
+  EXPECT_GT(img.dirty_count(), 300u);
+  EXPECT_LT(img.dirty_count(), 600u);
+}
+
+TEST(Workload, PhasedCurrentRateReports) {
+  vm::PhasedWorkload w(10.0, 20.0, 5.0);
+  EXPECT_DOUBLE_EQ(w.current_rate(), 10.0);
+  vm::MemoryImage img(64, 16);
+  Rng rng(10);
+  w.advance(img, 5.0, rng);
+  EXPECT_DOUBLE_EQ(w.current_rate(), 20.0);
+}
+
+}  // namespace
+}  // namespace vdc::core

@@ -1,0 +1,291 @@
+// Tests for the checkpoint substrate: RLE codec, page deltas, the three
+// checkpoint variants, and the in-memory store.
+
+#include <gtest/gtest.h>
+
+#include "checkpoint/checkpointer.hpp"
+#include "checkpoint/delta.hpp"
+#include "checkpoint/rle.hpp"
+#include "checkpoint/store.hpp"
+#include "vm/workload.hpp"
+
+namespace vdc::checkpoint {
+namespace {
+
+std::vector<std::byte> random_bytes(Rng& rng, std::size_t n) {
+  std::vector<std::byte> out(n);
+  for (auto& b : out) b = static_cast<std::byte>(rng.next() & 0xff);
+  return out;
+}
+
+TEST(Rle, EmptyRoundtrip) {
+  const auto enc = rle_encode({});
+  EXPECT_TRUE(rle_decode(enc, 0).empty());
+}
+
+TEST(Rle, AllZerosCompressHard) {
+  std::vector<std::byte> zeros(4096, std::byte{0});
+  const auto enc = rle_encode(zeros);
+  EXPECT_LT(enc.size(), 8u);
+  EXPECT_EQ(rle_decode(enc, zeros.size()), zeros);
+}
+
+TEST(Rle, AllLiteralsRoundtrip) {
+  Rng rng(1);
+  // Random bytes: many will be nonzero; roundtrip must be exact.
+  const auto data = random_bytes(rng, 1000);
+  const auto enc = rle_encode(data);
+  EXPECT_EQ(rle_decode(enc, data.size()), data);
+}
+
+TEST(Rle, SparseDataCompresses) {
+  std::vector<std::byte> data(4096, std::byte{0});
+  for (std::size_t i = 100; i < 164; ++i) data[i] = std::byte{0xab};
+  const auto enc = rle_encode(data);
+  EXPECT_LT(enc.size(), 100u);
+  EXPECT_EQ(rle_decode(enc, data.size()), data);
+}
+
+TEST(Rle, ShortZeroRunsFoldIntoLiterals) {
+  // 0x01 00 00 01 pattern: zero runs of 2 should not fragment records.
+  std::vector<std::byte> data;
+  for (int i = 0; i < 100; ++i) {
+    data.push_back(std::byte{1});
+    data.push_back(std::byte{0});
+    data.push_back(std::byte{0});
+  }
+  const auto enc = rle_encode(data);
+  EXPECT_EQ(rle_decode(enc, data.size()), data);
+}
+
+TEST(Rle, RoundtripPropertySweep) {
+  Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    // Mixed zero/literal segments of random lengths.
+    std::vector<std::byte> data;
+    const int segments = 1 + static_cast<int>(rng.uniform_u64(8));
+    for (int s = 0; s < segments; ++s) {
+      const std::size_t len = rng.uniform_u64(200);
+      if (rng.chance(0.5)) {
+        data.insert(data.end(), len, std::byte{0});
+      } else {
+        auto lit = random_bytes(rng, len);
+        data.insert(data.end(), lit.begin(), lit.end());
+      }
+    }
+    const auto enc = rle_encode(data);
+    ASSERT_EQ(rle_decode(enc, data.size()), data) << "trial " << trial;
+  }
+}
+
+TEST(Rle, MalformedInputThrows) {
+  EXPECT_THROW(rle_decode({}, 10), Error);  // truncated
+  std::vector<std::byte> bogus{std::byte{0x00}, std::byte{0x05}};
+  EXPECT_THROW(rle_decode(bogus, 5), Error);  // missing literals
+  // Trailing garbage after expected size.
+  auto enc = rle_encode(std::vector<std::byte>(4, std::byte{0}));
+  enc.push_back(std::byte{0});
+  EXPECT_THROW(rle_decode(enc, 4), Error);
+}
+
+TEST(Delta, CaptureTracksDirtyPagesOnly) {
+  vm::MemoryImage img(16, 8);
+  img.write(3, 0, std::vector<std::byte>{std::byte{1}});
+  img.write(6, 2, std::vector<std::byte>{std::byte{2}});
+  PageDelta delta = capture_delta(img);
+  EXPECT_EQ(delta.pages, (std::vector<vm::PageIndex>{3, 6}));
+  EXPECT_EQ(delta.raw_bytes(), 32u);
+  EXPECT_EQ(img.dirty_count(), 0u);  // cleared by capture
+}
+
+TEST(Delta, ApplyReproducesImage) {
+  vm::MemoryImage img(16, 8);
+  Rng rng(3);
+  img.fill_random(rng);
+  img.clear_dirty();
+  auto base = img.flatten();
+
+  vm::UniformWorkload w(50.0);
+  w.advance(img, 1.0, rng);
+  PageDelta delta = capture_delta(img);
+  apply_delta(base, delta);
+  EXPECT_EQ(base, img.flatten());
+}
+
+TEST(Delta, DiffImagesFindsChangedPages) {
+  Rng rng(4);
+  auto old_img = random_bytes(rng, 16 * 8);
+  auto new_img = old_img;
+  new_img[16 * 2 + 5] ^= std::byte{0xff};
+  new_img[16 * 7 + 0] ^= std::byte{0x01};
+  PageDelta delta = diff_images(old_img, new_img, 16);
+  EXPECT_EQ(delta.pages, (std::vector<vm::PageIndex>{2, 7}));
+  apply_delta(old_img, delta);
+  EXPECT_EQ(old_img, new_img);
+}
+
+TEST(Delta, DiffIdenticalImagesIsEmpty) {
+  Rng rng(5);
+  auto img = random_bytes(rng, 64);
+  EXPECT_TRUE(diff_images(img, img, 16).pages.empty());
+}
+
+TEST(Delta, DiffRejectsBadShapes) {
+  std::vector<std::byte> a(32), b(31), c(30);
+  EXPECT_THROW(diff_images(a, b, 16), ConfigError);
+  EXPECT_THROW(diff_images(c, c, 16), ConfigError);  // not page aligned
+}
+
+TEST(Delta, CompressedRoundtrip) {
+  vm::MemoryImage img(64, 16);
+  Rng rng(6);
+  img.fill_random(rng);
+  img.clear_dirty();
+  const auto base = img.flatten();
+
+  vm::HotColdWorkload w(200.0, 0.25, 0.9);
+  w.advance(img, 1.0, rng);
+  PageDelta delta = capture_delta(img);
+
+  CompressedDelta compressed = compress_delta(delta, base);
+  PageDelta recovered = decompress_delta(compressed, base);
+  EXPECT_EQ(recovered.pages, delta.pages);
+  EXPECT_EQ(recovered.contents, delta.contents);
+}
+
+TEST(Delta, CompressionWinsOnSmallWrites) {
+  // A 64-byte write into a 4 KiB page: XOR+RLE should beat raw pages.
+  vm::MemoryImage img(4096, 8);
+  Rng rng(7);
+  img.fill_random(rng);
+  img.clear_dirty();
+  const auto base = img.flatten();
+  std::vector<std::byte> small(64, std::byte{0x5a});
+  img.write(3, 100, small);
+  PageDelta delta = capture_delta(img);
+  CompressedDelta compressed = compress_delta(delta, base);
+  EXPECT_LT(compressed.wire_bytes(), delta.raw_bytes() / 10);
+}
+
+TEST(Checkpointer, FullCapturesExactContent) {
+  vm::VirtualMachine machine(1, "vm", 64, 8,
+                             std::make_unique<vm::IdleWorkload>());
+  Rng rng(8);
+  machine.image().fill_random(rng);
+  FullCheckpointer full;
+  Checkpoint cp = full.capture(machine, 5);
+  EXPECT_EQ(cp.vm, 1u);
+  EXPECT_EQ(cp.epoch, 5u);
+  EXPECT_EQ(cp.payload, machine.image().flatten());
+}
+
+TEST(Checkpointer, IncrementalMatchesFullAcrossEpochs) {
+  vm::VirtualMachine machine(1, "vm", 64, 256,
+                             std::make_unique<vm::UniformWorkload>(50.0));
+  Rng rng(9);
+  machine.image().fill_random(rng);
+  machine.image().clear_dirty();
+
+  IncrementalCheckpointer inc;
+  FullCheckpointer full;
+  for (Epoch e = 1; e <= 5; ++e) {
+    machine.advance(1.0, rng);
+    auto result = inc.capture(machine, e);
+    EXPECT_EQ(result.checkpoint.payload, full.capture(machine, e).payload)
+        << "epoch " << e;
+    if (e > 1) {
+      // Increments should be smaller than the whole image.
+      EXPECT_LT(result.shipped_raw, machine.image().size_bytes());
+    }
+  }
+}
+
+TEST(Checkpointer, IncrementalFirstEpochShipsEverything) {
+  vm::VirtualMachine machine(1, "vm", 64, 16,
+                             std::make_unique<vm::IdleWorkload>());
+  IncrementalCheckpointer inc;
+  auto result = inc.capture(machine, 1);
+  EXPECT_EQ(result.shipped_raw, machine.image().size_bytes());
+}
+
+TEST(Checkpointer, ForkedMatchesForkPointNotLaterWrites) {
+  vm::VirtualMachine machine(1, "vm", 64, 16,
+                             std::make_unique<vm::UniformWorkload>(500.0));
+  Rng rng(10);
+  machine.image().fill_random(rng);
+  const auto at_fork = machine.image().flatten();
+
+  ForkedCheckpointer forked;
+  auto snap = forked.fork(machine);
+  machine.advance(1.0, rng);  // guest keeps dirtying
+  auto result = forked.materialize(machine, std::move(snap), 3);
+  EXPECT_EQ(result.checkpoint.payload, at_fork);
+  EXPECT_GT(result.preserved_pages, 0u);
+}
+
+TEST(Store, PutFindLatest) {
+  CheckpointStore store;
+  Rng rng(11);
+  Checkpoint cp;
+  cp.vm = 1;
+  cp.epoch = 3;
+  cp.payload = random_bytes(rng, 64);
+  store.put(cp);
+  EXPECT_NE(store.find(1, 3), nullptr);
+  EXPECT_EQ(store.find(1, 2), nullptr);
+  EXPECT_EQ(store.find(2, 3), nullptr);
+  EXPECT_EQ(store.latest_epoch(1), 3u);
+  EXPECT_FALSE(store.latest_epoch(2).has_value());
+  EXPECT_EQ(store.total_bytes(), 64u);
+}
+
+TEST(Store, PutReplacesSameEpoch) {
+  CheckpointStore store;
+  Checkpoint cp;
+  cp.vm = 1;
+  cp.epoch = 1;
+  cp.payload.assign(100, std::byte{1});
+  store.put(cp);
+  cp.payload.assign(50, std::byte{2});
+  store.put(cp);
+  EXPECT_EQ(store.total_bytes(), 50u);
+  EXPECT_EQ(store.entry_count(), 1u);
+}
+
+TEST(Store, GcDropsOldEpochs) {
+  CheckpointStore store;
+  for (Epoch e = 1; e <= 4; ++e) {
+    Checkpoint cp;
+    cp.vm = 7;
+    cp.epoch = e;
+    cp.payload.assign(10, std::byte{0});
+    store.put(std::move(cp));
+  }
+  store.gc_before(3);
+  EXPECT_EQ(store.find(7, 1), nullptr);
+  EXPECT_EQ(store.find(7, 2), nullptr);
+  EXPECT_NE(store.find(7, 3), nullptr);
+  EXPECT_NE(store.find(7, 4), nullptr);
+  EXPECT_EQ(store.total_bytes(), 20u);
+}
+
+TEST(Store, EraseAndDrop) {
+  CheckpointStore store;
+  Checkpoint cp;
+  cp.vm = 1;
+  cp.epoch = 1;
+  cp.payload.assign(10, std::byte{0});
+  store.put(cp);
+  cp.epoch = 2;
+  store.put(cp);
+  store.erase(1, 1);
+  EXPECT_EQ(store.find(1, 1), nullptr);
+  EXPECT_EQ(store.total_bytes(), 10u);
+  store.erase(1, 99);  // no-op
+  store.drop_vm(1);
+  EXPECT_EQ(store.total_bytes(), 0u);
+  EXPECT_EQ(store.entry_count(), 0u);
+}
+
+}  // namespace
+}  // namespace vdc::checkpoint

@@ -1,0 +1,194 @@
+// Tests for the cluster manager, name service and heartbeat detector.
+
+#include <gtest/gtest.h>
+
+#include "cluster/heartbeat.hpp"
+#include "cluster/manager.hpp"
+#include "vm/workload.hpp"
+
+namespace vdc::cluster {
+namespace {
+
+std::unique_ptr<vm::Workload> idle() {
+  return std::make_unique<vm::IdleWorkload>();
+}
+
+struct Rig {
+  simkit::Simulator sim;
+  ClusterManager cluster{sim, Rng(1)};
+  Rig(std::uint32_t nodes = 3) {
+    for (std::uint32_t i = 0; i < nodes; ++i) cluster.add_node();
+  }
+};
+
+TEST(ClusterManager, AddAndQueryNodes) {
+  Rig rig;
+  EXPECT_EQ(rig.cluster.node_count(), 3u);
+  EXPECT_EQ(rig.cluster.alive_nodes(), (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_TRUE(rig.cluster.node(0).alive());
+  EXPECT_EQ(rig.cluster.node(1).name(), "node1");
+  EXPECT_THROW(rig.cluster.node(9), ConfigError);
+}
+
+TEST(ClusterManager, BootPlacesAndBinds) {
+  Rig rig;
+  const vm::VmId id = rig.cluster.boot_vm(1, kib(4), 16, idle());
+  EXPECT_EQ(rig.cluster.locate(id), 1u);
+  EXPECT_EQ(rig.cluster.names().resolve(id), 1u);
+  EXPECT_TRUE(rig.cluster.node(1).hypervisor().hosts(id));
+  EXPECT_EQ(rig.cluster.all_vms(), (std::vector<vm::VmId>{id}));
+}
+
+TEST(ClusterManager, KillNodeLosesItsVmsOnly) {
+  Rig rig;
+  const auto a = rig.cluster.boot_vm(0, kib(4), 8, idle());
+  const auto b = rig.cluster.boot_vm(1, kib(4), 8, idle());
+  std::vector<vm::VmId> reported;
+  rig.cluster.set_on_failure(
+      [&](NodeId, const std::vector<vm::VmId>& lost) { reported = lost; });
+  rig.cluster.kill_node(1);
+  EXPECT_EQ(reported, (std::vector<vm::VmId>{b}));
+  EXPECT_FALSE(rig.cluster.node(1).alive());
+  EXPECT_FALSE(rig.cluster.locate(b).has_value());
+  EXPECT_FALSE(rig.cluster.names().resolve(b).has_value());
+  EXPECT_TRUE(rig.cluster.locate(a).has_value());
+  EXPECT_EQ(rig.cluster.alive_nodes(), (std::vector<NodeId>{0, 2}));
+  EXPECT_THROW(rig.cluster.kill_node(1), ConfigError);  // already dead
+}
+
+TEST(ClusterManager, ReviveRestoresEmptyNode) {
+  Rig rig;
+  rig.cluster.boot_vm(2, kib(4), 8, idle());
+  rig.cluster.kill_node(2);
+  rig.cluster.revive_node(2);
+  EXPECT_TRUE(rig.cluster.node(2).alive());
+  EXPECT_EQ(rig.cluster.node(2).hypervisor().vm_count(), 0u);
+  EXPECT_THROW(rig.cluster.revive_node(2), ConfigError);  // not dead
+}
+
+TEST(ClusterManager, PlaceRebindsName) {
+  Rig rig;
+  const auto id = rig.cluster.boot_vm(0, kib(4), 8, idle());
+  auto machine = rig.cluster.node(0).hypervisor().evict(id);
+  rig.cluster.place(std::move(machine), 2);
+  EXPECT_EQ(rig.cluster.locate(id), 2u);
+  EXPECT_EQ(rig.cluster.names().resolve(id), 2u);
+  EXPECT_EQ(rig.cluster.names().rebind_count(), 1u);
+}
+
+TEST(ClusterManager, BootOnDeadNodeRejected) {
+  Rig rig;
+  rig.cluster.kill_node(0);
+  EXPECT_THROW(rig.cluster.boot_vm(0, kib(4), 8, idle()), ConfigError);
+}
+
+TEST(ClusterManager, AdvanceWorkloadsSkipsDeadNodes) {
+  Rig rig;
+  const auto a = rig.cluster.boot_vm(0, kib(4), 8,
+                                     std::make_unique<vm::UniformWorkload>(
+                                         100.0));
+  rig.cluster.advance_workloads(1.0);
+  EXPECT_GT(rig.cluster.machine(a).image().dirty_count(), 0u);
+  EXPECT_DOUBLE_EQ(rig.cluster.machine(a).cpu_time(), 1.0);
+}
+
+TEST(ClusterManager, GuestBytesAccounting) {
+  Rig rig;
+  rig.cluster.boot_vm(0, kib(4), 16, idle());
+  rig.cluster.boot_vm(0, kib(4), 16, idle());
+  EXPECT_EQ(rig.cluster.node_guest_bytes(0), 2 * kib(4) * 16);
+  EXPECT_EQ(rig.cluster.node_guest_bytes(1), 0u);
+}
+
+TEST(NameService, StableDerivedAddress) {
+  EXPECT_EQ(NameService::address(1), "10.0.0.1");
+  EXPECT_EQ(NameService::address(0x010203), "10.1.2.3");
+}
+
+TEST(Heartbeat, DetectsFailureWithinTimeout) {
+  Rig rig;
+  HeartbeatConfig config;
+  config.period = 0.1;
+  config.timeout = 0.5;
+  HeartbeatDetector detector(rig.sim, rig.cluster, config);
+  std::optional<std::pair<NodeId, SimTime>> detected;
+  detector.start([&](NodeId n, SimTime latency) {
+    detected = {n, latency};
+  });
+  rig.sim.at(2.0, [&] {
+    rig.cluster.kill_node(1);
+    detector.note_failure(1, rig.sim.now());
+  });
+  rig.sim.run_until(5.0);
+  detector.stop();
+  ASSERT_TRUE(detected.has_value());
+  EXPECT_EQ(detected->first, 1u);
+  // Latency within one heartbeat period of the timeout (the last
+  // heartbeat may have landed just before the crash).
+  EXPECT_GE(detected->second, 0.4 - 1e-9);
+  EXPECT_LE(detected->second, 0.6 + 1e-9);
+  EXPECT_EQ(detector.detections(), 1u);
+}
+
+TEST(Heartbeat, NoFalsePositivesOnHealthyCluster) {
+  Rig rig;
+  HeartbeatDetector detector(rig.sim, rig.cluster);
+  int detections = 0;
+  detector.start([&](NodeId, SimTime) { ++detections; });
+  rig.sim.run_until(10.0);
+  detector.stop();
+  EXPECT_EQ(detections, 0);
+}
+
+TEST(Heartbeat, ReportsEachFailureOnce) {
+  Rig rig;
+  HeartbeatConfig config;
+  config.period = 0.1;
+  config.timeout = 0.3;
+  HeartbeatDetector detector(rig.sim, rig.cluster, config);
+  int detections = 0;
+  detector.start([&](NodeId, SimTime) { ++detections; });
+  rig.sim.at(1.0, [&] {
+    rig.cluster.kill_node(0);
+    detector.note_failure(0, rig.sim.now());
+  });
+  rig.sim.run_until(10.0);
+  detector.stop();
+  EXPECT_EQ(detections, 1);
+}
+
+TEST(Heartbeat, RepairReArms) {
+  Rig rig;
+  HeartbeatConfig config;
+  config.period = 0.1;
+  config.timeout = 0.3;
+  HeartbeatDetector detector(rig.sim, rig.cluster, config);
+  std::vector<SimTime> detections;
+  detector.start([&](NodeId, SimTime) { detections.push_back(rig.sim.now()); });
+  rig.sim.at(1.0, [&] {
+    rig.cluster.kill_node(0);
+    detector.note_failure(0, rig.sim.now());
+  });
+  rig.sim.at(3.0, [&] {
+    rig.cluster.revive_node(0);
+    detector.note_repair(0);
+  });
+  rig.sim.at(5.0, [&] {
+    rig.cluster.kill_node(0);
+    detector.note_failure(0, rig.sim.now());
+  });
+  rig.sim.run_until(10.0);
+  detector.stop();
+  EXPECT_EQ(detections.size(), 2u);
+}
+
+TEST(Heartbeat, InvalidConfigRejected) {
+  Rig rig;
+  HeartbeatConfig bad;
+  bad.period = 1.0;
+  bad.timeout = 0.5;
+  EXPECT_THROW(HeartbeatDetector(rig.sim, rig.cluster, bad), ConfigError);
+}
+
+}  // namespace
+}  // namespace vdc::cluster

@@ -1,0 +1,269 @@
+// Tests for the end-to-end job runtime: fault-free accounting, failure
+// handling, restarts, determinism, and backend comparisons.
+
+#include <gtest/gtest.h>
+
+#include "core/baseline.hpp"
+#include "core/runtime.hpp"
+#include "model/analytic.hpp"
+
+namespace vdc::core {
+namespace {
+
+JobRunner::BackendFactory dvdc_factory(ProtocolConfig protocol = {},
+                                       RecoveryConfig recovery = {},
+                                       ClusterConfig cc = {}) {
+  return [protocol, recovery, cc](simkit::Simulator& sim,
+                                  cluster::ClusterManager& cluster,
+                                  Rng&) -> std::unique_ptr<CheckpointBackend> {
+    return std::make_unique<DvdcBackend>(sim, cluster, protocol, recovery,
+                                         make_workload_factory(cc));
+  };
+}
+
+JobRunner::BackendFactory diskfull_factory(DiskFullConfig config = {},
+                                           ClusterConfig cc = {}) {
+  return [config, cc](simkit::Simulator& sim,
+                      cluster::ClusterManager& cluster,
+                      Rng&) -> std::unique_ptr<CheckpointBackend> {
+    return std::make_unique<DiskFullBackend>(sim, cluster,
+                                             make_workload_factory(cc),
+                                             config);
+  };
+}
+
+JobRunner::BackendFactory none_factory() {
+  return [](simkit::Simulator&, cluster::ClusterManager&,
+            Rng&) -> std::unique_ptr<CheckpointBackend> {
+    return std::make_unique<NoCheckpointBackend>();
+  };
+}
+
+ClusterConfig small_cluster() {
+  ClusterConfig cc;
+  cc.nodes = 4;
+  cc.vms_per_node = 3;
+  cc.pages_per_vm = 32;
+  cc.page_size = kib(1);
+  cc.write_rate = 100.0;
+  return cc;
+}
+
+TEST(Runtime, FaultFreeRunCompletesOnTime) {
+  JobConfig job;
+  job.total_work = minutes(30);
+  job.interval = minutes(10);
+  job.lambda = 0.0;
+  JobRunner runner(job, small_cluster(), dvdc_factory());
+  const RunResult result = runner.run();
+  ASSERT_TRUE(result.finished);
+  // Two checkpoints fire (at 10 and 20 minutes of work; the final stretch
+  // needs none).
+  EXPECT_EQ(result.epochs, 2u);
+  EXPECT_EQ(result.failures, 0u);
+  // Completion = work + small checkpoint overheads.
+  EXPECT_GE(result.completion, job.total_work);
+  EXPECT_LT(result.completion, job.total_work + 60.0);
+  EXPECT_NEAR(result.time_ratio, 1.0, 0.05);
+}
+
+TEST(Runtime, NoCheckpointingRunsStraightThrough) {
+  JobConfig job;
+  job.total_work = minutes(10);
+  job.interval = 0.0;
+  JobRunner runner(job, small_cluster(), none_factory());
+  const RunResult result = runner.run();
+  ASSERT_TRUE(result.finished);
+  EXPECT_EQ(result.epochs, 0u);
+  EXPECT_DOUBLE_EQ(result.completion, job.total_work);
+}
+
+TEST(Runtime, FailuresRollBackAndFinish) {
+  JobConfig job;
+  job.total_work = hours(1);
+  job.interval = minutes(5);
+  job.lambda = 1.0 / minutes(20);  // several failures expected
+  job.seed = 7;
+  JobRunner runner(job, small_cluster(), dvdc_factory());
+  const RunResult result = runner.run();
+  ASSERT_TRUE(result.finished);
+  EXPECT_GT(result.failures, 0u);
+  EXPECT_GT(result.lost_work, 0.0);
+  EXPECT_GT(result.total_recovery, 0.0);
+  EXPECT_GT(result.completion, job.total_work);
+}
+
+TEST(Runtime, DeterministicAcrossRuns) {
+  JobConfig job;
+  job.total_work = minutes(40);
+  job.interval = minutes(5);
+  job.lambda = 1.0 / minutes(15);
+  job.seed = 11;
+  JobRunner a(job, small_cluster(), dvdc_factory());
+  JobRunner b(job, small_cluster(), dvdc_factory());
+  const RunResult ra = a.run();
+  const RunResult rb = b.run();
+  ASSERT_TRUE(ra.finished && rb.finished);
+  EXPECT_DOUBLE_EQ(ra.completion, rb.completion);
+  EXPECT_EQ(ra.failures, rb.failures);
+  EXPECT_EQ(ra.epochs, rb.epochs);
+  EXPECT_EQ(ra.bytes_shipped, rb.bytes_shipped);
+}
+
+TEST(Runtime, SeedChangesOutcome) {
+  JobConfig job;
+  job.total_work = minutes(40);
+  job.interval = minutes(5);
+  job.lambda = 1.0 / minutes(15);
+  job.seed = 1;
+  JobRunner a(job, small_cluster(), dvdc_factory());
+  job.seed = 2;
+  JobRunner b(job, small_cluster(), dvdc_factory());
+  EXPECT_NE(a.run().completion, b.run().completion);
+}
+
+TEST(Runtime, NoCheckpointRestartsFromScratch) {
+  JobConfig job;
+  job.total_work = minutes(10);
+  job.interval = 0.0;
+  job.lambda = 1.0 / minutes(30);
+  job.seed = 3;
+  job.restart_time = 5.0;
+  JobRunner runner(job, small_cluster(), none_factory());
+  const RunResult result = runner.run();
+  ASSERT_TRUE(result.finished);
+  // Every failure forces a restart.
+  EXPECT_EQ(result.job_restarts, result.failures);
+  if (result.failures > 0) EXPECT_GT(result.lost_work, 0.0);
+}
+
+TEST(Runtime, FailureBeforeFirstCheckpointRestarts) {
+  JobConfig job;
+  job.total_work = minutes(20);
+  job.interval = minutes(15);
+  job.lambda = 0.0;  // we inject manually via tiny MTBF + seed search:
+  // instead, force it: interval longer than first failure.
+  job.lambda = 1.0 / minutes(2);
+  job.seed = 5;
+  JobRunner runner(job, small_cluster(), dvdc_factory());
+  const RunResult result = runner.run();
+  ASSERT_TRUE(result.finished);
+  // With MTBF 2 min and the first checkpoint at 15 min of work, at least
+  // one failure must have hit before any commit -> restart.
+  EXPECT_GT(result.job_restarts, 0u);
+}
+
+TEST(Runtime, DvdcOverheadFarBelowDiskFull) {
+  JobConfig job;
+  job.total_work = minutes(30);
+  job.interval = minutes(5);
+  job.lambda = 0.0;
+  ClusterConfig cc = small_cluster();
+  cc.pages_per_vm = 256;  // bigger images so the NAS path matters
+
+  ProtocolConfig dvdc;
+  dvdc.copy_on_write = true;
+  JobRunner a(job, cc, dvdc_factory(dvdc, {}, cc));
+  const RunResult dvdc_result = a.run();
+
+  DiskFullConfig df;
+  df.nas.frontend_rate = mib_per_s(50);  // modest NAS
+  df.nas.array = storage::DiskSpec{mib_per_s(40), mib_per_s(50),
+                                   milliseconds(5)};
+  JobRunner b(job, cc, diskfull_factory(df, cc));
+  const RunResult df_result = b.run();
+
+  ASSERT_TRUE(dvdc_result.finished && df_result.finished);
+  EXPECT_LT(dvdc_result.total_overhead, df_result.total_overhead / 2);
+  EXPECT_LT(dvdc_result.completion, df_result.completion);
+}
+
+TEST(Runtime, DiskFullRecoversFromFailure) {
+  JobConfig job;
+  job.total_work = minutes(30);
+  job.interval = minutes(5);
+  job.lambda = 1.0 / minutes(12);
+  job.seed = 13;
+  JobRunner runner(job, small_cluster(), diskfull_factory());
+  const RunResult result = runner.run();
+  ASSERT_TRUE(result.finished);
+  EXPECT_GT(result.failures, 0u);
+}
+
+TEST(Runtime, CheckpointingBeatsNoCheckpointingUnderFailures) {
+  JobConfig job;
+  job.total_work = hours(1);
+  job.interval = minutes(5);
+  job.lambda = 1.0 / minutes(10);
+  job.seed = 17;
+  JobRunner with(job, small_cluster(), dvdc_factory());
+  const RunResult rw = with.run();
+
+  JobConfig job2 = job;
+  job2.interval = 0.0;
+  job2.max_events = 100'000'000;
+  JobRunner without(job2, small_cluster(), none_factory());
+  const RunResult rwo = without.run();
+
+  ASSERT_TRUE(rw.finished);
+  ASSERT_TRUE(rwo.finished);
+  EXPECT_LT(rw.completion, rwo.completion);
+}
+
+TEST(Runtime, MeasuredRatioTracksAnalyticModel) {
+  // Fault-free: the DES ratio should be ~1 + overhead/interval, which is
+  // what the analytic model predicts for lambda -> 0.
+  JobConfig job;
+  job.total_work = hours(1);
+  job.interval = minutes(6);
+  job.lambda = 0.0;
+  ProtocolConfig pc;
+  pc.copy_on_write = true;
+  pc.base_overhead = 0.5;  // exaggerate so the effect is visible
+  JobRunner runner(job, small_cluster(), dvdc_factory(pc));
+  const RunResult result = runner.run();
+  ASSERT_TRUE(result.finished);
+  const double predicted = 1.0 + pc.base_overhead / job.interval;
+  EXPECT_NEAR(result.time_ratio, predicted, 0.01);
+}
+
+TEST(Runtime, RdpSchemeEndToEnd) {
+  JobConfig job;
+  job.total_work = minutes(20);
+  job.interval = minutes(5);
+  job.lambda = 1.0 / minutes(8);
+  job.seed = 19;
+  ClusterConfig cc = small_cluster();
+  cc.nodes = 6;
+  cc.vms_per_node = 2;
+  ProtocolConfig pc;
+  pc.scheme = ParityScheme::Rdp;
+  PlannerConfig planner;
+  planner.group_size = 3;
+  auto factory = [pc, planner, cc](simkit::Simulator& sim,
+                                   cluster::ClusterManager& cluster, Rng&)
+      -> std::unique_ptr<CheckpointBackend> {
+    return std::make_unique<DvdcBackend>(sim, cluster, pc, RecoveryConfig{},
+                                         make_workload_factory(cc), planner);
+  };
+  JobRunner runner(job, cc, factory);
+  const RunResult result = runner.run();
+  ASSERT_TRUE(result.finished);
+  EXPECT_GT(result.epochs, 0u);
+}
+
+TEST(Runtime, PausedInjectionDoesNotDoubleCount) {
+  JobConfig job;
+  job.total_work = minutes(20);
+  job.interval = minutes(2);
+  job.lambda = 1.0 / minutes(4);
+  job.seed = 23;
+  JobRunner runner(job, small_cluster(), dvdc_factory());
+  const RunResult result = runner.run();
+  ASSERT_TRUE(result.finished);
+  // failures + ignored = injector total; ignored only during recovery.
+  EXPECT_GE(result.failures, 1u);
+}
+
+}  // namespace
+}  // namespace vdc::core

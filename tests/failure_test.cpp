@@ -1,0 +1,150 @@
+// Tests for failure distributions and injectors.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/stats.hpp"
+#include "failure/distributions.hpp"
+#include "failure/injector.hpp"
+
+namespace vdc::failure {
+namespace {
+
+TEST(Distributions, ExponentialMeanIsMtbf) {
+  Rng rng(1);
+  ExponentialTtf ttf(1.0 / 100.0);
+  EXPECT_DOUBLE_EQ(ttf.mtbf(), 100.0);
+  RunningStats stats;
+  for (int i = 0; i < 40000; ++i) stats.add(ttf.sample(rng));
+  EXPECT_NEAR(stats.mean(), 100.0, 2.0);
+}
+
+TEST(Distributions, FromMtbf) {
+  auto ttf = ExponentialTtf::from_mtbf(hours(3));
+  EXPECT_NEAR(ttf.rate(), 9.26e-5, 1e-7);
+}
+
+TEST(Distributions, WeibullMtbfMatchesGamma) {
+  Rng rng(2);
+  WeibullTtf ttf(2.0, 100.0);  // mean = 100 * Gamma(1.5) ~= 88.62
+  EXPECT_NEAR(ttf.mtbf(), 88.62, 0.01);
+  RunningStats stats;
+  for (int i = 0; i < 40000; ++i) stats.add(ttf.sample(rng));
+  EXPECT_NEAR(stats.mean(), ttf.mtbf(), 2.0);
+}
+
+TEST(Distributions, WeibullShapeBelowOneHasHeavyTail) {
+  Rng rng(3);
+  WeibullTtf infant(0.5, 100.0);
+  // shape 0.5: mean = 100 * Gamma(3) = 200.
+  EXPECT_NEAR(infant.mtbf(), 200.0, 0.01);
+}
+
+TEST(Distributions, TraceReplaysAndCycles) {
+  Rng rng(4);
+  TraceTtf trace({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(trace.sample(rng), 1.0);
+  EXPECT_DOUBLE_EQ(trace.sample(rng), 2.0);
+  EXPECT_DOUBLE_EQ(trace.sample(rng), 3.0);
+  EXPECT_DOUBLE_EQ(trace.sample(rng), 1.0);  // cycles
+  EXPECT_DOUBLE_EQ(trace.mtbf(), 2.0);
+}
+
+TEST(Distributions, InvalidParamsRejected) {
+  EXPECT_THROW(ExponentialTtf(0.0), ConfigError);
+  EXPECT_THROW(WeibullTtf(0.0, 1.0), ConfigError);
+  EXPECT_THROW(TraceTtf({}), ConfigError);
+  EXPECT_THROW(TraceTtf({1.0, 0.0}), ConfigError);
+}
+
+TEST(Distributions, EstimateMtbf) {
+  EXPECT_DOUBLE_EQ(estimate_mtbf({2.0, 4.0, 6.0}), 4.0);
+  EXPECT_THROW(estimate_mtbf({}), ConfigError);
+}
+
+TEST(NodeInjector, FiresAtSampledTimes) {
+  simkit::Simulator sim;
+  NodeFailureInjector injector(sim, Rng(5));
+  std::vector<std::pair<NodeId, double>> fired;
+  injector.set_on_failure([&](NodeId n) { fired.emplace_back(n, sim.now()); });
+  injector.arm(0, std::make_shared<TraceTtf>(std::vector<SimTime>{5.0}));
+  sim.run_until(12.0);
+  // Trace gap 5.0, immediate re-arm: failures at 5 and 10.
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_DOUBLE_EQ(fired[0].second, 5.0);
+  EXPECT_DOUBLE_EQ(fired[1].second, 10.0);
+  EXPECT_EQ(injector.failures_injected(), 2u);
+}
+
+TEST(NodeInjector, RepairDelaysReArm) {
+  simkit::Simulator sim;
+  NodeFailureInjector injector(sim, Rng(6));
+  injector.set_repair_time(3.0);
+  std::vector<double> failures, repairs;
+  injector.set_on_failure([&](NodeId) { failures.push_back(sim.now()); });
+  injector.set_on_repair([&](NodeId) { repairs.push_back(sim.now()); });
+  injector.arm(0, std::make_shared<TraceTtf>(std::vector<SimTime>{5.0}));
+  sim.run_until(20.0);
+  // fail@5, repair@8, fail@13, repair@16.
+  ASSERT_GE(failures.size(), 2u);
+  EXPECT_DOUBLE_EQ(failures[0], 5.0);
+  EXPECT_DOUBLE_EQ(repairs[0], 8.0);
+  EXPECT_DOUBLE_EQ(failures[1], 13.0);
+}
+
+TEST(NodeInjector, DisarmStopsInjection) {
+  simkit::Simulator sim;
+  NodeFailureInjector injector(sim, Rng(7));
+  int count = 0;
+  injector.set_on_failure([&](NodeId) {
+    if (++count == 2) injector.disarm(0);
+  });
+  injector.arm(0, std::make_shared<TraceTtf>(std::vector<SimTime>{1.0}));
+  sim.run_until(100.0);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(NodeInjector, IndependentNodes) {
+  simkit::Simulator sim;
+  NodeFailureInjector injector(sim, Rng(8));
+  std::vector<NodeId> victims;
+  injector.set_on_failure([&](NodeId n) { victims.push_back(n); });
+  injector.arm(0, std::make_shared<TraceTtf>(std::vector<SimTime>{2.0}));
+  injector.arm(1, std::make_shared<TraceTtf>(std::vector<SimTime>{3.0}));
+  sim.run_until(6.5);
+  // Node 0 at 2,4,6; node 1 at 3,6.
+  EXPECT_EQ(victims.size(), 5u);
+}
+
+TEST(ClusterInjector, AggregateRateAndUniformVictims) {
+  simkit::Simulator sim;
+  ClusterFailureInjector injector(
+      sim, Rng(9), std::make_shared<ExponentialTtf>(1.0 / 10.0), 4);
+  std::vector<NodeId> victims;
+  injector.start([&](NodeId n) { victims.push_back(n); });
+  sim.run_until(10000.0);
+  injector.stop();
+  // ~1000 failures expected.
+  EXPECT_NEAR(static_cast<double>(victims.size()), 1000.0, 120.0);
+  // Every node gets hit a fair share.
+  std::array<int, 4> counts{};
+  for (NodeId v : victims) ++counts.at(v);
+  for (int c : counts) EXPECT_GT(c, 150);
+}
+
+TEST(ClusterInjector, StopFromCallback) {
+  simkit::Simulator sim;
+  ClusterFailureInjector injector(
+      sim, Rng(10), std::make_shared<TraceTtf>(std::vector<SimTime>{1.0}),
+      2);
+  int count = 0;
+  injector.start([&](NodeId) {
+    if (++count == 3) injector.stop();
+  });
+  sim.run_until(100.0);
+  EXPECT_EQ(count, 3);
+}
+
+}  // namespace
+}  // namespace vdc::failure

@@ -1,0 +1,198 @@
+// Tests for live migration (pre-copy, stop-and-copy) and the Remus-style
+// replicator.
+
+#include <gtest/gtest.h>
+
+#include "migration/precopy.hpp"
+#include "migration/remus.hpp"
+
+namespace vdc::migration {
+namespace {
+
+struct MigrationRig {
+  simkit::Simulator sim;
+  net::Fabric fabric{sim, 0.0};
+  net::HostId host_a, host_b;
+  vm::Hypervisor hv_a{Rng(1)}, hv_b{Rng(2)};
+
+  MigrationRig(Rate nic = mib_per_s(100)) {
+    host_a = fabric.add_host(nic, "a");
+    host_b = fabric.add_host(nic, "b");
+  }
+
+  vm::VirtualMachine& boot(double write_rate, std::size_t pages = 64) {
+    std::unique_ptr<vm::Workload> w;
+    if (write_rate <= 0)
+      w = std::make_unique<vm::IdleWorkload>();
+    else
+      w = std::make_unique<vm::UniformWorkload>(write_rate);
+    return hv_a.create_vm(1, "vm1", kib(4), pages, std::move(w));
+  }
+};
+
+TEST(PreCopy, IdleGuestMigratesInOneRoundPlusResidue) {
+  MigrationRig rig;
+  rig.boot(0.0);
+  PreCopyMigrator migrator(rig.sim, rig.fabric);
+  std::optional<MigrationStats> stats;
+  migrator.migrate(1, rig.hv_a, rig.host_a, rig.hv_b, rig.host_b,
+                   [&](const MigrationStats& s) { stats = s; });
+  rig.sim.run();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_TRUE(stats->converged);
+  EXPECT_EQ(stats->rounds, 1u);  // round 0 only; no dirtying
+  EXPECT_EQ(stats->bytes_sent, kib(4) * 64);
+  EXPECT_TRUE(rig.hv_b.hosts(1));
+  EXPECT_FALSE(rig.hv_a.hosts(1));
+  EXPECT_EQ(rig.hv_b.get(1).state(), vm::VmState::Running);
+}
+
+TEST(PreCopy, ContentSurvivesMigration) {
+  MigrationRig rig;
+  auto& machine = rig.boot(0.0);
+  const auto content = machine.image().flatten();
+  PreCopyMigrator migrator(rig.sim, rig.fabric);
+  migrator.migrate(1, rig.hv_a, rig.host_a, rig.hv_b, rig.host_b,
+                   [](const MigrationStats&) {});
+  rig.sim.run();
+  EXPECT_EQ(rig.hv_b.get(1).image().flatten(), content);
+}
+
+TEST(PreCopy, DirtyGuestNeedsMoreRoundsButLowDowntime) {
+  MigrationRig rig(mib_per_s(1));  // slow link: rounds take long enough
+  rig.boot(/*write_rate=*/200.0, /*pages=*/256);  // dirties during rounds
+  PreCopyMigrator migrator(rig.sim, rig.fabric);
+  std::optional<MigrationStats> stats;
+  migrator.migrate(1, rig.hv_a, rig.host_a, rig.hv_b, rig.host_b,
+                   [&](const MigrationStats& s) { stats = s; });
+  rig.sim.run();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_GE(stats->rounds, 2u);
+  EXPECT_GT(stats->bytes_sent, kib(4) * 256);  // retransmitted dirty pages
+  // Downtime is a small fraction of total time.
+  EXPECT_LT(stats->downtime, stats->total_time / 2);
+}
+
+TEST(PreCopy, RoundCapForcesStopAndCopy) {
+  MigrationRig rig(mib_per_s(1));  // slow link
+  rig.boot(/*write_rate=*/5000.0, /*pages=*/128);  // hopelessly dirty
+  PreCopyConfig config;
+  config.max_rounds = 3;
+  PreCopyMigrator migrator(rig.sim, rig.fabric, config);
+  std::optional<MigrationStats> stats;
+  migrator.migrate(1, rig.hv_a, rig.host_a, rig.hv_b, rig.host_b,
+                   [&](const MigrationStats& s) { stats = s; });
+  rig.sim.run();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_LE(stats->rounds, 3u);
+  EXPECT_TRUE(rig.hv_b.hosts(1));
+}
+
+TEST(PreCopy, DowntimeBeatsStopAndCopy) {
+  // The headline claim of live migration: pre-copy downtime is a tiny
+  // fraction of a full stop-and-copy transfer.
+  MigrationRig rig1;
+  rig1.boot(50.0, 512);
+  PreCopyMigrator precopy(rig1.sim, rig1.fabric);
+  std::optional<MigrationStats> pre;
+  precopy.migrate(1, rig1.hv_a, rig1.host_a, rig1.hv_b, rig1.host_b,
+                  [&](const MigrationStats& s) { pre = s; });
+  rig1.sim.run();
+
+  MigrationRig rig2;
+  rig2.boot(50.0, 512);
+  StopAndCopyMigrator snc(rig2.sim, rig2.fabric);
+  std::optional<MigrationStats> stop;
+  snc.migrate(1, rig2.hv_a, rig2.host_a, rig2.hv_b, rig2.host_b,
+              [&](const MigrationStats& s) { stop = s; });
+  rig2.sim.run();
+
+  ASSERT_TRUE(pre && stop);
+  EXPECT_LT(pre->downtime, stop->downtime / 5);
+}
+
+TEST(PreCopy, BusyRejectsSecondMigration) {
+  MigrationRig rig;
+  rig.boot(0.0);
+  PreCopyMigrator migrator(rig.sim, rig.fabric);
+  migrator.migrate(1, rig.hv_a, rig.host_a, rig.hv_b, rig.host_b,
+                   [](const MigrationStats&) {});
+  EXPECT_TRUE(migrator.busy());
+  EXPECT_THROW(migrator.migrate(1, rig.hv_a, rig.host_a, rig.hv_b,
+                                rig.host_b, [](const MigrationStats&) {}),
+               ConfigError);
+  rig.sim.run();
+  EXPECT_FALSE(migrator.busy());
+}
+
+TEST(StopAndCopy, DowntimeIsWholeTransfer) {
+  MigrationRig rig;
+  rig.boot(0.0, 100);
+  StopAndCopyMigrator migrator(rig.sim, rig.fabric, 0.0);
+  std::optional<MigrationStats> stats;
+  migrator.migrate(1, rig.hv_a, rig.host_a, rig.hv_b, rig.host_b,
+                   [&](const MigrationStats& s) { stats = s; });
+  rig.sim.run();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_DOUBLE_EQ(stats->downtime, stats->total_time);
+  EXPECT_NEAR(stats->total_time,
+              static_cast<double>(kib(4) * 100) / mib_per_s(100), 1e-6);
+}
+
+TEST(Remus, CommitsEpochsAtConfiguredRate) {
+  MigrationRig rig;
+  rig.boot(10.0, 64);
+  RemusConfig config;
+  config.epoch_interval = 0.025;  // 40/s
+  RemusReplicator remus(rig.sim, rig.fabric, rig.hv_a, rig.host_a,
+                        rig.host_b, 1, config);
+  remus.start();
+  rig.sim.run_until(1.0);
+  remus.stop();
+  // ~40 epochs in a second (minus pipeline latency slack).
+  EXPECT_GE(remus.stats().epochs_committed, 30u);
+  EXPECT_LE(remus.stats().epochs_committed, 41u);
+  EXPECT_GT(remus.stats().bytes_shipped, 0u);
+}
+
+TEST(Remus, FailoverLosesOnlyUnackedWindow) {
+  MigrationRig rig;
+  rig.boot(10.0, 64);
+  RemusConfig config;
+  config.epoch_interval = 0.05;
+  RemusReplicator remus(rig.sim, rig.fabric, rig.hv_a, rig.host_a,
+                        rig.host_b, 1, config);
+  remus.start();
+  rig.sim.run_until(1.0);
+  auto failover = remus.failover();
+  // Lost work is bounded by ~2 epochs (one in flight + one accumulating).
+  EXPECT_LT(failover.lost_work, 3 * config.epoch_interval);
+  EXPECT_FALSE(failover.image.empty());
+}
+
+TEST(Remus, BackupImageMatchesAnAckedState) {
+  MigrationRig rig;
+  auto& machine = rig.boot(0.0, 32);  // idle: every epoch identical
+  const auto content = machine.image().flatten();
+  RemusReplicator remus(rig.sim, rig.fabric, rig.hv_a, rig.host_a,
+                        rig.host_b, 1);
+  remus.start();
+  rig.sim.run_until(0.5);
+  auto failover = remus.failover();
+  EXPECT_EQ(failover.image, content);
+}
+
+TEST(Remus, OverheadIsSmallFractionForIdleGuest) {
+  MigrationRig rig;
+  rig.boot(0.0, 64);
+  RemusReplicator remus(rig.sim, rig.fabric, rig.hv_a, rig.host_a,
+                        rig.host_b, 1);
+  remus.start();
+  rig.sim.run_until(2.0);
+  remus.stop();
+  // Pause time should be well under 10% of wall time for an idle guest.
+  EXPECT_LT(remus.stats().total_pause_time, 0.2);
+}
+
+}  // namespace
+}  // namespace vdc::migration

@@ -1,0 +1,246 @@
+// Tests for the Section V analytical model: closed-form identities, the
+// paper-literal typo bookkeeping, optimal-interval search, Monte-Carlo
+// corroboration, and the per-scheme overhead submodels.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/analytic.hpp"
+#include "model/montecarlo.hpp"
+#include "model/overhead.hpp"
+
+namespace vdc::model {
+namespace {
+
+constexpr double kLambda = 9.26e-5;  // paper's 3 h MTBF
+
+TEST(Analytic, ExpectedFailuresIsGeometric) {
+  // P(fail before span) = 1 - e^{-ls}; expected failed attempts before a
+  // success is e^{ls} - 1.
+  EXPECT_NEAR(expected_failures(0.1, 10.0), std::exp(1.0) - 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(expected_failures(0.1, 0.0), 0.0);
+}
+
+TEST(Analytic, TruncatedTtfBelowLimitAndMean) {
+  const double lambda = 0.01;
+  const double limit = 50.0;
+  const double cond = expected_ttf_truncated(lambda, limit);
+  EXPECT_GT(cond, 0.0);
+  EXPECT_LT(cond, limit);        // conditioned on being below the limit
+  EXPECT_LT(cond, 1.0 / lambda); // and below the unconditional mean
+}
+
+TEST(Analytic, TruncatedTtfMatchesMonteCarlo) {
+  Rng rng(1);
+  const double lambda = 0.02, limit = 30.0;
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) {
+    const double t = rng.exponential(lambda);
+    if (t < limit) stats.add(t);
+  }
+  EXPECT_NEAR(expected_ttf_truncated(lambda, limit), stats.mean(), 0.05);
+}
+
+TEST(Analytic, Eq1MatchesClassicRestartFormula) {
+  for (double t : {hours(1), hours(12), days(2)}) {
+    const double expected = std::expm1(kLambda * t) / kLambda;
+    EXPECT_NEAR(expected_time_no_checkpoint(kLambda, t), expected,
+                expected * 1e-12);
+  }
+}
+
+TEST(Analytic, PaperLiteralEq1TyposCancel) {
+  // The printed Eq. (1) has a wrong E[F] and a missing denominator that
+  // exactly cancel: it equals the corrected closed form.
+  for (double t : {hours(1), hours(6), days(1), days(2)}) {
+    EXPECT_NEAR(paper_literal::eq1(kLambda, t),
+                expected_time_no_checkpoint(kLambda, t),
+                expected_time_no_checkpoint(kLambda, t) * 1e-9)
+        << "T=" << t;
+  }
+}
+
+TEST(Analytic, PaperLiteralEq3TypoDoesNotCancel) {
+  // The printed Eq. (3) uses e^{lambda T} where the derivation needs
+  // e^{lambda N}; for N << T it wildly overestimates.
+  const double t = days(2), n = hours(1);
+  const double printed = paper_literal::eq3(kLambda, t, n);
+  const double corrected = expected_time_checkpoint(kLambda, t, n);
+  EXPECT_GT(printed, 10.0 * corrected);
+  // And they agree when N == T (the typo is then vacuous).
+  EXPECT_NEAR(paper_literal::eq3(kLambda, t, t),
+              expected_time_checkpoint(kLambda, t, t),
+              expected_time_checkpoint(kLambda, t, t) * 1e-9);
+}
+
+TEST(Analytic, CheckpointingBeatsRestartForLongJobs) {
+  const double t = days(2);
+  EXPECT_LT(expected_time_checkpoint(kLambda, t, hours(1)),
+            expected_time_no_checkpoint(kLambda, t));
+}
+
+TEST(Analytic, ZeroOverheadLimitRecoversEq3) {
+  const double t = days(1), n = hours(2);
+  EXPECT_NEAR(expected_time_checkpoint_overhead(kLambda, t, n, 0.0, 0.0),
+              expected_time_checkpoint(kLambda, t, n), 1e-6);
+}
+
+TEST(Analytic, OverheadMonotonicity) {
+  const double t = days(1), n = hours(1);
+  const double base =
+      expected_time_checkpoint_overhead(kLambda, t, n, 10.0, 60.0);
+  EXPECT_GT(expected_time_checkpoint_overhead(kLambda, t, n, 20.0, 60.0),
+            base);
+  EXPECT_GT(expected_time_checkpoint_overhead(kLambda, t, n, 10.0, 120.0),
+            base);
+}
+
+TEST(Analytic, RatioIsAboveOne) {
+  EXPECT_GT(expected_time_ratio(kLambda, days(2), hours(1), 10.0, 60.0),
+            1.0);
+}
+
+TEST(Analytic, OptimalIntervalNearYoungApproximation) {
+  // For small lambda*Tov Young's N* = sqrt(2 Tov / lambda) is accurate.
+  const double tov = 10.0;
+  const auto opt = optimal_interval(kLambda, days(2), tov, 0.0);
+  const double young = young_interval(kLambda, tov);
+  EXPECT_NEAR(opt.interval, young, young * 0.1);
+}
+
+TEST(Analytic, OptimalIntervalIsAMinimum) {
+  const double tov = 156.0, tr = 60.0, t = days(2);
+  const auto opt = optimal_interval(kLambda, t, tov, tr);
+  const double at = expected_time_ratio(kLambda, t, opt.interval, tov, tr);
+  EXPECT_NEAR(at, opt.ratio, 1e-12);
+  EXPECT_LT(at, expected_time_ratio(kLambda, t, opt.interval * 2, tov, tr));
+  EXPECT_LT(at, expected_time_ratio(kLambda, t, opt.interval / 2, tov, tr));
+}
+
+TEST(Analytic, HigherOverheadPushesIntervalUp) {
+  const auto cheap = optimal_interval(kLambda, days(2), 1.0, 60.0);
+  const auto pricey = optimal_interval(kLambda, days(2), 150.0, 60.0);
+  EXPECT_GT(pricey.interval, cheap.interval);
+  EXPECT_GT(pricey.ratio, cheap.ratio);
+}
+
+TEST(Analytic, InvalidParamsRejected) {
+  EXPECT_THROW(expected_time_no_checkpoint(0.0, 10.0), ConfigError);
+  EXPECT_THROW(expected_time_checkpoint(0.1, 10.0, 0.0), ConfigError);
+  EXPECT_THROW(expected_time_checkpoint_overhead(0.1, 10.0, 1.0, -1.0, 0.0),
+               ConfigError);
+  EXPECT_THROW(young_interval(0.1, 0.0), ConfigError);
+}
+
+TEST(MonteCarlo, NoCheckpointMatchesEq1) {
+  McConfig config;
+  config.lambda = 1.0 / 3600.0;
+  config.total_work = hours(2);
+  config.interval = 0.0;  // no checkpointing
+  config.trials = 20000;
+  auto stats = simulate_completion_times(config, Rng(2));
+  const double analytic =
+      expected_time_no_checkpoint(config.lambda, config.total_work);
+  EXPECT_NEAR(stats.mean(), analytic, 4 * stats.ci95_halfwidth());
+}
+
+TEST(MonteCarlo, CheckpointWithOverheadMatchesModel) {
+  McConfig config;
+  config.lambda = 1.0 / 1800.0;
+  config.total_work = hours(4);
+  config.interval = minutes(20);
+  config.overhead = 30.0;
+  config.repair = 90.0;
+  config.trials = 20000;
+  auto stats = simulate_completion_times(config, Rng(3));
+  const double analytic = expected_time_checkpoint_overhead(
+      config.lambda, config.total_work, config.interval, config.overhead,
+      config.repair);
+  EXPECT_NEAR(stats.mean(), analytic, 4 * stats.ci95_halfwidth());
+}
+
+TEST(MonteCarlo, CheckpointingReducesTailRisk) {
+  McConfig with;
+  with.lambda = 1.0 / 1800.0;
+  with.total_work = hours(4);
+  with.interval = minutes(15);
+  with.trials = 5000;
+  McConfig without = with;
+  without.interval = 0.0;
+  auto w = simulate_completion_times(with, Rng(4));
+  auto wo = simulate_completion_times(without, Rng(4));
+  EXPECT_LT(w.mean(), wo.mean());
+  EXPECT_LT(w.max(), wo.max());
+}
+
+TEST(Overhead, DiskfullDominatedByNasPath) {
+  const Fig5Scenario fig5 = fig5_scenario();
+  const auto costs = diskfull_costs(fig5.shape, fig5.hw);
+  // 48 GiB through a 10 Gbit front-end plus a 400 MiB/s array write:
+  // minutes, not milliseconds.
+  EXPECT_GT(costs.overhead, 60.0);
+  EXPECT_DOUBLE_EQ(costs.overhead, costs.latency);
+  EXPECT_GT(costs.repair, fig5.hw.detection_time);
+}
+
+TEST(Overhead, DisklessOverlappedIsBaseOnly) {
+  const Fig5Scenario fig5 = fig5_scenario();
+  const auto costs = diskless_costs(fig5.shape, fig5.hw, true);
+  EXPECT_DOUBLE_EQ(costs.overhead, fig5.hw.base_overhead);
+  EXPECT_GT(costs.latency, costs.overhead);
+}
+
+TEST(Overhead, DisklessSyncStillBeatsDiskfull) {
+  const Fig5Scenario fig5 = fig5_scenario();
+  const auto diskless = diskless_costs(fig5.shape, fig5.hw, false);
+  const auto diskfull = diskfull_costs(fig5.shape, fig5.hw);
+  EXPECT_LT(diskless.overhead, diskfull.overhead);
+  EXPECT_LT(diskless.latency, diskfull.latency);
+}
+
+TEST(Overhead, DisklessNetworkScalesWithClusterSize) {
+  // Same total data, more nodes: the diskless exchange shrinks (~1/n) while
+  // the NAS path stays constant — the paper's linear-speedup claim.
+  HardwareProfile hw;
+  ClusterShape small{4, 6, gib(1)};   // 24 VMs
+  ClusterShape large{12, 2, gib(1)};  // 24 VMs
+  const auto small_cost = diskless_costs(small, hw, false);
+  const auto large_cost = diskless_costs(large, hw, false);
+  EXPECT_LT(large_cost.latency, small_cost.latency);
+  const auto nas_small = diskfull_costs(small, hw);
+  const auto nas_large = diskfull_costs(large, hw);
+  EXPECT_NEAR(nas_small.overhead, nas_large.overhead,
+              nas_small.overhead * 0.01);
+}
+
+TEST(Overhead, Fig5ScenarioMatchesPaperParameters) {
+  const Fig5Scenario fig5 = fig5_scenario();
+  EXPECT_NEAR(fig5.lambda, 9.26e-5, 1e-7);
+  EXPECT_DOUBLE_EQ(fig5.total_work, days(2));
+  EXPECT_EQ(fig5.shape.nodes, 4u);
+  EXPECT_EQ(fig5.shape.total_vms(), 12u);
+  EXPECT_DOUBLE_EQ(fig5.hw.base_overhead, 0.040);
+}
+
+TEST(Overhead, Fig5HeadlineShape) {
+  // The figure's qualitative claims: at optimal intervals the disk-full
+  // baseline adds ~20% and diskless stays within a few percent, an
+  // improvement in expected time to completion of roughly 18%.
+  const Fig5Scenario fig5 = fig5_scenario();
+  const auto df = diskfull_costs(fig5.shape, fig5.hw);
+  const auto dl = diskless_costs(fig5.shape, fig5.hw, true);
+  const auto opt_df = optimal_interval(fig5.lambda, fig5.total_work,
+                                       df.overhead, df.repair);
+  const auto opt_dl = optimal_interval(fig5.lambda, fig5.total_work,
+                                       dl.overhead, dl.repair);
+  EXPECT_GT(opt_df.ratio, 1.10);
+  EXPECT_LT(opt_df.ratio, 1.30);
+  EXPECT_LT(opt_dl.ratio, 1.03);
+  const double reduction = 1.0 - opt_dl.ratio / opt_df.ratio;
+  EXPECT_GT(reduction, 0.10);
+  EXPECT_LT(reduction, 0.25);
+}
+
+}  // namespace
+}  // namespace vdc::model

@@ -1,0 +1,109 @@
+// Tests for the generalized (renewal-process) Monte-Carlo: exponential
+// gaps must reproduce the closed form, non-exponential gaps probe the
+// paper's Poisson-assumption caveat.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "failure/distributions.hpp"
+#include "model/analytic.hpp"
+#include "model/montecarlo.hpp"
+
+namespace vdc::model {
+namespace {
+
+TEST(McTtf, ExponentialMatchesClosedForm) {
+  McConfig config;
+  config.total_work = hours(3);
+  config.interval = minutes(15);
+  config.overhead = 20.0;
+  config.repair = 60.0;
+  config.trials = 20000;
+  const double lambda = 1.0 / 1800.0;
+
+  failure::ExponentialTtf ttf(lambda);
+  auto stats = simulate_completion_times_ttf(config, ttf, Rng(1));
+  const double analytic = expected_time_checkpoint_overhead(
+      lambda, config.total_work, config.interval, config.overhead,
+      config.repair);
+  EXPECT_NEAR(stats.mean(), analytic, 4 * stats.ci95_halfwidth());
+}
+
+TEST(McTtf, ExponentialMatchesMemorylessSampler) {
+  // The generic renewal sampler and the memoryless-subtraction sampler
+  // must agree in distribution for exponential gaps.
+  McConfig config;
+  config.lambda = 1.0 / 900.0;
+  config.total_work = hours(1);
+  config.interval = minutes(10);
+  config.overhead = 10.0;
+  config.repair = 30.0;
+  config.trials = 20000;
+
+  failure::ExponentialTtf ttf(config.lambda);
+  auto generic = simulate_completion_times_ttf(config, ttf, Rng(2));
+  auto memoryless = simulate_completion_times(config, Rng(3));
+  EXPECT_NEAR(generic.mean(), memoryless.mean(),
+              4 * (generic.ci95_halfwidth() + memoryless.ci95_halfwidth()));
+}
+
+TEST(McTtf, WeibullShapeMattersAtEqualMtbf) {
+  // Same MTBF, different hazard shapes: completion times differ, which is
+  // exactly why the paper flags the bathtub curve as a caveat.
+  McConfig config;
+  config.total_work = hours(4);
+  config.interval = minutes(20);
+  config.overhead = 30.0;
+  config.repair = 60.0;
+  config.trials = 8000;
+  const double mtbf = 1800.0;
+
+  failure::ExponentialTtf expo(1.0 / mtbf);
+  // Weibull with shape 0.6 and matched mean.
+  const double shape = 0.6;
+  const double scale = mtbf / std::tgamma(1.0 + 1.0 / shape);
+  failure::WeibullTtf weib(shape, scale);
+  ASSERT_NEAR(weib.mtbf(), mtbf, 1.0);
+
+  auto e = simulate_completion_times_ttf(config, expo, Rng(4));
+  auto w = simulate_completion_times_ttf(config, weib, Rng(5));
+  // Heavy-tailed gaps (shape < 1) leave long quiet windows: at equal MTBF
+  // the job completes faster than under Poisson failures.
+  EXPECT_LT(w.mean(), e.mean() * 0.97);
+}
+
+TEST(McTtf, TraceGapsReplayDeterministically) {
+  McConfig config;
+  config.total_work = hours(1);
+  config.interval = minutes(30);
+  config.overhead = 0.0;
+  config.repair = 100.0;
+  config.trials = 1;
+
+  // One failure at 45 min (mid second segment), then silence.
+  failure::TraceTtf trace({minutes(45), hours(100)});
+  Rng rng(6);
+  const SimTime t = sample_completion_time_ttf(config, trace, rng);
+  // Timeline: segment1 commits at 30 min; segment2 fails at 45 min
+  // (15 min lost) + 100 s repair; segment2 redone in 30 min.
+  EXPECT_NEAR(t, minutes(45) + 100.0 + minutes(30), 1.0);
+}
+
+TEST(McTtf, NoFailuresWithinHorizonIsFaultFree) {
+  McConfig config;
+  config.total_work = hours(1);
+  config.interval = minutes(10);
+  config.overhead = 5.0;
+  config.repair = 60.0;
+  config.trials = 1;
+  failure::TraceTtf trace({hours(1000)});
+  Rng rng(7);
+  const SimTime t = sample_completion_time_ttf(config, trace, rng);
+  // 6 segments, 5 paying overhead (the final stretch needs no trailing
+  // checkpoint in the runtime, but the renewal model charges all 6).
+  EXPECT_NEAR(t, hours(1) + 6 * 5.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace vdc::model

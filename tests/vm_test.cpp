@@ -1,0 +1,281 @@
+// Tests for memory images (dirty tracking, COW snapshots), guest
+// workloads, virtual machines and the hypervisor.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "vm/machine.hpp"
+#include "vm/memory_image.hpp"
+#include "vm/workload.hpp"
+
+namespace vdc::vm {
+namespace {
+
+std::vector<std::byte> bytes_of(std::initializer_list<int> xs) {
+  std::vector<std::byte> out;
+  for (int x : xs) out.push_back(static_cast<std::byte>(x));
+  return out;
+}
+
+TEST(MemoryImage, StartsCleanAndZeroed) {
+  MemoryImage img(16, 4);
+  EXPECT_EQ(img.size_bytes(), 64u);
+  EXPECT_EQ(img.dirty_count(), 0u);
+  for (std::size_t p = 0; p < 4; ++p)
+    for (std::byte b : img.page(p)) EXPECT_EQ(b, std::byte{0});
+}
+
+TEST(MemoryImage, WriteMarksDirtyOnce) {
+  MemoryImage img(16, 4);
+  const auto data = bytes_of({1, 2, 3});
+  img.write(2, 5, data);
+  EXPECT_TRUE(img.is_dirty(2));
+  EXPECT_FALSE(img.is_dirty(0));
+  EXPECT_EQ(img.dirty_count(), 1u);
+  img.write(2, 0, data);  // same page again
+  EXPECT_EQ(img.dirty_count(), 1u);
+  EXPECT_EQ(img.dirty_pages(), (std::vector<PageIndex>{2}));
+  EXPECT_EQ(static_cast<int>(img.page(2)[5]), 1);
+  EXPECT_EQ(static_cast<int>(img.page(2)[7]), 3);
+}
+
+TEST(MemoryImage, ClearDirtyResets) {
+  MemoryImage img(16, 4);
+  img.write(1, 0, bytes_of({9}));
+  img.clear_dirty();
+  EXPECT_EQ(img.dirty_count(), 0u);
+  EXPECT_FALSE(img.is_dirty(1));
+  // Content survives.
+  EXPECT_EQ(static_cast<int>(img.page(1)[0]), 9);
+}
+
+TEST(MemoryImage, OutOfBoundsWriteThrows) {
+  MemoryImage img(16, 4);
+  EXPECT_THROW(img.write(4, 0, bytes_of({1})), InvariantError);
+  std::vector<std::byte> big(17);
+  EXPECT_THROW(img.write(0, 0, big), InvariantError);
+  EXPECT_THROW(img.write(0, 10, bytes_of({1, 2, 3, 4, 5, 6, 7})),
+               InvariantError);
+}
+
+TEST(MemoryImage, FillRandomIsDeterministic) {
+  MemoryImage a(64, 8), b(64, 8);
+  Rng ra(42), rb(42);
+  a.fill_random(ra);
+  b.fill_random(rb);
+  EXPECT_EQ(a.flatten(), b.flatten());
+  EXPECT_EQ(a.dirty_count(), 8u);
+}
+
+TEST(MemoryImage, SparseFillLeavesZeroPages) {
+  MemoryImage img(64, 1000);
+  Rng rng(99);
+  img.fill_random(rng, /*zero_fraction=*/0.5);
+  std::size_t zero_pages = 0;
+  for (PageIndex p = 0; p < 1000; ++p) {
+    bool all_zero = true;
+    for (std::byte b : img.page(p))
+      if (b != std::byte{0}) all_zero = false;
+    if (all_zero) ++zero_pages;
+  }
+  EXPECT_GT(zero_pages, 400u);
+  EXPECT_LT(zero_pages, 600u);
+  EXPECT_THROW(img.fill_random(rng, 1.5), ConfigError);
+}
+
+TEST(MemoryImage, RestoreReplacesContent) {
+  MemoryImage img(16, 2);
+  img.write(0, 0, bytes_of({1}));
+  std::vector<std::byte> replacement(32, std::byte{7});
+  img.restore(replacement);
+  EXPECT_EQ(img.flatten(), replacement);
+  EXPECT_EQ(img.dirty_count(), 2u);  // restore marks everything dirty
+  EXPECT_THROW(img.restore(std::vector<std::byte>(31)), ConfigError);
+}
+
+TEST(CowSnapshot, FrozenViewSurvivesWrites) {
+  MemoryImage img(16, 4);
+  img.write(1, 0, bytes_of({11}));
+  auto snap = img.fork_cow();
+  img.write(1, 0, bytes_of({99}));
+  img.write(3, 2, bytes_of({55}));
+  // Live image sees the new bytes; the snapshot sees the old ones.
+  EXPECT_EQ(static_cast<int>(img.page(1)[0]), 99);
+  EXPECT_EQ(static_cast<int>(snap->page(1)[0]), 11);
+  EXPECT_EQ(static_cast<int>(snap->page(3)[2]), 0);
+  EXPECT_EQ(snap->preserved_page_count(), 2u);
+}
+
+TEST(CowSnapshot, UntouchedPagesAreNotCopied) {
+  MemoryImage img(16, 8);
+  auto snap = img.fork_cow();
+  img.write(0, 0, bytes_of({1}));
+  img.write(0, 1, bytes_of({2}));  // same page: one preservation
+  EXPECT_EQ(snap->preserved_page_count(), 1u);
+}
+
+TEST(CowSnapshot, MaterializeEqualsForkTimeContent) {
+  MemoryImage img(32, 4);
+  Rng rng(7);
+  img.fill_random(rng);
+  const auto before = img.flatten();
+  auto snap = img.fork_cow();
+  img.write(2, 3, bytes_of({1, 2, 3}));
+  EXPECT_EQ(snap->materialize(), before);
+  EXPECT_NE(img.flatten(), before);
+}
+
+TEST(CowSnapshot, OnlyOneAtATime) {
+  MemoryImage img(16, 2);
+  auto snap = img.fork_cow();
+  EXPECT_THROW(img.fork_cow(), ConfigError);
+  snap.reset();
+  EXPECT_NO_THROW(img.fork_cow());
+}
+
+TEST(CowSnapshot, RestorePreservesSnapshotView) {
+  MemoryImage img(16, 2);
+  img.write(0, 0, bytes_of({42}));
+  auto snap = img.fork_cow();
+  img.restore(std::vector<std::byte>(32, std::byte{9}));
+  EXPECT_EQ(static_cast<int>(snap->page(0)[0]), 42);
+}
+
+TEST(Workload, UniformHitsTargetRate) {
+  MemoryImage img(64, 100);
+  Rng rng(1);
+  UniformWorkload w(100.0);  // writes/sec
+  w.advance(img, 2.0, rng);
+  // 200 writes over 100 pages: most pages dirty, content changed.
+  EXPECT_GT(img.dirty_count(), 50u);
+}
+
+TEST(Workload, FractionalRateAccumulates) {
+  MemoryImage img(64, 10);
+  Rng rng(2);
+  UniformWorkload w(0.5);
+  for (int i = 0; i < 10; ++i) w.advance(img, 1.0, rng);  // 5 writes total
+  EXPECT_GE(img.dirty_count(), 1u);
+  EXPECT_LE(img.dirty_count(), 5u);
+}
+
+TEST(Workload, HotColdConcentratesWrites) {
+  MemoryImage img(64, 1000);
+  Rng rng(3);
+  HotColdWorkload w(1000.0, /*hot_fraction=*/0.1, /*hot_probability=*/0.9);
+  w.advance(img, 5.0, rng);  // 5000 writes
+  // Count dirty pages inside and outside the hot set (first 100 pages).
+  std::size_t hot = 0, cold = 0;
+  for (PageIndex p = 0; p < 1000; ++p) {
+    if (!img.is_dirty(p)) continue;
+    (p < 100 ? hot : cold) += 1;
+  }
+  EXPECT_EQ(hot, 100u);  // hot set saturates
+  EXPECT_LT(cold, 450u); // ~500 cold writes over 900 pages
+}
+
+TEST(Workload, SequentialWalksInOrder) {
+  MemoryImage img(64, 10);
+  Rng rng(4);
+  SequentialWorkload w(1.0);
+  w.advance(img, 3.0, rng);
+  EXPECT_EQ(img.dirty_pages(), (std::vector<PageIndex>{0, 1, 2}));
+  w.advance(img, 9.0, rng);  // wraps past page 9
+  EXPECT_EQ(img.dirty_count(), 10u);
+}
+
+TEST(Workload, IdleWritesNothing) {
+  MemoryImage img(64, 10);
+  Rng rng(5);
+  IdleWorkload w;
+  w.advance(img, 100.0, rng);
+  EXPECT_EQ(img.dirty_count(), 0u);
+}
+
+TEST(Workload, InvalidParamsRejected) {
+  EXPECT_THROW(UniformWorkload(-1.0), ConfigError);
+  EXPECT_THROW(HotColdWorkload(1.0, 0.0, 0.5), ConfigError);
+  EXPECT_THROW(HotColdWorkload(1.0, 0.5, 1.5), ConfigError);
+}
+
+TEST(VirtualMachine, AdvanceOnlyWhileRunning) {
+  VirtualMachine machine(1, "vm1", 64, 10,
+                         std::make_unique<UniformWorkload>(10.0));
+  Rng rng(6);
+  machine.advance(1.0, rng);
+  EXPECT_DOUBLE_EQ(machine.cpu_time(), 1.0);
+  machine.pause();
+  machine.advance(1.0, rng);
+  EXPECT_DOUBLE_EQ(machine.cpu_time(), 1.0);  // paused: no progress
+  machine.resume();
+  machine.advance(0.5, rng);
+  EXPECT_DOUBLE_EQ(machine.cpu_time(), 1.5);
+}
+
+TEST(VirtualMachine, FailedVmRejectsTransitions) {
+  VirtualMachine machine(1, "vm1", 64, 10,
+                         std::make_unique<IdleWorkload>());
+  machine.mark_failed();
+  EXPECT_THROW(machine.pause(), InvariantError);
+  EXPECT_THROW(machine.resume(), InvariantError);
+}
+
+TEST(Hypervisor, CreateBootsWithRandomImage) {
+  Hypervisor hv(Rng(7));
+  auto& machine =
+      hv.create_vm(1, "a", 64, 10, std::make_unique<IdleWorkload>());
+  EXPECT_EQ(hv.vm_count(), 1u);
+  EXPECT_EQ(machine.image().dirty_count(), 0u);  // booted clean
+  // Booted content is non-trivial.
+  bool nonzero = false;
+  for (std::byte b : machine.image().page(0))
+    if (b != std::byte{0}) nonzero = true;
+  EXPECT_TRUE(nonzero);
+  EXPECT_THROW(
+      hv.create_vm(1, "dup", 64, 10, std::make_unique<IdleWorkload>()),
+      ConfigError);
+}
+
+TEST(Hypervisor, EvictAdoptMovesOwnership) {
+  Hypervisor a(Rng(8)), b(Rng(9));
+  a.create_vm(1, "a", 64, 4, std::make_unique<IdleWorkload>());
+  const auto content = a.get(1).image().flatten();
+  auto machine = a.evict(1);
+  EXPECT_EQ(a.vm_count(), 0u);
+  EXPECT_THROW(a.get(1), ConfigError);
+  b.adopt(std::move(machine));
+  EXPECT_TRUE(b.hosts(1));
+  EXPECT_EQ(b.get(1).image().flatten(), content);
+}
+
+TEST(Hypervisor, PauseResumeAll) {
+  Hypervisor hv(Rng(10));
+  hv.create_vm(1, "a", 64, 4, std::make_unique<IdleWorkload>());
+  hv.create_vm(2, "b", 64, 4, std::make_unique<IdleWorkload>());
+  hv.pause_all();
+  EXPECT_EQ(hv.get(1).state(), VmState::Paused);
+  EXPECT_EQ(hv.get(2).state(), VmState::Paused);
+  hv.resume_all();
+  EXPECT_EQ(hv.get(1).state(), VmState::Running);
+}
+
+TEST(Hypervisor, VmIdsSorted) {
+  Hypervisor hv(Rng(11));
+  hv.create_vm(5, "a", 64, 2, std::make_unique<IdleWorkload>());
+  hv.create_vm(1, "b", 64, 2, std::make_unique<IdleWorkload>());
+  hv.create_vm(3, "c", 64, 2, std::make_unique<IdleWorkload>());
+  EXPECT_EQ(hv.vm_ids(), (std::vector<VmId>{1, 3, 5}));
+}
+
+TEST(Hypervisor, SnapshotAndForkMatchImage) {
+  Hypervisor hv(Rng(12));
+  hv.create_vm(1, "a", 64, 8, std::make_unique<IdleWorkload>());
+  const auto snap = hv.snapshot(1);
+  EXPECT_EQ(snap, hv.get(1).image().flatten());
+  auto fork = hv.fork(1);
+  EXPECT_EQ(fork->materialize(), snap);
+}
+
+}  // namespace
+}  // namespace vdc::vm

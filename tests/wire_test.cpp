@@ -1,0 +1,167 @@
+// Tests for CRC-32, the checkpoint wire format, and the thread-parallel
+// parity kernels.
+
+#include <gtest/gtest.h>
+
+#include "checkpoint/wire.hpp"
+#include "common/crc32.hpp"
+#include "common/rng.hpp"
+#include "parity/parallel.hpp"
+#include "parity/xor.hpp"
+
+namespace vdc {
+namespace {
+
+std::vector<std::byte> random_bytes(Rng& rng, std::size_t n) {
+  std::vector<std::byte> out(n);
+  for (auto& b : out) b = static_cast<std::byte>(rng.next() & 0xff);
+  return out;
+}
+
+TEST(Crc32, KnownVectors) {
+  // Classic check value: crc32("123456789") == 0xCBF43926.
+  const char* s = "123456789";
+  EXPECT_EQ(crc32({reinterpret_cast<const std::byte*>(s), 9}), 0xCBF43926u);
+  EXPECT_EQ(crc32({}), 0u);
+}
+
+TEST(Crc32, ChunkedEqualsWhole) {
+  Rng rng(1);
+  const auto data = random_bytes(rng, 1000);
+  const auto whole = crc32(data);
+  const auto part1 =
+      crc32({data.data(), 400});
+  const auto chunked = crc32({data.data() + 400, 600}, part1);
+  EXPECT_EQ(chunked, whole);
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  Rng rng(2);
+  auto data = random_bytes(rng, 256);
+  const auto before = crc32(data);
+  data[100] ^= std::byte{0x01};
+  EXPECT_NE(crc32(data), before);
+}
+
+TEST(Wire, RoundtripPreservesEverything) {
+  Rng rng(3);
+  checkpoint::Checkpoint cp;
+  cp.vm = 42;
+  cp.epoch = 1234567890123ull;
+  cp.page_size = 4096;
+  cp.payload = random_bytes(rng, 10000);
+
+  const auto frame = checkpoint::encode_frame(cp);
+  EXPECT_EQ(frame.size(), checkpoint::frame_size(cp.payload.size()));
+  const auto back = checkpoint::decode_frame(frame);
+  EXPECT_EQ(back.vm, cp.vm);
+  EXPECT_EQ(back.epoch, cp.epoch);
+  EXPECT_EQ(back.page_size, cp.page_size);
+  EXPECT_EQ(back.payload, cp.payload);
+}
+
+TEST(Wire, EmptyPayloadRoundtrips) {
+  checkpoint::Checkpoint cp;
+  cp.vm = 1;
+  cp.epoch = 1;
+  cp.page_size = 4096;
+  const auto frame = checkpoint::encode_frame(cp);
+  EXPECT_EQ(checkpoint::decode_frame(frame).payload.size(), 0u);
+}
+
+TEST(Wire, RejectsTruncation) {
+  Rng rng(4);
+  checkpoint::Checkpoint cp;
+  cp.vm = 1;
+  cp.epoch = 2;
+  cp.page_size = 64;
+  cp.payload = random_bytes(rng, 500);
+  auto frame = checkpoint::encode_frame(cp);
+  frame.resize(frame.size() - 1);
+  EXPECT_THROW(checkpoint::decode_frame(frame), checkpoint::WireError);
+  EXPECT_THROW(checkpoint::decode_frame({frame.data(), 10}),
+               checkpoint::WireError);
+}
+
+TEST(Wire, RejectsBadMagicAndCorruptHeader) {
+  checkpoint::Checkpoint cp;
+  cp.vm = 7;
+  cp.epoch = 9;
+  cp.page_size = 64;
+  cp.payload.assign(64, std::byte{0x5a});
+  auto frame = checkpoint::encode_frame(cp);
+
+  auto bad_magic = frame;
+  bad_magic[0] = std::byte{'X'};
+  EXPECT_THROW(checkpoint::decode_frame(bad_magic), checkpoint::WireError);
+
+  auto bad_header = frame;
+  bad_header[12] ^= std::byte{0xff};  // epoch field, covered by header crc
+  EXPECT_THROW(checkpoint::decode_frame(bad_header), checkpoint::WireError);
+}
+
+TEST(Wire, RejectsPayloadBitFlip) {
+  Rng rng(5);
+  checkpoint::Checkpoint cp;
+  cp.vm = 7;
+  cp.epoch = 9;
+  cp.page_size = 64;
+  cp.payload = random_bytes(rng, 4096);
+  auto frame = checkpoint::encode_frame(cp);
+  frame[40 + 2000] ^= std::byte{0x01};
+  EXPECT_THROW(checkpoint::decode_frame(frame), checkpoint::WireError);
+}
+
+TEST(ParallelParity, MatchesSerialAcrossThreadCounts) {
+  Rng rng(6);
+  for (std::size_t size : {100u, 4096u, 1u << 20}) {
+    const auto src = random_bytes(rng, size);
+    const auto base = random_bytes(rng, size);
+    auto expect = base;
+    parity::xor_into(expect, src);
+    for (unsigned threads : {1u, 2u, 4u, 9u}) {
+      auto dst = base;
+      parity::parallel_xor_into(dst, src, threads);
+      ASSERT_EQ(dst, expect) << "size " << size << " threads " << threads;
+    }
+  }
+}
+
+TEST(ParallelParity, XorAllMatchesSerialReduce) {
+  Rng rng(7);
+  std::vector<parity::Block> sources;
+  for (int i = 0; i < 5; ++i) sources.push_back(random_bytes(rng, 1 << 19));
+  std::vector<parity::BlockView> views(sources.begin(), sources.end());
+
+  parity::Block expect(sources[0].size(), std::byte{0});
+  for (const auto& s : sources) parity::xor_into(expect, s);
+
+  for (unsigned threads : {1u, 3u, 8u})
+    EXPECT_EQ(parity::parallel_xor_all(views, threads), expect);
+}
+
+TEST(ParallelParity, SmallBuffersStaySerial) {
+  // Below the shard threshold the work must still be correct (and not
+  // spawn threads, though that part is unobservable here).
+  Rng rng(8);
+  const auto src = random_bytes(rng, 64);
+  auto dst = random_bytes(rng, 64);
+  auto expect = dst;
+  parity::xor_into(expect, src);
+  parity::parallel_xor_into(dst, src, 16);
+  EXPECT_EQ(dst, expect);
+}
+
+TEST(ParallelParity, DefaultThreadsSane) {
+  const unsigned n = parity::default_parity_threads();
+  EXPECT_GE(n, 1u);
+  EXPECT_LE(n, 16u);
+}
+
+TEST(ParallelParity, SizeMismatchThrows) {
+  std::vector<std::byte> a(10), b(11);
+  EXPECT_THROW(parity::parallel_xor_into(a, b, 2), InvariantError);
+}
+
+}  // namespace
+}  // namespace vdc
