@@ -1,13 +1,55 @@
 #pragma once
-// Shared helpers for the benchmark/figure harnesses: aligned table output
-// and human-readable units.
+// Shared helpers for the benchmark/figure harnesses: aligned table output,
+// human-readable units, and opt-in trace capture (--trace=PREFIX or the
+// VDC_TRACE environment variable) that dumps one Chrome trace-event file
+// per instrumented run, loadable in chrome://tracing or Perfetto.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
 #include <string>
 
 #include "common/units.hpp"
+#include "simkit/simulator.hpp"
+#include "telemetry/sinks.hpp"
 
 namespace vdc::bench {
+
+/// Where (and whether) to dump per-run traces. Disabled unless the binary
+/// got `--trace=PREFIX` or the VDC_TRACE env var names a prefix; each
+/// attached run then writes `PREFIX-<label>.json`.
+class TraceSpec {
+ public:
+  static TraceSpec from_args(int argc, char** argv) {
+    TraceSpec spec;
+    for (int i = 1; i < argc; ++i)
+      if (std::strncmp(argv[i], "--trace=", 8) == 0) spec.prefix_ = argv[i] + 8;
+    if (spec.prefix_.empty())
+      if (const char* env = std::getenv("VDC_TRACE"))
+        spec.prefix_ = env;
+    return spec;
+  }
+
+  bool enabled() const { return !prefix_.empty(); }
+
+  /// Enable span tracing on `sim` and attach a Chrome trace sink writing to
+  /// `PREFIX-<label>.json`. Returns nullptr when tracing is off. Call
+  /// `sim.telemetry().flush()` after the run to write the file (the sink
+  /// also writes on destruction as a fallback).
+  std::shared_ptr<telemetry::ChromeTraceSink> attach(
+      simkit::Simulator& sim, const std::string& label) const {
+    if (!enabled()) return nullptr;
+    auto sink = std::make_shared<telemetry::ChromeTraceSink>(
+        prefix_ + "-" + label + ".json", label);
+    sim.telemetry().set_enabled(true);
+    sim.telemetry().add_sink(sink);
+    return sink;
+  }
+
+ private:
+  std::string prefix_;
+};
 
 inline void banner(const std::string& title, const std::string& subtitle) {
   std::printf("\n================================================================\n");

@@ -29,7 +29,8 @@ ClusterConfig shape() {
   return cc;
 }
 
-double mean_ratio(SimTime interval, bool diskless, int seeds) {
+double mean_ratio(SimTime interval, bool diskless, int seeds,
+                  const bench::TraceSpec& trace) {
   const ClusterConfig cc = shape();
   DiskFullConfig df;
   df.nas.frontend_rate = mib_per_s(25);
@@ -62,7 +63,16 @@ double mean_ratio(SimTime interval, bool diskless, int seeds) {
       };
     }
     JobRunner runner(job, cc, factory);
+    // One trace per point (first seed only) keeps the file count sane.
+    if (seed == 1) {
+      char label[64];
+      std::snprintf(label, sizeof label, "%s-%ds",
+                    diskless ? "dvdc" : "diskfull",
+                    static_cast<int>(interval));
+      trace.attach(runner.sim(), label);
+    }
     const RunResult r = runner.run();
+    if (seed == 1 && trace.enabled()) runner.sim().telemetry().flush();
     if (r.finished) {
       sum += r.time_ratio;
       ++finished;
@@ -73,7 +83,8 @@ double mean_ratio(SimTime interval, bool diskless, int seeds) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto trace = bench::TraceSpec::from_args(argc, argv);
   bench::banner("FIG5-DES  the Figure 5 sweep on the discrete-event system",
                 "4x3 cluster, 1 MiB guests, MTBF 30 min, 2 h job; mean of "
                 "3 seeds per point (real bytes, real recovery)");
@@ -81,8 +92,8 @@ int main() {
   double best_df = 1e9, best_dl = 1e9;
   for (SimTime interval : {seconds(30), minutes(2), minutes(5),
                            minutes(10), minutes(20), minutes(40)}) {
-    const double r_df = mean_ratio(interval, false, 3);
-    const double r_dl = mean_ratio(interval, true, 3);
+    const double r_df = mean_ratio(interval, false, 3, trace);
+    const double r_dl = mean_ratio(interval, true, 3, trace);
     best_df = std::min(best_df, r_df);
     best_dl = std::min(best_dl, r_dl);
     std::printf("%12s  %14.4f  %14.4f\n",

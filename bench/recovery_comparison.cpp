@@ -47,8 +47,10 @@ struct Row {
 
 template <typename MakeBackend>
 Row run_backend(const char* name, const char* reserved,
+                const bench::TraceSpec& trace, const char* trace_label,
                 MakeBackend make_backend) {
   simkit::Simulator sim;
+  trace.attach(sim, trace_label);
   cluster::ClusterManager cluster(sim, Rng(11));
   const ClusterConfig cc = shape();
   auto workloads = make_workload_factory(cc);
@@ -79,6 +81,7 @@ Row run_backend(const char* name, const char* reserved,
     });
   });
   sim.run();
+  if (trace.enabled()) sim.telemetry().flush();
 
   Row row;
   row.scheme = name;
@@ -88,8 +91,9 @@ Row run_backend(const char* name, const char* reserved,
   return row;
 }
 
-Row run_remus() {
+Row run_remus(const bench::TraceSpec& trace) {
   simkit::Simulator sim;
+  trace.attach(sim, "remus");
   net::Fabric fabric(sim, 50e-6);
   const auto primary_host = fabric.add_host(mib_per_s(100));
   const auto backup_host = fabric.add_host(mib_per_s(100));
@@ -104,6 +108,7 @@ Row run_remus() {
   remus.start();
   sim.run_until(kCheckpointAge);
   const auto failover = remus.failover();
+  if (trace.enabled()) sim.telemetry().flush();
 
   Row row;
   row.scheme = "Remus (per-VM standby)";
@@ -116,7 +121,8 @@ Row run_remus() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto trace = bench::TraceSpec::from_args(argc, argv);
   bench::banner("CLAIM-REC  failure handling: DVDC vs Remus vs disk-full",
                 "failure strikes 60 s after the last checkpoint cut");
 
@@ -126,14 +132,15 @@ int main() {
       storage::DiskSpec{mib_per_s(60), mib_per_s(80), milliseconds(5)};
 
   const Row rows[] = {
-      run_remus(),
-      run_backend("DVDC (RAID-5 parity)", "1/n memory for parity",
+      run_remus(trace),
+      run_backend("DVDC (RAID-5 parity)", "1/n memory for parity", trace,
+                  "dvdc",
                   [&](auto& sim, auto& cluster, auto& workloads) {
                     return std::make_unique<DvdcBackend>(
                         sim, cluster, ProtocolConfig{}, RecoveryConfig{},
                         workloads);
                   }),
-      run_backend("disk-full (NAS)", "NAS capacity",
+      run_backend("disk-full (NAS)", "NAS capacity", trace, "diskfull",
                   [&](auto& sim, auto& cluster, auto& workloads) {
                     return std::make_unique<DiskFullBackend>(sim, cluster,
                                                              workloads, df);

@@ -3,8 +3,8 @@
 // The tool a downstream user reaches for first: describe a cluster and a
 // job, pick a checkpoint scheme, and get the completion-time breakdown.
 //
-//   $ ./vdcsim --nodes 8 --vms 2 --pages 256 --mtbf-min 45 \
-//              --interval-s 120 --scheme rs --rs-m 2 --seed 7
+//   $ ./vdcsim --nodes 8 --vms 2 --pages 256 --mtbf-min 45 --scheme rs
+//   $ ./vdcsim --interval-s 120 --rs-m 2 --seed 7
 //   $ ./vdcsim --scheme diskfull --work-h 4
 //   $ ./vdcsim --scheme none --mtbf-min 90
 //   $ ./vdcsim --help

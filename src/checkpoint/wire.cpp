@@ -37,8 +37,9 @@ std::vector<std::byte> encode_frame(const Checkpoint& checkpoint) {
   // Header CRC covers everything after itself up to the payload.
   put_u32(frame.data() + 4,
           crc32({frame.data() + 8, kHeaderSize - 8}));
-  std::memcpy(frame.data() + kHeaderSize, checkpoint.payload.data(),
-              checkpoint.payload.size());
+  if (!checkpoint.payload.empty())  // empty payload has a null data()
+    std::memcpy(frame.data() + kHeaderSize, checkpoint.payload.data(),
+                checkpoint.payload.size());
   return frame;
 }
 

@@ -1,8 +1,31 @@
 #include "common/log.hpp"
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 
 namespace vdc {
+
+Logger::Logger() {
+  const char* env = std::getenv("VDC_LOG");
+  if (env == nullptr || *env == '\0') return;
+  std::string name(env);
+  for (char& c : name)
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (name == "debug")
+    level_ = LogLevel::Debug;
+  else if (name == "info")
+    level_ = LogLevel::Info;
+  else if (name == "warn" || name == "warning")
+    level_ = LogLevel::Warn;
+  else if (name == "error")
+    level_ = LogLevel::Error;
+  else if (name == "off" || name == "none")
+    level_ = LogLevel::Off;
+  else
+    std::fprintf(stderr, "[WARN] log: unknown VDC_LOG level '%s' ignored\n",
+                 env);
+}
 
 Logger& Logger::instance() {
   static Logger logger;

@@ -2,8 +2,11 @@
 // Minimal leveled logger.
 //
 // Logging defaults to Warn so tests and benchmarks stay quiet; examples turn
-// on Info/Debug to narrate what the cluster is doing. The logger is a
-// process-wide singleton guarded for concurrent use from worker threads.
+// on Info/Debug to narrate what the cluster is doing. The VDC_LOG
+// environment variable (debug|info|warn|error|off, case-insensitive)
+// overrides the default at first use, so any binary can be made verbose
+// without a rebuild. The logger is a process-wide singleton guarded for
+// concurrent use from worker threads.
 
 #include <mutex>
 #include <sstream>
@@ -30,7 +33,7 @@ class Logger {
              const std::string& message);
 
  private:
-  Logger() = default;
+  Logger();  // reads the VDC_LOG environment variable
   LogLevel level_ = LogLevel::Warn;
   std::mutex mu_;
 };

@@ -65,8 +65,8 @@ void Samples::ensure_sorted() const {
 }
 
 double Samples::percentile(double p) const {
-  VDC_ASSERT_MSG(!xs_.empty(), "percentile of empty sample set");
   VDC_ASSERT(p >= 0.0 && p <= 100.0);
+  if (xs_.empty()) return 0.0;
   ensure_sorted();
   if (sorted_.size() == 1) return sorted_[0];
   const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);

@@ -36,7 +36,8 @@ class Samples {
   void add(double x) { xs_.push_back(x); }
   std::size_t count() const { return xs_.size(); }
   double mean() const;
-  /// Percentile in [0, 100] by linear interpolation. Requires samples.
+  /// Percentile in [0, 100] by linear interpolation; 0.0 when empty (so
+  /// exporters can query an untouched series without guarding).
   double percentile(double p) const;
   double median() const { return percentile(50.0); }
   const std::vector<double>& values() const { return xs_; }

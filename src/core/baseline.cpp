@@ -85,6 +85,10 @@ void DiskFullBackend::checkpoint(checkpoint::Epoch epoch, EpochDone done) {
         staged_.clear();
         store_.gc_before(epoch_);
         committed_ = epoch_;
+        auto& metrics = sim_.telemetry().metrics();
+        metrics.add("diskfull.epochs", 1.0);
+        metrics.add("diskfull.bytes_to_nas",
+                    static_cast<double>(stats_.bytes_shipped));
         if (config_.synchronous) {
           for (cluster::NodeId nid : cluster_.alive_nodes())
             cluster_.node(nid).hypervisor().resume_all();
@@ -165,6 +169,9 @@ void DiskFullBackend::handle_failure(cluster::NodeId /*victim*/,
       cluster_.node(nid).hypervisor().resume_all();
     stats->duration = sim_.now() - start;
     stats->success = true;
+    auto& metrics = sim_.telemetry().metrics();
+    metrics.add("diskfull.recoveries", 1.0);
+    metrics.observe("diskfull.recovery_s", stats->duration);
     done(*stats);
   };
 

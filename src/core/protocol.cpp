@@ -170,6 +170,14 @@ void DvdcCoordinator::run_epoch(const PlacedPlan& plan,
   work_.clear();
   groups_pending_ = plan.plan.groups.size();
 
+  auto& tel = sim_.telemetry();
+  auto& metrics = tel.metrics();
+  epoch_labels_ = telemetry::Labels{{"epoch", std::to_string(epoch)},
+                                    {"gen", std::to_string(gen)}};
+  epoch_span_ = tel.begin_span("epoch", epoch_labels_);
+  metrics.set("dvdc.epoch.groups",
+              static_cast<double>(plan.plan.groups.size()), epoch_labels_);
+
   // 1. Quiesce: a consistent cluster-wide cut.
   for (cluster::NodeId nid : cluster_.alive_nodes())
     cluster_.node(nid).hypervisor().pause_all();
@@ -210,7 +218,8 @@ void DvdcCoordinator::run_epoch(const PlacedPlan& plan,
       }
     }
     gw->full_exchange = !incremental;
-    if (gw->full_exchange) stats_.full_exchange = true;
+    if (gw->full_exchange)
+      metrics.add("dvdc.epoch.full_exchange_groups", 1.0, epoch_labels_);
 
     // Gather payloads (content frozen at the cut) and per-member costs.
     std::vector<std::vector<std::byte>> payloads;
@@ -241,7 +250,8 @@ void DvdcCoordinator::run_epoch(const PlacedPlan& plan,
             checkpoint::compress_delta(diff, prev->payload);
         contrib.wire = compressed.wire_bytes();
         contrib.xor_bytes = diff.raw_bytes();
-        stats_.raw_dirty_bytes += diff.raw_bytes();
+        metrics.add("dvdc.epoch.raw_dirty_bytes",
+                    static_cast<double>(diff.raw_bytes()), epoch_labels_);
         captured_per_node[*loc] += diff.raw_bytes();
         // Holder-side content: new xor old per changed page.
         xor_deltas[mi].page_size = page_size;
@@ -259,11 +269,16 @@ void DvdcCoordinator::run_epoch(const PlacedPlan& plan,
                            ? checkpoint::rle_encode(payload).size() + 16
                            : payload.size();
         contrib.xor_bytes = payload.size();
-        stats_.raw_dirty_bytes += payload.size();
+        metrics.add("dvdc.epoch.raw_dirty_bytes",
+                    static_cast<double>(payload.size()), epoch_labels_);
         captured_per_node[*loc] += payload.size();
       }
-      stats_.bytes_shipped += contrib.wire * gw->holders.size();
-      stats_.bytes_xored += contrib.xor_bytes * gw->holders.size();
+      metrics.add("dvdc.epoch.bytes_shipped",
+                  static_cast<double>(contrib.wire * gw->holders.size()),
+                  epoch_labels_);
+      metrics.add("dvdc.epoch.bytes_xored",
+                  static_cast<double>(contrib.xor_bytes * gw->holders.size()),
+                  epoch_labels_);
 
       checkpoint::Checkpoint cp;
       cp.vm = vmid;
@@ -334,6 +349,8 @@ void DvdcCoordinator::run_epoch(const PlacedPlan& plan,
     stall += static_cast<double>(worst) / config_.snapshot_rate;
   }
   overhead_ = stall;
+  arrivals_pending_ = 0;
+  for (const auto& gw : work_) arrivals_pending_ += gw->tasks_total;
 
   sim_.after(stall, [this, gen] {
     if (gen != generation_ || !in_flight_) return;
@@ -341,6 +358,20 @@ void DvdcCoordinator::run_epoch(const PlacedPlan& plan,
       for (cluster::NodeId nid : cluster_.alive_nodes())
         cluster_.node(nid).hypervisor().resume_all();
     }
+    // The quiesce/capture/resume boundaries are known exactly here: the
+    // quiesce cut costs base_overhead, local capture runs to the end of
+    // the stall (zero-length under copy-on-write), and resume is the
+    // instant the guests come back (a marker; without COW the guests
+    // actually stay paused until commit).
+    auto& tel = sim_.telemetry();
+    const SimTime cut_end = epoch_start_ + config_.base_overhead;
+    tel.record_span("epoch.quiesce", epoch_start_, cut_end, epoch_labels_,
+                    epoch_span_);
+    tel.record_span("epoch.capture", cut_end, sim_.now(), epoch_labels_,
+                    epoch_span_);
+    tel.record_span("epoch.resume", sim_.now(), sim_.now(), epoch_labels_,
+                    epoch_span_);
+    exchange_start_ = sim_.now();
     // Launch every member's stream toward each of its group's holders.
     for (std::size_t gi = 0; gi < work_.size(); ++gi) {
       GroupWork& gw = *work_[gi];
@@ -382,21 +413,44 @@ void DvdcCoordinator::on_member_arrival(std::uint64_t gen,
   GroupWork& gw = *work_[group_idx];
   const auto& contrib = gw.contribs[member_idx];
 
+  VDC_ASSERT(arrivals_pending_ > 0);
+  if (--arrivals_pending_ == 0) {
+    // Last stream has landed: the exchange phase ends and the parity
+    // tail (holder-side folds still queued on node CPUs) begins.
+    sim_.telemetry().record_span("epoch.exchange", exchange_start_,
+                                 sim_.now(), epoch_labels_, epoch_span_);
+    parity_start_ = sim_.now();
+  }
+
   const cluster::NodeId holder = gw.holders[holder_idx];
   const double xor_time = static_cast<double>(contrib.xor_bytes) /
                           cluster_.node(holder).spec().xor_rate;
   node_cpu(holder).serve(xor_time, [this, gen, group_idx] {
     if (gen != generation_ || !in_flight_) return;
     GroupWork& g = *work_[group_idx];
-    if (++g.tasks_done == g.tasks_total) on_group_parity_done(gen);
+    if (++g.tasks_done == g.tasks_total)
+      on_group_parity_done(gen, group_idx);
   });
 }
 
-void DvdcCoordinator::on_group_parity_done(std::uint64_t gen) {
+void DvdcCoordinator::on_group_parity_done(std::uint64_t gen,
+                                           std::size_t group_idx) {
   if (gen != generation_ || !in_flight_) return;
   VDC_ASSERT(groups_pending_ > 0);
-  if (--groups_pending_ == 0)
+  {
+    // Per-group child span: this group's stream + fold work, from the
+    // start of the exchange to its parity completion.
+    telemetry::Labels labels = epoch_labels_;
+    labels.push_back({"group", std::to_string(work_[group_idx]->gid)});
+    sim_.telemetry().record_span("epoch.group", exchange_start_, sim_.now(),
+                                 std::move(labels), epoch_span_);
+  }
+  if (--groups_pending_ == 0) {
+    sim_.telemetry().record_span("epoch.parity", parity_start_, sim_.now(),
+                                 epoch_labels_, epoch_span_);
+    commit_start_ = sim_.now();
     sim_.after(config_.commit_latency, [this, gen] { try_commit(gen); });
+  }
 }
 
 void DvdcCoordinator::try_commit(std::uint64_t gen) {
@@ -425,6 +479,29 @@ void DvdcCoordinator::try_commit(std::uint64_t gen) {
 
   stats_.overhead = overhead_;
   stats_.latency = sim_.now() - epoch_start_;
+
+  // The registry is the source of truth for the epoch's byte accounting;
+  // EpochStats stays as a façade derived from it.
+  auto& tel = sim_.telemetry();
+  auto& metrics = tel.metrics();
+  stats_.bytes_shipped = static_cast<Bytes>(
+      metrics.value("dvdc.epoch.bytes_shipped", epoch_labels_));
+  stats_.bytes_xored = static_cast<Bytes>(
+      metrics.value("dvdc.epoch.bytes_xored", epoch_labels_));
+  stats_.raw_dirty_bytes = static_cast<Bytes>(
+      metrics.value("dvdc.epoch.raw_dirty_bytes", epoch_labels_));
+  stats_.full_exchange =
+      metrics.value("dvdc.epoch.full_exchange_groups", epoch_labels_) > 0;
+  metrics.add("dvdc.epochs_committed", 1.0);
+  metrics.observe("dvdc.overhead_s", stats_.overhead);
+  metrics.observe("dvdc.latency_s", stats_.latency);
+  metrics.set("dvdc.state_bytes",
+              static_cast<double>(state_.memory_bytes()));
+  tel.record_span("epoch.commit", commit_start_, sim_.now(), epoch_labels_,
+                  epoch_span_);
+  tel.end_span(epoch_span_);
+  epoch_span_ = telemetry::kNoSpan;
+
   in_flight_ = false;
   work_.clear();
   plan_ = nullptr;
@@ -452,6 +529,9 @@ void DvdcCoordinator::abort() {
   }
   work_.clear();
   plan_ = nullptr;
+  sim_.telemetry().metrics().add("dvdc.epochs_aborted", 1.0);
+  sim_.telemetry().end_span(epoch_span_);
+  epoch_span_ = telemetry::kNoSpan;
   VDC_DEBUG("dvdc", "epoch ", epoch_, " aborted");
 }
 

@@ -38,6 +38,7 @@
 #include "core/plan.hpp"
 #include "parity/codec.hpp"
 #include "simkit/resource.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace vdc::core {
 
@@ -185,7 +186,8 @@ class DvdcCoordinator {
   struct GroupWork;
   void on_member_arrival(std::uint64_t generation, std::size_t group_idx,
                          std::size_t member_idx, std::size_t holder_idx);
-  void on_group_parity_done(std::uint64_t generation);
+  void on_group_parity_done(std::uint64_t generation,
+                            std::size_t group_idx);
   void try_commit(std::uint64_t generation);
   simkit::Resource& node_cpu(cluster::NodeId node);
 
@@ -205,6 +207,18 @@ class DvdcCoordinator {
   EpochStats stats_;
   std::vector<std::unique_ptr<GroupWork>> work_;
   std::size_t groups_pending_ = 0;
+
+  // Telemetry for the in-flight epoch. Phase spans exactly partition
+  // [epoch_start_, commit]: quiesce | capture | resume | exchange |
+  // parity | commit (see docs/OBSERVABILITY.md). Counters carry both the
+  // epoch number and the coordinator generation so an aborted epoch's
+  // re-run never double-counts.
+  telemetry::SpanId epoch_span_ = telemetry::kNoSpan;
+  telemetry::Labels epoch_labels_;
+  std::size_t arrivals_pending_ = 0;  // (member, holder) streams in flight
+  SimTime exchange_start_ = 0.0;
+  SimTime parity_start_ = 0.0;
+  SimTime commit_start_ = 0.0;
 
   std::unordered_map<cluster::NodeId, std::unique_ptr<simkit::Resource>>
       cpus_;

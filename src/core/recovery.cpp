@@ -20,6 +20,8 @@ struct RecoveryCtx {
   SimTime start = 0.0;
   std::size_t groups_pending = 0;
   std::vector<RecoveryManager::DoneCallback> done_holder;
+  telemetry::Labels labels;  // {seq=N}, see RecoveryManager::seq_
+  telemetry::SpanId reconstruct_span = telemetry::kNoSpan;
 };
 
 }  // namespace
@@ -122,11 +124,29 @@ void RecoveryManager::recover(const PlacedPlan& plan,
   auto ctx = std::make_shared<RecoveryCtx>();
   ctx->start = sim_.now();
   ctx->stats.success = true;
+  ctx->labels = telemetry::Labels{{"seq", std::to_string(++seq_)}};
+  auto& metrics = sim_.telemetry().metrics();
+  metrics.add("recovery.attempts", 1.0);
+  // The reconstruct phase covers planning, survivor streams and codec
+  // decode; replace/rollback are recorded when their boundaries are known.
+  ctx->reconstruct_span =
+      sim_.telemetry().begin_span("recovery.reconstruct", ctx->labels);
 
   const auto fail = [&](std::string reason) {
+    metrics.add("recovery.failures", 1.0,
+                telemetry::Labels{{"reason", reason}});
+    sim_.telemetry().end_span(ctx->reconstruct_span);
+    ctx->reconstruct_span = telemetry::kNoSpan;
     ctx->stats.success = false;
     ctx->stats.reason = std::move(reason);
     ctx->stats.duration = sim_.now() - ctx->start;
+    ctx->stats.vms_recovered = static_cast<std::size_t>(
+        metrics.value("recovery.vms", ctx->labels));
+    ctx->stats.bytes_transferred = static_cast<Bytes>(
+        metrics.value("recovery.bytes", ctx->labels));
+    ctx->stats.groups_touched = static_cast<std::size_t>(
+        metrics.value("recovery.groups", ctx->labels));
+    metrics.observe("recovery.duration_s", ctx->stats.duration);
     for (cluster::NodeId nid : cluster_.alive_nodes())
       cluster_.node(nid).hypervisor().resume_all();
     done(ctx->stats);
@@ -287,7 +307,7 @@ void RecoveryManager::recover(const PlacedPlan& plan,
         gops.forwards.emplace_back(pending.target, info.image_bytes());
       }
       gops.vms.push_back(std::move(pending));
-      ++ctx->stats.vms_recovered;
+      metrics.add("recovery.vms", 1.0, ctx->labels);
     }
 
     if (gops.publish_record) {
@@ -305,9 +325,9 @@ void RecoveryManager::recover(const PlacedPlan& plan,
     gops.xor_time = static_cast<double>(inbound_total) /
                     cluster_.node(gops.leader).spec().xor_rate;
     for (const auto& [host, bytes] : gops.inbound)
-      ctx->stats.bytes_transferred += bytes;
+      metrics.add("recovery.bytes", static_cast<double>(bytes), ctx->labels);
     for (const auto& [node, bytes] : gops.forwards)
-      ctx->stats.bytes_transferred += bytes;
+      metrics.add("recovery.bytes", static_cast<double>(bytes), ctx->labels);
 
     ops.push_back(std::move(gops));
   }
@@ -378,11 +398,12 @@ void RecoveryManager::recover(const PlacedPlan& plan,
     gops.xor_time = static_cast<double>(inbound_total) /
                     cluster_.node(gops.leader).spec().xor_rate;
     for (const auto& [host, bytes] : gops.inbound)
-      ctx->stats.bytes_transferred += bytes;
+      metrics.add("recovery.bytes", static_cast<double>(bytes), ctx->labels);
     ops.push_back(std::move(gops));
   }
 
-  ctx->stats.groups_touched = ops.size();
+  metrics.set("recovery.groups", static_cast<double>(ops.size()),
+              ctx->labels);
 
   // 3. Timed execution: inbound streams -> XOR -> forwards, per group in
   // parallel; then instantiate VMs, roll everyone back, resume.
@@ -392,6 +413,9 @@ void RecoveryManager::recover(const PlacedPlan& plan,
   // Shared continuation once every group's data movement is done.
   auto ops_shared = std::make_shared<std::vector<GroupOps>>(std::move(ops));
   auto after_all_groups = [this, ctx, ops_shared] {
+    // All reconstruction data movement and decoding is done.
+    sim_.telemetry().end_span(ctx->reconstruct_span);
+    ctx->reconstruct_span = telemetry::kNoSpan;
     // Publish rebuilt parity records: the stripes are whole again.
     for (auto& gops : *ops_shared) {
       if (gops.publish_record)
@@ -437,11 +461,31 @@ void RecoveryManager::recover(const PlacedPlan& plan,
     const SimTime restore_stall =
         static_cast<double>(worst_restore) / config_.restore_rate;
 
+    // Both remaining phase boundaries are known now: re-place (create +
+    // resume the rebuilt VMs) then rollback (restore survivors to the
+    // committed cut).
+    const SimTime replace_start = sim_.now();
+    sim_.telemetry().record_span("recovery.replace", replace_start,
+                                 replace_start + config_.resume_time,
+                                 ctx->labels);
+    sim_.telemetry().record_span(
+        "recovery.rollback", replace_start + config_.resume_time,
+        replace_start + config_.resume_time + restore_stall, ctx->labels);
+
     sim_.after(config_.resume_time + restore_stall, [this, ctx] {
       for (cluster::NodeId nid : cluster_.alive_nodes())
         cluster_.node(nid).hypervisor().resume_all();
       ctx->stats.duration = sim_.now() - ctx->start;
       ctx->stats.success = true;
+      auto& metrics = sim_.telemetry().metrics();
+      ctx->stats.vms_recovered = static_cast<std::size_t>(
+          metrics.value("recovery.vms", ctx->labels));
+      ctx->stats.bytes_transferred = static_cast<Bytes>(
+          metrics.value("recovery.bytes", ctx->labels));
+      ctx->stats.groups_touched = static_cast<std::size_t>(
+          metrics.value("recovery.groups", ctx->labels));
+      metrics.add("recovery.successes", 1.0);
+      metrics.observe("recovery.duration_s", ctx->stats.duration);
       VDC_INFO("recovery", "recovered ", ctx->stats.vms_recovered,
                " VMs in ", ctx->stats.duration, "s");
       ctx->done_holder.front()(ctx->stats);

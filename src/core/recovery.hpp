@@ -93,6 +93,10 @@ class RecoveryManager {
   DvdcState& state_;
   WorkloadFactory workloads_;
   RecoveryConfig config_;
+  /// Monotonic recovery sequence number: labels each recovery's registry
+  /// counters (`recovery.*{seq=N}`) so RecoveryStats can be derived per
+  /// attempt without cross-talk.
+  std::uint64_t seq_ = 0;
 };
 
 }  // namespace vdc::core

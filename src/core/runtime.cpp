@@ -101,6 +101,26 @@ RunResult JobRunner::run() {
     result_.completion = sim_.now();
     result_.time_ratio = result_.completion / job_.total_work;
   }
+
+  // RunResult is a façade over the run's metrics registry: every counter
+  // below was written where the event happened, the struct is derived
+  // here once at the end.
+  const auto& metrics = sim_.telemetry().metrics();
+  result_.epochs = static_cast<std::uint32_t>(metrics.value("job.epochs"));
+  result_.failures =
+      static_cast<std::uint32_t>(metrics.value("job.failures"));
+  result_.failures_ignored =
+      static_cast<std::uint32_t>(metrics.value("job.failures_ignored"));
+  result_.job_restarts =
+      static_cast<std::uint32_t>(metrics.value("job.restarts"));
+  result_.total_overhead = metrics.value("job.overhead_s");
+  result_.checkpoint_latency_sum = metrics.value("job.latency_s");
+  result_.total_recovery = metrics.value("job.recovery_s");
+  result_.lost_work = metrics.value("job.lost_work_s");
+  result_.bytes_shipped =
+      static_cast<Bytes>(metrics.value("job.bytes_shipped"));
+  result_.peak_state_bytes =
+      static_cast<Bytes>(metrics.peak("dvdc.state_bytes"));
   return result_;
 }
 
@@ -147,10 +167,12 @@ void JobRunner::on_capture_point() {
 
   backend_->checkpoint(epoch, [this, cut_time, cut_work](
                                   const EpochStats& stats) {
-    ++result_.epochs;
-    result_.total_overhead += stats.overhead;
-    result_.checkpoint_latency_sum += stats.latency;
-    result_.bytes_shipped += stats.bytes_shipped;
+    auto& metrics = sim_.telemetry().metrics();
+    metrics.add("job.epochs", 1.0);
+    metrics.add("job.overhead_s", stats.overhead);
+    metrics.add("job.latency_s", stats.latency);
+    metrics.add("job.bytes_shipped",
+                static_cast<double>(stats.bytes_shipped));
     committed_work_ = cut_work;
     if (job_.interval_policy)
       current_interval_ = job_.interval_policy->next_interval(stats);
@@ -166,11 +188,12 @@ void JobRunner::on_capture_point() {
 
 void JobRunner::on_failure_event(cluster::NodeId raw_victim) {
   if (finished_) return;
+  auto& metrics = sim_.telemetry().metrics();
   if (recovering_) {
-    ++result_.failures_ignored;
+    metrics.add("job.failures_ignored", 1.0);
     return;
   }
-  ++result_.failures;
+  metrics.add("job.failures", 1.0);
 
   const auto alive = cluster_->alive_nodes();
   VDC_ASSERT(!alive.empty());
@@ -178,7 +201,7 @@ void JobRunner::on_failure_event(cluster::NodeId raw_victim) {
 
   // Work since the last committed cut is lost.
   const SimTime w = current_work();
-  result_.lost_work += std::max(0.0, w - committed_work_);
+  metrics.add("job.lost_work_s", std::max(0.0, w - committed_work_));
   computing_ = false;
   work_at_resume_ = committed_work_;
   if (pending_event_ != simkit::kInvalidEvent) {
@@ -192,16 +215,29 @@ void JobRunner::on_failure_event(cluster::NodeId raw_victim) {
   cluster_->kill_node(victim);
   recovering_ = true;
 
-  sim_.after(job_.detection_time, [this, victim, lost] {
+  // Root span for the whole recovery episode; the detect window is known
+  // up front, the backend's manager nests reconstruct/replace/rollback
+  // under this root while it stays open.
+  auto& tel = sim_.telemetry();
+  const telemetry::Labels victim_labels{{"victim", std::to_string(victim)}};
+  const telemetry::SpanId rec_span = tel.begin_span("recovery",
+                                                    victim_labels);
+  tel.record_span("recovery.detect", sim_.now(),
+                  sim_.now() + job_.detection_time, victim_labels, rec_span);
+
+  sim_.after(job_.detection_time, [this, victim, lost, rec_span] {
     // The failed machine is rebooted/replaced by the time reconstruction
     // starts (the constant-cluster-size assumption behind the Section V
     // model's flat T_r) — recovery can re-place the lost VMs onto it,
     // preserving group orthogonality even at k = n-1.
     cluster_->revive_node(victim);
     backend_->handle_failure(
-        victim, lost, [this, victim, lost](const RecoveryStats& rs) {
+        victim, lost,
+        [this, victim, lost, rec_span](const RecoveryStats& rs) {
           (void)victim;
-          result_.total_recovery += job_.detection_time + rs.duration;
+          auto& metrics = sim_.telemetry().metrics();
+          sim_.telemetry().end_span(rec_span);
+          metrics.add("job.recovery_s", job_.detection_time + rs.duration);
           if (rs.success) {
             if (rs.epochs_rolled_back > 0) {
               // A multilevel backend restored an older durable level:
@@ -212,7 +248,8 @@ void JobRunner::on_failure_event(cluster::NodeId raw_victim) {
                   rs.epochs_rolled_back *
                   (current_interval_ > 0 ? current_interval_
                                          : job_.interval);
-              result_.lost_work += std::min(committed_work_, regress);
+              metrics.add("job.lost_work_s",
+                          std::min(committed_work_, regress));
               committed_work_ = std::max(0.0, committed_work_ - regress);
             }
             recovering_ = false;
@@ -222,7 +259,7 @@ void JobRunner::on_failure_event(cluster::NodeId raw_victim) {
             advanced_work_ = committed_work_;
             schedule_segment();
           } else {
-            ++result_.job_restarts;
+            metrics.add("job.restarts", 1.0);
             VDC_INFO("runtime", "job restart at t=", sim_.now(), ": ",
                      rs.reason);
             restart_job(lost);

@@ -28,10 +28,30 @@ void ParityScrubber::scrub(const PlacedPlan& plan, bool repair,
     SimTime start = 0.0;
     std::size_t pending = 0;
     DoneCallback done;
+    telemetry::SpanId span = telemetry::kNoSpan;
   };
   auto ctx = std::make_shared<Ctx>();
   ctx->start = sim_.now();
   ctx->done = std::move(done);
+  ctx->span = sim_.telemetry().begin_span("scrub");
+
+  // Single exit: stamp the duration, publish the run's counters, close
+  // the span, hand the report back.
+  const auto complete = [this, ctx] {
+    ctx->report.duration = sim_.now() - ctx->start;
+    auto& metrics = sim_.telemetry().metrics();
+    metrics.add("scrub.runs", 1.0);
+    metrics.add("scrub.groups_checked",
+                static_cast<double>(ctx->report.groups_checked));
+    metrics.add("scrub.mismatched",
+                static_cast<double>(ctx->report.mismatched.size()));
+    metrics.add("scrub.repaired",
+                static_cast<double>(ctx->report.repaired));
+    metrics.add("scrub.bytes_streamed",
+                static_cast<double>(ctx->report.bytes_streamed));
+    sim_.telemetry().end_span(ctx->span);
+    ctx->done(ctx->report);
+  };
 
   struct GroupCheck {
     GroupId gid;
@@ -85,10 +105,7 @@ void ParityScrubber::scrub(const PlacedPlan& plan, bool repair,
 
   ctx->report.groups_checked = checks.size();
   if (checks.empty()) {
-    sim_.after(0.0, [ctx] {
-      ctx->report.duration = 0.0;
-      ctx->done(ctx->report);
-    });
+    sim_.after(0.0, complete);
     return;
   }
 
@@ -100,13 +117,10 @@ void ParityScrubber::scrub(const PlacedPlan& plan, bool repair,
     VDC_ASSERT(record != nullptr);
 
     auto flows_left = std::make_shared<std::size_t>(check.flows);
-    auto finish_group = [this, ctx, check, repair] {
+    auto finish_group = [this, ctx, check, repair, complete] {
       const DvdcState::ParityRecord* record = state_.parity(check.gid);
       if (record == nullptr) {  // plan changed underneath us
-        if (--ctx->pending == 0) {
-          ctx->report.duration = sim_.now() - ctx->start;
-          ctx->done(ctx->report);
-        }
+        if (--ctx->pending == 0) complete();
         return;
       }
       bool match = record->blocks == check.expected;
@@ -122,10 +136,7 @@ void ParityScrubber::scrub(const PlacedPlan& plan, bool repair,
           ++ctx->report.repaired;
         }
       }
-      if (--ctx->pending == 0) {
-        ctx->report.duration = sim_.now() - ctx->start;
-        ctx->done(ctx->report);
-      }
+      if (--ctx->pending == 0) complete();
     };
 
     const auto& group = plan.plan.groups[check.gid];

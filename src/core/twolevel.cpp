@@ -67,6 +67,11 @@ void TwoLevelBackend::start_flush(checkpoint::Epoch epoch) {
                  durable_info_ = *staged_info;
                  flushed_epoch_ = epoch;
                  flushed_counter_ = counter_at_flush;
+                 auto& metrics = sim_.telemetry().metrics();
+                 metrics.add("twolevel.flushes", 1.0);
+                 for (const auto& [vmid, payload] : durable_)
+                   metrics.add("twolevel.flush_bytes",
+                               static_cast<double>(payload.size()));
                  VDC_DEBUG("twolevel", "epoch ", epoch,
                            " durable on the NAS");
                });
@@ -135,6 +140,7 @@ void TwoLevelBackend::level2_restore(RecoveryDone done) {
   commit_counter_ = 0;
   flushed_counter_ = 0;
   ++level2_restores_;
+  sim_.telemetry().metrics().add("twolevel.level2_restores", 1.0);
 
   // Timing: every node fetches its images back from the NAS, then the
   // local restore + resume.

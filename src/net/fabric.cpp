@@ -2,6 +2,15 @@
 
 namespace vdc::net {
 
+void Fabric::account(const char* kind, Bytes bytes) {
+  auto& metrics = telemetry_.metrics();
+  const telemetry::Labels labels{{"kind", kind}};
+  metrics.add("net.transfers", 1.0, labels);
+  metrics.add("net.bytes", static_cast<double>(bytes), labels);
+  metrics.set("net.active_flows",
+              static_cast<double>(network_.active_flows() + 1));
+}
+
 HostId Fabric::add_host(Rate nic_rate, const std::string& name,
                         RackId rack) {
   const auto id = static_cast<HostId>(tx_.size());
@@ -37,6 +46,7 @@ FlowId Fabric::transfer(HostId src, HostId dst, Bytes bytes,
       path.push_back(it->second.down);
   }
   path.push_back(rx_[dst]);
+  account("host", bytes);
   return network_.start_flow(std::move(path), bytes, std::move(on_complete),
                              link_latency_);
 }
@@ -44,6 +54,7 @@ FlowId Fabric::transfer(HostId src, HostId dst, Bytes bytes,
 FlowId Fabric::transfer_to_port(HostId src, PortId sink, Bytes bytes,
                                 FlowNetwork::Callback on_complete) {
   VDC_ASSERT(src < tx_.size());
+  account("to_port", bytes);
   return network_.start_flow({tx_[src], sink}, bytes, std::move(on_complete),
                              link_latency_);
 }
@@ -51,6 +62,7 @@ FlowId Fabric::transfer_to_port(HostId src, PortId sink, Bytes bytes,
 FlowId Fabric::transfer_from_port(PortId source, HostId dst, Bytes bytes,
                                   FlowNetwork::Callback on_complete) {
   VDC_ASSERT(dst < rx_.size());
+  account("from_port", bytes);
   return network_.start_flow({source, rx_[dst]}, bytes,
                              std::move(on_complete), link_latency_);
 }

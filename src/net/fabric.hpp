@@ -25,7 +25,9 @@ class Fabric {
   /// `link_latency` is the one-way propagation/setup latency applied to
   /// every transfer (the paper's LAN context: tens of microseconds).
   Fabric(simkit::Simulator& sim, SimTime link_latency = 50e-6)
-      : network_(sim), link_latency_(link_latency) {}
+      : network_(sim),
+        telemetry_(sim.telemetry()),
+        link_latency_(link_latency) {}
 
   /// Add a host with a full-duplex NIC of the given speed. `rack` places
   /// the host behind that rack's uplink (see set_rack_uplink); hosts in
@@ -73,7 +75,13 @@ class Fabric {
     PortId down;
   };
 
+  /// Per-transfer accounting: `net.transfers` / `net.bytes` counters
+  /// (labelled by kind) plus the `net.active_flows` gauge whose peak is
+  /// the fabric's concurrency high-water mark.
+  void account(const char* kind, Bytes bytes);
+
   FlowNetwork network_;
+  telemetry::Telemetry& telemetry_;
   SimTime link_latency_;
   std::vector<PortId> tx_;
   std::vector<PortId> rx_;

@@ -15,6 +15,7 @@
 
 #include "common/assert.hpp"
 #include "common/units.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace vdc::simkit {
 
@@ -27,12 +28,18 @@ class Simulator {
  public:
   using Callback = std::function<void()>;
 
-  Simulator() = default;
+  Simulator() : telemetry_(&now_) {}
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   /// Current simulated time in seconds.
   SimTime now() const { return now_; }
+
+  /// The simulation's telemetry context: every substrate built over this
+  /// engine (network, storage, protocol, recovery) records its metrics and
+  /// spans here, stamped with simulated time.
+  telemetry::Telemetry& telemetry() { return telemetry_; }
+  const telemetry::Telemetry& telemetry() const { return telemetry_; }
 
   /// Schedule `cb` at absolute time `t` (>= now). Returns a cancellable id.
   EventId at(SimTime t, Callback cb);
@@ -77,6 +84,7 @@ class Simulator {
   std::uint64_t executed_ = 0;
   std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap_;
   std::unordered_map<EventId, Callback> callbacks_;
+  telemetry::Telemetry telemetry_;
 };
 
 }  // namespace vdc::simkit

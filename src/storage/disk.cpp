@@ -23,14 +23,27 @@ SimTime Disk::read_service_time(Bytes bytes) const {
          static_cast<double>(bytes) / spec_.read_bandwidth;
 }
 
+void Disk::service(SimTime service_time, const char* wait_metric,
+                   Callback done) {
+  const SimTime enqueued = sim_.now();
+  head_.acquire([this, enqueued, service_time, wait_metric,
+                 done = std::move(done)]() mutable {
+    sim_.telemetry().metrics().observe(wait_metric, sim_.now() - enqueued);
+    sim_.after(service_time, [this, done = std::move(done)] {
+      head_.release();
+      done();
+    });
+  });
+}
+
 void Disk::write(Bytes bytes, Callback done) {
   bytes_written_ += bytes;
-  head_.serve(write_service_time(bytes), std::move(done));
+  service(write_service_time(bytes), "disk.write_wait_s", std::move(done));
 }
 
 void Disk::read(Bytes bytes, Callback done) {
   bytes_read_ += bytes;
-  head_.serve(read_service_time(bytes), std::move(done));
+  service(read_service_time(bytes), "disk.read_wait_s", std::move(done));
 }
 
 }  // namespace vdc::storage

@@ -45,6 +45,10 @@ class Disk {
   Bytes bytes_read() const { return bytes_read_; }
 
  private:
+  /// Serve one FCFS request, recording the time spent waiting behind the
+  /// queue into the `wait_metric` histogram (the device's contention).
+  void service(SimTime service_time, const char* wait_metric, Callback done);
+
   simkit::Simulator& sim_;
   DiskSpec spec_;
   simkit::Resource head_;

@@ -40,6 +40,12 @@ class Nas {
   Bytes bytes_stored() const { return bytes_stored_; }
 
  private:
+  /// Per-request accounting: `nas.<op>.ops` / `nas.<op>.bytes` counters
+  /// plus the `nas.queue_depth` gauge whose peak is the array backlog
+  /// high-water mark (the single-sink contention the paper measures).
+  void account(const char* op, Bytes bytes);
+
+  simkit::Simulator& sim_;
   net::Fabric& fabric_;
   NasSpec spec_;
   net::PortId frontend_;

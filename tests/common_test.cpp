@@ -170,9 +170,16 @@ TEST(Samples, SingleValue) {
   EXPECT_DOUBLE_EQ(s.mean(), 42.0);
 }
 
-TEST(Samples, PercentileOfEmptyThrows) {
+TEST(Samples, PercentileOfEmptyReturnsZero) {
+  // Exporters query histogram series that may never have been observed;
+  // an empty set reads as 0.0 rather than tripping an invariant.
   Samples s;
-  EXPECT_THROW(s.percentile(50), InvariantError);
+  EXPECT_EQ(s.percentile(50), 0.0);
+  EXPECT_EQ(s.percentile(0), 0.0);
+  EXPECT_EQ(s.percentile(100), 0.0);
+  EXPECT_EQ(s.median(), 0.0);
+  s.add(7.0);
+  EXPECT_EQ(s.median(), 7.0);
 }
 
 TEST(Histogram, BinningAndClamping) {

@@ -6,6 +6,7 @@
 #include "core/plan.hpp"
 #include "core/protocol.hpp"
 #include "parity/xor.hpp"
+#include "telemetry/sinks.hpp"
 #include "vm/workload.hpp"
 
 namespace vdc::core {
@@ -336,6 +337,57 @@ TEST(Protocol, IncompressibleImagesInflateSlightly) {
   const Bytes full = 3ull * kib(1) * 64;
   EXPECT_GE(stats.bytes_shipped, full);            // no free lunch
   EXPECT_LT(stats.bytes_shipped, full * 102 / 100);  // ~2% cap
+}
+
+TEST(Protocol, EpochEmitsSixPhaseSpansInOrder) {
+  Rig rig(4, 3);
+  auto sink = std::make_shared<telemetry::InMemorySink>();
+  rig.sim.telemetry().set_enabled(true);
+  rig.sim.telemetry().add_sink(sink);
+
+  DvdcCoordinator coord(rig.sim, rig.cluster, rig.state);
+  auto placed = rig.plan();
+  auto stats = rig.run_one(coord, placed, 1);
+
+  // Exactly one span per phase, emitted in protocol order, all children of
+  // the one root "epoch" span.
+  const char* phases[] = {"epoch.quiesce",  "epoch.capture", "epoch.resume",
+                          "epoch.exchange", "epoch.parity",  "epoch.commit"};
+  const auto roots = sink->named("epoch");
+  ASSERT_EQ(roots.size(), 1u);
+  std::vector<telemetry::SpanRecord> seen;
+  for (const auto& span : sink->spans())
+    if (span.name.rfind("epoch.", 0) == 0 && span.name != "epoch.group")
+      seen.push_back(span);
+  ASSERT_EQ(seen.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(seen[i].name, phases[i]);
+    EXPECT_EQ(seen[i].parent, roots[0].id);
+  }
+
+  // The phases partition [start, commit]: contiguous, and their durations
+  // sum to the epoch latency, with quiesce+capture equal to the overhead.
+  for (std::size_t i = 1; i < 6; ++i)
+    EXPECT_DOUBLE_EQ(seen[i].start, seen[i - 1].end) << phases[i];
+  EXPECT_DOUBLE_EQ(seen[0].start, roots[0].start);
+  EXPECT_DOUBLE_EQ(seen[5].end, roots[0].end);
+  EXPECT_NEAR(seen[0].duration() + seen[1].duration(), stats.overhead, 1e-9);
+  double total = 0.0;
+  for (const auto& span : seen) total += span.duration();
+  EXPECT_NEAR(total, stats.latency, 1e-9);
+}
+
+TEST(Protocol, DisabledTelemetryEmitsNoSpans) {
+  Rig rig(4, 3);
+  auto sink = std::make_shared<telemetry::InMemorySink>();
+  rig.sim.telemetry().add_sink(sink);  // tracing left disabled
+
+  DvdcCoordinator coord(rig.sim, rig.cluster, rig.state);
+  auto placed = rig.plan();
+  auto stats = rig.run_one(coord, placed, 1);
+  EXPECT_TRUE(sink->spans().empty());
+  // The registry still drives the stats façade.
+  EXPECT_GT(stats.bytes_shipped, 0u);
 }
 
 TEST(Protocol, ShippedBytesReflectCompression) {

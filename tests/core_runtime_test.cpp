@@ -134,7 +134,9 @@ TEST(Runtime, NoCheckpointRestartsFromScratch) {
   ASSERT_TRUE(result.finished);
   // Every failure forces a restart.
   EXPECT_EQ(result.job_restarts, result.failures);
-  if (result.failures > 0) EXPECT_GT(result.lost_work, 0.0);
+  if (result.failures > 0) {
+    EXPECT_GT(result.lost_work, 0.0);
+  }
 }
 
 TEST(Runtime, FailureBeforeFirstCheckpointRestarts) {

@@ -202,8 +202,9 @@ TEST_P(ProtocolInterleavings, InvariantsHoldUnderRandomOps) {
 
   // I2: end with a real failure + byte-exact recovery (after making sure
   // at least one epoch is committed).
-  if (h.state.committed_epoch() == 0)
+  if (h.state.committed_epoch() == 0) {
     ASSERT_TRUE(h.checkpoint(false));
+  }
   h.ensure_plan();
   ASSERT_TRUE(h.checkpoint(false));
   std::map<vm::VmId, std::vector<std::byte>> committed;

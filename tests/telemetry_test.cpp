@@ -1,0 +1,345 @@
+// Tests for the telemetry layer: registry semantics (labels, counters,
+// gauges, histograms), span nesting and ordering, JSON escaping, the file
+// sinks, and the end-to-end JobRunner integration (six epoch phases, four
+// recovery phases, durations reconciling with RunResult).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/runtime.hpp"
+#include "telemetry/sinks.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace vdc::telemetry {
+namespace {
+
+TEST(MetricsRegistry, CountersAccumulate) {
+  MetricsRegistry reg;
+  reg.add("hits", 1.0);
+  reg.add("hits", 2.5);
+  EXPECT_DOUBLE_EQ(reg.value("hits"), 3.5);
+  EXPECT_DOUBLE_EQ(reg.value("absent"), 0.0);
+  EXPECT_EQ(reg.find("absent"), nullptr);
+}
+
+TEST(MetricsRegistry, LabelsAreOrderInsensitive) {
+  MetricsRegistry reg;
+  reg.add("bytes", 10.0, {{"kind", "host"}, {"dir", "tx"}});
+  reg.add("bytes", 5.0, {{"dir", "tx"}, {"kind", "host"}});
+  EXPECT_DOUBLE_EQ(reg.value("bytes", {{"kind", "host"}, {"dir", "tx"}}),
+                   15.0);
+  // A different label value is a different series.
+  reg.add("bytes", 100.0, {{"kind", "host"}, {"dir", "rx"}});
+  EXPECT_DOUBLE_EQ(reg.value("bytes", {{"dir", "rx"}, {"kind", "host"}}),
+                   100.0);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(MetricsRegistry, GaugeTracksPeak) {
+  MetricsRegistry reg;
+  reg.set("depth", 3.0);
+  reg.set("depth", 9.0);
+  reg.set("depth", 2.0);
+  EXPECT_DOUBLE_EQ(reg.value("depth"), 2.0);
+  EXPECT_DOUBLE_EQ(reg.peak("depth"), 9.0);
+}
+
+TEST(MetricsRegistry, HistogramObservations) {
+  MetricsRegistry reg;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) reg.observe("wait", v);
+  const Metric* metric = reg.find("wait");
+  ASSERT_NE(metric, nullptr);
+  EXPECT_EQ(metric->kind, MetricKind::Histogram);
+  EXPECT_EQ(metric->samples.count(), 4u);
+  EXPECT_DOUBLE_EQ(metric->samples.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(metric->samples.median(), 2.5);
+}
+
+TEST(MetricsRegistry, AllIsSortedAndDeterministic) {
+  MetricsRegistry reg;
+  reg.add("zz", 1.0);
+  reg.add("aa", 1.0);
+  reg.add("mm", 1.0, {{"x", "1"}});
+  const auto rows = reg.all();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0]->name, "aa");
+  EXPECT_EQ(rows[1]->name, "mm");
+  EXPECT_EQ(rows[2]->name, "zz");
+}
+
+TEST(JsonEscape, EscapesSpecials) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(Spans, DisabledTracerEmitsNothing) {
+  double clock = 1.0;
+  Telemetry tel(&clock);
+  auto sink = std::make_shared<InMemorySink>();
+  tel.add_sink(sink);
+  ASSERT_FALSE(tel.enabled());
+  const SpanId id = tel.begin_span("work");
+  EXPECT_EQ(id, kNoSpan);
+  tel.end_span(id);
+  tel.record_span("pre", 0.0, 1.0);
+  EXPECT_TRUE(sink->spans().empty());
+  EXPECT_EQ(tel.open_spans(), 0u);
+  // Metrics stay live regardless of the tracing gate.
+  tel.metrics().add("c", 1.0);
+  EXPECT_DOUBLE_EQ(tel.metrics().value("c"), 1.0);
+}
+
+TEST(Spans, NestingDefaultsToInnermostOpen) {
+  double clock = 0.0;
+  Telemetry tel(&clock);
+  auto sink = std::make_shared<InMemorySink>();
+  tel.add_sink(sink);
+  tel.set_enabled(true);
+
+  const SpanId outer = tel.begin_span("outer");
+  clock = 1.0;
+  const SpanId inner = tel.begin_span("inner");
+  EXPECT_EQ(tel.current_span(), inner);
+  clock = 2.0;
+  tel.end_span(inner);
+  clock = 3.0;
+  tel.end_span(outer);
+
+  ASSERT_EQ(sink->spans().size(), 2u);
+  const SpanRecord& first = sink->spans()[0];
+  const SpanRecord& second = sink->spans()[1];
+  EXPECT_EQ(first.name, "inner");
+  EXPECT_EQ(first.parent, outer);
+  EXPECT_DOUBLE_EQ(first.start, 1.0);
+  EXPECT_DOUBLE_EQ(first.end, 2.0);
+  EXPECT_EQ(second.name, "outer");
+  EXPECT_EQ(second.parent, kNoSpan);
+  EXPECT_DOUBLE_EQ(second.duration(), 3.0);
+}
+
+TEST(Spans, OutOfOrderEndsAreAllowed) {
+  double clock = 0.0;
+  Telemetry tel(&clock);
+  auto sink = std::make_shared<InMemorySink>();
+  tel.add_sink(sink);
+  tel.set_enabled(true);
+
+  const SpanId a = tel.begin_span("a");
+  const SpanId b = tel.begin_span("b");
+  clock = 5.0;
+  tel.end_span(a);  // ends the OUTER span first
+  EXPECT_EQ(tel.current_span(), b);
+  tel.end_span(b);
+  tel.end_span(b);  // double-end is a no-op
+  ASSERT_EQ(sink->spans().size(), 2u);
+  EXPECT_EQ(sink->spans()[0].name, "a");
+  EXPECT_EQ(sink->spans()[1].name, "b");
+}
+
+TEST(Spans, RecordSpanNestsUnderOpenSpan) {
+  double clock = 0.0;
+  Telemetry tel(&clock);
+  auto sink = std::make_shared<InMemorySink>();
+  tel.add_sink(sink);
+  tel.set_enabled(true);
+
+  const SpanId root = tel.begin_span("root");
+  tel.record_span("phase", 1.0, 2.0, {{"k", "v"}});
+  tel.end_span(root);
+  ASSERT_EQ(sink->spans().size(), 2u);
+  EXPECT_EQ(sink->spans()[0].name, "phase");
+  EXPECT_EQ(sink->spans()[0].parent, root);
+  ASSERT_EQ(sink->spans()[0].labels.size(), 1u);
+  EXPECT_EQ(sink->spans()[0].labels[0].key, "k");
+}
+
+TEST(Spans, ScopedSpanIsRaii) {
+  double clock = 0.0;
+  Telemetry tel(&clock);
+  auto sink = std::make_shared<InMemorySink>();
+  tel.add_sink(sink);
+  tel.set_enabled(true);
+  {
+    ScopedSpan span(tel, "scope");
+    EXPECT_EQ(tel.current_span(), span.id());
+  }
+  EXPECT_EQ(tel.open_spans(), 0u);
+  ASSERT_EQ(sink->spans().size(), 1u);
+  EXPECT_EQ(sink->spans()[0].name, "scope");
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(Sinks, JsonlWritesSpansAndMetrics) {
+  const std::string path = "telemetry_test_out.jsonl";
+  double clock = 0.0;
+  Telemetry tel(&clock);
+  auto sink = std::make_shared<JsonlSink>(path);
+  ASSERT_TRUE(sink->ok());
+  tel.add_sink(sink);
+  tel.set_enabled(true);
+
+  const SpanId id = tel.begin_span("epoch", {{"epoch", "1"}});
+  clock = 0.25;
+  tel.end_span(id);
+  tel.metrics().add("job.epochs", 1.0);
+  tel.metrics().set("nas.queue_depth", 4.0);
+  tel.metrics().observe("wait", 0.5);
+  tel.flush();
+
+  const std::string text = slurp(path);
+  EXPECT_NE(text.find("\"type\":\"span\",\"name\":\"epoch\""),
+            std::string::npos);
+  EXPECT_NE(text.find("\"labels\":{\"epoch\":\"1\"}"), std::string::npos);
+  EXPECT_NE(text.find("\"type\":\"counter\",\"name\":\"job.epochs\""),
+            std::string::npos);
+  EXPECT_NE(text.find("\"type\":\"gauge\",\"name\":\"nas.queue_depth\""),
+            std::string::npos);
+  EXPECT_NE(text.find("\"peak\":4"), std::string::npos);
+  EXPECT_NE(text.find("\"type\":\"histogram\",\"name\":\"wait\""),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Sinks, ChromeTraceWritesCompleteEvents) {
+  const std::string path = "telemetry_test_trace.json";
+  double clock = 0.0;
+  Telemetry tel(&clock);
+  auto sink = std::make_shared<ChromeTraceSink>(path, "vdc-test");
+  tel.add_sink(sink);
+  tel.set_enabled(true);
+  tel.record_span("epoch.quiesce", 0.0, 0.040, {{"epoch", "1"}});
+  tel.metrics().add("dvdc.epochs_committed", 1.0);
+  tel.flush();
+
+  const std::string text = slurp(path);
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"vdc-test\""), std::string::npos);
+  // 0.040 sim-seconds -> 40000 trace microseconds.
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(text.find("\"dur\":40000.000"), std::string::npos);
+  EXPECT_NE(text.find("\"metrics\":["), std::string::npos);
+  EXPECT_NE(text.find("dvdc.epochs_committed"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// --- end-to-end: the whole stack through JobRunner ------------------------
+
+core::JobRunner::BackendFactory dvdc_factory(const core::ClusterConfig& cc) {
+  return [cc](simkit::Simulator& sim, cluster::ClusterManager& cluster,
+              Rng&) -> std::unique_ptr<core::CheckpointBackend> {
+    return std::make_unique<core::DvdcBackend>(
+        sim, cluster, core::ProtocolConfig{}, core::RecoveryConfig{},
+        core::make_workload_factory(cc));
+  };
+}
+
+core::ClusterConfig small_cluster() {
+  core::ClusterConfig cc;
+  cc.nodes = 4;
+  cc.vms_per_node = 3;
+  cc.pages_per_vm = 32;
+  cc.page_size = kib(1);
+  cc.write_rate = 100.0;
+  return cc;
+}
+
+TEST(Integration, JobRunEmitsEpochAndRecoveryPhases) {
+  core::JobConfig job;
+  job.total_work = minutes(30);
+  job.interval = minutes(10);
+  // The trace cycles, so follow the one mid-run failure with a gap the
+  // run can never reach.
+  job.failure_trace = {minutes(15), hours(100)};
+  core::JobRunner runner(job, small_cluster(), dvdc_factory(small_cluster()));
+
+  auto sink = std::make_shared<InMemorySink>();
+  runner.sim().telemetry().set_enabled(true);
+  runner.sim().telemetry().add_sink(sink);
+
+  const core::RunResult result = runner.run();
+  ASSERT_TRUE(result.finished);
+  ASSERT_GE(result.epochs, 2u);
+  ASSERT_GE(result.failures, 1u);
+  runner.sim().telemetry().flush();
+
+  // Every committed epoch emitted all six phases...
+  const char* phases[] = {"epoch.quiesce",  "epoch.capture", "epoch.resume",
+                          "epoch.exchange", "epoch.parity",  "epoch.commit"};
+  for (const char* phase : phases)
+    EXPECT_EQ(sink->named(phase).size(), result.epochs) << phase;
+  // ...nested under one root "epoch" span each.
+  const auto roots = sink->named("epoch");
+  ASSERT_EQ(roots.size(), result.epochs);
+  for (const char* phase : phases)
+    for (const auto& span : sink->named(phase)) {
+      bool under_root = false;
+      for (const auto& root : roots)
+        if (span.parent == root.id) under_root = true;
+      EXPECT_TRUE(under_root) << phase;
+    }
+
+  // Phase durations partition the epoch: quiesce+capture == overhead and
+  // the six phases together == latency, summed over all epochs.
+  double overhead = 0.0, latency = 0.0;
+  for (const char* phase : {"epoch.quiesce", "epoch.capture"})
+    for (const auto& span : sink->named(phase)) overhead += span.duration();
+  for (const char* phase : phases)
+    for (const auto& span : sink->named(phase)) latency += span.duration();
+  EXPECT_NEAR(overhead, result.total_overhead, 1e-9);
+  EXPECT_NEAR(latency, result.checkpoint_latency_sum, 1e-9);
+
+  // The failure produced one full recovery: detect, reconstruct, replace,
+  // rollback, nested under the root "recovery" span.
+  const auto recoveries = sink->named("recovery");
+  ASSERT_EQ(recoveries.size(), 1u);
+  for (const char* phase : {"recovery.detect", "recovery.reconstruct",
+                            "recovery.replace", "recovery.rollback"}) {
+    const auto spans = sink->named(phase);
+    ASSERT_EQ(spans.size(), 1u) << phase;
+    EXPECT_EQ(spans[0].parent, recoveries[0].id) << phase;
+    EXPECT_GE(spans[0].start, recoveries[0].start) << phase;
+    EXPECT_LE(spans[0].end, recoveries[0].end + 1e-9) << phase;
+  }
+
+  // The façade RunResult agrees with the registry it is derived from.
+  const auto& metrics = runner.sim().telemetry().metrics();
+  EXPECT_DOUBLE_EQ(metrics.value("job.epochs"),
+                   static_cast<double>(result.epochs));
+  EXPECT_DOUBLE_EQ(metrics.value("job.failures"),
+                   static_cast<double>(result.failures));
+  EXPECT_GT(metrics.value("net.bytes", {{"kind", "host"}}), 0.0);
+  EXPECT_GT(metrics.peak("dvdc.state_bytes"), 0.0);
+  EXPECT_GT(result.peak_state_bytes, 0u);
+}
+
+TEST(Integration, DisabledTelemetryStillDerivesResults) {
+  core::JobConfig job;
+  job.total_work = minutes(20);
+  job.interval = minutes(10);
+  core::JobRunner runner(job, small_cluster(), dvdc_factory(small_cluster()));
+  auto sink = std::make_shared<InMemorySink>();
+  runner.sim().telemetry().add_sink(sink);  // tracing left disabled
+
+  const core::RunResult result = runner.run();
+  ASSERT_TRUE(result.finished);
+  EXPECT_EQ(result.epochs, 1u);
+  EXPECT_TRUE(sink->spans().empty());  // no spans when disabled...
+  // ...but the registry-backed façade still works.
+  EXPECT_GT(result.total_overhead, 0.0);
+  EXPECT_GT(result.bytes_shipped, 0u);
+}
+
+}  // namespace
+}  // namespace vdc::telemetry
