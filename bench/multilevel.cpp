@@ -78,13 +78,15 @@ CatastropheOutcome scripted_catastrophe(std::uint32_t flush_every) {
   const auto lost1 = cluster.node(1).hypervisor().vm_ids();
   lost.insert(lost.end(), lost1.begin(), lost1.end());
   cluster.kill_node(0);
+  backend->on_node_failure(0);
   cluster.kill_node(1);
+  backend->on_node_failure(1);
   cluster.revive_node(0);
   cluster.revive_node(1);
 
   CatastropheOutcome outcome;
   const SimTime start = sim.now();
-  backend->handle_failure(0, lost, [&](const RecoveryStats& rs) {
+  backend->handle_failure(lost, [&](const RecoveryStats& rs) {
     outcome.survived = rs.success;
     outcome.rolled_back = rs.epochs_rolled_back;
     outcome.recovery_time = sim.now() - start;

@@ -72,10 +72,11 @@ Row run_backend(const char* name, const char* reserved,
   const SimTime fail_time = sim.now();
   const auto lost = cluster.node(1).hypervisor().vm_ids();
   cluster.kill_node(1);
+  backend->on_node_failure(1);
 
   SimTime resumed_at = -1;
   sim.after(kDetection, [&] {
-    backend->handle_failure(1, lost, [&](const RecoveryStats& rs) {
+    backend->handle_failure(lost, [&](const RecoveryStats& rs) {
       (void)rs;
       resumed_at = sim.now();
     });

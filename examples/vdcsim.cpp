@@ -186,8 +186,10 @@ int main(int argc, char** argv) {
               "shipped\n",
               r.epochs, r.total_overhead,
               r.bytes_shipped / (1024.0 * 1024.0));
-  std::printf("failures        : %u (+%u during recovery), %u restarts\n",
-              r.failures, r.failures_ignored, r.job_restarts);
+  std::printf("failures        : %u (%u during recovery, %u cascaded "
+              "rounds), %u restarts\n",
+              r.failures, r.failures_during_recovery, r.recovery_cascades,
+              r.job_restarts);
   std::printf("lost work       : %.1f min\n", r.lost_work / 60.0);
   std::printf("recovery time   : %.1f s\n", r.total_recovery);
   return 0;

@@ -142,6 +142,13 @@ void ClusterManager::revive_node(NodeId id) {
   n.alive_ = true;
 }
 
+void ClusterManager::set_degraded(bool on) {
+  if (degraded_ == on) return;
+  degraded_ = on;
+  sim_.telemetry().metrics().set("cluster.degraded", on ? 1.0 : 0.0);
+  if (on) sim_.telemetry().metrics().add("cluster.degraded_episodes", 1.0);
+}
+
 void ClusterManager::advance_workloads(SimTime dt) {
   for (auto& n : nodes_)
     if (n->alive()) n->hypervisor().advance_all(dt);

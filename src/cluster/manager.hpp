@@ -141,6 +141,13 @@ class ClusterManager {
 
   void set_on_failure(FailureCallback cb) { on_failure_ = std::move(cb); }
 
+  /// Degraded mode: redundancy is currently reduced (a recovery episode is
+  /// in flight or a stripe is damaged). Raised/cleared by the recovery
+  /// supervisor; consumers (scrubber, rebalancer, operators) use it to
+  /// defer work that would race the repair.
+  bool degraded() const { return degraded_; }
+  void set_degraded(bool on);
+
   // --- time ----------------------------------------------------------------
   /// Advance every running guest on every live node by `dt`.
   void advance_workloads(SimTime dt);
@@ -171,6 +178,7 @@ class ClusterManager {
   FailureCallback on_failure_;
   vm::VmId next_vm_id_ = 1;
   bool enforce_capacity_ = false;
+  bool degraded_ = false;
 };
 
 }  // namespace vdc::cluster

@@ -131,8 +131,15 @@ void DiskFullBackend::abort_checkpoint() {
   staged_.clear();
 }
 
-void DiskFullBackend::handle_failure(cluster::NodeId /*victim*/,
-                                     const std::vector<vm::VmId>& lost,
+bool DiskFullBackend::abort_recovery() {
+  if (!recovery_active_) return false;
+  ++recovery_generation_;
+  recovery_active_ = false;
+  sim_.telemetry().metrics().add("recovery.aborted", 1.0);
+  return true;
+}
+
+void DiskFullBackend::handle_failure(const std::vector<vm::VmId>& lost,
                                      RecoveryDone done) {
   if (committed_ == 0) {
     RecoveryStats rs;
@@ -163,8 +170,12 @@ void DiskFullBackend::handle_failure(cluster::NodeId /*victim*/,
     restore_worst = std::max(restore_worst, bytes);
 
   // Lost VMs are fetched back from the NAS onto the least-loaded nodes.
+  const std::uint64_t rgen = ++recovery_generation_;
+  recovery_active_ = true;
   auto fetch_pending = std::make_shared<std::size_t>(0);
-  auto finish = [this, stats, start, done]() {
+  auto finish = [this, rgen, stats, start, done]() {
+    if (rgen != recovery_generation_) return;  // aborted
+    recovery_active_ = false;
     for (cluster::NodeId nid : cluster_.alive_nodes())
       cluster_.node(nid).hypervisor().resume_all();
     stats->duration = sim_.now() - start;
@@ -182,6 +193,7 @@ void DiskFullBackend::handle_failure(cluster::NodeId /*victim*/,
       RecoveryStats rs;
       rs.success = false;
       rs.reason = "lost VM has no durable checkpoint";
+      recovery_active_ = false;
       for (cluster::NodeId nid : cluster_.alive_nodes())
         cluster_.node(nid).hypervisor().resume_all();
       done(rs);

@@ -37,9 +37,9 @@ class DiskFullBackend final : public CheckpointBackend {
   void checkpoint(checkpoint::Epoch epoch, EpochDone done) override;
   SimTime early_resume_delay() const override;
   void abort_checkpoint() override;
-  void handle_failure(cluster::NodeId victim,
-                      const std::vector<vm::VmId>& lost,
+  void handle_failure(const std::vector<vm::VmId>& lost,
                       RecoveryDone done) override;
+  bool abort_recovery() override;
   checkpoint::Epoch committed_epoch() const override { return committed_; }
   void on_job_restart() override;
   std::string name() const override { return "disk-full"; }
@@ -67,6 +67,11 @@ class DiskFullBackend final : public CheckpointBackend {
   EpochDone done_;
   EpochStats stats_;
   std::vector<checkpoint::Checkpoint> staged_;
+
+  // In-flight recovery (abortable: a cascading failure bumps the
+  // generation so stale NAS-fetch completions no-op).
+  std::uint64_t recovery_generation_ = 0;
+  bool recovery_active_ = false;
 };
 
 class NoCheckpointBackend final : public CheckpointBackend {
@@ -76,7 +81,7 @@ class NoCheckpointBackend final : public CheckpointBackend {
   }
   SimTime early_resume_delay() const override { return -1.0; }
   void abort_checkpoint() override {}
-  void handle_failure(cluster::NodeId, const std::vector<vm::VmId>&,
+  void handle_failure(const std::vector<vm::VmId>&,
                       RecoveryDone done) override {
     RecoveryStats rs;
     rs.success = false;

@@ -22,6 +22,9 @@ struct RecoveryCtx {
   std::vector<RecoveryManager::DoneCallback> done_holder;
   telemetry::Labels labels;  // {seq=N}, see RecoveryManager::seq_
   telemetry::SpanId reconstruct_span = telemetry::kNoSpan;
+  /// Set by RecoveryManager::abort(): every still-scheduled event for
+  /// this attempt becomes a no-op and the done callback never fires.
+  bool aborted = false;
 };
 
 }  // namespace
@@ -118,21 +121,41 @@ cluster::NodeId RecoveryManager::pick_parity_holder(
   return best.value_or(*fallback);
 }
 
+bool RecoveryManager::abort() {
+  if (!abort_hook_) return false;
+  auto hook = std::move(abort_hook_);
+  abort_hook_ = nullptr;
+  hook();
+  sim_.telemetry().metrics().add("recovery.aborted", 1.0);
+  return true;
+}
+
 void RecoveryManager::recover(const PlacedPlan& plan,
                               std::vector<vm::VmId> lost,
                               DoneCallback done) {
+  VDC_REQUIRE(!abort_hook_, "a recovery is already in flight");
   auto ctx = std::make_shared<RecoveryCtx>();
   ctx->start = sim_.now();
   ctx->stats.success = true;
   ctx->labels = telemetry::Labels{{"seq", std::to_string(++seq_)}};
   auto& metrics = sim_.telemetry().metrics();
-  metrics.add("recovery.attempts", 1.0);
+  // `recovery.attempts` is counted by the supervisor (one per episode
+  // round, across every backend), not here, so a manager run and a
+  // trivial settle weigh the same.
   // The reconstruct phase covers planning, survivor streams and codec
   // decode; replace/rollback are recorded when their boundaries are known.
   ctx->reconstruct_span =
       sim_.telemetry().begin_span("recovery.reconstruct", ctx->labels);
+  abort_hook_ = [this, ctx] {
+    ctx->aborted = true;
+    if (ctx->reconstruct_span != telemetry::kNoSpan) {
+      sim_.telemetry().end_span(ctx->reconstruct_span);
+      ctx->reconstruct_span = telemetry::kNoSpan;
+    }
+  };
 
   const auto fail = [&](std::string reason) {
+    abort_hook_ = nullptr;
     metrics.add("recovery.failures", 1.0,
                 telemetry::Labels{{"reason", reason}});
     sim_.telemetry().end_span(ctx->reconstruct_span);
@@ -413,6 +436,7 @@ void RecoveryManager::recover(const PlacedPlan& plan,
   // Shared continuation once every group's data movement is done.
   auto ops_shared = std::make_shared<std::vector<GroupOps>>(std::move(ops));
   auto after_all_groups = [this, ctx, ops_shared] {
+    if (ctx->aborted) return;
     // All reconstruction data movement and decoding is done.
     sim_.telemetry().end_span(ctx->reconstruct_span);
     ctx->reconstruct_span = telemetry::kNoSpan;
@@ -473,6 +497,8 @@ void RecoveryManager::recover(const PlacedPlan& plan,
         replace_start + config_.resume_time + restore_stall, ctx->labels);
 
     sim_.after(config_.resume_time + restore_stall, [this, ctx] {
+      if (ctx->aborted) return;
+      abort_hook_ = nullptr;
       for (cluster::NodeId nid : cluster_.alive_nodes())
         cluster_.node(nid).hypervisor().resume_all();
       ctx->stats.duration = sim_.now() - ctx->start;
@@ -504,6 +530,7 @@ void RecoveryManager::recover(const PlacedPlan& plan,
 
     auto after_xor = [this, ctx, ops_shared, gi, leader_host,
                       after_all_groups] {
+      if (ctx->aborted) return;
       auto& gops = (*ops_shared)[gi];
       auto fwd_left = std::make_shared<std::size_t>(gops.forwards.size());
       auto group_done = [ctx, after_all_groups] {

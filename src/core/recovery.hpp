@@ -61,6 +61,18 @@ class RecoveryManager {
   void recover(const PlacedPlan& plan, std::vector<vm::VmId> lost,
                DoneCallback done);
 
+  /// Abort the in-flight recovery (a cascading failure invalidated it):
+  /// no further timed events for it take effect and its done callback is
+  /// dropped. The cluster is left as the abort finds it — guests paused,
+  /// possibly partially rolled back — which is safe because any state the
+  /// aborted attempt did commit (re-placed VMs, published parity) is
+  /// exact committed-epoch state; the supervisor's next recover() call
+  /// reconstructs whatever is still missing. Returns false when idle.
+  bool abort();
+
+  /// True while a recover() is in flight (and not yet aborted/settled).
+  bool active() const { return static_cast<bool>(abort_hook_); }
+
  private:
   struct PendingVm {
     vm::VmId id = 0;
@@ -97,6 +109,9 @@ class RecoveryManager {
   /// counters (`recovery.*{seq=N}`) so RecoveryStats can be derived per
   /// attempt without cross-talk.
   std::uint64_t seq_ = 0;
+  /// Set while a recovery is in flight; invoking it marks the attempt's
+  /// shared context aborted (stale events no-op) and closes its spans.
+  std::function<void()> abort_hook_;
 };
 
 }  // namespace vdc::core

@@ -1,6 +1,7 @@
 #include "core/runtime.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "common/assert.hpp"
@@ -73,7 +74,16 @@ RunResult JobRunner::run() {
   recovering_ = false;
   finished_ = false;
 
-  if (job_.lambda > 0.0 || !job_.failure_trace.empty()) {
+  // Failure source, most specific wins: a scripted schedule beats per-node
+  // clocks beats the aggregate cluster process.
+  if (!job_.failure_schedule.empty()) {
+    injector_ = std::make_unique<failure::ScheduledFailureInjector>(
+        sim_, job_.failure_schedule);
+  } else if (job_.node_ttf) {
+    injector_ = std::make_unique<failure::FleetFailureInjector>(
+        sim_, rng_.fork(), job_.node_ttf, cluster_config_.nodes,
+        job_.node_repair_time);
+  } else if (job_.lambda > 0.0 || !job_.failure_trace.empty()) {
     std::shared_ptr<failure::TtfDistribution> ttf;
     if (!job_.failure_trace.empty())
       ttf = std::make_shared<failure::TraceTtf>(job_.failure_trace);
@@ -81,8 +91,12 @@ RunResult JobRunner::run() {
       ttf = std::make_shared<failure::ExponentialTtf>(job_.lambda);
     injector_ = std::make_unique<failure::ClusterFailureInjector>(
         sim_, rng_.fork(), std::move(ttf), cluster_config_.nodes);
-    injector_->start(
-        [this](failure::NodeId victim) { on_failure_event(victim); });
+  }
+  if (injector_) {
+    const bool exact = injector_->exact_targets();
+    injector_->start([this, exact](failure::NodeId victim) {
+      on_failure_event(victim, exact);
+    });
   }
 
   schedule_segment();
@@ -109,8 +123,10 @@ RunResult JobRunner::run() {
   result_.epochs = static_cast<std::uint32_t>(metrics.value("job.epochs"));
   result_.failures =
       static_cast<std::uint32_t>(metrics.value("job.failures"));
-  result_.failures_ignored =
-      static_cast<std::uint32_t>(metrics.value("job.failures_ignored"));
+  result_.failures_during_recovery = static_cast<std::uint32_t>(
+      metrics.value("job.failures_during_recovery"));
+  result_.recovery_cascades =
+      static_cast<std::uint32_t>(metrics.value("recovery.cascades"));
   result_.job_restarts =
       static_cast<std::uint32_t>(metrics.value("job.restarts"));
   result_.total_overhead = metrics.value("job.overhead_s");
@@ -174,6 +190,7 @@ void JobRunner::on_capture_point() {
     metrics.add("job.bytes_shipped",
                 static_cast<double>(stats.bytes_shipped));
     committed_work_ = cut_work;
+    notify(JobEvent::Kind::EpochCommit);
     if (job_.interval_policy)
       current_interval_ = job_.interval_policy->next_interval(stats);
 
@@ -186,18 +203,35 @@ void JobRunner::on_capture_point() {
   });
 }
 
-void JobRunner::on_failure_event(cluster::NodeId raw_victim) {
+void JobRunner::on_failure_event(cluster::NodeId raw_victim, bool exact) {
   if (finished_) return;
   auto& metrics = sim_.telemetry().metrics();
-  if (recovering_) {
-    metrics.add("job.failures_ignored", 1.0);
-    return;
+
+  cluster::NodeId victim = 0;
+  if (exact) {
+    // Scripted / per-node sources name real node ids; a strike on a node
+    // that is already down (e.g. scheduled inside its own detect window)
+    // fails nothing new.
+    if (raw_victim >= cluster_->node_count() ||
+        !cluster_->node(raw_victim).alive()) {
+      metrics.add("job.failures_skipped", 1.0);
+      return;
+    }
+    victim = raw_victim;
+  } else {
+    const auto alive = cluster_->alive_nodes();
+    if (alive.empty()) {
+      metrics.add("job.failures_skipped", 1.0);
+      return;
+    }
+    victim = alive[raw_victim % alive.size()];
   }
   metrics.add("job.failures", 1.0);
 
-  const auto alive = cluster_->alive_nodes();
-  VDC_ASSERT(!alive.empty());
-  const cluster::NodeId victim = alive[raw_victim % alive.size()];
+  if (recovering_) {
+    on_cascade_failure(victim);
+    return;
+  }
 
   // Work since the last committed cut is lost.
   const SimTime w = current_work();
@@ -213,64 +247,194 @@ void JobRunner::on_failure_event(cluster::NodeId raw_victim) {
   const std::vector<vm::VmId> lost =
       cluster_->node(victim).hypervisor().vm_ids();
   cluster_->kill_node(victim);
+  backend_->on_node_failure(victim);
   recovering_ = true;
+  cluster_->set_degraded(true);
+
+  episode_ = Episode{};
+  episode_.start = sim_.now();
+  episode_.victims.push_back(victim);
+  episode_.lost = lost;
+  notify(JobEvent::Kind::Failure, victim);
 
   // Root span for the whole recovery episode; the detect window is known
   // up front, the backend's manager nests reconstruct/replace/rollback
   // under this root while it stays open.
   auto& tel = sim_.telemetry();
   const telemetry::Labels victim_labels{{"victim", std::to_string(victim)}};
-  const telemetry::SpanId rec_span = tel.begin_span("recovery",
-                                                    victim_labels);
+  episode_.span = tel.begin_span("recovery", victim_labels);
   tel.record_span("recovery.detect", sim_.now(),
-                  sim_.now() + job_.detection_time, victim_labels, rec_span);
+                  sim_.now() + job_.detection_time, victim_labels,
+                  episode_.span);
 
-  sim_.after(job_.detection_time, [this, victim, lost, rec_span] {
-    // The failed machine is rebooted/replaced by the time reconstruction
-    // starts (the constant-cluster-size assumption behind the Section V
-    // model's flat T_r) — recovery can re-place the lost VMs onto it,
-    // preserving group orthogonality even at k = n-1.
-    cluster_->revive_node(victim);
-    backend_->handle_failure(
-        victim, lost,
-        [this, victim, lost, rec_span](const RecoveryStats& rs) {
-          (void)victim;
-          auto& metrics = sim_.telemetry().metrics();
-          sim_.telemetry().end_span(rec_span);
-          metrics.add("job.recovery_s", job_.detection_time + rs.duration);
-          if (rs.success) {
-            if (rs.epochs_rolled_back > 0) {
-              // A multilevel backend restored an older durable level:
-              // roll the work watermark back by that many intervals
-              // (exact for fixed intervals, the policy's current value
-              // otherwise).
-              const SimTime regress =
-                  rs.epochs_rolled_back *
-                  (current_interval_ > 0 ? current_interval_
-                                         : job_.interval);
-              metrics.add("job.lost_work_s",
-                          std::min(committed_work_, regress));
-              committed_work_ = std::max(0.0, committed_work_ - regress);
-            }
-            recovering_ = false;
-            computing_ = true;
-            resume_time_ = sim_.now();
-            work_at_resume_ = committed_work_;
-            advanced_work_ = committed_work_;
-            schedule_segment();
-          } else {
-            metrics.add("job.restarts", 1.0);
-            VDC_INFO("runtime", "job restart at t=", sim_.now(), ": ",
-                     rs.reason);
-            restart_job(lost);
-          }
-        });
+  episode_.pending = sim_.after(job_.detection_time, [this] {
+    episode_.pending = simkit::kInvalidEvent;
+    start_recovery_attempt();
   });
+}
+
+void JobRunner::on_cascade_failure(cluster::NodeId victim) {
+  auto& tel = sim_.telemetry();
+  auto& metrics = tel.metrics();
+  metrics.add("job.failures_during_recovery", 1.0);
+  metrics.add("recovery.cascades", 1.0);
+  ++episode_.cascades;
+
+  const std::vector<vm::VmId> lost =
+      cluster_->node(victim).hypervisor().vm_ids();
+  cluster_->kill_node(victim);
+  backend_->on_node_failure(victim);
+  if (std::find(episode_.victims.begin(), episode_.victims.end(), victim) ==
+      episode_.victims.end())
+    episode_.victims.push_back(victim);
+  // Union: a re-struck node may host VMs already in the lost set
+  // (re-placed by the aborted attempt).
+  for (vm::VmId vmid : lost)
+    if (std::find(episode_.lost.begin(), episode_.lost.end(), vmid) ==
+        episode_.lost.end())
+      episode_.lost.push_back(vmid);
+
+  // Whatever the episode had in flight is now stale: an armed attempt is
+  // descheduled, an active reconstruction aborted (its callback must not
+  // fire against the extended lost-set).
+  if (episode_.pending != simkit::kInvalidEvent) {
+    sim_.cancel(episode_.pending);
+    episode_.pending = simkit::kInvalidEvent;
+  }
+  if (episode_.backend_active) {
+    backend_->abort_recovery();
+    episode_.backend_active = false;
+  }
+  notify(JobEvent::Kind::Cascade, victim);
+
+  const telemetry::Labels victim_labels{{"victim", std::to_string(victim)}};
+  tel.record_span("recovery.detect", sim_.now(),
+                  sim_.now() + job_.detection_time, victim_labels,
+                  episode_.span);
+
+  if (episode_.restarting) {
+    // The episode already escalated to a job restart; fold the new victim
+    // in and restart again once its failure is detected.
+    episode_.pending = sim_.after(job_.detection_time, [this] {
+      episode_.pending = simkit::kInvalidEvent;
+      restart_job(episode_.lost);
+    });
+    return;
+  }
+
+  const SimTime backoff = retry_backoff(episode_.attempts + 1);
+  if (backoff > 0.0)
+    tel.record_span("recovery.retry", sim_.now() + job_.detection_time,
+                    sim_.now() + job_.detection_time + backoff,
+                    {{"attempt", std::to_string(episode_.attempts + 1)}},
+                    episode_.span);
+  episode_.pending = sim_.after(job_.detection_time + backoff, [this] {
+    episode_.pending = simkit::kInvalidEvent;
+    start_recovery_attempt();
+  });
+}
+
+SimTime JobRunner::retry_backoff(std::uint32_t next_attempt) const {
+  if (next_attempt <= 1 || job_.recovery_backoff <= 0.0) return 0.0;
+  return job_.recovery_backoff *
+         std::ldexp(1.0, static_cast<int>(next_attempt) - 2);
+}
+
+void JobRunner::start_recovery_attempt() {
+  VDC_ASSERT(recovering_ && !episode_.backend_active);
+  auto& metrics = sim_.telemetry().metrics();
+  if (episode_.attempts >= job_.max_recovery_attempts) {
+    // Retry budget exhausted: stop reconstructing, escalate to a restart.
+    metrics.add("recovery.failures", 1.0, {{"reason", "attempt_budget"}});
+    RecoveryStats rs;
+    rs.success = false;
+    rs.reason = "recovery attempt budget exhausted (" +
+                std::to_string(job_.max_recovery_attempts) + " attempts)";
+    on_recovery_settled(rs);
+    return;
+  }
+  ++episode_.attempts;
+  metrics.add("recovery.attempts", 1.0);
+
+  // The failed machines are rebooted/replaced by the time reconstruction
+  // starts (the constant-cluster-size assumption behind the Section V
+  // model's flat T_r) — recovery can re-place the lost VMs onto them,
+  // preserving group orthogonality even at k = n-1.
+  for (cluster::NodeId nid : episode_.victims)
+    if (!cluster_->node(nid).alive()) cluster_->revive_node(nid);
+
+  // Only what is still missing: an aborted earlier attempt may already
+  // have re-placed some of the episode's lost VMs (exact committed-epoch
+  // state, so they stay).
+  std::vector<vm::VmId> missing;
+  for (vm::VmId vmid : episode_.lost)
+    if (!cluster_->locate(vmid).has_value()) missing.push_back(vmid);
+
+  episode_.backend_active = true;
+  backend_->handle_failure(missing, [this](const RecoveryStats& rs) {
+    episode_.backend_active = false;
+    on_recovery_settled(rs);
+  });
+}
+
+void JobRunner::on_recovery_settled(const RecoveryStats& rs) {
+  auto& tel = sim_.telemetry();
+  auto& metrics = tel.metrics();
+  tel.end_span(episode_.span);
+  episode_.span = telemetry::kNoSpan;
+  metrics.add("job.recovery_s", sim_.now() - episode_.start);
+  if (rs.success) {
+    if (rs.epochs_rolled_back > 0) {
+      // A multilevel backend restored an older durable level: roll the
+      // work watermark back by that many intervals (exact for fixed
+      // intervals, the policy's current value otherwise).
+      const SimTime regress =
+          rs.epochs_rolled_back *
+          (current_interval_ > 0 ? current_interval_ : job_.interval);
+      metrics.add("job.lost_work_s", std::min(committed_work_, regress));
+      committed_work_ = std::max(0.0, committed_work_ - regress);
+      notify(JobEvent::Kind::Rollback);
+    }
+    recovering_ = false;
+    cluster_->set_degraded(false);
+    // An attempt that settled trivially (everything already re-placed by
+    // an aborted predecessor) never went through the manager's resume;
+    // resume_all is idempotent for guests already running.
+    for (cluster::NodeId nid : cluster_->alive_nodes())
+      cluster_->node(nid).hypervisor().resume_all();
+    computing_ = true;
+    resume_time_ = sim_.now();
+    work_at_resume_ = committed_work_;
+    advanced_work_ = committed_work_;
+    notify(JobEvent::Kind::RecoverySettled, 0, true);
+    schedule_segment();
+  } else {
+    metrics.add("job.restarts", 1.0);
+    VDC_INFO("runtime", "job restart at t=", sim_.now(), ": ", rs.reason);
+    episode_.restarting = true;
+    notify(JobEvent::Kind::RecoverySettled, 0, false);
+    restart_job(episode_.lost);
+  }
+}
+
+void JobRunner::notify(JobEvent::Kind kind, cluster::NodeId node,
+                       bool success) {
+  if (!job_.observer) return;
+  JobEvent ev;
+  ev.kind = kind;
+  ev.time = sim_.now();
+  ev.committed_work = committed_work_;
+  ev.node = node;
+  ev.success = success;
+  job_.observer(ev);
 }
 
 void JobRunner::restart_job(const std::vector<vm::VmId>& missing) {
   // Unrecoverable: re-create whatever is gone with fresh images and start
-  // the job over.
+  // the job over. Victims that never made it through a reconstruction
+  // attempt (give-up path) are still down; bring the hardware back first.
+  for (cluster::NodeId nid : episode_.victims)
+    if (!cluster_->node(nid).alive()) cluster_->revive_node(nid);
   auto workloads = make_workload_factory(cluster_config_);
   for (vm::VmId vmid : missing) {
     if (cluster_->locate(vmid).has_value()) continue;
@@ -297,11 +461,17 @@ void JobRunner::restart_job(const std::vector<vm::VmId>& missing) {
   committed_work_ = 0.0;
   work_at_resume_ = 0.0;
   advanced_work_ = 0.0;
+  notify(JobEvent::Kind::Restart);
 
-  sim_.after(job_.restart_time, [this] {
+  // `recovering_` stays up through the restart window so a failure in it
+  // routes through the cascade path (cancel this event, fold the victim
+  // in, restart again).
+  episode_.pending = sim_.after(job_.restart_time, [this] {
+    episode_.pending = simkit::kInvalidEvent;
     for (cluster::NodeId nid : cluster_->alive_nodes())
       cluster_->node(nid).hypervisor().resume_all();
     recovering_ = false;
+    cluster_->set_degraded(false);
     computing_ = true;
     resume_time_ = sim_.now();
     schedule_segment();
@@ -361,14 +531,22 @@ SimTime DvdcBackend::early_resume_delay() const {
 
 void DvdcBackend::abort_checkpoint() { coordinator_.abort(); }
 
-void DvdcBackend::handle_failure(cluster::NodeId victim,
-                                 const std::vector<vm::VmId>& lost,
-                                 RecoveryDone done) {
+void DvdcBackend::on_node_failure(cluster::NodeId victim) {
+  // Everything the node held — checkpoint shards AND parity blocks — is
+  // gone the instant it dies, so a cascading second failure sees the
+  // stripe damage of both victims combined.
   state_.drop_node(victim);
+}
+
+bool DvdcBackend::abort_recovery() { return recovery_.abort(); }
+
+void DvdcBackend::handle_failure(const std::vector<vm::VmId>& lost,
+                                 RecoveryDone done) {
   if (lost.empty()) {
-    // The node held no guests (e.g. a dedicated parity holder): nothing to
-    // reconstruct. Its parity blocks are gone; the next epoch re-plans and
-    // rebuilds them with a full exchange.
+    // Nothing left to reconstruct (the victims held no guests, or an
+    // aborted earlier attempt already re-placed everything). Parity
+    // blocks may still be gone; the next epoch re-plans and rebuilds
+    // them with a full exchange.
     placed_.reset();
     RecoveryStats rs;
     rs.success = true;

@@ -47,12 +47,25 @@ class CheckpointBackend {
   /// Abort an in-flight checkpoint (failure interrupted it).
   virtual void abort_checkpoint() = 0;
 
-  /// A node died and `lost` VMs with it (node already marked dead, its
-  /// state dropped). Recover and roll the cluster back to the last
+  /// A node just died: drop whatever backend state lived on it
+  /// (checkpoint shards, parity blocks, staged flushes). Called
+  /// immediately at kill time — possibly several times per recovery
+  /// episode when failures cascade — and strictly before the episode's
+  /// next handle_failure().
+  virtual void on_node_failure(cluster::NodeId /*victim*/) {}
+
+  /// Recover the `lost` VMs (the union of every VM still missing across
+  /// the episode's victims; may be empty if an earlier, aborted attempt
+  /// already re-placed them all) and roll the cluster back to the last
   /// committed cut. success == false means unrecoverable data loss.
-  virtual void handle_failure(cluster::NodeId victim,
-                              const std::vector<vm::VmId>& lost,
+  virtual void handle_failure(const std::vector<vm::VmId>& lost,
                               RecoveryDone done) = 0;
+
+  /// Abort the in-flight recovery because a cascading failure invalidated
+  /// it: its RecoveryDone callback must never fire. Returns true if a
+  /// recovery was actually aborted. Backends whose recovery is
+  /// instantaneous may keep the default.
+  virtual bool abort_recovery() { return false; }
 
   /// Epochs committed so far.
   virtual checkpoint::Epoch committed_epoch() const = 0;
@@ -62,6 +75,27 @@ class CheckpointBackend {
   virtual void on_job_restart() {}
 
   virtual std::string name() const = 0;
+};
+
+/// A job-level event, published to JobConfig::observer as it happens.
+/// The committed-work watermark is monotone across events except through
+/// Rollback (a multilevel backend restored an older durable level) and
+/// Restart (data loss; the job starts over) — the invariant the fuzz
+/// suite asserts: committed work is never *silently* lost.
+struct JobEvent {
+  enum class Kind {
+    EpochCommit,       // a checkpoint committed; watermark advanced
+    Failure,           // a node died while the cluster was healthy
+    Cascade,           // a node died during an in-flight recovery episode
+    RecoverySettled,   // the episode ended (success per `success`)
+    Rollback,          // settled via an older durable level; watermark cut
+    Restart,           // unrecoverable; watermark reset to zero
+  };
+  Kind kind = Kind::EpochCommit;
+  SimTime time = 0.0;
+  SimTime committed_work = 0.0;  // watermark after the event
+  cluster::NodeId node = 0;      // victim (Failure / Cascade only)
+  bool success = false;          // RecoverySettled only
 };
 
 struct JobConfig {
@@ -78,10 +112,29 @@ struct JobConfig {
   /// injector replays this trace (cycling) instead of the Poisson
   /// process, regardless of `lambda`.
   std::vector<SimTime> failure_trace;
+  /// Per-node failure processes (FleetFailureInjector) instead of the
+  /// aggregate cluster process: every node gets an independent clock from
+  /// this distribution and, when `node_repair_time > 0`, keeps failing
+  /// for the whole run. Takes precedence over `lambda`/`failure_trace`.
+  std::shared_ptr<failure::TtfDistribution> node_ttf;
+  SimTime node_repair_time = 0.0;
+  /// Deterministic scripted fault schedule (exact node ids at absolute
+  /// sim times); takes precedence over every stochastic source above.
+  std::vector<failure::ScheduledFailure> failure_schedule;
   /// Heartbeat detection delay charged before recovery starts.
   SimTime detection_time = 0.5;
   /// Penalty to restart the job from scratch (data loss / no checkpoint).
   SimTime restart_time = 30.0;
+  /// Recovery supervisor: at most this many reconstruction attempts per
+  /// episode (first attempt + cascaded retries) before escalating to a
+  /// job restart.
+  std::uint32_t max_recovery_attempts = 5;
+  /// Sim-time backoff added before retry attempt N (N >= 2):
+  /// recovery_backoff * 2^(N-2), on top of the detection delay.
+  SimTime recovery_backoff = 1.0;
+  /// Optional hook observing job-level events as they happen (see
+  /// JobEvent); the test harness's window into mid-run state.
+  std::function<void(const JobEvent&)> observer;
   std::uint64_t seed = 42;
   /// Safety valve on simulator events.
   std::uint64_t max_events = 50'000'000;
@@ -111,7 +164,8 @@ struct RunResult {
   SimTime total_work = 0.0;
   double time_ratio = 0.0;        // completion / total_work (Fig. 5 y-axis)
   std::uint32_t failures = 0;
-  std::uint32_t failures_ignored = 0;  // struck during recovery
+  std::uint32_t failures_during_recovery = 0;  // struck mid-recovery (killed)
+  std::uint32_t recovery_cascades = 0;         // recovery rounds they forced
   std::uint32_t epochs = 0;
   std::uint32_t job_restarts = 0;      // data-loss or pre-checkpoint
   SimTime total_overhead = 0.0;        // guests suspended for checkpoints
@@ -141,10 +195,37 @@ class JobRunner {
   CheckpointBackend* backend() { return backend_.get(); }
 
  private:
+  /// One recovery episode: from the first failure out of healthy state
+  /// until the supervisor settles it (success, escalation, or restart).
+  /// Cascading failures extend the same episode instead of opening a new
+  /// one.
+  struct Episode {
+    SimTime start = 0.0;
+    std::vector<cluster::NodeId> victims;  // every node killed this episode
+    std::vector<vm::VmId> lost;            // union of lost VM ids
+    std::uint32_t attempts = 0;            // reconstruction rounds started
+    std::uint32_t cascades = 0;            // failures that aborted a round
+    bool backend_active = false;           // handle_failure() in flight
+    bool restarting = false;               // escalated to a job restart
+    std::uint64_t span = 0;                // "recovery" root span id
+    simkit::EventId pending = simkit::kInvalidEvent;  // scheduled attempt
+  };
+
   void boot_cluster();
   void schedule_segment();
   void on_capture_point();
-  void on_failure_event(cluster::NodeId raw_victim);
+  /// Entry point for every injected failure. `exact` means `raw_victim`
+  /// is an exact node id (scripted / per-node injectors); otherwise it is
+  /// an index mapped onto the currently-alive set.
+  void on_failure_event(cluster::NodeId raw_victim, bool exact);
+  /// A failure struck while an episode was open: kill the victim, abort
+  /// any in-flight reconstruction, extend the lost-set, requeue.
+  void on_cascade_failure(cluster::NodeId victim);
+  void start_recovery_attempt();
+  void on_recovery_settled(const RecoveryStats& rs);
+  SimTime retry_backoff(std::uint32_t next_attempt) const;
+  void notify(JobEvent::Kind kind, cluster::NodeId node = 0,
+              bool success = false);
   void restart_job(const std::vector<vm::VmId>& missing);
   SimTime current_work() const;
   void settle_workloads();
@@ -157,7 +238,7 @@ class JobRunner {
   Rng rng_;
   std::unique_ptr<cluster::ClusterManager> cluster_;
   std::unique_ptr<CheckpointBackend> backend_;
-  std::unique_ptr<failure::ClusterFailureInjector> injector_;
+  std::unique_ptr<failure::FailureInjector> injector_;
 
   RunResult result_;
   // Work tracking.
@@ -170,6 +251,7 @@ class JobRunner {
   bool recovering_ = false;
   bool finished_ = false;
   simkit::EventId pending_event_ = simkit::kInvalidEvent;
+  Episode episode_;
 };
 
 /// The DVDC backend: coordinator + recovery + (re)planning.
@@ -182,9 +264,10 @@ class DvdcBackend final : public CheckpointBackend {
   void checkpoint(checkpoint::Epoch epoch, EpochDone done) override;
   SimTime early_resume_delay() const override;
   void abort_checkpoint() override;
-  void handle_failure(cluster::NodeId victim,
-                      const std::vector<vm::VmId>& lost,
+  void on_node_failure(cluster::NodeId victim) override;
+  void handle_failure(const std::vector<vm::VmId>& lost,
                       RecoveryDone done) override;
+  bool abort_recovery() override;
   checkpoint::Epoch committed_epoch() const override {
     return state_.committed_epoch();
   }

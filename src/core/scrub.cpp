@@ -129,7 +129,11 @@ void ParityScrubber::scrub(const PlacedPlan& plan, bool repair,
       if (!match) {
         ctx->report.mismatched.push_back(check.gid);
         VDC_INFO("scrub", "parity mismatch in group ", check.gid);
-        if (repair) {
+        if (repair && cluster_.degraded()) {
+          // A recovery episode is rewriting stripes right now; a repair
+          // write would race it. Report the mismatch, defer the write.
+          sim_.telemetry().metrics().add("scrub.deferred_repairs", 1.0);
+        } else if (repair) {
           DvdcState::ParityRecord fixed = *record;
           fixed.blocks = check.expected;
           state_.set_parity(check.gid, std::move(fixed));

@@ -78,13 +78,31 @@ void TwoLevelBackend::start_flush(checkpoint::Epoch epoch) {
   }
 }
 
-void TwoLevelBackend::handle_failure(cluster::NodeId victim,
-                                     const std::vector<vm::VmId>& lost,
-                                     RecoveryDone done) {
+void TwoLevelBackend::on_node_failure(cluster::NodeId victim) {
   // A failure invalidates any flush still in flight (its source epoch may
   // reference checkpoints the dead node held).
   ++flush_generation_;
-  dvdc_.handle_failure(victim, lost,
+  dvdc_.on_node_failure(victim);
+}
+
+bool TwoLevelBackend::abort_recovery() {
+  if (restore_active_) {
+    ++restore_generation_;
+    restore_active_ = false;
+    level2_pending_ = true;
+    sim_.telemetry().metrics().add("recovery.aborted", 1.0);
+    return true;
+  }
+  return dvdc_.abort_recovery();
+}
+
+void TwoLevelBackend::handle_failure(const std::vector<vm::VmId>& lost,
+                                     RecoveryDone done) {
+  if (level2_pending_ && !durable_.empty()) {
+    level2_restore(std::move(done));
+    return;
+  }
+  dvdc_.handle_failure(lost,
                        [this, done = std::move(done)](
                            const RecoveryStats& rs) mutable {
                          if (rs.success || durable_.empty()) {
@@ -101,6 +119,8 @@ void TwoLevelBackend::handle_failure(cluster::NodeId victim,
 
 void TwoLevelBackend::level2_restore(RecoveryDone done) {
   const SimTime start = sim_.now();
+  const std::uint64_t rgen = ++restore_generation_;
+  restore_active_ = true;
   for (cluster::NodeId nid : cluster_.alive_nodes())
     cluster_.node(nid).hypervisor().pause_all();
 
@@ -133,14 +153,12 @@ void TwoLevelBackend::level2_restore(RecoveryDone done) {
     per_node[*loc] += payload.size();
   }
 
-  // The DVDC level restarts from this baseline: fresh stripes next epoch.
+  // How far this durable level lags the committed DVDC epoch. The state
+  // wipe and counter reset happen at completion, NOT here: an aborted
+  // restore must leave the bookkeeping intact so the cascaded retry still
+  // reports the right rollback depth.
   const std::uint32_t rolled_back =
       static_cast<std::uint32_t>(commit_counter_ - flushed_counter_);
-  dvdc_.on_job_restart();
-  commit_counter_ = 0;
-  flushed_counter_ = 0;
-  ++level2_restores_;
-  sim_.telemetry().metrics().add("twolevel.level2_restores", 1.0);
 
   // Timing: every node fetches its images back from the NAS, then the
   // local restore + resume.
@@ -151,10 +169,21 @@ void TwoLevelBackend::level2_restore(RecoveryDone done) {
       static_cast<double>(worst) / config_.restore_rate +
       config_.resume_time;
 
-  auto finish = [this, start, rolled_back, local_stall,
+  auto finish = [this, rgen, start, rolled_back, local_stall,
                  done = std::move(done)]() mutable {
-    sim_.after(local_stall, [this, start, rolled_back,
+    if (rgen != restore_generation_) return;  // aborted
+    sim_.after(local_stall, [this, rgen, start, rolled_back,
                              done = std::move(done)]() mutable {
+      if (rgen != restore_generation_) return;  // aborted
+      restore_active_ = false;
+      level2_pending_ = false;
+      // The DVDC level restarts from this baseline: fresh stripes next
+      // epoch.
+      dvdc_.on_job_restart();
+      commit_counter_ = 0;
+      flushed_counter_ = 0;
+      ++level2_restores_;
+      sim_.telemetry().metrics().add("twolevel.level2_restores", 1.0);
       for (cluster::NodeId nid : cluster_.alive_nodes())
         cluster_.node(nid).hypervisor().resume_all();
       RecoveryStats rs;
@@ -189,6 +218,7 @@ void TwoLevelBackend::on_job_restart() {
   commit_counter_ = 0;
   flushed_counter_ = 0;
   ++flush_generation_;
+  level2_pending_ = false;
 }
 
 }  // namespace vdc::core

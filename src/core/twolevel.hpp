@@ -39,9 +39,10 @@ class TwoLevelBackend final : public CheckpointBackend {
     return dvdc_.early_resume_delay();
   }
   void abort_checkpoint() override { dvdc_.abort_checkpoint(); }
-  void handle_failure(cluster::NodeId victim,
-                      const std::vector<vm::VmId>& lost,
+  void on_node_failure(cluster::NodeId victim) override;
+  void handle_failure(const std::vector<vm::VmId>& lost,
                       RecoveryDone done) override;
+  bool abort_recovery() override;
   checkpoint::Epoch committed_epoch() const override {
     return dvdc_.committed_epoch();
   }
@@ -70,6 +71,14 @@ class TwoLevelBackend final : public CheckpointBackend {
   checkpoint::Epoch flushed_epoch_ = 0;
   std::uint64_t flush_generation_ = 0;
   std::uint64_t level2_restores_ = 0;
+  // In-flight level-2 restore (abortable: a cascading failure bumps the
+  // generation so stale NAS-fetch completions no-op).
+  std::uint64_t restore_generation_ = 0;
+  bool restore_active_ = false;
+  // An aborted restore re-placed VMs with OLD durable-level content, so a
+  // retry must not "succeed" trivially at the diskless level: route it
+  // straight back to level-2 until a restore completes.
+  bool level2_pending_ = false;
   // Commit bookkeeping since the current baseline (job start, scratch
   // restart or level-2 restore): how far the durable level lags.
   std::uint64_t commit_counter_ = 0;

@@ -1,5 +1,7 @@
 #include "failure/injector.hpp"
 
+#include <cstdlib>
+#include <string>
 #include <utility>
 
 #include "common/assert.hpp"
@@ -52,6 +54,28 @@ void NodeFailureInjector::fire(NodeId node) {
   }
 }
 
+FleetFailureInjector::FleetFailureInjector(
+    simkit::Simulator& sim, Rng rng, std::shared_ptr<TtfDistribution> ttf,
+    std::uint32_t node_count, SimTime repair_time)
+    : ttf_(std::move(ttf)), node_count_(node_count), nodes_(sim, rng) {
+  VDC_REQUIRE(ttf_ != nullptr, "TTF distribution required");
+  VDC_REQUIRE(node_count > 0, "need at least one node");
+  nodes_.set_repair_time(repair_time);
+}
+
+void FleetFailureInjector::start(FailureCallback on_failure) {
+  nodes_.set_on_failure(std::move(on_failure));
+  if (running_) return;
+  running_ = true;
+  for (NodeId n = 0; n < node_count_; ++n) nodes_.arm(n, ttf_);
+}
+
+void FleetFailureInjector::stop() {
+  if (!running_) return;
+  running_ = false;
+  for (NodeId n = 0; n < node_count_; ++n) nodes_.disarm(n);
+}
+
 ClusterFailureInjector::ClusterFailureInjector(
     simkit::Simulator& sim, Rng rng, std::shared_ptr<TtfDistribution> ttf,
     std::uint32_t node_count)
@@ -86,6 +110,85 @@ void ClusterFailureInjector::schedule_next() {
     // The callback may call stop(); only re-arm while running.
     if (running_) schedule_next();
   });
+}
+
+ScheduledFailureInjector::ScheduledFailureInjector(
+    simkit::Simulator& sim, std::vector<ScheduledFailure> schedule)
+    : sim_(sim), schedule_(std::move(schedule)) {
+  for (std::size_t i = 1; i < schedule_.size(); ++i)
+    VDC_REQUIRE(schedule_[i - 1].at <= schedule_[i].at,
+                "fault schedule must be time-ordered");
+}
+
+void ScheduledFailureInjector::start(FailureCallback on_failure) {
+  on_failure_ = std::move(on_failure);
+  if (running_) return;
+  running_ = true;
+  schedule_next();
+}
+
+void ScheduledFailureInjector::stop() {
+  running_ = false;
+  if (pending_ != simkit::kInvalidEvent) {
+    sim_.cancel(pending_);
+    pending_ = simkit::kInvalidEvent;
+  }
+}
+
+void ScheduledFailureInjector::schedule_next() {
+  if (next_ >= schedule_.size()) return;
+  const ScheduledFailure strike = schedule_[next_];
+  VDC_REQUIRE(strike.at >= sim_.now(),
+              "fault schedule entry is in the past");
+  pending_ = sim_.at(strike.at, [this, strike] {
+    pending_ = simkit::kInvalidEvent;
+    ++next_;
+    ++failures_;
+    if (on_failure_) on_failure_(strike.node);
+    if (running_) schedule_next();
+  });
+}
+
+std::vector<ScheduledFailure> ScheduledFailureInjector::parse(
+    std::string_view text) {
+  std::vector<ScheduledFailure> out;
+  std::size_t pos = 0, line_no = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? text.size() - pos : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+    if (const auto hash = line.find('#'); hash != std::string_view::npos)
+      line = line.substr(0, hash);
+    while (!line.empty() && (line.front() == ' ' || line.front() == '\t'))
+      line.remove_prefix(1);
+    while (!line.empty() && (line.back() == ' ' || line.back() == '\t' ||
+                             line.back() == '\r'))
+      line.remove_suffix(1);
+    if (line.empty()) continue;
+
+    const std::string buf(line);
+    char* end = nullptr;
+    const double at = std::strtod(buf.c_str(), &end);
+    if (end == buf.c_str() || at < 0.0)
+      throw InvariantError("fault schedule line " + std::to_string(line_no) +
+                           ": expected '<time> <node>'");
+    char* end2 = nullptr;
+    const long node = std::strtol(end, &end2, 10);
+    if (end2 == end || node < 0)
+      throw InvariantError("fault schedule line " + std::to_string(line_no) +
+                           ": expected a non-negative node id");
+    while (*end2 == ' ' || *end2 == '\t') ++end2;
+    if (*end2 != '\0')
+      throw InvariantError("fault schedule line " + std::to_string(line_no) +
+                           ": trailing junk");
+    if (!out.empty() && at < out.back().at)
+      throw InvariantError("fault schedule line " + std::to_string(line_no) +
+                           ": times must be non-decreasing");
+    out.push_back({at, static_cast<NodeId>(node)});
+  }
+  return out;
 }
 
 }  // namespace vdc::failure

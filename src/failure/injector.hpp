@@ -1,18 +1,28 @@
 #pragma once
 // Failure injection over the discrete-event simulator.
 //
-// Two granularities are offered:
+// Three granularities are offered behind one `FailureInjector` interface:
 //  * NodeFailureInjector — each physical node has an independent TTF
 //    process; on failure, the node is reported down and (optionally)
 //    re-armed after a repair time, matching the component-level view.
+//    (`FleetFailureInjector` is the facade that arms a whole fleet.)
 //  * ClusterFailureInjector — one aggregate process for the whole system,
 //    where each event strikes a uniformly random node. This is exactly the
 //    "one Poisson process with rate lambda" abstraction the Section V model
 //    uses, so the Monte-Carlo validation of Eqs. (1)-(3) uses this one.
+//  * ScheduledFailureInjector — a deterministic scripted fault schedule
+//    (absolute fire time -> exact node id) for replayable multi-failure
+//    scenarios; the cascade tests and drills are written against it.
+//
+// Victim semantics differ: injectors with `exact_targets() == true` name
+// real node ids (a strike on a currently-dead node is the consumer's to
+// skip); the aggregate injector emits an abstract index the consumer maps
+// onto its alive set.
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -24,10 +34,32 @@ namespace vdc::failure {
 
 using NodeId = std::uint32_t;
 
-class NodeFailureInjector {
+/// Common start/stop surface so consumers (the job runtime) can swap
+/// failure processes without caring which one is wired in.
+class FailureInjector {
  public:
   /// `on_failure(node)` fires at each failure instant.
   using FailureCallback = std::function<void(NodeId)>;
+
+  virtual ~FailureInjector() = default;
+
+  /// Begin injecting (idempotent).
+  virtual void start(FailureCallback on_failure) = 0;
+
+  /// Stop injecting; pending events are cancelled.
+  virtual void stop() = 0;
+
+  virtual std::uint64_t failures_injected() const = 0;
+
+  /// True when callbacks carry exact node ids (scripted / per-node
+  /// sources); false when they carry an index the consumer should map
+  /// onto the currently-alive set.
+  virtual bool exact_targets() const = 0;
+};
+
+class NodeFailureInjector {
+ public:
+  using FailureCallback = FailureInjector::FailureCallback;
   /// `on_repair(node)` fires when a failed node comes back (if repair
   /// re-arming is enabled).
   using RepairCallback = std::function<void(NodeId)>;
@@ -67,23 +99,42 @@ class NodeFailureInjector {
   std::uint64_t failures_ = 0;
 };
 
-class ClusterFailureInjector {
+/// FailureInjector facade over NodeFailureInjector: every node of an
+/// `node_count` fleet gets an independent clock drawn from the same TTF
+/// distribution, with optional repair re-arming so nodes keep failing for
+/// the whole run (the cascade-heavy fuzz regime).
+class FleetFailureInjector final : public FailureInjector {
  public:
-  using FailureCallback = std::function<void(NodeId)>;
+  FleetFailureInjector(simkit::Simulator& sim, Rng rng,
+                       std::shared_ptr<TtfDistribution> ttf,
+                       std::uint32_t node_count, SimTime repair_time = 0.0);
 
+  void start(FailureCallback on_failure) override;
+  void stop() override;
+  std::uint64_t failures_injected() const override {
+    return nodes_.failures_injected();
+  }
+  bool exact_targets() const override { return true; }
+
+ private:
+  std::shared_ptr<TtfDistribution> ttf_;
+  std::uint32_t node_count_;
+  NodeFailureInjector nodes_;
+  bool running_ = false;
+};
+
+class ClusterFailureInjector final : public FailureInjector {
+ public:
   /// One aggregate TTF process over `node_count` nodes; every failure
   /// event picks a victim uniformly at random.
   ClusterFailureInjector(simkit::Simulator& sim, Rng rng,
                          std::shared_ptr<TtfDistribution> ttf,
                          std::uint32_t node_count);
 
-  /// Start injecting (idempotent).
-  void start(FailureCallback on_failure);
-
-  /// Stop injecting.
-  void stop();
-
-  std::uint64_t failures_injected() const { return failures_; }
+  void start(FailureCallback on_failure) override;
+  void stop() override;
+  std::uint64_t failures_injected() const override { return failures_; }
+  bool exact_targets() const override { return false; }
 
  private:
   void schedule_next();
@@ -92,6 +143,47 @@ class ClusterFailureInjector {
   Rng rng_;
   std::shared_ptr<TtfDistribution> ttf_;
   std::uint32_t node_count_;
+  FailureCallback on_failure_;
+  simkit::EventId pending_ = simkit::kInvalidEvent;
+  bool running_ = false;
+  std::uint64_t failures_ = 0;
+};
+
+/// One scripted strike: node `node` fails at absolute sim time `at`.
+struct ScheduledFailure {
+  SimTime at = 0.0;
+  NodeId node = 0;
+};
+
+/// Deterministic scripted fault schedule. Events fire at their absolute
+/// times in order; the schedule does not repeat. Strikes name exact node
+/// ids, so a schedule replays bit-identically across runs — the substrate
+/// for the cascade/escalation tests and for operator drills.
+class ScheduledFailureInjector final : public FailureInjector {
+ public:
+  ScheduledFailureInjector(simkit::Simulator& sim,
+                           std::vector<ScheduledFailure> schedule);
+
+  void start(FailureCallback on_failure) override;
+  void stop() override;
+  std::uint64_t failures_injected() const override { return failures_; }
+  bool exact_targets() const override { return true; }
+
+  /// Strikes not yet fired.
+  std::size_t remaining() const { return schedule_.size() - next_; }
+
+  /// Parse the fault-schedule text format (see docs/RECOVERY.md): one
+  /// `<time_seconds> <node_id>` pair per line; blank lines and `#`
+  /// comments are ignored. Throws InvariantError on malformed input or
+  /// times out of order.
+  static std::vector<ScheduledFailure> parse(std::string_view text);
+
+ private:
+  void schedule_next();
+
+  simkit::Simulator& sim_;
+  std::vector<ScheduledFailure> schedule_;
+  std::size_t next_ = 0;
   FailureCallback on_failure_;
   simkit::EventId pending_ = simkit::kInvalidEvent;
   bool running_ = false;

@@ -1,0 +1,274 @@
+// Scripted cascading-failure scenarios for the recovery supervisor: a
+// second failure landing inside an open recovery episode must kill its
+// node, abort the in-flight reconstruction, and force a cascaded round —
+// never be silently dropped. Three deterministic schedules cover the
+// cross-group (survivable), same-group (escalates to restart) and
+// re-struck-replacement cases.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "telemetry/sinks.hpp"
+
+namespace vdc::core {
+namespace {
+
+ClusterConfig cascade_cluster() {
+  ClusterConfig cc;
+  cc.nodes = 8;
+  cc.vms_per_node = 2;
+  cc.page_size = kib(1);
+  cc.pages_per_vm = 32;
+  cc.write_rate = 100.0;
+  return cc;
+}
+
+JobRunner::BackendFactory dvdc_factory(ClusterConfig cc) {
+  return [cc](simkit::Simulator& sim, cluster::ClusterManager& cluster,
+              Rng&) -> std::unique_ptr<CheckpointBackend> {
+    PlannerConfig planner;
+    planner.group_size = 3;
+    return std::make_unique<DvdcBackend>(sim, cluster, ProtocolConfig{},
+                                         RecoveryConfig{},
+                                         make_workload_factory(cc), planner);
+  };
+}
+
+JobConfig base_job() {
+  JobConfig job;
+  job.total_work = minutes(20);
+  job.interval = minutes(5);  // first commit at ~300 s of work
+  job.seed = 33;
+  return job;
+}
+
+// Per-node RAID-group incidence (the groups whose member VMs or parity
+// blocks live on each node), read off a fault-free probe run. Placement
+// is deterministic per seed, so the scripted runs below see the same plan
+// up to their first strike.
+std::vector<std::set<std::size_t>> probe_incidence(const JobConfig& base,
+                                                   const ClusterConfig& cc) {
+  JobConfig probe = base;
+  probe.failure_schedule.clear();
+  probe.observer = nullptr;
+  JobRunner runner(probe, cc, dvdc_factory(cc));
+  const RunResult r = runner.run();
+  EXPECT_TRUE(r.finished);
+  auto* backend = dynamic_cast<DvdcBackend*>(runner.backend());
+  EXPECT_NE(backend, nullptr);
+  const PlacedPlan& placed = backend->placed_plan();
+  std::vector<std::set<std::size_t>> incidence(cc.nodes);
+  for (std::size_t gi = 0; gi < placed.plan.groups.size(); ++gi) {
+    for (vm::VmId vmid : placed.plan.groups[gi].members) {
+      const auto node = runner.cluster().locate(vmid);
+      EXPECT_TRUE(node.has_value());
+      if (node) incidence[*node].insert(gi);
+    }
+    for (cluster::NodeId holder : placed.holders[gi])
+      incidence[holder].insert(gi);
+  }
+  return incidence;
+}
+
+using NodePair = std::pair<cluster::NodeId, cluster::NodeId>;
+
+std::optional<NodePair> disjoint_pair(
+    const std::vector<std::set<std::size_t>>& incidence) {
+  for (cluster::NodeId a = 0; a < incidence.size(); ++a)
+    for (cluster::NodeId b = a + 1; b < incidence.size(); ++b) {
+      const bool overlap = std::any_of(
+          incidence[a].begin(), incidence[a].end(),
+          [&](std::size_t g) { return incidence[b].count(g) != 0; });
+      if (!overlap) return NodePair{a, b};
+    }
+  return std::nullopt;
+}
+
+std::optional<NodePair> overlapping_pair(
+    const std::vector<std::set<std::size_t>>& incidence) {
+  for (cluster::NodeId a = 0; a < incidence.size(); ++a)
+    for (cluster::NodeId b = a + 1; b < incidence.size(); ++b) {
+      const bool overlap = std::any_of(
+          incidence[a].begin(), incidence[a].end(),
+          [&](std::size_t g) { return incidence[b].count(g) != 0; });
+      if (overlap) return NodePair{a, b};
+    }
+  return std::nullopt;
+}
+
+std::size_t located_vms(cluster::ClusterManager& cluster) {
+  std::size_t n = 0;
+  for (vm::VmId vmid : cluster.all_vms())
+    if (cluster.locate(vmid).has_value()) ++n;
+  return n;
+}
+
+void expect_all_running(cluster::ClusterManager& cluster,
+                        const ClusterConfig& cc) {
+  ASSERT_EQ(cluster.all_vms().size(),
+            std::size_t{cc.nodes} * cc.vms_per_node);
+  for (vm::VmId vmid : cluster.all_vms())
+    EXPECT_EQ(cluster.machine(vmid).state(), vm::VmState::Running);
+}
+
+TEST(Cascade, CrossGroupSecondFailureRecoversInCascadedRound) {
+  const ClusterConfig cc = cascade_cluster();
+  const JobConfig base = base_job();
+  const auto incidence = probe_incidence(base, cc);
+  const auto pair = disjoint_pair(incidence);
+  ASSERT_TRUE(pair.has_value())
+      << "no disjoint-incidence node pair under this seed; reshape cluster";
+  const auto [a, b] = *pair;
+
+  JobConfig job = base;
+  // First strike after the first commit; second lands mid-recovery.
+  job.failure_schedule = {{360.0, a}, {362.0, b}};
+  JobRunner* rp = nullptr;
+  bool cascade_seen = false;
+  bool victim_dead_at_cascade = false;
+  job.observer = [&](const JobEvent& ev) {
+    if (ev.kind != JobEvent::Kind::Cascade) return;
+    cascade_seen = true;
+    EXPECT_EQ(ev.node, b);
+    // The latent bug this suite exists for: a mid-recovery strike must
+    // kill its node immediately, not be dropped.
+    victim_dead_at_cascade = !rp->cluster().node(ev.node).alive();
+  };
+  JobRunner runner(job, cc, dvdc_factory(cc));
+  rp = &runner;
+  auto sink = std::make_shared<telemetry::InMemorySink>();
+  runner.sim().telemetry().set_enabled(true);
+  runner.sim().telemetry().add_sink(sink);
+  const RunResult r = runner.run();
+
+  ASSERT_TRUE(r.finished);
+  EXPECT_EQ(r.failures, 2u);
+  EXPECT_EQ(r.failures_during_recovery, 1u);
+  EXPECT_EQ(r.recovery_cascades, 1u);
+  EXPECT_EQ(r.job_restarts, 0u);
+  EXPECT_TRUE(cascade_seen);
+  EXPECT_TRUE(victim_dead_at_cascade);
+
+  // One episode root span covering both strikes: two detect windows and a
+  // backoff bar nest under it.
+  const auto roots = sink->named("recovery");
+  ASSERT_EQ(roots.size(), 1u);
+  const auto detects = sink->named("recovery.detect");
+  ASSERT_EQ(detects.size(), 2u);
+  for (const auto& d : detects) EXPECT_EQ(d.parent, roots[0].id);
+  const auto retries = sink->named("recovery.retry");
+  ASSERT_EQ(retries.size(), 1u);
+  EXPECT_EQ(retries[0].parent, roots[0].id);
+
+  auto& metrics = runner.sim().telemetry().metrics();
+  EXPECT_EQ(metrics.value("recovery.attempts"), 2.0);
+  EXPECT_EQ(metrics.value("recovery.cascades"), 1.0);
+  EXPECT_GE(metrics.value("recovery.aborted"), 1.0);
+  EXPECT_EQ(metrics.value("job.failures_during_recovery"), 1.0);
+  EXPECT_EQ(metrics.find("job.failures_ignored"), nullptr);
+
+  expect_all_running(runner.cluster(), cc);
+  EXPECT_FALSE(runner.cluster().degraded());
+}
+
+TEST(Cascade, SameGroupSecondLossEscalatesToRestart) {
+  const ClusterConfig cc = cascade_cluster();
+  const JobConfig base = base_job();
+  const auto incidence = probe_incidence(base, cc);
+  const auto pair = overlapping_pair(incidence);
+  ASSERT_TRUE(pair.has_value());
+  const auto [a, b] = *pair;
+
+  JobConfig job = base;
+  // Second strike inside the detection window: both losses fold into one
+  // attempt whose shared group then has two erasures — beyond RAID-5.
+  job.failure_schedule = {{360.0, a}, {360.3, b}};
+  bool settled_failure = false;
+  bool restart_after_failure = false;
+  SimTime watermark_after_restart = -1.0;
+  job.observer = [&](const JobEvent& ev) {
+    if (ev.kind == JobEvent::Kind::RecoverySettled && !ev.success)
+      settled_failure = true;
+    if (ev.kind == JobEvent::Kind::Restart && settled_failure) {
+      restart_after_failure = true;
+      watermark_after_restart = ev.committed_work;
+    }
+  };
+  JobRunner runner(job, cc, dvdc_factory(cc));
+  const RunResult r = runner.run();
+
+  ASSERT_TRUE(r.finished);
+  EXPECT_EQ(r.failures, 2u);
+  EXPECT_EQ(r.failures_during_recovery, 1u);
+  EXPECT_EQ(r.recovery_cascades, 1u);
+  EXPECT_EQ(r.job_restarts, 1u);
+  EXPECT_TRUE(settled_failure);
+  EXPECT_TRUE(restart_after_failure);
+  EXPECT_EQ(watermark_after_restart, 0.0);
+
+  auto& metrics = runner.sim().telemetry().metrics();
+  EXPECT_EQ(metrics.value("recovery.attempts"), 1.0);
+  EXPECT_EQ(metrics.value("recovery.cascades"), 1.0);
+  EXPECT_GE(metrics.value("recovery.failures"), 0.0);  // labeled by reason
+  EXPECT_EQ(metrics.find("job.failures_ignored"), nullptr);
+
+  expect_all_running(runner.cluster(), cc);
+  EXPECT_FALSE(runner.cluster().degraded());
+}
+
+TEST(Cascade, RestrikingTheReplacementNodeRetriesRecovery) {
+  const ClusterConfig cc = cascade_cluster();
+  JobConfig job = base_job();
+  // Node 0 dies, is revived for the reconstruction attempt, and — being
+  // the emptiest node — starts receiving the re-placed VMs. Striking it
+  // again mid-replace must abort and retry, not wedge.
+  const cluster::NodeId a = 0;
+  job.failure_schedule = {{360.0, a}, {362.0, a}};
+  JobRunner* rp = nullptr;
+  bool cascade_seen = false;
+  std::size_t missing_at_cascade = 0;
+  job.observer = [&](const JobEvent& ev) {
+    if (ev.kind != JobEvent::Kind::Cascade) return;
+    cascade_seen = true;
+    EXPECT_EQ(ev.node, a);
+    missing_at_cascade =
+        std::size_t{cc.nodes} * cc.vms_per_node - located_vms(rp->cluster());
+  };
+  JobRunner runner(job, cc, dvdc_factory(cc));
+  rp = &runner;
+  // Sample the victim's load just before the re-strike: the recovery must
+  // actually have been re-placing VMs onto it for this scenario to bite.
+  std::size_t on_victim_before_restrike = 0;
+  runner.sim().at(361.9, [&] {
+    on_victim_before_restrike =
+        runner.cluster().node(a).hypervisor().vm_ids().size();
+  });
+  const RunResult r = runner.run();
+
+  ASSERT_TRUE(r.finished);
+  EXPECT_TRUE(cascade_seen);
+  EXPECT_GT(on_victim_before_restrike, 0u)
+      << "re-strike landed before any VM was re-placed on the victim";
+  EXPECT_GE(missing_at_cascade, 1u);
+  EXPECT_EQ(r.failures, 2u);
+  EXPECT_EQ(r.failures_during_recovery, 1u);
+  EXPECT_EQ(r.recovery_cascades, 1u);
+  EXPECT_EQ(r.job_restarts, 0u);
+
+  auto& metrics = runner.sim().telemetry().metrics();
+  EXPECT_EQ(metrics.value("recovery.attempts"), 2.0);
+  EXPECT_EQ(metrics.value("recovery.cascades"), 1.0);
+  EXPECT_GE(metrics.value("recovery.aborted"), 1.0);
+
+  expect_all_running(runner.cluster(), cc);
+  EXPECT_FALSE(runner.cluster().degraded());
+}
+
+}  // namespace
+}  // namespace vdc::core

@@ -133,6 +133,72 @@ TEST(ClusterInjector, AggregateRateAndUniformVictims) {
   for (int c : counts) EXPECT_GT(c, 150);
 }
 
+TEST(ScheduledInjector, FiresExactNodesAtAbsoluteTimes) {
+  simkit::Simulator sim;
+  ScheduledFailureInjector injector(
+      sim, {{5.0, 2}, {5.0, 3}, {12.5, 0}});
+  std::vector<std::pair<NodeId, double>> fired;
+  injector.start([&](NodeId n) { fired.emplace_back(n, sim.now()); });
+  EXPECT_EQ(injector.remaining(), 3u);
+  sim.run();
+  ASSERT_EQ(fired.size(), 3u);
+  EXPECT_EQ(fired[0], (std::pair<NodeId, double>{2, 5.0}));
+  EXPECT_EQ(fired[1], (std::pair<NodeId, double>{3, 5.0}));
+  EXPECT_EQ(fired[2], (std::pair<NodeId, double>{0, 12.5}));
+  EXPECT_EQ(injector.failures_injected(), 3u);
+  EXPECT_EQ(injector.remaining(), 0u);
+  EXPECT_TRUE(injector.exact_targets());
+}
+
+TEST(ScheduledInjector, StopCancelsTheRest) {
+  simkit::Simulator sim;
+  ScheduledFailureInjector injector(sim, {{1.0, 0}, {2.0, 1}, {3.0, 2}});
+  int count = 0;
+  injector.start([&](NodeId) {
+    if (++count == 2) injector.stop();
+  });
+  sim.run();
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(injector.remaining(), 1u);
+}
+
+TEST(ScheduledInjector, ReplaysBitIdentically) {
+  std::vector<std::vector<std::pair<NodeId, double>>> runs;
+  for (int i = 0; i < 2; ++i) {
+    simkit::Simulator sim;
+    ScheduledFailureInjector injector(sim, {{4.0, 1}, {9.0, 2}});
+    auto& fired = runs.emplace_back();
+    injector.start([&](NodeId n) { fired.emplace_back(n, sim.now()); });
+    sim.run();
+  }
+  EXPECT_EQ(runs[0], runs[1]);
+}
+
+TEST(ScheduledInjector, ParsesScheduleText) {
+  const auto schedule = ScheduledFailureInjector::parse(
+      "# drill: double failure, then a late straggler\n"
+      "360 2\n"
+      "362.5 5\n"
+      "\n"
+      "900 2  # node 2 again\n");
+  ASSERT_EQ(schedule.size(), 3u);
+  EXPECT_DOUBLE_EQ(schedule[0].at, 360.0);
+  EXPECT_EQ(schedule[0].node, 2u);
+  EXPECT_DOUBLE_EQ(schedule[1].at, 362.5);
+  EXPECT_EQ(schedule[1].node, 5u);
+  EXPECT_DOUBLE_EQ(schedule[2].at, 900.0);
+  EXPECT_EQ(schedule[2].node, 2u);
+}
+
+TEST(ScheduledInjector, ParseRejectsMalformedInput) {
+  EXPECT_THROW(ScheduledFailureInjector::parse("360\n"), InvariantError);
+  EXPECT_THROW(ScheduledFailureInjector::parse("abc 1\n"), InvariantError);
+  EXPECT_THROW(ScheduledFailureInjector::parse("-5 1\n"), InvariantError);
+  // Out-of-order times are a schedule bug, not a sorting request.
+  EXPECT_THROW(ScheduledFailureInjector::parse("10 1\n5 2\n"),
+               InvariantError);
+}
+
 TEST(ClusterInjector, StopFromCallback) {
   simkit::Simulator sim;
   ClusterFailureInjector injector(

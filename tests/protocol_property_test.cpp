@@ -232,5 +232,85 @@ TEST_P(ProtocolInterleavings, InvariantsHoldUnderRandomOps) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolInterleavings,
                          ::testing::Range(1, 13));
 
+// --- loss-pattern enumeration -----------------------------------------------
+//
+// Exhaustive survivability property over node-level loss patterns: every
+// subset of one or two nodes either keeps each committed RAID group within
+// the code's tolerance (RAID-5: one erasure per stripe, members + parity)
+// and must reconstruct byte-exact, or exceeds it somewhere and must settle
+// with success == false and a machine-readable reason — never a silent
+// wrong answer in either direction.
+
+TEST(LossPatterns, SurvivableDecodeByteExactUnsurvivableAreReported) {
+  // Enumerate the patterns against one probe harness; the seed is fixed so
+  // every per-pattern harness below sees the same plan.
+  std::vector<std::vector<cluster::NodeId>> patterns;
+  for (cluster::NodeId a = 0; a < 5; ++a) {
+    patterns.push_back({a});
+    for (cluster::NodeId b = a + 1; b < 5; ++b) patterns.push_back({a, b});
+  }
+
+  int survivable_seen = 0, unsurvivable_seen = 0;
+  for (const auto& pattern : patterns) {
+    Harness h(7);
+    h.cluster.advance_workloads(2.0);
+    ASSERT_TRUE(h.checkpoint(false));
+
+    // Committed payload per VM, and per-group erasure counts this pattern
+    // would cause (member shards on killed nodes + parity holders killed).
+    std::map<vm::VmId, std::vector<std::byte>> committed;
+    for (vm::VmId vmid : h.cluster.all_vms())
+      committed[vmid] = h.state.node_store(*h.cluster.locate(vmid))
+                            .find(vmid, h.state.committed_epoch())
+                            ->payload;
+    const auto killed = [&](cluster::NodeId n) {
+      return std::find(pattern.begin(), pattern.end(), n) != pattern.end();
+    };
+    bool survivable = true;
+    const auto& plan = *h.committed_plan;
+    for (std::size_t gi = 0; gi < plan.plan.groups.size(); ++gi) {
+      std::size_t erasures = 0;
+      for (vm::VmId m : plan.plan.groups[gi].members)
+        if (killed(*h.cluster.locate(m))) ++erasures;
+      for (cluster::NodeId holder : plan.holders[gi])
+        if (killed(holder)) ++erasures;
+      if (erasures > 1) survivable = false;  // RAID-5 tolerance
+    }
+
+    std::vector<vm::VmId> lost;
+    for (cluster::NodeId n : pattern) {
+      const auto on_node = h.cluster.node(n).hypervisor().vm_ids();
+      lost.insert(lost.end(), on_node.begin(), on_node.end());
+      h.cluster.kill_node(n);
+      h.state.drop_node(n);
+      h.cluster.revive_node(n);
+    }
+    std::optional<RecoveryStats> stats;
+    h.recovery.recover(*h.committed_plan, lost,
+                       [&](const RecoveryStats& s) { stats = s; });
+    h.sim.run();
+    ASSERT_TRUE(stats.has_value());
+
+    std::string label = "pattern {";
+    for (cluster::NodeId n : pattern) label += " " + std::to_string(n);
+    label += " }";
+    if (survivable) {
+      ++survivable_seen;
+      ASSERT_TRUE(stats->success) << label << ": " << stats->reason;
+      for (vm::VmId vmid : lost)
+        ASSERT_EQ(h.cluster.machine(vmid).image().flatten(),
+                  committed.at(vmid))
+            << label << " vm " << vmid;
+    } else {
+      ++unsurvivable_seen;
+      ASSERT_FALSE(stats->success) << label;
+      ASSERT_FALSE(stats->reason.empty()) << label;
+    }
+  }
+  // Both branches of the property must actually have been exercised.
+  EXPECT_GT(survivable_seen, 0);
+  EXPECT_GT(unsurvivable_seen, 0);
+}
+
 }  // namespace
 }  // namespace vdc::core

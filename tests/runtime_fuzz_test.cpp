@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
 #include <tuple>
 
 #include "core/baseline.hpp"
@@ -13,6 +15,16 @@
 
 namespace vdc::core {
 namespace {
+
+// Seed budget: 8 by default; the nightly sanitizer job widens it with
+// VDC_FUZZ_SEEDS=1000.
+int fuzz_seed_count() {
+  if (const char* env = std::getenv("VDC_FUZZ_SEEDS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 8;
+}
 
 ClusterConfig tiny_cluster() {
   ClusterConfig cc;
@@ -97,6 +109,79 @@ INSTANTIATE_TEST_SUITE_P(
                                          ParityScheme::Rs),
                        ::testing::Range(1, 9)));
 
+// --- cascade-heavy regime ---------------------------------------------------
+//
+// Per-node bursty clocks (infant-mortality Weibull) with repair re-arming:
+// nodes keep failing for the whole run and strikes routinely land inside an
+// open recovery episode. Across every seed the committed-work watermark
+// must be monotone except through the two documented cuts (Rollback,
+// Restart) — committed work is never *silently* lost.
+
+class CascadeFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(CascadeFuzz, CommittedWorkIsNeverSilentlyLost) {
+  const int seed = GetParam();
+  JobConfig job;
+  job.total_work = minutes(25);
+  job.interval = minutes(3);
+  job.node_ttf = std::make_shared<failure::WeibullTtf>(0.7, minutes(25));
+  job.node_repair_time = 60.0;
+  job.seed = static_cast<std::uint64_t>(seed);
+
+  SimTime watermark = 0.0;
+  std::uint32_t violations = 0;
+  std::uint32_t cascades_seen = 0;
+  job.observer = [&](const JobEvent& ev) {
+    using Kind = JobEvent::Kind;
+    if (ev.kind == Kind::Cascade) ++cascades_seen;
+    if (ev.kind == Kind::Rollback || ev.kind == Kind::Restart) {
+      watermark = ev.committed_work;  // documented watermark cuts
+      return;
+    }
+    if (ev.committed_work + 1e-9 < watermark) ++violations;
+    watermark = std::max(watermark, ev.committed_work);
+  };
+
+  const ClusterConfig cc = tiny_cluster();
+  JobRunner runner(job, cc, backend_for(ParityScheme::Raid5, cc));
+  const RunResult r = runner.run();
+
+  ASSERT_TRUE(r.finished) << "seed " << seed;
+  EXPECT_EQ(violations, 0u) << "seed " << seed;
+  EXPECT_EQ(r.recovery_cascades, cascades_seen);
+  EXPECT_GE(r.failures_during_recovery, r.recovery_cascades);
+  auto& metrics = runner.sim().telemetry().metrics();
+  EXPECT_EQ(metrics.find("job.failures_ignored"), nullptr);
+  EXPECT_EQ(runner.cluster().all_vms().size(),
+            std::size_t{cc.nodes} * cc.vms_per_node);
+  for (vm::VmId vmid : runner.cluster().all_vms())
+    EXPECT_EQ(runner.cluster().machine(vmid).state(), vm::VmState::Running);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CascadeFuzz,
+                         ::testing::Range(1, fuzz_seed_count() + 1));
+
+TEST(CascadeFuzzRegime, ActuallyCascades) {
+  // Guard against the regime silently going quiet: across a handful of
+  // seeds the bursty fleet must force at least one cascaded round, or the
+  // CascadeFuzz invariants above are vacuous.
+  std::uint32_t cascades = 0;
+  for (int seed = 1; seed <= 6; ++seed) {
+    JobConfig job;
+    job.total_work = minutes(25);
+    job.interval = minutes(3);
+    job.node_ttf = std::make_shared<failure::WeibullTtf>(0.7, minutes(25));
+    job.node_repair_time = 60.0;
+    job.seed = static_cast<std::uint64_t>(seed);
+    const ClusterConfig cc = tiny_cluster();
+    JobRunner runner(job, cc, backend_for(ParityScheme::Raid5, cc));
+    const RunResult r = runner.run();
+    ASSERT_TRUE(r.finished) << "seed " << seed;
+    cascades += r.recovery_cascades;
+  }
+  EXPECT_GT(cascades, 0u);
+}
+
 TEST(RuntimeTrace, TraceDrivenFailuresAreExact) {
   JobConfig job;
   job.total_work = minutes(20);
@@ -131,7 +216,7 @@ TEST(RuntimeTrace, BackToBackFailures) {
   JobRunner runner(job, cc, backend_for(ParityScheme::Raid5, cc));
   const RunResult r = runner.run();
   ASSERT_TRUE(r.finished);
-  EXPECT_GE(r.failures + r.failures_ignored, 2u);
+  EXPECT_GE(r.failures, 2u);
 }
 
 TEST(RuntimeModel, DesTracksRenewalModelUnderManySeeds) {

@@ -188,11 +188,13 @@ TEST(TwoLevel, CatastrophicLossFallsBackToNasInsteadOfScratch) {
   const auto lost1 = cluster.node(1).hypervisor().vm_ids();
   lost.insert(lost.end(), lost1.begin(), lost1.end());
   cluster.kill_node(0);
+  backend.on_node_failure(0);
   cluster.kill_node(1);
+  backend.on_node_failure(1);
   cluster.revive_node(0);
   cluster.revive_node(1);
   std::optional<core::RecoveryStats> stats;
-  backend.handle_failure(0, lost, [&](const core::RecoveryStats& s) {
+  backend.handle_failure(lost, [&](const core::RecoveryStats& s) {
     stats = s;
   });
   sim.run();
