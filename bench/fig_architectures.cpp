@@ -79,7 +79,7 @@ ArchResult run_architecture(const char* name, std::uint32_t nodes,
   for (vm::VmId vmid : cluster.all_vms()) {
     const auto* cp =
         state.node_store(*cluster.locate(vmid)).find(vmid, 1);
-    if (cp != nullptr) committed[vmid] = cp->payload;
+    if (cp != nullptr) committed[vmid] = cp->payload();
   }
   const auto lost = cluster.node(victim).hypervisor().vm_ids();
   cluster.kill_node(victim);

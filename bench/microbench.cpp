@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <optional>
 #include <vector>
 
 #include "checkpoint/delta.hpp"
@@ -13,10 +14,12 @@
 #include "common/rng.hpp"
 #include "parity/gf256.hpp"
 #include "parity/parallel.hpp"
+#include "core/protocol.hpp"
 #include "parity/raid5.hpp"
 #include "parity/rdp.hpp"
 #include "parity/reed_solomon.hpp"
 #include "parity/xor.hpp"
+#include "vm/workload.hpp"
 
 namespace {
 
@@ -191,6 +194,146 @@ void BM_Crc32(benchmark::State& state) {
                           kSize);
 }
 BENCHMARK(BM_Crc32);
+
+// --- epoch data plane --------------------------------------------------------
+//
+// End-to-end wall-clock cost of one checkpoint epoch through the full
+// coordinator, at a controlled dirty fraction, on both data planes:
+//   plane 0 = fast (dirty-bitmap capture, page-sharing store, in-place
+//             pooled parity folds), plane 1 = reference (flatten + diff +
+//             copy). Simulated time is identical by construction; only the
+//             host-side work differs. The CI perf-smoke job runs these
+//             with --benchmark_filter='Dataplane' into BENCH_dataplane.json.
+
+class DataplaneRig {
+ public:
+  static constexpr std::size_t kPageSize = 4096;
+  static constexpr std::size_t kPageCount = 1024;  // 4 MiB per VM
+  static constexpr int kVms = 3;                   // one RAID-5 group
+
+  explicit DataplaneRig(bool reference_plane)
+      : cluster_(sim_, Rng(99)),
+        coord_(sim_, cluster_, state_, make_config(reference_plane)) {
+    for (int n = 0; n < kVms + 1; ++n) cluster_.add_node();
+    for (int n = 0; n < kVms; ++n)
+      cluster_.boot_vm(n, kPageSize, kPageCount,
+                       std::make_unique<vdc::vm::IdleWorkload>());
+    Rng rng(7);
+    for (vdc::vm::VmId vmid : cluster_.all_vms())
+      cluster_.machine(vmid).image().fill_random(rng);
+    vdc::core::PlannerConfig pc;
+    pc.group_size = kVms;
+    placed_ = vdc::core::PlacedPlan::make(
+        vdc::core::GroupPlanner(pc).plan(cluster_), cluster_);
+    run_epoch();  // epoch 1: full exchange, seeds store + parity
+  }
+
+  /// Flip one byte in the first `permille`/1000 of every VM's pages.
+  void dirty(std::size_t permille) {
+    const std::size_t pages = kPageCount * permille / 1000;
+    for (vdc::vm::VmId vmid : cluster_.all_vms()) {
+      auto& image = cluster_.machine(vmid).image();
+      for (std::size_t p = 0; p < pages; ++p) {
+        const std::byte b = image.page(p)[0] ^ std::byte{1};
+        image.write(p, 0, {&b, 1});
+      }
+    }
+  }
+
+  void run_epoch() {
+    bool committed = false;
+    coord_.run_epoch(*placed_, next_epoch_,
+                     [&](const vdc::core::EpochStats&) { committed = true; });
+    sim_.run();
+    if (!committed) std::abort();
+    ++next_epoch_;
+  }
+
+  /// Drop the standing parity so the next epoch is a full exchange.
+  void force_full_exchange() {
+    for (const auto& group : placed_->plan.groups)
+      state_.drop_parity(group.id);
+  }
+
+  double metric(const char* name) const {
+    return sim_.telemetry().metrics().value(name);
+  }
+
+  static std::int64_t image_bytes() {
+    return static_cast<std::int64_t>(kVms * kPageSize * kPageCount);
+  }
+
+ private:
+  static vdc::core::ProtocolConfig make_config(bool reference) {
+    vdc::core::ProtocolConfig config;
+    config.reference_data_plane = reference;
+    return config;
+  }
+
+  vdc::simkit::Simulator sim_;
+  vdc::cluster::ClusterManager cluster_;
+  vdc::core::DvdcState state_;
+  vdc::core::DvdcCoordinator coord_;
+  std::optional<vdc::core::PlacedPlan> placed_;
+  vdc::checkpoint::Epoch next_epoch_ = 1;
+};
+
+void dataplane_counters(benchmark::State& state, const DataplaneRig& rig,
+                        double copy0, double cap0, double fold0) {
+  const auto iters = static_cast<double>(state.iterations());
+  state.counters["copy_bytes_per_epoch"] =
+      (rig.metric("dvdc.copy.bytes") - copy0) / iters;
+  state.counters["capture_ms_per_epoch"] =
+      (rig.metric("dvdc.wall.capture_ns") - cap0) / iters * 1e-6;
+  state.counters["fold_ms_per_epoch"] =
+      (rig.metric("dvdc.wall.fold_ns") - fold0) / iters * 1e-6;
+}
+
+void BM_DataplaneIncrementalEpoch(benchmark::State& state) {
+  const bool reference = state.range(0) != 0;
+  const auto permille = static_cast<std::size_t>(state.range(1));
+  DataplaneRig rig(reference);
+  const double copy0 = rig.metric("dvdc.copy.bytes");
+  const double cap0 = rig.metric("dvdc.wall.capture_ns");
+  const double fold0 = rig.metric("dvdc.wall.fold_ns");
+  for (auto _ : state) {
+    state.PauseTiming();
+    rig.dirty(permille);
+    state.ResumeTiming();
+    rig.run_epoch();
+  }
+  dataplane_counters(state, rig, copy0, cap0, fold0);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          DataplaneRig::image_bytes());
+}
+// {plane 0|1} x {dirty fraction 1%, 10%, 50% in permille}
+BENCHMARK(BM_DataplaneIncrementalEpoch)
+    ->ArgNames({"ref", "dirty_pm"})
+    ->ArgsProduct({{0, 1}, {10, 100, 500}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DataplaneFullExchangeEpoch(benchmark::State& state) {
+  const bool reference = state.range(0) != 0;
+  DataplaneRig rig(reference);
+  const double copy0 = rig.metric("dvdc.copy.bytes");
+  const double cap0 = rig.metric("dvdc.wall.capture_ns");
+  const double fold0 = rig.metric("dvdc.wall.fold_ns");
+  for (auto _ : state) {
+    state.PauseTiming();
+    rig.dirty(100);
+    rig.force_full_exchange();
+    state.ResumeTiming();
+    rig.run_epoch();
+  }
+  dataplane_counters(state, rig, copy0, cap0, fold0);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          DataplaneRig::image_bytes());
+}
+BENCHMARK(BM_DataplaneFullExchangeEpoch)
+    ->ArgNames({"ref"})
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_WireRoundtrip(benchmark::State& state) {
   Rng rng(15);

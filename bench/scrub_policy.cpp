@@ -56,7 +56,7 @@ Trial run(SimTime scrub_period, SimTime corruption_mtbf, int events,
     for (vm::VmId vmid : cluster.all_vms())
       committed[vmid] = state.node_store(*cluster.locate(vmid))
                             .find(vmid, 1)
-                            ->payload;
+                            ->payload();
 
     // Timeline until the node failure: corruption events arrive at rate
     // 1/corruption_mtbf; scrubs repair at the period boundaries.

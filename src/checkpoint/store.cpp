@@ -1,25 +1,113 @@
 #include "checkpoint/store.hpp"
 
+#include <algorithm>
+#include <cstring>
 #include <utility>
 
+#include "common/assert.hpp"
+
 namespace vdc::checkpoint {
+
+Bytes StoredCheckpoint::size_bytes() const {
+  Bytes total = 0;
+  for (const auto& p : pages) total += p->size();
+  return total;
+}
+
+std::span<const std::byte> StoredCheckpoint::page(std::size_t i) const {
+  VDC_ASSERT(i < pages.size());
+  return {pages[i]->data(), pages[i]->size()};
+}
+
+std::vector<std::byte> StoredCheckpoint::payload() const {
+  std::vector<std::byte> out;
+  out.reserve(size_bytes());
+  for (const auto& p : pages) out.insert(out.end(), p->begin(), p->end());
+  return out;
+}
+
+std::vector<std::byte> StoredCheckpoint::padded_payload(
+    std::size_t size) const {
+  std::vector<std::byte> out(size, std::byte{0});
+  std::size_t off = 0;
+  for (const auto& p : pages) {
+    VDC_ASSERT(off + p->size() <= size);
+    std::memcpy(out.data() + off, p->data(), p->size());
+    off += p->size();
+  }
+  return out;
+}
+
+bool StoredCheckpoint::payload_equals(std::span<const std::byte> flat) const {
+  std::size_t off = 0;
+  for (const auto& p : pages) {
+    if (off + p->size() > flat.size()) return false;
+    if (std::memcmp(flat.data() + off, p->data(), p->size()) != 0)
+      return false;
+    off += p->size();
+  }
+  return off == flat.size();
+}
+
+std::vector<PageRef> StoredCheckpoint::chop(std::span<const std::byte> flat,
+                                            Bytes page_size) {
+  std::vector<PageRef> pages;
+  if (flat.empty()) return pages;
+  if (page_size == 0) page_size = flat.size();
+  pages.reserve((flat.size() + page_size - 1) / page_size);
+  for (std::size_t off = 0; off < flat.size(); off += page_size) {
+    const std::size_t n = std::min<std::size_t>(page_size, flat.size() - off);
+    pages.push_back(std::make_shared<const std::vector<std::byte>>(
+        flat.begin() + off, flat.begin() + off + n));
+  }
+  return pages;
+}
+
+StoredCheckpoint StoredCheckpoint::from(Checkpoint&& cp) {
+  StoredCheckpoint out;
+  out.vm = cp.vm;
+  out.epoch = cp.epoch;
+  out.page_size = cp.page_size;
+  out.pages = chop(cp.payload, cp.page_size);
+  return out;
+}
+
+void CheckpointStore::ref_pages(const StoredCheckpoint& cp) {
+  for (const auto& p : cp.pages)
+    if (++page_refs_[p.get()] == 1) resident_bytes_ += p->size();
+}
+
+void CheckpointStore::unref_pages(const StoredCheckpoint& cp) {
+  for (const auto& p : cp.pages) {
+    auto it = page_refs_.find(p.get());
+    VDC_ASSERT(it != page_refs_.end() && it->second > 0);
+    if (--it->second == 0) {
+      resident_bytes_ -= p->size();
+      page_refs_.erase(it);
+    }
+  }
+}
 
 void CheckpointStore::put(const Checkpoint& cp) { put(Checkpoint(cp)); }
 
 void CheckpointStore::put(Checkpoint&& cp) {
+  put(StoredCheckpoint::from(std::move(cp)));
+}
+
+void CheckpointStore::put(StoredCheckpoint&& cp) {
   auto& epochs = by_vm_[cp.vm];
   auto it = epochs.find(cp.epoch);
+  ref_pages(cp);
   if (it != epochs.end()) {
-    total_bytes_ -= it->second.size_bytes();
+    unref_pages(it->second);
     it->second = std::move(cp);
-    total_bytes_ += it->second.size_bytes();
   } else {
-    total_bytes_ += cp.size_bytes();
     epochs.emplace(cp.epoch, std::move(cp));
   }
 }
 
-const Checkpoint* CheckpointStore::find(vm::VmId vm, Epoch epoch) const {
+const StoredCheckpoint* CheckpointStore::find(vm::VmId vm,
+                                              Epoch epoch) const {
   auto it = by_vm_.find(vm);
   if (it == by_vm_.end()) return nullptr;
   auto jt = it->second.find(epoch);
@@ -36,7 +124,7 @@ void CheckpointStore::gc_before(Epoch epoch) {
   for (auto& [vm, epochs] : by_vm_) {
     for (auto it = epochs.begin();
          it != epochs.end() && it->first < epoch;) {
-      total_bytes_ -= it->second.size_bytes();
+      unref_pages(it->second);
       it = epochs.erase(it);
     }
   }
@@ -47,14 +135,14 @@ void CheckpointStore::erase(vm::VmId vm, Epoch epoch) {
   if (it == by_vm_.end()) return;
   auto jt = it->second.find(epoch);
   if (jt == it->second.end()) return;
-  total_bytes_ -= jt->second.size_bytes();
+  unref_pages(jt->second);
   it->second.erase(jt);
 }
 
 void CheckpointStore::drop_vm(vm::VmId vm) {
   auto it = by_vm_.find(vm);
   if (it == by_vm_.end()) return;
-  for (auto& [epoch, cp] : it->second) total_bytes_ -= cp.size_bytes();
+  for (auto& [epoch, cp] : it->second) unref_pages(cp);
   by_vm_.erase(it);
 }
 

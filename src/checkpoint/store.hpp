@@ -1,14 +1,21 @@
 #pragma once
-// In-memory checkpoint store.
+// In-memory checkpoint store with page sharing.
 //
 // Diskless checkpointing keeps checkpoints in RAM: each node stores the
 // current (and, during a checkpoint, the previous) epoch of the VMs and
-// parity blocks it is responsible for. The store tracks total bytes so the
-// paper's "modest memory overhead" claim can be measured.
+// parity blocks it is responsible for. Checkpoints at rest are chopped
+// into immutable, ref-counted page chunks so that epoch N+1 shares every
+// page that did not change since epoch N — storing an incremental epoch
+// costs O(dirty pages), not O(image). total_bytes() reports RESIDENT
+// bytes: each distinct page buffer is counted once no matter how many
+// epochs reference it, so the paper's "modest memory overhead" claim is
+// measured against what the node actually holds.
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -17,14 +24,52 @@
 
 namespace vdc::checkpoint {
 
+/// An immutable, shareable page-sized chunk of checkpoint payload.
+using PageRef = std::shared_ptr<const std::vector<std::byte>>;
+
+/// A checkpoint at rest: the payload as a sequence of page chunks. All
+/// chunks are page_size bytes except possibly the last (a trailing partial
+/// page); page_size == 0 means a single chunk holds the whole payload.
+struct StoredCheckpoint {
+  vm::VmId vm = 0;
+  Epoch epoch = 0;
+  Bytes page_size = 0;
+  std::vector<PageRef> pages;
+
+  /// Logical payload size (sum of chunk sizes).
+  Bytes size_bytes() const;
+
+  /// Read-only view of chunk `i`.
+  std::span<const std::byte> page(std::size_t i) const;
+
+  /// Materialise the payload as one flat byte vector.
+  std::vector<std::byte> payload() const;
+
+  /// Materialise zero-padded to `size` bytes (parity stripe width).
+  std::vector<std::byte> padded_payload(std::size_t size) const;
+
+  /// True iff the payload equals `flat` byte for byte (no materialisation).
+  bool payload_equals(std::span<const std::byte> flat) const;
+
+  /// Chop a flat payload into fresh page chunks of `page_size` bytes.
+  static std::vector<PageRef> chop(std::span<const std::byte> flat,
+                                   Bytes page_size);
+
+  /// Build from a wire/capture Checkpoint (chops the flat payload).
+  static StoredCheckpoint from(Checkpoint&& cp);
+};
+
 class CheckpointStore {
  public:
-  /// Insert or replace the checkpoint for (vm, epoch).
+  /// Insert or replace the checkpoint for (vm, epoch). The Checkpoint
+  /// overloads chop the flat payload into fresh chunks; the
+  /// StoredCheckpoint overload keeps whatever sharing the caller built.
   void put(const Checkpoint& cp);
   void put(Checkpoint&& cp);
+  void put(StoredCheckpoint&& cp);
 
-  /// Fetch a checkpoint payload; nullopt if absent.
-  const Checkpoint* find(vm::VmId vm, Epoch epoch) const;
+  /// Fetch a checkpoint; nullptr if absent.
+  const StoredCheckpoint* find(vm::VmId vm, Epoch epoch) const;
 
   /// Latest stored epoch for a VM, if any.
   std::optional<Epoch> latest_epoch(vm::VmId vm) const;
@@ -40,12 +85,19 @@ class CheckpointStore {
   void drop_vm(vm::VmId vm);
 
   std::size_t entry_count() const;
-  Bytes total_bytes() const { return total_bytes_; }
+  /// Resident bytes: every distinct page buffer counted exactly once.
+  Bytes total_bytes() const { return resident_bytes_; }
 
  private:
+  void ref_pages(const StoredCheckpoint& cp);
+  void unref_pages(const StoredCheckpoint& cp);
+
   // vm -> epoch -> checkpoint
-  std::unordered_map<vm::VmId, std::map<Epoch, Checkpoint>> by_vm_;
-  Bytes total_bytes_ = 0;
+  std::unordered_map<vm::VmId, std::map<Epoch, StoredCheckpoint>> by_vm_;
+  // Distinct page buffer -> number of StoredCheckpoints in THIS store
+  // referencing it (buffers may also be shared across stores).
+  std::unordered_map<const void*, std::size_t> page_refs_;
+  Bytes resident_bytes_ = 0;
 };
 
 }  // namespace vdc::checkpoint

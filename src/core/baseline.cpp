@@ -159,12 +159,12 @@ void DiskFullBackend::handle_failure(const std::vector<vm::VmId>& lost,
   Bytes restore_worst = 0;
   std::unordered_map<cluster::NodeId, Bytes> per_node;
   for (vm::VmId vmid : cluster_.all_vms()) {
-    const checkpoint::Checkpoint* cp = store_.find(vmid, committed_);
+    const checkpoint::StoredCheckpoint* cp = store_.find(vmid, committed_);
     if (cp == nullptr) continue;
     const auto loc = cluster_.locate(vmid);
     VDC_ASSERT(loc.has_value());
-    cluster_.node(*loc).hypervisor().get(vmid).image().restore(cp->payload);
-    per_node[*loc] += cp->payload.size();
+    cluster_.node(*loc).hypervisor().get(vmid).image().restore(cp->payload());
+    per_node[*loc] += cp->size_bytes();
   }
   for (const auto& [node, bytes] : per_node)
     restore_worst = std::max(restore_worst, bytes);
@@ -188,7 +188,7 @@ void DiskFullBackend::handle_failure(const std::vector<vm::VmId>& lost,
 
   std::vector<std::pair<vm::VmId, cluster::NodeId>> placements;
   for (vm::VmId vmid : lost) {
-    const checkpoint::Checkpoint* cp = store_.find(vmid, committed_);
+    const checkpoint::StoredCheckpoint* cp = store_.find(vmid, committed_);
     if (cp == nullptr) {
       RecoveryStats rs;
       rs.success = false;
@@ -215,15 +215,15 @@ void DiskFullBackend::handle_failure(const std::vector<vm::VmId>& lost,
     const VmInfo& info = it->second;
     auto machine = std::make_unique<vm::VirtualMachine>(
         vmid, info.name, info.page_size, info.page_count, workloads_(vmid));
-    machine->image().restore(cp->payload);
+    machine->image().restore(cp->payload());
     machine->pause();
     cluster_.place(std::move(machine), target);
     ++stats->vms_recovered;
-    stats->bytes_transferred += cp->payload.size();
+    stats->bytes_transferred += cp->size_bytes();
     placements.emplace_back(vmid, target);
 
     ++*fetch_pending;
-    nas_.fetch(cluster_.node(target).host(), cp->payload.size(),
+    nas_.fetch(cluster_.node(target).host(), cp->size_bytes(),
                [fetch_pending, finish] {
                  if (--*fetch_pending == 0) finish();
                });

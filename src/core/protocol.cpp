@@ -1,12 +1,19 @@
 #include "core/protocol.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+#include <tuple>
 #include <utility>
 
 #include "common/assert.hpp"
 #include "checkpoint/rle.hpp"
 #include "common/log.hpp"
 #include "parity/gf256.hpp"
+#include "parity/parallel.hpp"
+#include "parity/pool.hpp"
 #include "parity/raid5.hpp"
 #include "parity/rdp.hpp"
 #include "parity/reed_solomon.hpp"
@@ -89,8 +96,29 @@ const DvdcState::ParityRecord* DvdcState::parity(GroupId group) const {
   return it == parity_.end() ? nullptr : &it->second;
 }
 
+DvdcState::ParityRecord* DvdcState::mutable_parity(GroupId group) {
+  auto it = parity_.find(group);
+  return it == parity_.end() ? nullptr : &it->second;
+}
+
+Bytes DvdcState::record_block_bytes(const ParityRecord& record) {
+  Bytes total = 0;
+  for (const auto& block : record.blocks) total += block.size();
+  return total;
+}
+
 void DvdcState::set_parity(GroupId group, ParityRecord record) {
+  auto it = parity_.find(group);
+  if (it != parity_.end()) parity_bytes_ -= record_block_bytes(it->second);
+  parity_bytes_ += record_block_bytes(record);
   parity_[group] = std::move(record);
+}
+
+void DvdcState::drop_parity(GroupId group) {
+  auto it = parity_.find(group);
+  if (it == parity_.end()) return;
+  parity_bytes_ -= record_block_bytes(it->second);
+  parity_.erase(it);
 }
 
 const VmInfo& DvdcState::vm_info(vm::VmId id) const {
@@ -103,16 +131,17 @@ void DvdcState::drop_node(cluster::NodeId node) {
   stores_.erase(node);
   for (auto& [gid, record] : parity_) {
     for (std::size_t i = 0; i < record.holders.size(); ++i) {
-      if (record.holders[i] == node) record.blocks[i].clear();
+      if (record.holders[i] == node) {
+        parity_bytes_ -= record.blocks[i].size();
+        record.blocks[i].clear();
+      }
     }
   }
 }
 
 Bytes DvdcState::memory_bytes() const {
-  Bytes total = 0;
+  Bytes total = parity_bytes_;
   for (const auto& [node, store] : stores_) total += store.total_bytes();
-  for (const auto& [group, record] : parity_)
-    for (const auto& block : record.blocks) total += block.size();
   return total;
 }
 
@@ -134,12 +163,30 @@ struct DvdcCoordinator::GroupWork {
   std::vector<Contribution> contribs;  // per member
   std::size_t tasks_done = 0;
   std::size_t tasks_total = 0;  // members x holders
+
+  // Fast plane: deltas were folded straight into the committed parity
+  // record; `undo` holds the original bytes of every touched range (first
+  // touch only), replayed LIFO on abort. new_blocks stays empty.
+  bool in_place = false;
+  struct UndoEntry {
+    std::size_t block = 0;   // holder index into the record's blocks
+    std::size_t offset = 0;  // byte offset of the touched range
+    parity::Block saved;     // original contents of the range
+  };
+  std::vector<UndoEntry> undo;
+  // Fast plane: dirty pages consumed from each member's log at the cut;
+  // an abort puts them back so the next capture stays a superset of the
+  // changes since the committed epoch.
+  std::vector<std::vector<vm::PageIndex>> captured_dirty;  // per member
 };
 
 DvdcCoordinator::DvdcCoordinator(simkit::Simulator& sim,
                                  cluster::ClusterManager& cluster,
                                  DvdcState& state, ProtocolConfig config)
-    : sim_(sim), cluster_(cluster), state_(state), config_(config) {}
+    : sim_(sim), cluster_(cluster), state_(state), config_(config) {
+  if (const char* env = std::getenv("VDC_REFERENCE_PLANE"))
+    config_.reference_data_plane = !(env[0] == '\0' || env[0] == '0');
+}
 
 DvdcCoordinator::~DvdcCoordinator() = default;
 
@@ -149,6 +196,353 @@ simkit::Resource& DvdcCoordinator::node_cpu(cluster::NodeId node) {
     it = cpus_.emplace(node, std::make_unique<simkit::Resource>(sim_, 1))
              .first;
   return *it->second;
+}
+
+namespace {
+using WallClock = std::chrono::steady_clock;
+
+std::int64_t ns_since(WallClock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             WallClock::now() - t0)
+      .count();
+}
+}  // namespace
+
+// Legacy data plane: flatten every image, memcmp-diff against the previous
+// committed payload, store a fresh full copy, fold into a COPY of the
+// committed parity (or serial-encode on full exchange). Kept selectable so
+// the fast plane can be cross-checked byte for byte.
+void DvdcCoordinator::capture_group_reference(
+    GroupWork& gw, const RaidGroup& group,
+    std::unordered_map<cluster::NodeId, Bytes>& captured_per_node,
+    std::int64_t& capture_ns, std::int64_t& fold_ns) {
+  auto& metrics = sim_.telemetry().metrics();
+  const std::size_t k = group.members.size();
+  const bool incremental = !gw.full_exchange;
+  const DvdcState::ParityRecord* committed = state_.parity(group.id);
+
+  auto t0 = WallClock::now();
+  // Gather payloads (content frozen at the cut) and per-member costs.
+  std::vector<std::vector<std::byte>> payloads;
+  payloads.reserve(k);
+  std::vector<checkpoint::PageDelta> xor_deltas(k);
+  Bytes max_payload = 0;
+
+  for (std::size_t mi = 0; mi < k; ++mi) {
+    const vm::VmId vmid = group.members[mi];
+    const auto loc = cluster_.locate(vmid);
+    VDC_REQUIRE(loc.has_value(), "group member is not placed");
+    auto& machine = cluster_.node(*loc).hypervisor().get(vmid);
+    auto& store = state_.node_store(*loc);
+    const Bytes page_size = machine.image().page_size();
+
+    GroupWork::Contribution contrib;
+    contrib.src_node = *loc;
+    std::vector<std::byte> payload = machine.image().flatten();
+    max_payload = std::max<Bytes>(max_payload, payload.size());
+    metrics.add("dvdc.pages.copied",
+                static_cast<double>(machine.image().page_count()));
+    metrics.add("dvdc.copy.bytes",
+                static_cast<double>(2 * payload.size()));  // flatten + store
+
+    if (incremental) {
+      const checkpoint::StoredCheckpoint* prev =
+          store.find(vmid, state_.committed_epoch());
+      VDC_ASSERT(prev != nullptr);
+      const std::vector<std::byte> prev_flat = prev->payload();
+      checkpoint::PageDelta diff =
+          checkpoint::diff_images(prev_flat, payload, page_size);
+      const checkpoint::CompressedDelta compressed =
+          checkpoint::compress_delta(diff, prev_flat);
+      contrib.wire = compressed.wire_bytes();
+      contrib.xor_bytes = diff.raw_bytes();
+      metrics.add("dvdc.epoch.raw_dirty_bytes",
+                  static_cast<double>(diff.raw_bytes()), epoch_labels_);
+      captured_per_node[*loc] += diff.raw_bytes();
+      // Holder-side content: new xor old per changed page.
+      xor_deltas[mi].page_size = page_size;
+      xor_deltas[mi].pages = diff.pages;
+      for (std::size_t i = 0; i < diff.pages.size(); ++i) {
+        std::vector<std::byte> x = diff.contents[i];
+        parity::xor_into(
+            x, std::span<const std::byte>(
+                   prev_flat.data() + diff.pages[i] * page_size, page_size));
+        xor_deltas[mi].contents.push_back(std::move(x));
+      }
+    } else {
+      contrib.wire = config_.compress_full
+                         ? checkpoint::rle_encode(payload).size() + 16
+                         : payload.size();
+      contrib.xor_bytes = payload.size();
+      metrics.add("dvdc.epoch.raw_dirty_bytes",
+                  static_cast<double>(payload.size()), epoch_labels_);
+      captured_per_node[*loc] += payload.size();
+    }
+    metrics.add("dvdc.epoch.bytes_shipped",
+                static_cast<double>(contrib.wire * gw.holders.size()),
+                epoch_labels_);
+    metrics.add("dvdc.epoch.bytes_xored",
+                static_cast<double>(contrib.xor_bytes * gw.holders.size()),
+                epoch_labels_);
+
+    checkpoint::Checkpoint cp;
+    cp.vm = vmid;
+    cp.epoch = epoch_;
+    cp.page_size = page_size;
+    cp.payload = payload;
+    store.put(std::move(cp));
+
+    state_.register_vm(vmid, VmInfo{machine.name(), page_size,
+                                    machine.image().page_count()});
+    payloads.push_back(std::move(payload));
+    gw.contribs.push_back(contrib);
+  }
+  capture_ns += ns_since(t0);
+
+  // Parity content, computed exactly.
+  t0 = WallClock::now();
+  if (incremental) {
+    gw.block_size = committed->block_size;
+    gw.new_blocks = committed->blocks;  // copy: abort-safe
+    // Reed-Solomon needs the per-(holder, member) Cauchy coefficient;
+    // for XOR parity every coefficient is 1.
+    std::unique_ptr<parity::ReedSolomonCodec> rs;
+    if (config_.scheme == ParityScheme::Rs)
+      rs = std::make_unique<parity::ReedSolomonCodec>(k, config_.rs_parity);
+    for (std::size_t mi = 0; mi < k; ++mi) {
+      const auto& delta = xor_deltas[mi];
+      for (std::size_t hi = 0; hi < gw.new_blocks.size(); ++hi) {
+        const std::uint8_t coeff =
+            rs ? rs->coefficient(hi, mi) : std::uint8_t{1};
+        for (std::size_t i = 0; i < delta.pages.size(); ++i) {
+          const std::size_t off = delta.pages[i] * delta.page_size;
+          VDC_ASSERT(off + delta.page_size <= gw.new_blocks[hi].size());
+          parity::gf256::mul_add(
+              coeff,
+              reinterpret_cast<const std::uint8_t*>(delta.contents[i].data()),
+              reinterpret_cast<std::uint8_t*>(gw.new_blocks[hi].data() + off),
+              delta.page_size);
+        }
+      }
+    }
+  } else {
+    auto codec = make_codec(config_.scheme, k, config_.rs_parity);
+    gw.block_size =
+        parity::round_up(max_payload, codec->block_granularity());
+    std::vector<parity::Block> padded;
+    padded.reserve(k);
+    std::vector<parity::BlockView> views;
+    views.reserve(k);
+    for (const auto& p : payloads)
+      padded.push_back(parity::padded_copy(p, gw.block_size));
+    for (const auto& p : padded) views.emplace_back(p);
+    gw.new_blocks = codec->encode(views);
+    VDC_ASSERT(gw.new_blocks.size() == gw.holders.size());
+  }
+  fold_ns += ns_since(t0);
+}
+
+// Fast data plane: the dirty bitmap bounds the candidate pages, unchanged
+// pages are shared (ref-counted) with the previous checkpoint, and deltas
+// fold into the committed parity record in place under an undo log. All
+// content, metrics, and simulated timing match the reference plane bit
+// for bit; only the wall-clock cost changes — O(dirty), not O(image).
+void DvdcCoordinator::capture_group_fast(
+    GroupWork& gw, const RaidGroup& group,
+    std::unordered_map<cluster::NodeId, Bytes>& captured_per_node,
+    std::int64_t& capture_ns, std::int64_t& fold_ns) {
+  auto& metrics = sim_.telemetry().metrics();
+  const std::size_t k = group.members.size();
+  const bool incremental = !gw.full_exchange;
+
+  auto t0 = WallClock::now();
+  std::vector<std::vector<std::byte>> payloads;  // full exchange only
+  std::vector<checkpoint::PageDelta> xor_deltas(k);
+  Bytes max_payload = 0;
+  gw.captured_dirty.resize(k);
+
+  for (std::size_t mi = 0; mi < k; ++mi) {
+    const vm::VmId vmid = group.members[mi];
+    const auto loc = cluster_.locate(vmid);
+    VDC_REQUIRE(loc.has_value(), "group member is not placed");
+    auto& machine = cluster_.node(*loc).hypervisor().get(vmid);
+    auto& store = state_.node_store(*loc);
+    auto& image = machine.image();
+    const Bytes page_size = image.page_size();
+    const std::size_t page_count = image.page_count();
+
+    GroupWork::Contribution contrib;
+    contrib.src_node = *loc;
+    max_payload = std::max<Bytes>(max_payload, image.size_bytes());
+
+    // Consume the dirty log at the cut. The log is trustworthy iff nobody
+    // else cleared it since OUR last clear (generation check); otherwise
+    // every page is a candidate. Either way the delta below is exact: a
+    // candidate only enters the delta if its bytes actually differ from
+    // the committed checkpoint, so the result equals diff_images().
+    const auto baseline = dirty_baseline_.find(vmid);
+    const bool log_valid = baseline != dirty_baseline_.end() &&
+                           baseline->second == image.dirty_generation();
+    gw.captured_dirty[mi] = image.dirty_pages();
+    image.clear_dirty();
+    dirty_baseline_[vmid] = image.dirty_generation();
+
+    if (incremental) {
+      const checkpoint::StoredCheckpoint* prev =
+          store.find(vmid, state_.committed_epoch());
+      VDC_ASSERT(prev != nullptr);
+
+      // Start from the previous epoch's page vector (pointer copies) and
+      // replace only the changed pages. A store entry chopped at a
+      // foreign granularity (e.g. hand-built in a test) is re-chopped.
+      checkpoint::StoredCheckpoint next;
+      next.vm = vmid;
+      next.epoch = epoch_;
+      next.page_size = page_size;
+      if (prev->page_size == page_size && prev->pages.size() == page_count) {
+        next.pages = prev->pages;
+      } else {
+        const std::vector<std::byte> prev_flat = prev->payload();
+        VDC_REQUIRE(prev_flat.size() == image.size_bytes(),
+                    "previous checkpoint size mismatch");
+        next.pages = checkpoint::StoredCheckpoint::chop(prev_flat, page_size);
+      }
+
+      checkpoint::PageDelta& delta = xor_deltas[mi];
+      delta.page_size = page_size;
+      Bytes wire = 0;
+      const auto consider = [&](vm::PageIndex p) {
+        const auto cur = image.page(p);
+        const auto old = std::span<const std::byte>(*next.pages[p]);
+        if (std::memcmp(cur.data(), old.data(), page_size) == 0) return;
+        delta.pages.push_back(p);
+        std::vector<std::byte> x(cur.begin(), cur.end());
+        parity::xor_into(x, old);
+        wire += checkpoint::rle_encode(x).size();
+        delta.contents.push_back(std::move(x));
+        next.pages[p] = std::make_shared<const std::vector<std::byte>>(
+            cur.begin(), cur.end());
+      };
+      if (log_valid) {
+        for (vm::PageIndex p : gw.captured_dirty[mi]) consider(p);
+      } else {
+        for (vm::PageIndex p = 0; p < page_count; ++p) consider(p);
+      }
+      contrib.wire = wire + 8ull * delta.pages.size();
+      contrib.xor_bytes = delta.raw_bytes();
+      metrics.add("dvdc.epoch.raw_dirty_bytes",
+                  static_cast<double>(delta.raw_bytes()), epoch_labels_);
+      captured_per_node[*loc] += delta.raw_bytes();
+      metrics.add("dvdc.pages.shared",
+                  static_cast<double>(page_count - delta.pages.size()));
+      metrics.add("dvdc.pages.copied",
+                  static_cast<double>(delta.pages.size()));
+      metrics.add("dvdc.copy.bytes",
+                  static_cast<double>(delta.raw_bytes()));
+      store.put(std::move(next));
+    } else {
+      std::vector<std::byte> payload = image.flatten();
+      contrib.wire = config_.compress_full
+                         ? checkpoint::rle_encode(payload).size() + 16
+                         : payload.size();
+      contrib.xor_bytes = payload.size();
+      metrics.add("dvdc.epoch.raw_dirty_bytes",
+                  static_cast<double>(payload.size()), epoch_labels_);
+      captured_per_node[*loc] += payload.size();
+      metrics.add("dvdc.pages.copied", static_cast<double>(page_count));
+      metrics.add("dvdc.copy.bytes",
+                  static_cast<double>(2 * payload.size()));
+
+      checkpoint::StoredCheckpoint next;
+      next.vm = vmid;
+      next.epoch = epoch_;
+      next.page_size = page_size;
+      next.pages = checkpoint::StoredCheckpoint::chop(payload, page_size);
+      store.put(std::move(next));
+      payloads.push_back(std::move(payload));
+    }
+    metrics.add("dvdc.epoch.bytes_shipped",
+                static_cast<double>(contrib.wire * gw.holders.size()),
+                epoch_labels_);
+    metrics.add("dvdc.epoch.bytes_xored",
+                static_cast<double>(contrib.xor_bytes * gw.holders.size()),
+                epoch_labels_);
+
+    state_.register_vm(vmid,
+                       VmInfo{machine.name(), page_size, page_count});
+    gw.contribs.push_back(contrib);
+  }
+  capture_ns += ns_since(t0);
+
+  // Parity content, computed exactly.
+  t0 = WallClock::now();
+  if (incremental) {
+    DvdcState::ParityRecord* rec = state_.mutable_parity(group.id);
+    VDC_ASSERT(rec != nullptr);
+    gw.in_place = true;
+    gw.block_size = rec->block_size;
+
+    // Save the original bytes of every range we are about to touch (first
+    // touch per exact range is enough: LIFO replay restores originals even
+    // across overlapping ranges from members with different page sizes).
+    std::set<std::tuple<std::size_t, std::size_t, std::size_t>> saved;
+    for (std::size_t mi = 0; mi < k; ++mi) {
+      const auto& delta = xor_deltas[mi];
+      for (std::size_t hi = 0; hi < rec->blocks.size(); ++hi) {
+        for (std::size_t i = 0; i < delta.pages.size(); ++i) {
+          const std::size_t off = delta.pages[i] * delta.page_size;
+          VDC_ASSERT(off + delta.page_size <= rec->blocks[hi].size());
+          if (!saved.insert({hi, off, delta.page_size}).second) continue;
+          gw.undo.push_back(GroupWork::UndoEntry{
+              hi, off,
+              parity::Block(
+                  rec->blocks[hi].begin() + static_cast<std::ptrdiff_t>(off),
+                  rec->blocks[hi].begin() +
+                      static_cast<std::ptrdiff_t>(off + delta.page_size))});
+        }
+      }
+    }
+
+    // Fold every member's delta into each holder block, holders fanned
+    // out over the pool (destination blocks are disjoint; the per-block
+    // mul_add order matches the reference plane).
+    std::unique_ptr<parity::ReedSolomonCodec> rs;
+    if (config_.scheme == ParityScheme::Rs)
+      rs = std::make_unique<parity::ReedSolomonCodec>(k, config_.rs_parity);
+    parity::ThreadPool::shared().run(
+        rec->blocks.size(), [&](std::size_t hi) {
+          for (std::size_t mi = 0; mi < k; ++mi) {
+            const auto& delta = xor_deltas[mi];
+            const std::uint8_t coeff =
+                rs ? rs->coefficient(hi, mi) : std::uint8_t{1};
+            for (std::size_t i = 0; i < delta.pages.size(); ++i) {
+              const std::size_t off = delta.pages[i] * delta.page_size;
+              parity::gf256::mul_add(
+                  coeff,
+                  reinterpret_cast<const std::uint8_t*>(
+                      delta.contents[i].data()),
+                  reinterpret_cast<std::uint8_t*>(rec->blocks[hi].data() +
+                                                  off),
+                  delta.page_size);
+            }
+          }
+        });
+  } else {
+    auto codec = make_codec(config_.scheme, k, config_.rs_parity);
+    gw.block_size =
+        parity::round_up(max_payload, codec->block_granularity());
+    std::vector<parity::Block> padded;
+    padded.reserve(k);
+    std::vector<parity::BlockView> views;
+    views.reserve(k);
+    for (const auto& p : payloads)
+      padded.push_back(parity::padded_copy(p, gw.block_size));
+    for (const auto& p : padded) views.emplace_back(p);
+    gw.new_blocks =
+        codec->encode_parallel(views, parity::default_parity_threads());
+    VDC_ASSERT(gw.new_blocks.size() == gw.holders.size());
+  }
+  fold_ns += ns_since(t0);
 }
 
 void DvdcCoordinator::run_epoch(const PlacedPlan& plan,
@@ -183,14 +577,18 @@ void DvdcCoordinator::run_epoch(const PlacedPlan& plan,
     cluster_.node(nid).hypervisor().pause_all();
 
   // 2. Capture + diff every member at the cut, build per-group work.
+  // Two data planes compute identical content: the fast plane reads the
+  // dirty bitmap, shares unchanged pages with the previous checkpoint and
+  // folds deltas into the committed parity in place (undo-logged); the
+  // reference plane is the legacy flatten+diff+copy pipeline.
   std::unordered_map<cluster::NodeId, Bytes> captured_per_node;
+  std::int64_t capture_ns = 0, fold_ns = 0;
   for (std::size_t gi = 0; gi < plan.plan.groups.size(); ++gi) {
     const RaidGroup& group = plan.plan.groups[gi];
     auto gw = std::make_unique<GroupWork>();
     gw->gid = group.id;
     gw->holders = plan.holders[gi];
     gw->members = group.members;
-    const std::size_t k = group.members.size();
 
     const DvdcState::ParityRecord* committed = state_.parity(group.id);
     // Linear codes (XOR parity, Reed-Solomon) can fold per-page deltas
@@ -221,124 +619,23 @@ void DvdcCoordinator::run_epoch(const PlacedPlan& plan,
     if (gw->full_exchange)
       metrics.add("dvdc.epoch.full_exchange_groups", 1.0, epoch_labels_);
 
-    // Gather payloads (content frozen at the cut) and per-member costs.
-    std::vector<std::vector<std::byte>> payloads;
-    payloads.reserve(k);
-    std::vector<checkpoint::PageDelta> xor_deltas(k);
-    Bytes max_payload = 0;
+    if (config_.reference_data_plane)
+      capture_group_reference(*gw, group, captured_per_node, capture_ns,
+                              fold_ns);
+    else
+      capture_group_fast(*gw, group, captured_per_node, capture_ns,
+                         fold_ns);
 
-    for (std::size_t mi = 0; mi < k; ++mi) {
-      const vm::VmId vmid = group.members[mi];
-      const auto loc = cluster_.locate(vmid);
-      VDC_REQUIRE(loc.has_value(), "group member is not placed");
-      auto& machine = cluster_.node(*loc).hypervisor().get(vmid);
-      auto& store = state_.node_store(*loc);
-      const Bytes page_size = machine.image().page_size();
-
-      GroupWork::Contribution contrib;
-      contrib.src_node = *loc;
-      std::vector<std::byte> payload = machine.image().flatten();
-      max_payload = std::max<Bytes>(max_payload, payload.size());
-
-      if (incremental) {
-        const checkpoint::Checkpoint* prev =
-            store.find(vmid, state_.committed_epoch());
-        VDC_ASSERT(prev != nullptr);
-        checkpoint::PageDelta diff =
-            checkpoint::diff_images(prev->payload, payload, page_size);
-        const checkpoint::CompressedDelta compressed =
-            checkpoint::compress_delta(diff, prev->payload);
-        contrib.wire = compressed.wire_bytes();
-        contrib.xor_bytes = diff.raw_bytes();
-        metrics.add("dvdc.epoch.raw_dirty_bytes",
-                    static_cast<double>(diff.raw_bytes()), epoch_labels_);
-        captured_per_node[*loc] += diff.raw_bytes();
-        // Holder-side content: new xor old per changed page.
-        xor_deltas[mi].page_size = page_size;
-        xor_deltas[mi].pages = diff.pages;
-        for (std::size_t i = 0; i < diff.pages.size(); ++i) {
-          std::vector<std::byte> x = diff.contents[i];
-          parity::xor_into(
-              x, std::span<const std::byte>(
-                     prev->payload.data() + diff.pages[i] * page_size,
-                     page_size));
-          xor_deltas[mi].contents.push_back(std::move(x));
-        }
-      } else {
-        contrib.wire = config_.compress_full
-                           ? checkpoint::rle_encode(payload).size() + 16
-                           : payload.size();
-        contrib.xor_bytes = payload.size();
-        metrics.add("dvdc.epoch.raw_dirty_bytes",
-                    static_cast<double>(payload.size()), epoch_labels_);
-        captured_per_node[*loc] += payload.size();
-      }
-      metrics.add("dvdc.epoch.bytes_shipped",
-                  static_cast<double>(contrib.wire * gw->holders.size()),
-                  epoch_labels_);
-      metrics.add("dvdc.epoch.bytes_xored",
-                  static_cast<double>(contrib.xor_bytes * gw->holders.size()),
-                  epoch_labels_);
-
-      checkpoint::Checkpoint cp;
-      cp.vm = vmid;
-      cp.epoch = epoch;
-      cp.page_size = page_size;
-      cp.payload = payload;
-      store.put(std::move(cp));
-
-      state_.register_vm(vmid, VmInfo{machine.name(), page_size,
-                                      machine.image().page_count()});
-      payloads.push_back(std::move(payload));
-      gw->contribs.push_back(contrib);
-    }
-
-    // Parity content, computed exactly.
-    if (incremental) {
-      gw->block_size = committed->block_size;
-      gw->new_blocks = committed->blocks;  // copy: abort-safe
-      // Reed-Solomon needs the per-(holder, member) Cauchy coefficient;
-      // for XOR parity every coefficient is 1.
-      std::unique_ptr<parity::ReedSolomonCodec> rs;
-      if (config_.scheme == ParityScheme::Rs)
-        rs = std::make_unique<parity::ReedSolomonCodec>(k,
-                                                        config_.rs_parity);
-      for (std::size_t mi = 0; mi < k; ++mi) {
-        const auto& delta = xor_deltas[mi];
-        for (std::size_t hi = 0; hi < gw->new_blocks.size(); ++hi) {
-          const std::uint8_t coeff =
-              rs ? rs->coefficient(hi, mi) : std::uint8_t{1};
-          for (std::size_t i = 0; i < delta.pages.size(); ++i) {
-            const std::size_t off = delta.pages[i] * delta.page_size;
-            VDC_ASSERT(off + delta.page_size <= gw->new_blocks[hi].size());
-            parity::gf256::mul_add(
-                coeff,
-                reinterpret_cast<const std::uint8_t*>(
-                    delta.contents[i].data()),
-                reinterpret_cast<std::uint8_t*>(gw->new_blocks[hi].data() +
-                                                off),
-                delta.page_size);
-          }
-        }
-      }
-    } else {
-      auto codec = make_codec(config_.scheme, k, config_.rs_parity);
-      gw->block_size =
-          parity::round_up(max_payload, codec->block_granularity());
-      std::vector<parity::Block> padded;
-      padded.reserve(k);
-      std::vector<parity::BlockView> views;
-      views.reserve(k);
-      for (const auto& p : payloads)
-        padded.push_back(parity::padded_copy(p, gw->block_size));
-      for (const auto& p : padded) views.emplace_back(p);
-      gw->new_blocks = codec->encode(views);
-      VDC_ASSERT(gw->new_blocks.size() == gw->holders.size());
-    }
-
-    gw->tasks_total = k * gw->holders.size();
+    gw->tasks_total = group.members.size() * gw->holders.size();
     work_.push_back(std::move(gw));
   }
+  metrics.add("dvdc.wall.capture_ns", static_cast<double>(capture_ns));
+  metrics.add("dvdc.wall.fold_ns", static_cast<double>(fold_ns));
+  for (const auto& gw : work_)
+    if (gw->in_place) {
+      state_.set_fold_in_flight(true);
+      break;
+    }
 
   // 3. Local capture stall, then resume (COW) and start the exchange.
   SimTime stall = config_.base_overhead;
@@ -458,6 +755,16 @@ void DvdcCoordinator::try_commit(std::uint64_t gen) {
 
   // Commit: publish parity, advance the epoch, GC old checkpoints.
   for (auto& gw : work_) {
+    if (gw->in_place) {
+      // Deltas were folded into the committed record in place; the fold
+      // preconditions pinned scheme/members/holders/block_size, so the
+      // commit is just the epoch stamp (and retiring the undo log).
+      DvdcState::ParityRecord* rec = state_.mutable_parity(gw->gid);
+      VDC_ASSERT(rec != nullptr);
+      rec->epoch = epoch_;
+      gw->undo.clear();
+      continue;
+    }
     DvdcState::ParityRecord record;
     record.epoch = epoch_;
     record.scheme = config_.scheme;
@@ -467,6 +774,7 @@ void DvdcCoordinator::try_commit(std::uint64_t gen) {
     record.block_size = gw->block_size;
     state_.set_parity(gw->gid, std::move(record));
   }
+  state_.set_fold_in_flight(false);
   state_.set_committed_epoch(epoch_);
   for (cluster::NodeId nid : cluster_.alive_nodes())
     state_.node_store(nid).gc_before(epoch_);
@@ -518,6 +826,22 @@ void DvdcCoordinator::abort() {
   ++generation_;
   in_flight_ = false;
 
+  // Roll back in-place parity folds: replay the undo log LIFO so every
+  // touched range returns to its committed bytes. Ranges on a holder that
+  // was already dropped (cleared block) are skipped.
+  for (auto& gw : work_) {
+    if (!gw->in_place) continue;
+    DvdcState::ParityRecord* rec = state_.mutable_parity(gw->gid);
+    if (rec == nullptr) continue;
+    for (auto it = gw->undo.rbegin(); it != gw->undo.rend(); ++it) {
+      if (it->block >= rec->blocks.size()) continue;
+      auto& block = rec->blocks[it->block];
+      if (it->offset + it->saved.size() > block.size()) continue;
+      std::memcpy(block.data() + it->offset, it->saved.data(),
+                  it->saved.size());
+    }
+  }
+
   // Discard the aborted epoch's captures on every surviving node.
   if (plan_ != nullptr) {
     for (const auto& group : plan_->plan.groups) {
@@ -527,6 +851,21 @@ void DvdcCoordinator::abort() {
       }
     }
   }
+
+  // Return the dirty bits the capture consumed (fast plane): the next
+  // epoch's dirty set must still cover every page changed since the
+  // committed cut. Marking extra pages is always safe.
+  for (auto& gw : work_) {
+    for (std::size_t mi = 0; mi < gw->captured_dirty.size(); ++mi) {
+      const vm::VmId vmid = gw->members[mi];
+      const auto loc = cluster_.locate(vmid);
+      if (!loc.has_value() || !cluster_.node(*loc).alive()) continue;
+      auto& image = cluster_.node(*loc).hypervisor().get(vmid).image();
+      for (vm::PageIndex p : gw->captured_dirty[mi]) image.mark_dirty(p);
+    }
+  }
+
+  state_.set_fold_in_flight(false);
   work_.clear();
   plan_ = nullptr;
   sim_.telemetry().metrics().add("dvdc.epochs_aborted", 1.0);

@@ -71,6 +71,13 @@ struct ProtocolConfig {
   /// Copy-on-write capture: guests resume after `base_overhead` while the
   /// exchange and XOR proceed against the frozen view.
   bool copy_on_write = true;
+  /// Use the legacy flatten+diff_images data plane instead of the
+  /// dirty-page zero-copy plane. Simulated timing, metrics, checkpoints
+  /// and parity are bit-identical either way (asserted by
+  /// tests/dataplane_equivalence_test.cpp); the reference plane just does
+  /// O(image) wall-clock work per VM per epoch. The env var
+  /// VDC_REFERENCE_PLANE=1 forces it on at coordinator construction.
+  bool reference_data_plane = false;
   /// Guest suspend + device quiesce cost (the paper's 40 ms).
   SimTime base_overhead = 0.040;
   /// Memory-copy rate for non-COW local capture while paused.
@@ -137,8 +144,12 @@ class DvdcState {
   }
 
   const ParityRecord* parity(GroupId group) const;
+  /// Mutable access for the coordinator's in-place delta folds. Callers
+  /// must keep every block's SIZE unchanged (byte accounting is by size);
+  /// content-only mutation is what the undo log protects.
+  ParityRecord* mutable_parity(GroupId group);
   void set_parity(GroupId group, ParityRecord record);
-  void drop_parity(GroupId group) { parity_.erase(group); }
+  void drop_parity(GroupId group);
 
   checkpoint::Epoch committed_epoch() const { return committed_; }
   void set_committed_epoch(checkpoint::Epoch e) { committed_ = e; }
@@ -151,14 +162,26 @@ class DvdcState {
   void drop_node(cluster::NodeId node);
 
   /// Total in-memory bytes devoted to checkpoints + parity (the paper's
-  /// "modest memory overhead").
+  /// "modest memory overhead"). Checkpoint bytes are RESIDENT bytes (a
+  /// page shared by two epochs counts once). Reads running totals — no
+  /// walk over blocks or entries.
   Bytes memory_bytes() const;
 
+  /// True while the coordinator is folding deltas into committed parity
+  /// blocks in place (epoch start until commit/abort). The scrubber must
+  /// defer repairs while set: a half-folded stripe is not corruption.
+  bool fold_in_flight() const { return fold_in_flight_; }
+  void set_fold_in_flight(bool v) { fold_in_flight_ = v; }
+
  private:
+  static Bytes record_block_bytes(const ParityRecord& record);
+
   std::unordered_map<cluster::NodeId, checkpoint::CheckpointStore> stores_;
   std::map<GroupId, ParityRecord> parity_;
   std::unordered_map<vm::VmId, VmInfo> vms_;
   checkpoint::Epoch committed_ = 0;
+  Bytes parity_bytes_ = 0;  // running total over parity_ block sizes
+  bool fold_in_flight_ = false;
 };
 
 class DvdcCoordinator {
@@ -184,6 +207,18 @@ class DvdcCoordinator {
 
  private:
   struct GroupWork;
+  // Data-plane capture + parity for one group (gw.full_exchange already
+  // decided). The fast plane consumes the dirty log and folds in place;
+  // the reference plane is the legacy flatten+diff+copy path. Both yield
+  // bit-identical checkpoints, parity, metrics, and simulated timing.
+  void capture_group_fast(
+      GroupWork& gw, const RaidGroup& group,
+      std::unordered_map<cluster::NodeId, Bytes>& captured_per_node,
+      std::int64_t& capture_ns, std::int64_t& fold_ns);
+  void capture_group_reference(
+      GroupWork& gw, const RaidGroup& group,
+      std::unordered_map<cluster::NodeId, Bytes>& captured_per_node,
+      std::int64_t& capture_ns, std::int64_t& fold_ns);
   void on_member_arrival(std::uint64_t generation, std::size_t group_idx,
                          std::size_t member_idx, std::size_t holder_idx);
   void on_group_parity_done(std::uint64_t generation,
@@ -222,6 +257,12 @@ class DvdcCoordinator {
 
   std::unordered_map<cluster::NodeId, std::unique_ptr<simkit::Resource>>
       cpus_;
+
+  // Dirty-log ownership (fast plane only): the dirty generation observed
+  // right after this coordinator's last clear_dirty() per VM. If the
+  // image's generation no longer matches, some other consumer cleared the
+  // log in between and the capture falls back to a full-image diff.
+  std::unordered_map<vm::VmId, std::uint64_t> dirty_baseline_;
 };
 
 }  // namespace vdc::core

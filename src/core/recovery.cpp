@@ -247,13 +247,13 @@ void RecoveryManager::recover(const PlacedPlan& plan,
         fail("surviving member is unplaced");
         return;
       }
-      const checkpoint::Checkpoint* cp =
+      const checkpoint::StoredCheckpoint* cp =
           state_.node_store(*loc).find(member, committed);
       if (cp == nullptr) {
         fail("surviving member lost its committed checkpoint");
         return;
       }
-      stripe[mi] = parity::padded_copy(cp->payload, record->block_size);
+      stripe[mi] = cp->padded_payload(record->block_size);
       gops.inbound.emplace_back(cluster_.node(*loc).host(),
                                 record->block_size);
     }
@@ -383,7 +383,7 @@ void RecoveryManager::recover(const PlacedPlan& plan,
         complete = false;
         break;
       }
-      padded.push_back(parity::padded_copy(cp->payload, record->block_size));
+      padded.push_back(cp->padded_payload(record->block_size));
       gops.inbound.emplace_back(cluster_.node(*loc).host(),
                                 record->block_size);
     }
@@ -472,13 +472,13 @@ void RecoveryManager::recover(const PlacedPlan& plan,
     for (vm::VmId vmid : cluster_.all_vms()) {
       const auto loc = cluster_.locate(vmid);
       VDC_ASSERT(loc.has_value());
-      const checkpoint::Checkpoint* cp =
+      const checkpoint::StoredCheckpoint* cp =
           state_.node_store(*loc).find(vmid, state_.committed_epoch());
       if (cp == nullptr) continue;  // recovered VM already at the cut
       auto& machine = cluster_.node(*loc).hypervisor().get(vmid);
-      if (machine.image().flatten() != cp->payload)
-        machine.image().restore(cp->payload);
-      per_node[*loc] += cp->payload.size();
+      if (!cp->payload_equals(machine.image().bytes()))
+        machine.image().restore(cp->payload());
+      per_node[*loc] += cp->size_bytes();
     }
     for (const auto& [node, bytes] : per_node)
       worst_restore = std::max(worst_restore, bytes);

@@ -71,6 +71,9 @@ void ParityScrubber::scrub(const PlacedPlan& plan, bool repair,
     for (const auto& block : record->blocks)
       if (block.empty()) intact = false;
     if (!intact) continue;
+    // An in-place delta fold is mutating committed blocks right now; a
+    // half-folded stripe is not corruption. Skip the group this run.
+    if (state_.fold_in_flight()) continue;
 
     // Gather the members' committed checkpoints and recompute the stripe.
     GroupCheck check;
@@ -92,7 +95,7 @@ void ParityScrubber::scrub(const PlacedPlan& plan, bool repair,
         complete = false;
         break;
       }
-      padded.push_back(parity::padded_copy(cp->payload, record->block_size));
+      padded.push_back(cp->padded_payload(record->block_size));
     }
     if (!complete) continue;
     for (const auto& p : padded) views.emplace_back(p);
@@ -129,9 +132,10 @@ void ParityScrubber::scrub(const PlacedPlan& plan, bool repair,
       if (!match) {
         ctx->report.mismatched.push_back(check.gid);
         VDC_INFO("scrub", "parity mismatch in group ", check.gid);
-        if (repair && cluster_.degraded()) {
-          // A recovery episode is rewriting stripes right now; a repair
-          // write would race it. Report the mismatch, defer the write.
+        if (repair && (cluster_.degraded() || state_.fold_in_flight())) {
+          // A recovery episode is rewriting stripes, or the coordinator
+          // is folding deltas into them in place; a repair write would
+          // race either. Report the mismatch, defer the write.
           sim_.telemetry().metrics().add("scrub.deferred_repairs", 1.0);
         } else if (repair) {
           DvdcState::ParityRecord fixed = *record;

@@ -49,9 +49,9 @@ void TwoLevelBackend::start_flush(checkpoint::Epoch epoch) {
     VDC_ASSERT(loc.has_value());
     const auto* cp = dvdc_.state().node_store(*loc).find(vmid, epoch);
     if (cp == nullptr) return;  // epoch already superseded; skip
-    (*staged)[vmid] = cp->payload;
+    (*staged)[vmid] = cp->payload();
     (*staged_info)[vmid] = dvdc_.state().vm_info(vmid);
-    per_node[*loc] += cp->payload.size();
+    per_node[*loc] += cp->size_bytes();
   }
 
   const std::uint64_t generation = ++flush_generation_;

@@ -37,6 +37,17 @@ class GroupCodec {
   virtual std::vector<Block> encode(
       std::span<const BlockView> data) const = 0;
 
+  /// encode() with the byte ranges fanned out over the shared parity
+  /// ThreadPool using up to `threads` workers. Bit-identical to encode();
+  /// the default forwards to the serial implementation (codecs whose
+  /// layout is not positional over the byte range — e.g. RDP's diagonal
+  /// parity — stay serial).
+  virtual std::vector<Block> encode_parallel(std::span<const BlockView> data,
+                                             unsigned threads) const {
+    (void)threads;
+    return encode(data);
+  }
+
   /// Rebuild erased entries in place. `blocks` holds k data blocks followed
   /// by m parity blocks; erased positions are nullopt. Throws DataLossError
   /// if the erasure pattern is uncorrectable.

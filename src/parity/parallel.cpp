@@ -3,19 +3,25 @@
 #include <algorithm>
 #include <thread>
 
+#include "parity/pool.hpp"
 #include "parity/xor.hpp"
 
 namespace vdc::parity {
 
 namespace {
 
-// Shards below this size are not worth a thread launch.
+// Shards below this size are not worth fanning out.
 constexpr std::size_t kMinShard = 256 * 1024;
 
-/// Run fn(shard_begin, shard_size) over `total` bytes on up to `threads`
-/// workers (the calling thread takes the first shard).
-template <typename Fn>
-void shard(std::size_t total, unsigned threads, Fn fn) {
+}  // namespace
+
+unsigned default_parity_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::clamp(hw, 1u, 16u);
+}
+
+void parallel_shards(std::size_t total, unsigned threads,
+                     const std::function<void(std::size_t, std::size_t)>& fn) {
   const std::size_t max_shards =
       std::max<std::size_t>(1, total / kMinShard);
   const std::size_t n =
@@ -25,31 +31,21 @@ void shard(std::size_t total, unsigned threads, Fn fn) {
     return;
   }
   const std::size_t chunk = (total + n - 1) / n;
-  std::vector<std::thread> workers;
-  workers.reserve(n - 1);
-  for (std::size_t i = 1; i < n; ++i) {
+  ThreadPool::shared().run(n, [&](std::size_t i) {
     const std::size_t begin = i * chunk;
-    const std::size_t size = std::min(chunk, total - begin);
-    if (size == 0) break;
-    workers.emplace_back([fn, begin, size] { fn(begin, size); });
-  }
-  fn(0, std::min(chunk, total));
-  for (auto& w : workers) w.join();
-}
-
-}  // namespace
-
-unsigned default_parity_threads() {
-  const unsigned hw = std::thread::hardware_concurrency();
-  return std::clamp(hw, 1u, 16u);
+    if (begin >= total) return;
+    fn(begin, std::min(chunk, total - begin));
+  });
 }
 
 void parallel_xor_into(std::span<std::byte> dst,
                        std::span<const std::byte> src, unsigned threads) {
   VDC_ASSERT_MSG(dst.size() == src.size(), "parallel_xor_into size mismatch");
-  shard(dst.size(), threads, [&](std::size_t begin, std::size_t size) {
-    xor_into(dst.subspan(begin, size), src.subspan(begin, size));
-  });
+  parallel_shards(dst.size(), threads,
+                  [&](std::size_t begin, std::size_t size) {
+                    xor_into(dst.subspan(begin, size),
+                             src.subspan(begin, size));
+                  });
 }
 
 Block parallel_xor_all(std::span<const BlockView> sources,
@@ -60,11 +56,12 @@ Block parallel_xor_all(std::span<const BlockView> sources,
     VDC_REQUIRE(s.size() == size, "parallel_xor_all size mismatch");
 
   Block out(size, std::byte{0});
-  shard(size, threads, [&](std::size_t begin, std::size_t shard_size) {
-    std::span<std::byte> dst(out.data() + begin, shard_size);
-    for (const auto& s : sources)
-      xor_into(dst, s.subspan(begin, shard_size));
-  });
+  parallel_shards(size, threads,
+                  [&](std::size_t begin, std::size_t shard_size) {
+                    std::span<std::byte> dst(out.data() + begin, shard_size);
+                    for (const auto& s : sources)
+                      xor_into(dst, s.subspan(begin, shard_size));
+                  });
   return out;
 }
 

@@ -4,11 +4,12 @@
 // Checkpoint images are hundreds of MiB to GiB; a parity holder that XORs
 // them on one core leaves the epoch's critical path longer than it needs
 // to be. These kernels split the buffers into contiguous shards and fan
-// them out over a small worker pool (plain std::thread — the operations
-// are embarrassingly parallel over disjoint byte ranges). Results are
+// them out over the persistent ThreadPool (the operations are
+// embarrassingly parallel over disjoint byte ranges). Results are
 // bit-identical to the serial kernels; tests verify across thread counts.
 
 #include <cstddef>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -25,6 +26,14 @@ void parallel_xor_into(std::span<std::byte> dst,
 /// up to `threads` workers.
 Block parallel_xor_all(std::span<const BlockView> sources,
                        unsigned threads);
+
+/// Run fn(shard_begin, shard_size) over [0, total) on up to `threads`
+/// workers of the shared ThreadPool. Shards are contiguous, disjoint, and
+/// at least 256 KiB (small inputs run serially), so any positional kernel
+/// stays bit-identical to its serial form. Blocks until every shard is
+/// done.
+void parallel_shards(std::size_t total, unsigned threads,
+                     const std::function<void(std::size_t, std::size_t)>& fn);
 
 /// A sensible worker count for this machine (hardware_concurrency,
 /// clamped to [1, 16]).

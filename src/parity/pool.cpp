@@ -1,0 +1,94 @@
+#include "parity/pool.hpp"
+
+#include "parity/parallel.hpp"
+
+namespace vdc::parity {
+
+ThreadPool::ThreadPool(unsigned workers) {
+  const unsigned spawn = workers > 1 ? workers - 1 : 0;
+  threads_.reserve(spawn);
+  for (unsigned i = 0; i < spawn; ++i)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::run(std::size_t tasks,
+                     const std::function<void(std::size_t)>& fn) {
+  if (tasks == 0) return;
+  if (threads_.empty() || tasks == 1) {
+    for (std::size_t i = 0; i < tasks; ++i) fn(i);
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->tasks = tasks;
+  job->remaining.store(tasks, std::memory_order_relaxed);
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (current_ != nullptr) {
+      // Nested or concurrent run: fall back to serial execution rather
+      // than deadlocking on the busy pool.
+      lk.unlock();
+      for (std::size_t i = 0; i < tasks; ++i) fn(i);
+      return;
+    }
+    current_ = job;
+  }
+  cv_work_.notify_all();
+  drain(*job);
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_done_.wait(lk, [&] {
+    return job->remaining.load(std::memory_order_acquire) == 0;
+  });
+  current_ = nullptr;
+}
+
+void ThreadPool::drain(Job& job) {
+  std::size_t done = 0;
+  for (;;) {
+    const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job.tasks) break;
+    (*job.fn)(i);
+    ++done;
+  }
+  if (done > 0 &&
+      job.remaining.fetch_sub(done, std::memory_order_acq_rel) == done) {
+    // Last batch: wake the caller. Lock before notifying so the wakeup
+    // cannot slip between the caller's predicate check and its wait.
+    std::lock_guard<std::mutex> lk(mu_);
+    cv_done_.notify_all();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::shared_ptr<Job> last;
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    cv_work_.wait(lk, [&] {
+      return stop_ || (current_ != nullptr && current_ != last);
+    });
+    if (stop_) return;
+    // Holding `last` keeps the Job (and its cursor) alive even after the
+    // caller finished the job, so a late waker's claims land on the
+    // exhausted old cursor instead of a new job's.
+    last = current_;
+    lk.unlock();
+    drain(*last);
+    lk.lock();
+  }
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(default_parity_threads());
+  return pool;
+}
+
+}  // namespace vdc::parity

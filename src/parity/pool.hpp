@@ -1,0 +1,65 @@
+#pragma once
+// Persistent worker pool for the parity kernels.
+//
+// The parallel XOR/GF(256) kernels used to spawn fresh std::threads on
+// every call; on the epoch hot path that launch cost dominates small
+// shards. This pool keeps the workers alive across calls: run(n, fn)
+// executes fn(0..n-1) with the caller participating as one worker, and
+// blocks until every task has finished. Tasks are claimed from a shared
+// atomic cursor, so any worker count yields the same per-task results.
+//
+// run() is not reentrant: a run() issued while another job is active
+// (including from inside a task) simply executes serially on the calling
+// thread, so nested use is safe but unaccelerated.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vdc::parity {
+
+class ThreadPool {
+ public:
+  /// A pool that runs jobs on `workers` threads total (the caller counts
+  /// as one; `workers - 1` background threads are spawned).
+  explicit ThreadPool(unsigned workers);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned worker_count() const {
+    return static_cast<unsigned>(threads_.size()) + 1;
+  }
+
+  /// Execute fn(i) for every i in [0, tasks); returns once all are done.
+  /// Tasks must not throw.
+  void run(std::size_t tasks, const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide pool sized by default_parity_threads(), built lazily.
+  static ThreadPool& shared();
+
+ private:
+  struct Job {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t tasks = 0;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> remaining{0};
+  };
+
+  void worker_loop();
+  void drain(Job& job);
+
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::shared_ptr<Job> current_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace vdc::parity

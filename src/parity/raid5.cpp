@@ -1,5 +1,6 @@
 #include "parity/raid5.hpp"
 
+#include "parity/parallel.hpp"
 #include "parity/xor.hpp"
 
 namespace vdc::parity {
@@ -17,6 +18,15 @@ std::vector<Block> Raid5Codec::encode(std::span<const BlockView> data) const {
   Block parity(size, std::byte{0});
   for (const auto& d : data) xor_into(parity, d);
   return {std::move(parity)};
+}
+
+std::vector<Block> Raid5Codec::encode_parallel(std::span<const BlockView> data,
+                                               unsigned threads) const {
+  VDC_REQUIRE(data.size() == k_, "encode: wrong number of data blocks");
+  const std::size_t size = data.front().size();
+  for (const auto& d : data)
+    VDC_REQUIRE(d.size() == size, "encode: block size mismatch");
+  return {parallel_xor_all(data, threads)};
 }
 
 void Raid5Codec::reconstruct(

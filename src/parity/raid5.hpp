@@ -22,6 +22,8 @@ class Raid5Codec final : public GroupCodec {
   std::size_t fault_tolerance() const override { return 1; }
 
   std::vector<Block> encode(std::span<const BlockView> data) const override;
+  std::vector<Block> encode_parallel(std::span<const BlockView> data,
+                                     unsigned threads) const override;
   void reconstruct(std::vector<std::optional<Block>>& blocks) const override;
 
   /// In-place parity refresh for one changed member:

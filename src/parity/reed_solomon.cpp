@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "parity/gf256.hpp"
+#include "parity/parallel.hpp"
 
 namespace vdc::parity {
 
@@ -38,6 +39,29 @@ std::vector<Block> ReedSolomonCodec::encode(
       gf256::mul_add(coefficient(j, i), src, dst, size);
     }
   }
+  return parity;
+}
+
+std::vector<Block> ReedSolomonCodec::encode_parallel(
+    std::span<const BlockView> data, unsigned threads) const {
+  VDC_REQUIRE(data.size() == k_, "encode: wrong number of data blocks");
+  const std::size_t size = data.front().size();
+  for (const auto& d : data)
+    VDC_REQUIRE(d.size() == size, "encode: block size mismatch");
+
+  // The generator is applied byte-wise, so sharding the byte range is
+  // positional and bit-identical to the serial loop.
+  std::vector<Block> parity(m_, Block(size, std::byte{0}));
+  parallel_shards(size, threads, [&](std::size_t begin, std::size_t n) {
+    for (std::size_t j = 0; j < m_; ++j) {
+      auto* dst = reinterpret_cast<std::uint8_t*>(parity[j].data()) + begin;
+      for (std::size_t i = 0; i < k_; ++i) {
+        const auto* src =
+            reinterpret_cast<const std::uint8_t*>(data[i].data()) + begin;
+        gf256::mul_add(coefficient(j, i), src, dst, n);
+      }
+    }
+  });
   return parity;
 }
 

@@ -26,6 +26,8 @@ class ReedSolomonCodec final : public GroupCodec {
   std::size_t fault_tolerance() const override { return m_; }
 
   std::vector<Block> encode(std::span<const BlockView> data) const override;
+  std::vector<Block> encode_parallel(std::span<const BlockView> data,
+                                     unsigned threads) const override;
   void reconstruct(std::vector<std::optional<Block>>& blocks) const override;
 
   /// Cauchy coefficient of parity row j, data column i.

@@ -48,8 +48,24 @@ std::vector<std::byte> xor_all(
 }
 
 bool all_zero(std::span<const std::byte> data) {
-  for (std::byte b : data)
-    if (b != std::byte{0}) return false;
+  std::size_t i = 0;
+  const std::size_t n = data.size();
+
+  // Word-blocked like xor_into: this gates zero-page elision and RLE runs
+  // on the capture hot path, so scan 4 machine words per iteration.
+  constexpr std::size_t kWord = sizeof(std::uint64_t);
+  for (; i + 4 * kWord <= n; i += 4 * kWord) {
+    std::uint64_t a[4];
+    std::memcpy(a, data.data() + i, sizeof a);
+    if ((a[0] | a[1] | a[2] | a[3]) != 0) return false;
+  }
+  for (; i + kWord <= n; i += kWord) {
+    std::uint64_t a;
+    std::memcpy(&a, data.data() + i, kWord);
+    if (a != 0) return false;
+  }
+  for (; i < n; ++i)
+    if (data[i] != std::byte{0}) return false;
   return true;
 }
 

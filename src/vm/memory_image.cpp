@@ -83,11 +83,20 @@ std::vector<PageIndex> MemoryImage::dirty_pages() const {
 void MemoryImage::clear_dirty() {
   std::fill(dirty_.begin(), dirty_.end(), 0);
   dirty_count_ = 0;
+  ++dirty_generation_;
 }
 
 void MemoryImage::mark_all_dirty() {
   std::fill(dirty_.begin(), dirty_.end(), 1);
   dirty_count_ = page_count_;
+}
+
+void MemoryImage::mark_dirty(PageIndex i) {
+  VDC_ASSERT(i < page_count_);
+  if (!dirty_[i]) {
+    dirty_[i] = 1;
+    ++dirty_count_;
+  }
 }
 
 std::unique_ptr<CowSnapshot> MemoryImage::fork_cow() {

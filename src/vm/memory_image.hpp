@@ -84,10 +84,17 @@ class MemoryImage {
   std::size_t dirty_count() const { return dirty_count_; }
   /// Sorted list of dirty page indices.
   std::vector<PageIndex> dirty_pages() const;
-  /// Clear the dirty log (checkpoint epoch boundary).
+  /// Clear the dirty log (checkpoint epoch boundary). Bumps the dirty
+  /// generation: each clear consumes the log, and a consumer that cached
+  /// state derived from a previous clear can detect that someone else has
+  /// consumed the log since (and fall back to a full scan).
   void clear_dirty();
   /// Mark every page dirty (after restore, the first checkpoint is full).
   void mark_all_dirty();
+  /// Re-mark a single page dirty (aborted capture returns its pages).
+  void mark_dirty(PageIndex i);
+  /// Incremented on every clear_dirty(); starts at 0 for a fresh image.
+  std::uint64_t dirty_generation() const { return dirty_generation_; }
 
   // --- copy-on-write fork ---------------------------------------------------
   /// Take a COW snapshot. Only one may be alive at a time.
@@ -96,6 +103,9 @@ class MemoryImage {
 
   /// Flat copy of the whole image.
   std::vector<std::byte> flatten() const { return data_; }
+
+  /// Zero-copy read-only view of the whole image.
+  std::span<const std::byte> bytes() const { return data_; }
 
   /// Replace the entire contents (restore from a reconstructed checkpoint).
   void restore(std::span<const std::byte> flat);
@@ -109,6 +119,7 @@ class MemoryImage {
   std::vector<std::byte> data_;
   std::vector<std::uint8_t> dirty_;
   std::size_t dirty_count_ = 0;
+  std::uint64_t dirty_generation_ = 0;
   CowSnapshot* snapshot_ = nullptr;
 };
 

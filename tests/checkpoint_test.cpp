@@ -287,5 +287,42 @@ TEST(Store, EraseAndDrop) {
   EXPECT_EQ(store.entry_count(), 0u);
 }
 
+TEST(Store, SharedPagesCountOnceInResidentBytes) {
+  CheckpointStore store;
+  Rng rng(12);
+  Checkpoint cp;
+  cp.vm = 1;
+  cp.epoch = 1;
+  cp.page_size = 16;
+  cp.payload = random_bytes(rng, 64);
+  store.put(cp);
+  const StoredCheckpoint* prev = store.find(1, 1);
+  ASSERT_NE(prev, nullptr);
+  ASSERT_EQ(prev->pages.size(), 4u);
+
+  // Epoch 2 rewrites one page and shares the other three with epoch 1.
+  StoredCheckpoint next;
+  next.vm = 1;
+  next.epoch = 2;
+  next.page_size = 16;
+  next.pages = prev->pages;
+  const auto fresh = random_bytes(rng, 16);
+  next.pages[2] = std::make_shared<const std::vector<std::byte>>(
+      fresh.begin(), fresh.end());
+  store.put(std::move(next));
+
+  EXPECT_EQ(store.entry_count(), 2u);
+  EXPECT_EQ(store.total_bytes(), 64u + 16u);  // shared pages count once
+  const StoredCheckpoint* e2 = store.find(1, 2);
+  ASSERT_NE(e2, nullptr);
+  EXPECT_EQ(e2->size_bytes(), 64u);           // logical size is unshared
+  store.erase(1, 1);
+  EXPECT_EQ(store.total_bytes(), 64u);  // epoch 2 keeps every page alive
+  auto flat = e2->payload();
+  EXPECT_EQ(flat.size(), 64u);
+  EXPECT_TRUE(std::equal(flat.begin() + 32, flat.begin() + 48,
+                         fresh.begin()));
+}
+
 }  // namespace
 }  // namespace vdc::checkpoint

@@ -66,7 +66,7 @@ void expect_parity_consistent(Rig& rig, const PlacedPlan& placed) {
       ASSERT_TRUE(loc.has_value());
       const auto* cp = rig.state.node_store(*loc).find(m, epoch);
       ASSERT_NE(cp, nullptr) << "vm " << m;
-      padded.push_back(parity::padded_copy(cp->payload, record->block_size));
+      padded.push_back(cp->padded_payload(record->block_size));
     }
     for (const auto& p : padded) views.emplace_back(p);
     const auto expect = codec->encode(views);
@@ -102,7 +102,7 @@ TEST(Protocol, CheckpointContentIsTheCut) {
     const auto loc = rig.cluster.locate(vmid);
     const auto* cp = rig.state.node_store(*loc).find(vmid, 1);
     ASSERT_NE(cp, nullptr);
-    EXPECT_EQ(cp->payload, at_cut[i++]);
+    EXPECT_EQ(cp->payload(), at_cut[i++]);
   }
 }
 

@@ -64,7 +64,7 @@ struct Rig {
     for (vm::VmId vmid : cluster.all_vms()) {
       const auto* cp = state.node_store(*cluster.locate(vmid))
                            .find(vmid, state.committed_epoch());
-      if (cp != nullptr) out[vmid] = cp->payload;
+      if (cp != nullptr) out[vmid] = cp->payload();
     }
     return out;
   }

@@ -68,7 +68,7 @@ struct Rig {
     for (vm::VmId vmid : cluster.all_vms()) {
       const auto* cp = state.node_store(*cluster.locate(vmid))
                            .find(vmid, state.committed_epoch());
-      if (cp != nullptr) out[vmid] = cp->payload;
+      if (cp != nullptr) out[vmid] = cp->payload();
     }
     return out;
   }
@@ -116,7 +116,7 @@ TEST(RsProtocol, ParityMatchesCodecEncode) {
       const auto* cp =
           rig.state.node_store(*rig.cluster.locate(m)).find(m, 1);
       ASSERT_NE(cp, nullptr);
-      padded.push_back(parity::padded_copy(cp->payload, record->block_size));
+      padded.push_back(cp->padded_payload(record->block_size));
     }
     for (const auto& p : padded) views.emplace_back(p);
     EXPECT_EQ(codec->encode(views), record->blocks);
@@ -142,8 +142,7 @@ TEST(RsProtocol, IncrementalDeltasKeepParityExact) {
         const auto* cp =
             rig.state.node_store(*rig.cluster.locate(m)).find(m, e);
         ASSERT_NE(cp, nullptr);
-        padded.push_back(
-            parity::padded_copy(cp->payload, record->block_size));
+        padded.push_back(cp->padded_payload(record->block_size));
       }
       for (const auto& p : padded) views.emplace_back(p);
       ASSERT_EQ(codec->encode(views), record->blocks)

@@ -1,0 +1,226 @@
+// Byte-exactness property for the epoch data plane: the dirty-page
+// zero-copy plane (page-sharing store + in-place undo-logged parity folds
+// + pooled kernels) must be observationally identical to the legacy
+// flatten+diff reference plane. Two harnesses run the SAME randomized
+// schedule — guest execution, committed epochs, aborted epochs, node
+// failures with recovery — one per plane, and after every step we compare:
+//
+//   - committed epoch and VM placement
+//   - live VM images, byte for byte
+//   - committed checkpoint payloads, byte for byte
+//   - parity records (blocks, holders, members, block_size, epoch)
+//   - EpochStats of committed epochs (timing + byte accounting)
+//   - DvdcState::memory_bytes() (resident accounting)
+//
+// Seeds: 1..VDC_FUZZ_SEEDS (default 4); schemes: RAID-5, RDP, RS.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include "core/recovery.hpp"
+#include "vm/workload.hpp"
+
+namespace vdc::core {
+namespace {
+
+int fuzz_seed_count() {
+  if (const char* env = std::getenv("VDC_FUZZ_SEEDS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 4;
+}
+
+WorkloadFactory workload_factory() {
+  return [](vm::VmId) -> std::unique_ptr<vm::Workload> {
+    return std::make_unique<vm::HotColdWorkload>(200.0, 0.2, 0.8);
+  };
+}
+
+struct Harness {
+  simkit::Simulator sim;
+  cluster::ClusterManager cluster;
+  DvdcState state;
+  DvdcCoordinator coord;
+  RecoveryManager recovery;
+  std::optional<PlacedPlan> placed;
+  std::optional<PlacedPlan> committed_plan;
+  checkpoint::Epoch next_epoch = 1;
+  ParityScheme scheme;
+
+  Harness(std::uint64_t seed, ParityScheme scheme, bool reference_plane)
+      : cluster(sim, Rng(seed)),
+        coord(sim, cluster, state, make_config(scheme, reference_plane)),
+        recovery(sim, cluster, state, workload_factory()),
+        scheme(scheme) {
+    for (int n = 0; n < 5; ++n) cluster.add_node();
+    auto workloads = workload_factory();
+    for (int n = 0; n < 5; ++n)
+      for (int v = 0; v < 2; ++v)
+        cluster.boot_vm(n, kib(1), 16, workloads(0));
+    replan();
+  }
+
+  static ProtocolConfig make_config(ParityScheme scheme, bool reference) {
+    ProtocolConfig config;
+    config.scheme = scheme;
+    config.rs_parity = 2;
+    config.reference_data_plane = reference;
+    return config;
+  }
+
+  void replan() {
+    PlannerConfig pc;
+    pc.group_size = 3;
+    placed = PlacedPlan::make(GroupPlanner(pc).plan(cluster), cluster,
+                              scheme, 2);
+  }
+
+  void ensure_plan() {
+    if (!placed->still_orthogonal(cluster)) replan();
+  }
+
+  /// Run one epoch; with `abort_after` > 0, abort after that many events.
+  std::optional<EpochStats> checkpoint(std::uint64_t abort_after) {
+    ensure_plan();
+    std::optional<EpochStats> stats;
+    coord.run_epoch(*placed, next_epoch,
+                    [&](const EpochStats& s) { stats = s; });
+    if (abort_after > 0) {
+      sim.run(abort_after);
+      coord.abort();
+    }
+    sim.run();
+    if (stats.has_value()) {
+      ++next_epoch;
+      committed_plan = placed;
+    }
+    return stats;
+  }
+
+  bool fail_and_recover(std::size_t victim_index) {
+    if (state.committed_epoch() == 0) return true;
+    const auto alive = cluster.alive_nodes();
+    const auto victim = alive[victim_index % alive.size()];
+    const auto lost = cluster.node(victim).hypervisor().vm_ids();
+    cluster.kill_node(victim);
+    state.drop_node(victim);
+    cluster.revive_node(victim);  // repaired replacement (constant n)
+    if (lost.empty()) return true;
+    bool ok = false;
+    recovery.recover(*committed_plan, lost,
+                     [&](const RecoveryStats& s) { ok = s.success; });
+    sim.run();
+    return ok;
+  }
+};
+
+void expect_equal_stats(const std::optional<EpochStats>& ref,
+                        const std::optional<EpochStats>& fast,
+                        const std::string& where) {
+  ASSERT_EQ(ref.has_value(), fast.has_value()) << where;
+  if (!ref.has_value()) return;
+  EXPECT_EQ(ref->epoch, fast->epoch) << where;
+  EXPECT_DOUBLE_EQ(ref->overhead, fast->overhead) << where;
+  EXPECT_DOUBLE_EQ(ref->latency, fast->latency) << where;
+  EXPECT_EQ(ref->bytes_shipped, fast->bytes_shipped) << where;
+  EXPECT_EQ(ref->bytes_xored, fast->bytes_xored) << where;
+  EXPECT_EQ(ref->raw_dirty_bytes, fast->raw_dirty_bytes) << where;
+  EXPECT_EQ(ref->groups, fast->groups) << where;
+  EXPECT_EQ(ref->full_exchange, fast->full_exchange) << where;
+}
+
+void expect_equal_state(Harness& ref, Harness& fast,
+                        const std::string& where) {
+  ASSERT_EQ(ref.state.committed_epoch(), fast.state.committed_epoch())
+      << where;
+  ASSERT_EQ(ref.state.memory_bytes(), fast.state.memory_bytes()) << where;
+  const auto epoch = ref.state.committed_epoch();
+
+  for (vm::VmId vmid : ref.cluster.all_vms()) {
+    const auto lr = ref.cluster.locate(vmid);
+    const auto lf = fast.cluster.locate(vmid);
+    ASSERT_EQ(lr.has_value(), lf.has_value()) << where << " vm " << vmid;
+    if (!lr.has_value()) continue;
+    ASSERT_EQ(*lr, *lf) << where << " vm " << vmid;
+    ASSERT_EQ(ref.cluster.machine(vmid).image().flatten(),
+              fast.cluster.machine(vmid).image().flatten())
+        << where << " image of vm " << vmid;
+    const auto* cr = ref.state.node_store(*lr).find(vmid, epoch);
+    const auto* cf = fast.state.node_store(*lf).find(vmid, epoch);
+    ASSERT_EQ(cr == nullptr, cf == nullptr) << where << " vm " << vmid;
+    if (cr != nullptr) {
+      ASSERT_EQ(cr->payload(), cf->payload())
+          << where << " checkpoint of vm " << vmid;
+    }
+  }
+
+  ASSERT_EQ(ref.committed_plan.has_value(), fast.committed_plan.has_value())
+      << where;
+  if (!ref.committed_plan.has_value()) return;
+  for (const auto& group : ref.committed_plan->plan.groups) {
+    const auto* rr = ref.state.parity(group.id);
+    const auto* rf = fast.state.parity(group.id);
+    {
+      ASSERT_EQ(rr == nullptr, rf == nullptr)
+          << where << " group " << group.id;
+    }
+    if (rr == nullptr) continue;
+    ASSERT_EQ(rr->epoch, rf->epoch) << where << " group " << group.id;
+    ASSERT_EQ(rr->members, rf->members) << where << " group " << group.id;
+    ASSERT_EQ(rr->holders, rf->holders) << where << " group " << group.id;
+    ASSERT_EQ(rr->block_size, rf->block_size)
+        << where << " group " << group.id;
+    ASSERT_EQ(rr->blocks, rf->blocks)
+        << where << " parity of group " << group.id;
+  }
+}
+
+class DataPlaneEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(DataPlaneEquivalence, PlanesAreByteIdentical) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  for (ParityScheme scheme :
+       {ParityScheme::Raid5, ParityScheme::Rdp, ParityScheme::Rs}) {
+    Harness ref(seed, scheme, /*reference_plane=*/true);
+    Harness fast(seed, scheme, /*reference_plane=*/false);
+    Rng driver(seed * 977 + 13);  // one decision stream for BOTH harnesses
+
+    for (int step = 0; step < 10; ++step) {
+      const std::string where = "seed " + std::to_string(seed) + " scheme " +
+                                std::to_string(static_cast<int>(scheme)) +
+                                " step " + std::to_string(step);
+      const double dt = 0.5 + 0.25 * static_cast<double>(
+                                         driver.uniform_u64(4));
+      ref.cluster.advance_workloads(dt);
+      fast.cluster.advance_workloads(dt);
+
+      const auto op = driver.uniform_u64(5);
+      if (op == 0 && ref.state.committed_epoch() > 0) {
+        const std::uint64_t k = 3 + driver.uniform_u64(5);
+        const auto sr = ref.checkpoint(k);
+        const auto sf = fast.checkpoint(k);
+        expect_equal_stats(sr, sf, where + " (aborted epoch)");
+      } else if (op == 1 && ref.state.committed_epoch() > 0) {
+        const auto victim = driver.uniform_u64(5);
+        ASSERT_EQ(ref.fail_and_recover(victim),
+                  fast.fail_and_recover(victim))
+            << where;
+      } else {
+        const auto sr = ref.checkpoint(0);
+        const auto sf = fast.checkpoint(0);
+        expect_equal_stats(sr, sf, where);
+      }
+      expect_equal_state(ref, fast, where);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DataPlaneEquivalence,
+                         ::testing::Range(1, 1 + fuzz_seed_count()));
+
+}  // namespace
+}  // namespace vdc::core

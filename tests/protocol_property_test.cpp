@@ -145,8 +145,7 @@ struct Harness {
           complete = false;
           break;
         }
-        padded.push_back(
-            parity::padded_copy(cp->payload, record->block_size));
+        padded.push_back(cp->padded_payload(record->block_size));
       }
       ASSERT_TRUE(complete) << "group " << group.id
                             << " lost a member checkpoint";
@@ -211,7 +210,7 @@ TEST_P(ProtocolInterleavings, InvariantsHoldUnderRandomOps) {
   for (vm::VmId vmid : h.cluster.all_vms())
     committed[vmid] = h.state.node_store(*h.cluster.locate(vmid))
                           .find(vmid, h.state.committed_epoch())
-                          ->payload;
+                          ->payload();
   const auto victim = h.cluster.alive_nodes()[2];
   const auto lost = h.cluster.node(victim).hypervisor().vm_ids();
   h.cluster.kill_node(victim);
@@ -262,7 +261,7 @@ TEST(LossPatterns, SurvivableDecodeByteExactUnsurvivableAreReported) {
     for (vm::VmId vmid : h.cluster.all_vms())
       committed[vmid] = h.state.node_store(*h.cluster.locate(vmid))
                             .find(vmid, h.state.committed_epoch())
-                            ->payload;
+                            ->payload();
     const auto killed = [&](cluster::NodeId n) {
       return std::find(pattern.begin(), pattern.end(), n) != pattern.end();
     };
@@ -292,7 +291,10 @@ TEST(LossPatterns, SurvivableDecodeByteExactUnsurvivableAreReported) {
     ASSERT_TRUE(stats.has_value());
 
     std::string label = "pattern {";
-    for (cluster::NodeId n : pattern) label += " " + std::to_string(n);
+    for (cluster::NodeId n : pattern) {
+      label += ' ';
+      label += std::to_string(n);  // two appends: GCC 12 -Wrestrict FP on
+    }                              // `const char* + std::string&&` (PR105329)
     label += " }";
     if (survivable) {
       ++survivable_seen;

@@ -125,7 +125,7 @@ TEST(Rack, WholeRackFailureSurvivedWithRackAwarePlan) {
     payloads[vmid] = rig.state
                          .node_store(*rig.cluster.locate(vmid))
                          .find(vmid, 1)
-                         ->payload;
+                         ->payload();
 
   const auto lost = rig.cluster.kill_rack(0);
   ASSERT_EQ(lost.size(), 2u);

@@ -111,7 +111,7 @@ TEST(Scrub, RepairedStripeRecoversByteExact) {
   for (vm::VmId vmid : rig.cluster.all_vms())
     committed[vmid] = rig.state.node_store(*rig.cluster.locate(vmid))
                           .find(vmid, 1)
-                          ->payload;
+                          ->payload();
   ASSERT_TRUE(rig.scrubber->inject_corruption(0, 0, 3));
   rig.scrub(true);
 
@@ -141,7 +141,7 @@ TEST(Scrub, UnrepairedCorruptionSilentlyPoisonsRecovery) {
   for (vm::VmId vmid : rig.cluster.all_vms())
     committed[vmid] = rig.state.node_store(*rig.cluster.locate(vmid))
                           .find(vmid, 1)
-                          ->payload;
+                          ->payload();
   ASSERT_TRUE(rig.scrubber->inject_corruption(0, 0, 3));
 
   RecoveryManager recovery(rig.sim, rig.cluster, rig.state, idle_factory());
