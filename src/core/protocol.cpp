@@ -163,6 +163,9 @@ struct DvdcCoordinator::GroupWork {
   std::vector<Contribution> contribs;  // per member
   std::size_t tasks_done = 0;
   std::size_t tasks_total = 0;  // members x holders
+  // Chunk folds still queued per (member, holder) stream, indexed by
+  // mi * holders + hi; a stream's task is done when its count hits 0.
+  std::vector<std::size_t> serves_left;
 
   // Fast plane: deltas were folded straight into the committed parity
   // record; `undo` holds the original bytes of every touched range (first
@@ -186,6 +189,7 @@ DvdcCoordinator::DvdcCoordinator(simkit::Simulator& sim,
     : sim_(sim), cluster_(cluster), state_(state), config_(config) {
   if (const char* env = std::getenv("VDC_REFERENCE_PLANE"))
     config_.reference_data_plane = !(env[0] == '\0' || env[0] == '0');
+  config_.chunking = net::ChunkPolicy::env_override(config_.chunking);
 }
 
 DvdcCoordinator::~DvdcCoordinator() = default;
@@ -627,6 +631,7 @@ void DvdcCoordinator::run_epoch(const PlacedPlan& plan,
                          fold_ns);
 
     gw->tasks_total = group.members.size() * gw->holders.size();
+    gw->serves_left.assign(gw->tasks_total, 1);
     work_.push_back(std::move(gw));
   }
   metrics.add("dvdc.wall.capture_ns", static_cast<double>(capture_ns));
@@ -669,7 +674,9 @@ void DvdcCoordinator::run_epoch(const PlacedPlan& plan,
     tel.record_span("epoch.resume", sim_.now(), sim_.now(), epoch_labels_,
                     epoch_span_);
     exchange_start_ = sim_.now();
-    // Launch every member's stream toward each of its group's holders.
+    // Launch every member's stream toward each of its group's holders,
+    // sliced per the chunk policy so holders fold arriving chunks into
+    // parity while later chunks are still on the wire.
     for (std::size_t gi = 0; gi < work_.size(); ++gi) {
       GroupWork& gw = *work_[gi];
       for (std::size_t mi = 0; mi < gw.contribs.size(); ++mi) {
@@ -692,10 +699,18 @@ void DvdcCoordinator::run_epoch(const PlacedPlan& plan,
             });
             continue;
           }
-          cluster_.fabric().transfer(src, dst, contrib.wire,
-                                     [this, gen, gi, mi, hi] {
-                                       on_member_arrival(gen, gi, mi, hi);
-                                     });
+          const Bytes wire = contrib.wire;
+          gw.serves_left[mi * gw.holders.size() + hi] =
+              config_.chunking.chunk_count(wire);
+          streams_.push_back(net::ChunkedStream::start(
+              cluster_.fabric(), src, dst, wire, config_.chunking,
+              [this, gen, gi, mi, hi,
+               wire](const net::ChunkedStream::Chunk& c) {
+                on_chunk_arrival(gen, gi, mi, hi,
+                                 static_cast<double>(c.bytes) /
+                                     static_cast<double>(wire),
+                                 c.last);
+              }));
         }
       }
     }
@@ -706,25 +721,41 @@ void DvdcCoordinator::on_member_arrival(std::uint64_t gen,
                                         std::size_t group_idx,
                                         std::size_t member_idx,
                                         std::size_t holder_idx) {
+  // Whole contribution in one piece (zero-wire or co-located): a single
+  // chunk carrying the full fold.
+  on_chunk_arrival(gen, group_idx, member_idx, holder_idx, 1.0, true);
+}
+
+void DvdcCoordinator::on_chunk_arrival(std::uint64_t gen,
+                                       std::size_t group_idx,
+                                       std::size_t member_idx,
+                                       std::size_t holder_idx,
+                                       double wire_fraction, bool last) {
   if (gen != generation_ || !in_flight_) return;
   GroupWork& gw = *work_[group_idx];
   const auto& contrib = gw.contribs[member_idx];
 
-  VDC_ASSERT(arrivals_pending_ > 0);
-  if (--arrivals_pending_ == 0) {
-    // Last stream has landed: the exchange phase ends and the parity
-    // tail (holder-side folds still queued on node CPUs) begins.
-    sim_.telemetry().record_span("epoch.exchange", exchange_start_,
-                                 sim_.now(), epoch_labels_, epoch_span_);
-    parity_start_ = sim_.now();
+  if (last) {
+    VDC_ASSERT(arrivals_pending_ > 0);
+    if (--arrivals_pending_ == 0) {
+      // Last stream has landed: the exchange phase ends and the parity
+      // tail (holder-side folds still queued on node CPUs) begins.
+      sim_.telemetry().record_span("epoch.exchange", exchange_start_,
+                                   sim_.now(), epoch_labels_, epoch_span_);
+      parity_start_ = sim_.now();
+    }
   }
 
   const cluster::NodeId holder = gw.holders[holder_idx];
-  const double xor_time = static_cast<double>(contrib.xor_bytes) /
-                          cluster_.node(holder).spec().xor_rate;
-  node_cpu(holder).serve(xor_time, [this, gen, group_idx] {
+  const double xor_time =
+      static_cast<double>(contrib.xor_bytes) * wire_fraction /
+      cluster_.node(holder).spec().xor_rate;
+  const std::size_t slot = member_idx * gw.holders.size() + holder_idx;
+  node_cpu(holder).serve(xor_time, [this, gen, group_idx, slot] {
     if (gen != generation_ || !in_flight_) return;
     GroupWork& g = *work_[group_idx];
+    VDC_ASSERT(g.serves_left[slot] > 0);
+    if (--g.serves_left[slot] > 0) return;
     if (++g.tasks_done == g.tasks_total)
       on_group_parity_done(gen, group_idx);
   });
@@ -812,6 +843,7 @@ void DvdcCoordinator::try_commit(std::uint64_t gen) {
 
   in_flight_ = false;
   work_.clear();
+  streams_.clear();  // all complete by commit
   plan_ = nullptr;
   VDC_DEBUG("dvdc", "epoch ", epoch_, " committed, latency ",
             stats_.latency, "s");
@@ -825,6 +857,11 @@ void DvdcCoordinator::abort() {
   if (!in_flight_) return;
   ++generation_;
   in_flight_ = false;
+
+  // Tear down in-flight exchange streams: the aborted epoch's traffic
+  // must not keep occupying the fabric (or fire stale chunk callbacks).
+  for (auto& stream : streams_) stream->cancel();
+  streams_.clear();
 
   // Roll back in-place parity folds: replay the undo log LIFO so every
   // touched range returns to its committed bytes. Ranges on a holder that

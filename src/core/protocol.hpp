@@ -36,6 +36,7 @@
 #include "checkpoint/store.hpp"
 #include "cluster/manager.hpp"
 #include "core/plan.hpp"
+#include "net/chunked_stream.hpp"
 #include "parity/codec.hpp"
 #include "simkit/resource.hpp"
 #include "telemetry/telemetry.hpp"
@@ -78,6 +79,14 @@ struct ProtocolConfig {
   /// O(image) wall-clock work per VM per epoch. The env var
   /// VDC_REFERENCE_PLANE=1 forces it on at coordinator construction.
   bool reference_data_plane = false;
+  /// Exchange streaming: slice each (member, holder) contribution into
+  /// `chunking.chunk_bytes` segments with at most `chunking.pipeline_depth`
+  /// in flight, folding every chunk into parity as it arrives (decode
+  /// overlaps the wire). chunk_bytes == 0 (default) ships each
+  /// contribution as one flow, exactly the pre-chunking behaviour. The
+  /// VDC_CHUNK_BYTES / VDC_PIPELINE_DEPTH env vars override at
+  /// coordinator construction.
+  net::ChunkPolicy chunking;
   /// Guest suspend + device quiesce cost (the paper's 40 ms).
   SimTime base_overhead = 0.040;
   /// Memory-copy rate for non-COW local capture while paused.
@@ -221,6 +230,13 @@ class DvdcCoordinator {
       std::int64_t& capture_ns, std::int64_t& fold_ns);
   void on_member_arrival(std::uint64_t generation, std::size_t group_idx,
                          std::size_t member_idx, std::size_t holder_idx);
+  /// One chunk of a (member, holder) stream landed: queue its share of the
+  /// fold on the holder CPU; the stream's last chunk also retires the
+  /// exchange arrival. `wire_fraction` is chunk bytes / stream wire bytes
+  /// (1.0 for unchunked and local/zero-wire contributions).
+  void on_chunk_arrival(std::uint64_t generation, std::size_t group_idx,
+                        std::size_t member_idx, std::size_t holder_idx,
+                        double wire_fraction, bool last);
   void on_group_parity_done(std::uint64_t generation,
                             std::size_t group_idx);
   void try_commit(std::uint64_t generation);
@@ -242,6 +258,9 @@ class DvdcCoordinator {
   EpochStats stats_;
   std::vector<std::unique_ptr<GroupWork>> work_;
   std::size_t groups_pending_ = 0;
+  /// Exchange streams of the in-flight epoch; abort() cancels them so an
+  /// aborted epoch's traffic stops occupying the fabric.
+  std::vector<std::shared_ptr<net::ChunkedStream>> streams_;
 
   // Telemetry for the in-flight epoch. Phase spans exactly partition
   // [epoch_start_, commit]: quiesce | capture | resume | exchange |

@@ -25,6 +25,13 @@ struct RecoveryCtx {
   /// Set by RecoveryManager::abort(): every still-scheduled event for
   /// this attempt becomes a no-op and the done callback never fires.
   bool aborted = false;
+  /// Every reconstruction stream (inbound and forwards) of this attempt;
+  /// abort() cancels them so a dead attempt stops occupying the fabric.
+  std::vector<std::shared_ptr<net::ChunkedStream>> streams;
+  /// Keeps each group's run state alive for the attempt: the stream and
+  /// fold callbacks hold only weak references (to avoid cycles through
+  /// GroupRun::pump), so the context owns the strong one.
+  std::vector<std::shared_ptr<void>> group_runs;
 };
 
 }  // namespace
@@ -39,6 +46,7 @@ RecoveryManager::RecoveryManager(simkit::Simulator& sim,
       workloads_(std::move(workloads)),
       config_(config) {
   VDC_REQUIRE(workloads_ != nullptr, "recovery needs a workload factory");
+  config_.chunking = net::ChunkPolicy::env_override(config_.chunking);
 }
 
 cluster::NodeId RecoveryManager::pick_target(
@@ -148,6 +156,11 @@ void RecoveryManager::recover(const PlacedPlan& plan,
       sim_.telemetry().begin_span("recovery.reconstruct", ctx->labels);
   abort_hook_ = [this, ctx] {
     ctx->aborted = true;
+    for (auto& stream : ctx->streams) stream->cancel();
+    ctx->streams.clear();
+    // Drop the group engines: their maybe_done/pump closures hold the
+    // context, so leaving them in place would cycle ctx <-> GroupRun.
+    ctx->group_runs.clear();
     if (ctx->reconstruct_span != telemetry::kNoSpan) {
       sim_.telemetry().end_span(ctx->reconstruct_span);
       ctx->reconstruct_span = telemetry::kNoSpan;
@@ -169,6 +182,8 @@ void RecoveryManager::recover(const PlacedPlan& plan,
         metrics.value("recovery.bytes", ctx->labels));
     ctx->stats.groups_touched = static_cast<std::size_t>(
         metrics.value("recovery.groups", ctx->labels));
+    ctx->stats.pipeline_overlap =
+        metrics.value("recovery.pipeline.overlap_s", ctx->labels);
     metrics.observe("recovery.duration_s", ctx->stats.duration);
     for (cluster::NodeId nid : cluster_.alive_nodes())
       cluster_.node(nid).hypervisor().resume_all();
@@ -499,6 +514,10 @@ void RecoveryManager::recover(const PlacedPlan& plan,
     sim_.after(config_.resume_time + restore_stall, [this, ctx] {
       if (ctx->aborted) return;
       abort_hook_ = nullptr;
+      // Break the ctx <-> GroupRun closure cycle now that every group is
+      // done (safe here: no GroupRun closure is on the stack).
+      ctx->group_runs.clear();
+      ctx->streams.clear();
       for (cluster::NodeId nid : cluster_.alive_nodes())
         cluster_.node(nid).hypervisor().resume_all();
       ctx->stats.duration = sim_.now() - ctx->start;
@@ -510,6 +529,8 @@ void RecoveryManager::recover(const PlacedPlan& plan,
           metrics.value("recovery.bytes", ctx->labels));
       ctx->stats.groups_touched = static_cast<std::size_t>(
           metrics.value("recovery.groups", ctx->labels));
+      ctx->stats.pipeline_overlap =
+          metrics.value("recovery.pipeline.overlap_s", ctx->labels);
       metrics.add("recovery.successes", 1.0);
       metrics.observe("recovery.duration_s", ctx->stats.duration);
       VDC_INFO("recovery", "recovered ", ctx->stats.vms_recovered,
@@ -523,48 +544,153 @@ void RecoveryManager::recover(const PlacedPlan& plan,
     return;
   }
 
+  // Per-group pipelined execution. Inbound contributions stream to the
+  // leader sliced per the chunk policy; the leader folds chunk index c as
+  // soon as every inbound stream has delivered it (decode overlaps the
+  // wire), and paced forward streams are released as the fold frontier
+  // advances, so rebuilt data starts travelling to replacement holders
+  // after the first rebuilt chunk instead of after the whole decode. With
+  // chunking disabled every stream is one chunk and this reduces exactly
+  // to the legacy stream-all -> decode -> forward sequence.
+  struct GroupRun {
+    std::size_t inbound = 0;          // inbound stream count
+    Bytes block_size = 0;             // bytes per inbound stream
+    std::size_t chunks = 0;           // chunk indices per inbound stream
+    double xor_rate = 1.0;
+    net::ChunkPolicy chunking;
+    std::vector<std::size_t> arrived;  // arrivals per chunk index
+    std::size_t streams_finished = 0;
+    std::size_t fold_next = 0;         // decode frontier
+    bool fold_busy = false;
+    bool folds_complete = false;
+    bool done_reported = false;
+    SimTime fold_started = 0.0;
+    SimTime exchange_end = -1.0;       // last inbound chunk arrival
+    double overlap = 0.0;              // decode time spent before that
+    std::vector<std::shared_ptr<net::ChunkedStream>> forwards;
+    std::size_t forwards_pending = 0;
+    std::function<void()> pump;        // fold scheduler (weak self-ref)
+    std::function<void()> maybe_done;
+  };
+
+  const net::ChunkPolicy chunking = config_.chunking;
   for (std::size_t gi = 0; gi < ops_shared->size(); ++gi) {
     auto& gops = (*ops_shared)[gi];
-    auto flows_left = std::make_shared<std::size_t>(gops.inbound.size());
     const net::HostId leader_host = cluster_.node(gops.leader).host();
 
-    auto after_xor = [this, ctx, ops_shared, gi, leader_host,
-                      after_all_groups] {
-      if (ctx->aborted) return;
-      auto& gops = (*ops_shared)[gi];
-      auto fwd_left = std::make_shared<std::size_t>(gops.forwards.size());
-      auto group_done = [ctx, after_all_groups] {
-        if (--ctx->groups_pending == 0) after_all_groups();
-      };
-      if (gops.forwards.empty()) {
-        group_done();
-        return;
-      }
-      for (const auto& [node, bytes] : gops.forwards) {
-        cluster_.fabric().transfer(leader_host, cluster_.node(node).host(),
-                                   bytes, [fwd_left, group_done] {
-                                     if (--*fwd_left == 0) group_done();
-                                   });
-      }
+    auto run = std::make_shared<GroupRun>();
+    run->inbound = gops.inbound.size();
+    run->block_size = gops.inbound.empty() ? 0 : gops.inbound.front().second;
+    run->chunking = chunking;
+    run->chunks =
+        gops.inbound.empty() ? 0 : chunking.chunk_count(run->block_size);
+    run->xor_rate = cluster_.node(gops.leader).spec().xor_rate;
+    run->arrived.assign(run->chunks, 0);
+    run->forwards_pending = gops.forwards.size();
+    ctx->group_runs.push_back(run);
+    std::weak_ptr<GroupRun> wr = run;
+
+    run->maybe_done = [ctx, wr, after_all_groups] {
+      auto run = wr.lock();
+      if (!run || ctx->aborted || run->done_reported) return;
+      if (!run->folds_complete || run->forwards_pending > 0) return;
+      run->done_reported = true;
+      if (--ctx->groups_pending == 0) after_all_groups();
     };
 
-    auto on_flow_done = [this, ops_shared, gi, flows_left, after_xor] {
-      if (--*flows_left > 0) return;
-      sim_.after((*ops_shared)[gi].xor_time, after_xor);
+    run->pump = [this, ctx, wr] {
+      auto run = wr.lock();
+      if (!run || ctx->aborted || run->fold_busy) return;
+      if (run->fold_next >= run->chunks) return;
+      if (run->arrived[run->fold_next] < run->inbound) return;
+      run->fold_busy = true;
+      run->fold_started = sim_.now();
+      const Bytes chunk =
+          run->chunking.chunk_size(run->block_size, run->fold_next);
+      const double fold_time =
+          static_cast<double>(run->inbound * chunk) / run->xor_rate;
+      sim_.after(fold_time, [this, ctx, run] {
+        if (ctx->aborted) return;
+        run->fold_busy = false;
+        const SimTime end = sim_.now();
+        if (run->exchange_end < 0.0)
+          run->overlap += end - run->fold_started;
+        else if (run->fold_started < run->exchange_end)
+          run->overlap += run->exchange_end - run->fold_started;
+        ++run->fold_next;
+        // Rebuilt data up to the frontier may travel: advance each
+        // forward's release grant proportionally.
+        for (auto& fwd : run->forwards)
+          fwd->release_to(fwd->chunks_total() * run->fold_next /
+                          run->chunks);
+        if (run->fold_next == run->chunks) {
+          run->folds_complete = true;
+          if (run->chunks > 1)
+            sim_.telemetry().metrics().add("recovery.pipeline.overlap_s",
+                                           run->overlap, ctx->labels);
+          run->pump = nullptr;  // last fold: drop the self-reference
+          run->maybe_done();
+        } else {
+          run->pump();
+        }
+      });
     };
+
+    // Forward streams exist from the start but are paced: nothing moves
+    // until the fold frontier releases chunks.
+    for (const auto& [node, bytes] : gops.forwards) {
+      auto fwd = net::ChunkedStream::start(
+          cluster_.fabric(), leader_host, cluster_.node(node).host(), bytes,
+          chunking, {},
+          [ctx, wr] {
+            auto run = wr.lock();
+            if (!run || ctx->aborted) return;
+            --run->forwards_pending;
+            run->maybe_done();
+          },
+          /*paced=*/true);
+      run->forwards.push_back(fwd);
+      ctx->streams.push_back(std::move(fwd));
+    }
 
     if (gops.inbound.empty()) {
-      sim_.after(gops.xor_time, after_xor);
+      // Nothing to decode (e.g. parity-only rebuild with all members
+      // co-located): the forwards may travel immediately.
+      sim_.after(0.0, [ctx, wr] {
+        auto run = wr.lock();
+        if (!run || ctx->aborted) return;
+        run->folds_complete = true;
+        for (auto& fwd : run->forwards) fwd->release_all();
+        run->pump = nullptr;
+        run->maybe_done();
+      });
       continue;
     }
+
     for (const auto& [src_host, bytes] : gops.inbound) {
       if (src_host == leader_host) {
         // Contribution already local to the leader (it hosts a survivor
-        // or a parity block): no fabric transfer needed.
-        sim_.after(0.0, on_flow_done);
+        // or a parity block): every chunk is present at once.
+        sim_.after(0.0, [this, ctx, wr] {
+          auto run = wr.lock();
+          if (!run || ctx->aborted) return;
+          for (std::size_t c = 0; c < run->chunks; ++c) ++run->arrived[c];
+          if (++run->streams_finished == run->inbound)
+            run->exchange_end = sim_.now();
+          if (run->pump) run->pump();
+        });
         continue;
       }
-      cluster_.fabric().transfer(src_host, leader_host, bytes, on_flow_done);
+      ctx->streams.push_back(net::ChunkedStream::start(
+          cluster_.fabric(), src_host, leader_host, bytes, chunking,
+          [this, ctx, wr](const net::ChunkedStream::Chunk& c) {
+            auto run = wr.lock();
+            if (!run || ctx->aborted) return;
+            ++run->arrived[c.index];
+            if (c.last && ++run->streams_finished == run->inbound)
+              run->exchange_end = sim_.now();
+            if (run->pump) run->pump();
+          }));
     }
   }
 }

@@ -25,6 +25,14 @@ struct RecoveryConfig {
   SimTime resume_time = 5.0;
   /// Local memory-copy rate for rolling surviving VMs back.
   Rate restore_rate = gib_per_s(8);
+  /// Chunked reconstruction streaming: survivors stream in
+  /// `chunking.chunk_bytes` segments, the leader folds each chunk index as
+  /// soon as every inbound stream has delivered it (decode overlaps the
+  /// wire), and forwards of rebuilt data are released as the fold frontier
+  /// advances. chunk_bytes == 0 (default) keeps the legacy
+  /// stream-all / decode / forward sequence. Env-overridable via
+  /// VDC_CHUNK_BYTES / VDC_PIPELINE_DEPTH at manager construction.
+  net::ChunkPolicy chunking;
 };
 
 struct RecoveryStats {
@@ -37,6 +45,9 @@ struct RecoveryStats {
   /// older durable level). The job runner rolls its work watermark back
   /// by this many intervals.
   std::uint32_t epochs_rolled_back = 0;
+  /// Decode time that ran while inbound streams were still on the wire
+  /// (summed across groups; 0 without chunking).
+  SimTime pipeline_overlap = 0.0;
   bool success = false;
   std::string reason;            // set when success == false
 };

@@ -168,7 +168,10 @@ void ParityScrubber::scrub(const PlacedPlan& plan, bool repair,
         if (src == dst) {
           sim_.after(0.0, on_done);
         } else {
-          cluster_.fabric().transfer(src, dst, check.block_size, on_done);
+          // Scrub verification rides the same chunked plane as the epoch
+          // exchange; the stream keeps itself alive until completion.
+          net::ChunkedStream::start(cluster_.fabric(), src, dst,
+                                    check.block_size, chunking_, {}, on_done);
         }
       }
     }

@@ -28,9 +28,12 @@ void PreCopyMigrator::migrate(vm::VmId id, vm::Hypervisor& src,
   start_time_ = sim_.now();
 
   // Round 0 ships the full image; clear the dirty log so each later round
-  // sees exactly the pages dirtied during the previous transfer.
+  // sees exactly the pages dirtied during the previous transfer. Record
+  // the resulting generation: the checkpoint coordinator shares this log
+  // and detects our clear the same way (and vice versa).
   auto& image = src.get(id).image();
   image.clear_dirty();
+  dirty_gen_ = image.dirty_generation();
   run_round(0, sim_.now(), image.size_bytes(), image.page_count());
 }
 
@@ -38,13 +41,34 @@ void PreCopyMigrator::run_round(std::uint32_t round, SimTime round_start,
                                 Bytes to_send, std::size_t prev_dirty) {
   stats_.rounds = round + 1;
   stats_.bytes_sent += to_send;
-  fabric_.transfer(src_host_, dst_host_, to_send, [this, round, round_start,
-                                                   prev_dirty] {
+  flow_ = fabric_.transfer(src_host_, dst_host_, to_send, [this, round,
+                                                           round_start,
+                                                           prev_dirty] {
+    flow_ = net::kInvalidFlow;
     // The guest kept running during the transfer: account its dirtying.
     const SimTime elapsed = sim_.now() - round_start;
     src_->advance_vm(vm_, elapsed);
 
     auto& image = src_->get(vm_).image();
+    if (image.dirty_generation() != dirty_gen_) {
+      // A checkpoint epoch consumed the dirty log mid-round: pages
+      // dirtied before its clear are gone from the log, so an
+      // incremental round would leave the destination stale. Fall back
+      // to a full-image round (or a full stop-and-copy if rounds ran
+      // out — mark_all_dirty makes final_copy ship everything).
+      ++stats_.dirty_log_fallbacks;
+      if (round + 1 >= config_.max_rounds) {
+        stats_.converged = false;
+        image.mark_all_dirty();
+        final_copy(sim_.now());
+        return;
+      }
+      image.clear_dirty();
+      dirty_gen_ = image.dirty_generation();
+      run_round(round + 1, sim_.now(), image.size_bytes(),
+                image.page_count());
+      return;
+    }
     const std::size_t dirty = image.dirty_count();
 
     const bool small_enough = dirty <= config_.stop_dirty_pages;
@@ -62,6 +86,7 @@ void PreCopyMigrator::run_round(std::uint32_t round, SimTime round_start,
 
     const Bytes bytes = static_cast<Bytes>(dirty) * image.page_size();
     image.clear_dirty();
+    dirty_gen_ = image.dirty_generation();
     run_round(round + 1, sim_.now(), bytes, dirty);
   });
 }
@@ -73,10 +98,15 @@ void PreCopyMigrator::final_copy(SimTime start) {
   const Bytes residue =
       static_cast<Bytes>(image.dirty_count()) * image.page_size();
   stats_.bytes_sent += residue;
-  image.clear_dirty();
+  // Deliberately no clear_dirty() here: the image object moves wholesale
+  // to the destination hypervisor, and the checkpoint coordinator's
+  // incremental view of this log stays coherent across the move. Clearing
+  // would silently shrink the guest's next checkpoint delta.
 
-  fabric_.transfer(src_host_, dst_host_, residue, [this, start] {
-    sim_.after(config_.switch_overhead, [this, start] {
+  flow_ = fabric_.transfer(src_host_, dst_host_, residue, [this, start] {
+    flow_ = net::kInvalidFlow;
+    event_ = sim_.after(config_.switch_overhead, [this, start] {
+      event_ = simkit::kInvalidEvent;
       stats_.downtime = sim_.now() - start;
       finish();
     });
@@ -93,6 +123,25 @@ void PreCopyMigrator::finish() {
     auto done = std::move(done_);
     done(stats_);
   }
+}
+
+void PreCopyMigrator::cancel() {
+  if (!busy_) return;
+  if (flow_ != net::kInvalidFlow) {
+    fabric_.cancel(flow_);
+    flow_ = net::kInvalidFlow;
+  }
+  if (event_ != simkit::kInvalidEvent) {
+    sim_.cancel(event_);
+    event_ = simkit::kInvalidEvent;
+  }
+  busy_ = false;
+  done_ = nullptr;
+  // A guest frozen for stop-and-copy that still exists on a live source
+  // gets un-frozen; a failed source simply no longer hosts it.
+  if (src_ != nullptr && src_->hosts(vm_) &&
+      src_->get(vm_).state() == vm::VmState::Paused)
+    src_->get(vm_).resume();
 }
 
 void StopAndCopyMigrator::migrate(vm::VmId id, vm::Hypervisor& src,

@@ -34,6 +34,9 @@ struct MigrationStats {
   Bytes bytes_sent = 0;
   std::uint32_t rounds = 0;  // pre-copy rounds before stop-and-copy
   bool converged = false;    // dirty set met the threshold (vs. round cap)
+  /// Rounds where a checkpoint epoch consumed the dirty log mid-transfer
+  /// and the migrator had to fall back to shipping the full image.
+  std::uint32_t dirty_log_fallbacks = 0;
 };
 
 /// Migrates one VM between two hypervisors over the fabric. The migrator
@@ -52,6 +55,12 @@ class PreCopyMigrator {
                vm::Hypervisor& dst, net::HostId dst_host, DoneCallback done);
 
   bool busy() const { return busy_; }
+
+  /// Abort the in-flight migration (the source node failed, or the caller
+  /// changed its mind): cancels the current transfer flow and switch-over
+  /// event, drops the done callback, resumes a guest left frozen for
+  /// stop-and-copy (if it still exists) and resets busy(). No-op when idle.
+  void cancel();
 
  private:
   void run_round(std::uint32_t round, SimTime round_start, Bytes to_send,
@@ -73,6 +82,13 @@ class PreCopyMigrator {
   DoneCallback done_;
   MigrationStats stats_;
   SimTime start_time_ = 0.0;
+  /// Dirty generation observed after our last clear_dirty(). The
+  /// checkpoint coordinator consumes the same log (generation-checked on
+  /// its side too); a mismatch at round end means an epoch cleared it
+  /// mid-round and the incremental round residue is untrustworthy.
+  std::uint64_t dirty_gen_ = 0;
+  net::FlowId flow_ = net::kInvalidFlow;           // in-flight round/residue
+  simkit::EventId event_ = simkit::kInvalidEvent;  // switch-over timer
 };
 
 /// Pause, ship the whole image, resume on the destination. Downtime is the

@@ -31,11 +31,35 @@ void RemusReplicator::start() {
   timer_ = sim_.after(config_.epoch_interval, [this] { on_epoch_timer(); });
 }
 
-void RemusReplicator::stop() {
+void RemusReplicator::stop() { stop_internal(/*resume_guest=*/true); }
+
+void RemusReplicator::stop_internal(bool resume_guest) {
   running_ = false;
   if (timer_ != simkit::kInvalidEvent) {
     sim_.cancel(timer_);
     timer_ = simkit::kInvalidEvent;
+  }
+  // The capture path parks two continuations that used to outlive stop():
+  // the staging-pause end event (which would resume a guest this
+  // replicator no longer owns and charge its pause time) and the ship
+  // flow (whose completion would overwrite backup_image_ after a
+  // failover already took it). Cancel both.
+  const bool mid_pause = pause_event_ != simkit::kInvalidEvent;
+  if (mid_pause) {
+    sim_.cancel(pause_event_);
+    pause_event_ = simkit::kInvalidEvent;
+  }
+  if (ship_flow_ != net::kInvalidFlow) {
+    fabric_.cancel(ship_flow_);
+    ship_flow_ = net::kInvalidFlow;
+  }
+  ship_in_flight_ = false;
+  pending_image_.clear();
+  if (mid_pause && resume_guest && primary_.hosts(vm_) &&
+      primary_.get(vm_).state() == vm::VmState::Paused) {
+    // Orderly stop mid-capture: un-freeze the guest we paused.
+    primary_.get(vm_).resume();
+    last_advance_ = sim_.now();
   }
 }
 
@@ -73,8 +97,12 @@ void RemusReplicator::capture_and_ship() {
 
   pending_image_ = result.checkpoint.payload;
 
-  // Resume after the staging copy completes; ship asynchronously.
-  sim_.after(pause, [this, capture_time, wire, pause] {
+  // Resume after the staging copy completes; ship asynchronously. Both
+  // continuations are guarded on running_ and tracked (pause_event_ /
+  // ship_flow_) so stop() and failover() can cancel them.
+  pause_event_ = sim_.after(pause, [this, capture_time, wire, pause] {
+    pause_event_ = simkit::kInvalidEvent;
+    if (!running_) return;
     stats_.total_pause_time += pause;
     auto& machine = primary_.get(vm_);
     machine.resume();
@@ -82,21 +110,21 @@ void RemusReplicator::capture_and_ship() {
 
     ship_in_flight_ = true;
     stats_.bytes_shipped += wire;
-    fabric_.transfer(primary_host_, backup_host_, wire,
-                     [this, capture_time] {
-                       ship_in_flight_ = false;
-                       backup_image_ = std::move(pending_image_);
-                       pending_image_.clear();
-                       last_ack_capture_time_ = capture_time;
-                       ++stats_.epochs_committed;
-                       if (!running_) return;
-                       // Re-arm: next epoch fires one interval after the
-                       // last capture, or immediately if we are behind.
-                       const SimTime next =
-                           std::max(sim_.now(), capture_time +
-                                                    config_.epoch_interval);
-                       timer_ = sim_.at(next, [this] { on_epoch_timer(); });
-                     });
+    ship_flow_ = fabric_.transfer(
+        primary_host_, backup_host_, wire, [this, capture_time] {
+          ship_flow_ = net::kInvalidFlow;
+          ship_in_flight_ = false;
+          if (!running_) return;
+          backup_image_ = std::move(pending_image_);
+          pending_image_.clear();
+          last_ack_capture_time_ = capture_time;
+          ++stats_.epochs_committed;
+          // Re-arm: next epoch fires one interval after the
+          // last capture, or immediately if we are behind.
+          const SimTime next = std::max(
+              sim_.now(), capture_time + config_.epoch_interval);
+          timer_ = sim_.at(next, [this] { on_epoch_timer(); });
+        });
   });
 }
 
@@ -104,7 +132,8 @@ RemusReplicator::Failover RemusReplicator::failover() {
   Failover result;
   result.lost_work = sim_.now() - last_ack_capture_time_;
   result.image = backup_image_;
-  stop();
+  // The primary is dead: tear everything down but never resume its guest.
+  stop_internal(/*resume_guest=*/false);
   return result;
 }
 

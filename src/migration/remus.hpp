@@ -48,7 +48,9 @@ class RemusReplicator {
   /// Begin the epoch timer. The first epoch ships the full image.
   void start();
 
-  /// Stop replicating (cancels the timer; an in-flight ship completes).
+  /// Stop replicating: cancels the epoch timer, the deferred staging-pause
+  /// event and any in-flight ship flow. A guest left frozen mid-capture is
+  /// resumed (failover() skips that — the primary is dead).
   void stop();
 
   /// Primary failed: promote the standby image. Returns the lost-work
@@ -68,6 +70,10 @@ class RemusReplicator {
  private:
   void on_epoch_timer();
   void capture_and_ship();
+  /// Shared teardown. `resume_guest` distinguishes an orderly stop()
+  /// (resume a guest frozen in the staging pause) from failover() (the
+  /// primary is gone; never touch — let alone resume — its guest).
+  void stop_internal(bool resume_guest);
 
   simkit::Simulator& sim_;
   net::Fabric& fabric_;
@@ -84,6 +90,8 @@ class RemusReplicator {
   bool running_ = false;
   bool ship_in_flight_ = false;
   simkit::EventId timer_ = simkit::kInvalidEvent;
+  simkit::EventId pause_event_ = simkit::kInvalidEvent;  // staging-pause end
+  net::FlowId ship_flow_ = net::kInvalidFlow;            // in-flight ship
   SimTime last_advance_ = 0.0;
   SimTime last_ack_capture_time_ = 0.0;
   checkpoint::Epoch next_epoch_ = 1;

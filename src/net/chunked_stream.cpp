@@ -1,0 +1,115 @@
+#include "net/chunked_stream.hpp"
+
+#include <cstdlib>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace vdc::net {
+
+std::size_t ChunkPolicy::chunk_count(Bytes total) const {
+  if (!enabled() || total == 0) return 1;
+  return static_cast<std::size_t>((total + chunk_bytes - 1) / chunk_bytes);
+}
+
+Bytes ChunkPolicy::chunk_size(Bytes total, std::size_t index) const {
+  const std::size_t n = chunk_count(total);
+  VDC_ASSERT(index < n);
+  if (n == 1) return total;
+  if (index + 1 < n) return chunk_bytes;
+  return total - chunk_bytes * static_cast<Bytes>(n - 1);  // tail
+}
+
+ChunkPolicy ChunkPolicy::env_override(ChunkPolicy base) {
+  if (const char* env = std::getenv("VDC_CHUNK_BYTES")) {
+    const long long v = std::atoll(env);
+    if (v >= 0) base.chunk_bytes = static_cast<Bytes>(v);
+  }
+  if (const char* env = std::getenv("VDC_PIPELINE_DEPTH")) {
+    const long long v = std::atoll(env);
+    if (v > 0) base.pipeline_depth = static_cast<std::size_t>(v);
+  }
+  return base;
+}
+
+ChunkedStream::ChunkedStream(Fabric& fabric, HostId src, HostId dst,
+                             Bytes total, ChunkPolicy policy,
+                             ChunkCallback on_chunk, DoneCallback on_done,
+                             bool paced)
+    : fabric_(fabric),
+      src_(src),
+      dst_(dst),
+      total_(total),
+      policy_(policy),
+      on_chunk_(std::move(on_chunk)),
+      on_done_(std::move(on_done)),
+      paced_(paced) {
+  VDC_REQUIRE(policy.pipeline_depth >= 1, "pipeline depth must be >= 1");
+  chunks_total_ = policy_.chunk_count(total_);
+  released_ = paced_ ? 0 : chunks_total_;
+}
+
+std::shared_ptr<ChunkedStream> ChunkedStream::start(
+    Fabric& fabric, HostId src, HostId dst, Bytes total, ChunkPolicy policy,
+    ChunkCallback on_chunk, DoneCallback on_done, bool paced) {
+  auto stream = std::shared_ptr<ChunkedStream>(
+      new ChunkedStream(fabric, src, dst, total, policy, std::move(on_chunk),
+                        std::move(on_done), paced));
+  stream->pump();
+  return stream;
+}
+
+void ChunkedStream::release_to(std::size_t target) {
+  if (cancelled_) return;
+  if (target > chunks_total_) target = chunks_total_;
+  if (target <= released_) return;
+  released_ = target;
+  pump();
+}
+
+void ChunkedStream::pump() {
+  while (!cancelled_ && next_launch_ < released_ &&
+         inflight_.size() < policy_.pipeline_depth) {
+    const std::size_t idx = next_launch_++;
+    const Bytes bytes = policy_.chunk_size(total_, idx);
+    fabric_.note_chunk_started();
+    // The flow callback holds the stream alive until delivery or cancel.
+    auto self = shared_from_this();
+    const FlowId fid = fabric_.transfer(
+        src_, dst_, bytes, [self, idx] { self->on_chunk_complete(idx); });
+    inflight_.emplace(idx, fid);
+  }
+}
+
+void ChunkedStream::on_chunk_complete(std::size_t index) {
+  if (cancelled_) return;
+  inflight_.erase(index);
+  fabric_.note_chunk_finished();
+  ++delivered_;
+  const Chunk chunk{index, policy_.chunk_size(total_, index),
+                    delivered_ == chunks_total_};
+  // Keep the pipe full before handing the chunk to the consumer (whose
+  // callback may itself queue work or cancel us).
+  pump();
+  if (on_chunk_) on_chunk_(chunk);
+  if (delivered_ == chunks_total_ && !cancelled_) {
+    auto done = std::move(on_done_);
+    on_done_ = nullptr;
+    on_chunk_ = nullptr;  // break consumer reference cycles at completion
+    if (done) done();
+  }
+}
+
+void ChunkedStream::cancel() {
+  if (cancelled_ || done()) return;
+  cancelled_ = true;
+  for (const auto& [idx, fid] : inflight_) {
+    fabric_.cancel(fid);
+    fabric_.note_chunk_finished();
+  }
+  inflight_.clear();
+  on_chunk_ = nullptr;
+  on_done_ = nullptr;
+}
+
+}  // namespace vdc::net

@@ -1,0 +1,108 @@
+#pragma once
+// Chunked, pipelined logical transfers over the Fabric.
+//
+// A ChunkedStream splits one logical transfer into `chunk_bytes` segments
+// and keeps at most `pipeline_depth` of them in flight at a time. Each
+// delivered chunk fires a callback, so a receiver can start consuming
+// (folding parity, decoding a stripe) while later chunks are still on the
+// wire — the fold-on-arrival overlap that removes the "wait for the whole
+// stream, then decode" barrier from the epoch exchange and from recovery.
+//
+// With chunk_bytes == 0 (the default policy) the stream degenerates to a
+// single chunk and is event-for-event identical to a plain
+// Fabric::transfer, so chunking is strictly opt-in.
+//
+// A paced stream (see `start` with paced == true) launches nothing until
+// the consumer grants chunks via release_to(); recovery uses this to gate
+// forwards of rebuilt data on the decode frontier.
+//
+// Cancellation tears down the in-flight chunk flows and drops every
+// callback, composing with DvdcCoordinator::abort and
+// RecoveryManager::abort (and through it CheckpointBackend::abort_recovery).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "net/fabric.hpp"
+
+namespace vdc::net {
+
+/// How to slice logical transfers. Shared by the protocol and recovery
+/// configs; env-overridable via VDC_CHUNK_BYTES / VDC_PIPELINE_DEPTH.
+struct ChunkPolicy {
+  /// Segment size; 0 disables chunking (one chunk == the whole transfer).
+  Bytes chunk_bytes = 0;
+  /// Max chunk flows in flight per stream (>= 1).
+  std::size_t pipeline_depth = 4;
+
+  bool enabled() const { return chunk_bytes > 0; }
+  std::size_t chunk_count(Bytes total) const;
+  Bytes chunk_size(Bytes total, std::size_t index) const;
+
+  /// `base` with VDC_CHUNK_BYTES / VDC_PIPELINE_DEPTH applied on top.
+  static ChunkPolicy env_override(ChunkPolicy base);
+};
+
+class ChunkedStream : public std::enable_shared_from_this<ChunkedStream> {
+ public:
+  struct Chunk {
+    std::size_t index = 0;  // 0-based position in the logical transfer
+    Bytes bytes = 0;
+    bool last = false;      // true on the final *delivered* chunk
+  };
+  using ChunkCallback = std::function<void(const Chunk&)>;
+  using DoneCallback = std::function<void()>;
+
+  /// Start streaming `total` bytes src -> dst. `on_chunk` fires once per
+  /// delivered chunk; `on_done` fires after the last chunk's `on_chunk`.
+  /// With `paced` the stream launches nothing until release_to() grants
+  /// chunks. The returned handle is only needed for cancel()/release_to();
+  /// the stream keeps itself alive until it completes or is cancelled.
+  static std::shared_ptr<ChunkedStream> start(Fabric& fabric, HostId src,
+                                              HostId dst, Bytes total,
+                                              ChunkPolicy policy,
+                                              ChunkCallback on_chunk,
+                                              DoneCallback on_done = {},
+                                              bool paced = false);
+
+  /// Grant chunks [0, target) for launching (paced streams). Idempotent:
+  /// a target at or below the current grant is a no-op.
+  void release_to(std::size_t target);
+  void release_all() { release_to(chunks_total_); }
+
+  /// Cancel in-flight chunk flows, stop launching, drop all callbacks.
+  void cancel();
+
+  bool done() const { return delivered_ == chunks_total_; }
+  bool cancelled() const { return cancelled_; }
+  std::size_t chunks_total() const { return chunks_total_; }
+  std::size_t chunks_delivered() const { return delivered_; }
+
+ private:
+  ChunkedStream(Fabric& fabric, HostId src, HostId dst, Bytes total,
+                ChunkPolicy policy, ChunkCallback on_chunk,
+                DoneCallback on_done, bool paced);
+
+  void pump();
+  void on_chunk_complete(std::size_t index);
+
+  Fabric& fabric_;
+  HostId src_;
+  HostId dst_;
+  Bytes total_;
+  ChunkPolicy policy_;
+  ChunkCallback on_chunk_;
+  DoneCallback on_done_;
+  bool paced_;
+
+  std::size_t chunks_total_ = 0;
+  std::size_t next_launch_ = 0;   // first chunk not yet on the wire
+  std::size_t released_ = 0;      // pacing grant (== chunks_total_ unpaced)
+  std::size_t delivered_ = 0;
+  bool cancelled_ = false;
+  std::unordered_map<std::size_t, FlowId> inflight_;  // chunk index -> flow
+};
+
+}  // namespace vdc::net

@@ -7,8 +7,18 @@ void Fabric::account(const char* kind, Bytes bytes) {
   const telemetry::Labels labels{{"kind", kind}};
   metrics.add("net.transfers", 1.0, labels);
   metrics.add("net.bytes", static_cast<double>(bytes), labels);
-  metrics.set("net.active_flows",
-              static_cast<double>(network_.active_flows() + 1));
+}
+
+void Fabric::note_chunk_started() {
+  auto& metrics = telemetry_.metrics();
+  metrics.add("net.chunks", 1.0);
+  metrics.set("stream.inflight", static_cast<double>(++stream_inflight_));
+}
+
+void Fabric::note_chunk_finished() {
+  VDC_ASSERT(stream_inflight_ > 0);
+  telemetry_.metrics().set("stream.inflight",
+                           static_cast<double>(--stream_inflight_));
 }
 
 HostId Fabric::add_host(Rate nic_rate, const std::string& name,

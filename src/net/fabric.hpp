@@ -27,7 +27,18 @@ class Fabric {
   Fabric(simkit::Simulator& sim, SimTime link_latency = 50e-6)
       : network_(sim),
         telemetry_(sim.telemetry()),
-        link_latency_(link_latency) {}
+        link_latency_(link_latency) {
+    // Keep the `net.active_flows` gauge honest: re-publish it on every
+    // flow start, completion and cancel (latency-stage flows count too),
+    // so it returns to 0 at quiescence and its peak is the true
+    // concurrency high-water mark.
+    network_.set_count_hook([this] {
+      telemetry_.metrics().set(
+          "net.active_flows",
+          static_cast<double>(network_.active_flows() +
+                              network_.pending_flows()));
+    });
+  }
 
   /// Add a host with a full-duplex NIC of the given speed. `rack` places
   /// the host behind that rack's uplink (see set_rack_uplink); hosts in
@@ -68,6 +79,13 @@ class Fabric {
   FlowNetwork& network() { return network_; }
   const FlowNetwork& network() const { return network_; }
   SimTime link_latency() const { return link_latency_; }
+  telemetry::Telemetry& telemetry() { return telemetry_; }
+
+  /// ChunkedStream accounting: `net.chunks` counter plus the
+  /// `stream.inflight` gauge (chunk flows currently on the wire).
+  void note_chunk_started();
+  void note_chunk_finished();
+  std::size_t stream_chunks_inflight() const { return stream_inflight_; }
 
  private:
   struct RackUplink {
@@ -76,13 +94,14 @@ class Fabric {
   };
 
   /// Per-transfer accounting: `net.transfers` / `net.bytes` counters
-  /// (labelled by kind) plus the `net.active_flows` gauge whose peak is
-  /// the fabric's concurrency high-water mark.
+  /// (labelled by kind). The `net.active_flows` gauge is maintained by
+  /// the FlowNetwork count hook, not here.
   void account(const char* kind, Bytes bytes);
 
   FlowNetwork network_;
   telemetry::Telemetry& telemetry_;
   SimTime link_latency_;
+  std::size_t stream_inflight_ = 0;
   std::vector<PortId> tx_;
   std::vector<PortId> rx_;
   std::vector<RackId> rack_;

@@ -10,6 +10,23 @@ namespace {
 // A flow whose remaining volume drops below this is considered delivered.
 // One byte of slack at double precision; avoids infinite zeno re-scheduling.
 constexpr double kDoneEpsilon = 0.5;
+
+// Anti-starvation floor for the water-filling shares. A port whose
+// residual was clamped to zero by accumulated drift (or whose tiny
+// capacity underflows when divided across its flows) would otherwise hand
+// its remaining flows an exact-zero rate, tripping the "active flow with
+// zero rate" invariant and freezing those flows forever. Flooring the
+// share keeps every flow finite-time-completable; the slack this adds per
+// port is at most flows * floor, negligible against any real capacity.
+constexpr double kShareFloorFraction = 1e-9;
+constexpr double kAbsoluteRateFloor = 1e-300;  // survives denormal caps
+
+double floored_share(double residual, std::uint32_t unfixed, double cap) {
+  const double share = residual / unfixed;
+  const double floor = std::max(cap * kShareFloorFraction,
+                                kAbsoluteRateFloor);
+  return std::max(share, floor);
+}
 }  // namespace
 
 PortId FlowNetwork::add_port(Rate capacity, std::string name) {
@@ -56,6 +73,7 @@ FlowId FlowNetwork::start_flow(std::vector<PortId> path, Bytes bytes,
       activate(id, std::move(flow));
     });
     pending_latency_.emplace(id, ev);
+    notify_count();
   } else {
     activate(id, std::move(flow));
   }
@@ -68,18 +86,21 @@ void FlowNetwork::activate(FlowId id, Flow flow) {
     // ordering uniform with real transfers.
     if (flow.on_complete)
       sim_.after(0.0, std::move(flow.on_complete));
+    notify_count();
     return;
   }
   settle_progress();
   flows_.emplace(id, std::move(flow));
   resolve_rates();
   schedule_next_completion();
+  notify_count();
 }
 
 bool FlowNetwork::cancel_flow(FlowId id) {
   if (auto it = pending_latency_.find(id); it != pending_latency_.end()) {
     sim_.cancel(it->second);
     pending_latency_.erase(it);
+    notify_count();
     return true;
   }
   auto it = flows_.find(id);
@@ -88,7 +109,12 @@ bool FlowNetwork::cancel_flow(FlowId id) {
   flows_.erase(it);
   resolve_rates();
   schedule_next_completion();
+  notify_count();
   return true;
+}
+
+void FlowNetwork::notify_count() {
+  if (count_hook_) count_hook_();
 }
 
 Rate FlowNetwork::flow_rate(FlowId id) const {
@@ -135,10 +161,12 @@ void FlowNetwork::resolve_rates() {
     double best_share = std::numeric_limits<double>::infinity();
     for (std::size_t p = 0; p < ports_.size(); ++p) {
       if (unfixed_on_port[p] == 0) continue;
-      const double share = residual[p] / unfixed_on_port[p];
+      const double share =
+          floored_share(residual[p], unfixed_on_port[p], ports_[p].cap);
       best_share = std::min(best_share, share);
     }
     VDC_ASSERT(std::isfinite(best_share));
+    VDC_ASSERT_MSG(best_share > 0.0, "water-filling share underflowed");
 
     // Freeze every unfixed flow crossing a port that is saturated at
     // best_share (within numerical tolerance).
@@ -147,7 +175,8 @@ void FlowNetwork::resolve_rates() {
       if (fixed[id]) continue;
       bool bottlenecked = false;
       for (PortId p : flows_[id].path) {
-        const double share = residual[p] / unfixed_on_port[p];
+        const double share =
+            floored_share(residual[p], unfixed_on_port[p], ports_[p].cap);
         if (share <= best_share * (1.0 + 1e-12)) {
           bottlenecked = true;
           break;
@@ -206,6 +235,7 @@ void FlowNetwork::on_timer() {
 
   resolve_rates();
   schedule_next_completion();
+  if (!done.empty()) notify_count();
 
   // Run completions after the network state is consistent, so callbacks
   // may immediately start new flows.

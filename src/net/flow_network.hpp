@@ -66,6 +66,16 @@ class FlowNetwork {
   /// Number of flows currently transferring (excludes latency stage).
   std::size_t active_flows() const { return flows_.size(); }
 
+  /// Flows still waiting out their head latency.
+  std::size_t pending_flows() const { return pending_latency_.size(); }
+
+  /// Invoked whenever the flow population changes (start, latency
+  /// activation, completion, cancel). The Fabric uses it to keep the
+  /// `net.active_flows` gauge current.
+  void set_count_hook(std::function<void()> hook) {
+    count_hook_ = std::move(hook);
+  }
+
   /// Current max-min rate of a flow (0 if unknown/inactive).
   Rate flow_rate(FlowId id) const;
 
@@ -90,6 +100,7 @@ class FlowNetwork {
   void schedule_next_completion();
   void on_timer();
   void activate(FlowId id, Flow flow);
+  void notify_count();
 
   simkit::Simulator& sim_;
   std::vector<Port> ports_;
@@ -99,6 +110,7 @@ class FlowNetwork {
   FlowId next_flow_id_ = 1;
   SimTime last_settle_ = 0.0;
   simkit::EventId timer_ = simkit::kInvalidEvent;
+  std::function<void()> count_hook_;
 };
 
 }  // namespace vdc::net

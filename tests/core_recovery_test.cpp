@@ -29,8 +29,9 @@ struct Rig {
 
   Rig(std::uint32_t nodes, std::uint32_t vms_per_node,
       ParityScheme scheme = ParityScheme::Raid5, std::uint32_t k = 0,
-      double write_rate = 100.0) {
-    for (std::uint32_t n = 0; n < nodes; ++n) cluster.add_node();
+      double write_rate = 100.0, cluster::NodeSpec spec = {},
+      RecoveryConfig recovery_config = {}) {
+    for (std::uint32_t n = 0; n < nodes; ++n) cluster.add_node(spec);
     for (std::uint32_t n = 0; n < nodes; ++n)
       for (std::uint32_t v = 0; v < vms_per_node; ++v)
         cluster.boot_vm(n, kib(1), 16,
@@ -42,9 +43,8 @@ struct Rig {
     ProtocolConfig pc;
     pc.scheme = scheme;
     coord = std::make_unique<DvdcCoordinator>(sim, cluster, state, pc);
-    recovery =
-        std::make_unique<RecoveryManager>(sim, cluster, state,
-                                          idle_factory());
+    recovery = std::make_unique<RecoveryManager>(
+        sim, cluster, state, idle_factory(), recovery_config);
     PlannerConfig planner;
     planner.group_size = k;
     placed = PlacedPlan::make(GroupPlanner(planner).plan(cluster), cluster,
@@ -299,6 +299,86 @@ TEST(Recovery, RepeatedFailuresRecoverable) {
   for (vm::VmId vmid : lost)
     EXPECT_EQ(rig.cluster.machine(vmid).image().flatten(),
               committed.at(vmid));
+}
+
+// Slow NIC + slow XOR: wire time and decode time are both material, so
+// the chunked pipeline's wire/decode overlap is visible in the makespan.
+cluster::NodeSpec pipelined_spec() {
+  cluster::NodeSpec spec;
+  spec.nic_rate = mib_per_s(10);
+  spec.xor_rate = mib_per_s(10);
+  return spec;
+}
+
+TEST(Recovery, ChunkedPipelineBeatsSequentialReconstruction) {
+  RecoveryConfig sequential;  // chunking off
+  RecoveryConfig chunked;
+  chunked.chunking.chunk_bytes = kib(2);
+  chunked.chunking.pipeline_depth = 2;
+
+  const auto run = [](RecoveryConfig rc) {
+    Rig rig(4, 2, ParityScheme::Raid5, 0, /*write_rate=*/0.0,
+            pipelined_spec(), rc);
+    rig.checkpoint(1);
+    const auto committed = rig.committed_payloads();
+    const auto lost = rig.cluster.node(1).hypervisor().vm_ids();
+    const auto stats = rig.kill_and_recover(1);
+    EXPECT_TRUE(stats.success) << stats.reason;
+    // Pipelining must never trade correctness: byte-exact either way.
+    for (vm::VmId vmid : lost)
+      EXPECT_EQ(rig.cluster.machine(vmid).image().flatten(),
+                committed.at(vmid));
+    return stats;
+  };
+
+  const auto seq = run(sequential);
+  const auto pipe = run(chunked);
+  EXPECT_LT(pipe.duration, seq.duration);
+  EXPECT_GT(pipe.pipeline_overlap, 0.0);
+  EXPECT_DOUBLE_EQ(seq.pipeline_overlap, 0.0);
+}
+
+TEST(Recovery, AbortMidStreamCancelsChunksAndRetrySucceeds) {
+  RecoveryConfig rc;
+  rc.chunking.chunk_bytes = kib(1);
+  rc.chunking.pipeline_depth = 2;
+  cluster::NodeSpec spec = pipelined_spec();
+  spec.nic_rate = mib_per_s(1);  // stretch the exchange
+  Rig rig(4, 2, ParityScheme::Raid5, 0, /*write_rate=*/0.0, spec, rc);
+  rig.checkpoint(1);
+  const auto committed = rig.committed_payloads();
+
+  const auto lost = rig.cluster.node(1).hypervisor().vm_ids();
+  rig.cluster.kill_node(1);
+  rig.state.drop_node(1);
+  bool first_done = false;
+  rig.recovery->recover(*rig.placed, lost,
+                        [&](const RecoveryStats&) { first_done = true; });
+  auto& metrics = rig.sim.telemetry().metrics();
+  rig.sim.run_until(rig.sim.now() + 0.004);
+  // Reconstruction streams are on the wire right now; a cascading fault
+  // invalidates the attempt.
+  EXPECT_GT(metrics.value("stream.inflight"), 0.0);
+  EXPECT_TRUE(rig.recovery->abort());
+  // Every chunk flow was torn down with the attempt.
+  EXPECT_DOUBLE_EQ(metrics.value("stream.inflight"), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.value("net.active_flows"), 0.0);
+  rig.sim.run();
+  EXPECT_FALSE(first_done);  // aborted attempts never report
+
+  // The supervisor's next attempt starts from scratch and lands.
+  std::optional<RecoveryStats> stats;
+  rig.recovery->recover(*rig.placed, lost,
+                        [&](const RecoveryStats& s) { stats = s; });
+  rig.sim.run();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_TRUE(stats->success) << stats->reason;
+  for (vm::VmId vmid : lost) {
+    ASSERT_TRUE(rig.cluster.locate(vmid).has_value());
+    EXPECT_EQ(rig.cluster.machine(vmid).image().flatten(),
+              committed.at(vmid));
+  }
+  EXPECT_DOUBLE_EQ(metrics.value("net.active_flows"), 0.0);
 }
 
 }  // namespace

@@ -125,6 +125,112 @@ TEST(PreCopy, BusyRejectsSecondMigration) {
   EXPECT_FALSE(migrator.busy());
 }
 
+TEST(PreCopy, ForeignDirtyLogClearForcesFullResend) {
+  // A checkpoint epoch consumes the shared dirty log mid-round (the
+  // coordinator clears it after capture). Pre-fix, the migrator trusted
+  // the post-clear log and shipped only the post-clear residue, silently
+  // losing the pages dirtied before the clear. It must detect the foreign
+  // clear via the dirty generation and fall back to a full-image round.
+  MigrationRig rig(mib_per_s(1));  // 256 KiB image -> 0.25 s round 0
+  auto& machine = rig.boot(0.0);
+  PreCopyMigrator migrator(rig.sim, rig.fabric);
+  std::optional<MigrationStats> stats;
+  migrator.migrate(1, rig.hv_a, rig.host_a, rig.hv_b, rig.host_b,
+                   [&](const MigrationStats& s) { stats = s; });
+  // Emulate the epoch boundary in the middle of round 0.
+  rig.sim.at(0.1, [&] { machine.image().clear_dirty(); });
+  rig.sim.run();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_GE(stats->dirty_log_fallbacks, 1u);
+  // Round 0 (full) + fallback full round; an idle guest would otherwise
+  // send exactly one image.
+  EXPECT_GE(stats->bytes_sent, 2 * kib(4) * 64);
+  EXPECT_TRUE(rig.hv_b.hosts(1));
+  EXPECT_EQ(rig.hv_b.get(1).state(), vm::VmState::Running);
+}
+
+TEST(PreCopy, InterleavedEpochClearsStillConverge) {
+  // Repeated checkpoint epochs during a long migration: every round that
+  // lost its log re-ships the full image, and the migration still lands.
+  MigrationRig rig(mib_per_s(1));
+  auto& machine = rig.boot(/*write_rate=*/200.0, /*pages=*/128);
+  PreCopyMigrator migrator(rig.sim, rig.fabric);
+  std::optional<MigrationStats> stats;
+  migrator.migrate(1, rig.hv_a, rig.host_a, rig.hv_b, rig.host_b,
+                   [&](const MigrationStats& s) { stats = s; });
+  for (double t = 0.2; t < 1.5; t += 0.3)
+    rig.sim.at(t, [&] {
+      if (rig.hv_a.hosts(1)) machine.image().clear_dirty();
+    });
+  rig.sim.run();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_GE(stats->dirty_log_fallbacks, 1u);
+  EXPECT_TRUE(rig.hv_b.hosts(1));
+  EXPECT_EQ(rig.hv_b.get(1).state(), vm::VmState::Running);
+}
+
+TEST(PreCopy, CancelMidRoundResetsBusyAndAllowsRetry) {
+  MigrationRig rig(mib_per_s(1));
+  rig.boot(0.0);
+  PreCopyMigrator migrator(rig.sim, rig.fabric);
+  bool completed = false;
+  migrator.migrate(1, rig.hv_a, rig.host_a, rig.hv_b, rig.host_b,
+                   [&](const MigrationStats&) { completed = true; });
+  rig.sim.at(0.1, [&] {
+    migrator.cancel();  // e.g. the placement decision was revoked
+    EXPECT_FALSE(migrator.busy());
+  });
+  rig.sim.run();
+  EXPECT_FALSE(completed);
+  EXPECT_TRUE(rig.hv_a.hosts(1));  // guest stayed home, still running
+  EXPECT_EQ(rig.hv_a.get(1).state(), vm::VmState::Running);
+  // The migrator is reusable after the abort.
+  std::optional<MigrationStats> stats;
+  migrator.migrate(1, rig.hv_a, rig.host_a, rig.hv_b, rig.host_b,
+                   [&](const MigrationStats& s) { stats = s; });
+  rig.sim.run();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_TRUE(rig.hv_b.hosts(1));
+}
+
+TEST(PreCopy, CancelDuringSwitchOverResumesPausedGuest) {
+  MigrationRig rig(mib_per_s(1));
+  rig.boot(0.0);
+  PreCopyConfig config;
+  config.switch_overhead = 1.0;  // wide window to land the cancel in
+  PreCopyMigrator migrator(rig.sim, rig.fabric, config);
+  bool completed = false;
+  migrator.migrate(1, rig.hv_a, rig.host_a, rig.hv_b, rig.host_b,
+                   [&](const MigrationStats&) { completed = true; });
+  // Round 0 ends at 0.25 s, the guest pauses for stop-and-copy, and the
+  // switch-over timer runs until ~1.25 s. Cancel inside that window.
+  rig.sim.at(0.75, [&] {
+    EXPECT_EQ(rig.hv_a.get(1).state(), vm::VmState::Paused);
+    migrator.cancel();
+    EXPECT_EQ(rig.hv_a.get(1).state(), vm::VmState::Running);
+  });
+  rig.sim.run();
+  EXPECT_FALSE(completed);
+  EXPECT_FALSE(migrator.busy());
+  EXPECT_TRUE(rig.hv_a.hosts(1));
+}
+
+TEST(PreCopy, CancelAfterSourceFailureLeavesFailedGuestAlone) {
+  MigrationRig rig(mib_per_s(1));
+  auto& machine = rig.boot(0.0);
+  PreCopyMigrator migrator(rig.sim, rig.fabric);
+  migrator.migrate(1, rig.hv_a, rig.host_a, rig.hv_b, rig.host_b,
+                   [](const MigrationStats&) {});
+  rig.sim.at(0.1, [&] {
+    machine.mark_failed();  // source node died mid-migration
+    migrator.cancel();
+  });
+  EXPECT_NO_THROW(rig.sim.run());
+  EXPECT_FALSE(migrator.busy());
+  EXPECT_EQ(rig.hv_a.get(1).state(), vm::VmState::Failed);
+  EXPECT_FALSE(rig.hv_b.hosts(1));
+}
+
 TEST(StopAndCopy, DowntimeIsWholeTransfer) {
   MigrationRig rig;
   rig.boot(0.0, 100);
@@ -180,6 +286,100 @@ TEST(Remus, BackupImageMatchesAnAckedState) {
   rig.sim.run_until(0.5);
   auto failover = remus.failover();
   EXPECT_EQ(failover.image, content);
+}
+
+TEST(Remus, StopDuringStagingPauseResumesGuestAndCancelsCapture) {
+  // Pre-fix, stop() cancelled only the epoch timer: the deferred
+  // staging-pause event survived, charged its full pause window to
+  // total_pause_time, resumed a guest the replicator no longer managed
+  // and launched the ship anyway.
+  MigrationRig rig(mib_per_s(1));
+  rig.boot(0.0);  // 256 KiB image
+  RemusConfig config;
+  config.epoch_interval = 0.025;
+  config.buffer_copy_rate = mib_per_s(1);  // staging pause ~0.25 s
+  RemusReplicator remus(rig.sim, rig.fabric, rig.hv_a, rig.host_a,
+                        rig.host_b, 1, config);
+  remus.start();
+  rig.sim.at(0.1, [&] {
+    // The first capture froze the guest at t=0.025; we are mid-pause.
+    EXPECT_EQ(rig.hv_a.get(1).state(), vm::VmState::Paused);
+    remus.stop();
+    EXPECT_EQ(rig.hv_a.get(1).state(), vm::VmState::Running);
+  });
+  rig.sim.run();
+  EXPECT_EQ(remus.stats().epochs_committed, 0u);
+  EXPECT_DOUBLE_EQ(remus.stats().total_pause_time, 0.0);
+  EXPECT_EQ(remus.stats().bytes_shipped, 0u);
+  EXPECT_DOUBLE_EQ(
+      rig.sim.telemetry().metrics().value("net.active_flows"), 0.0);
+}
+
+TEST(Remus, FailoverDuringStagingPauseNeverTouchesDeadGuest) {
+  // Pre-fix, the surviving pause event called primary_.get(vm_).resume()
+  // on the dead primary's guest — resuming a machine the failover had
+  // just promoted away from (an InvariantError once the VM is Failed).
+  MigrationRig rig(mib_per_s(1));
+  auto& machine = rig.boot(0.0);
+  RemusConfig config;
+  config.epoch_interval = 0.025;
+  config.buffer_copy_rate = mib_per_s(1);
+  RemusReplicator remus(rig.sim, rig.fabric, rig.hv_a, rig.host_a,
+                        rig.host_b, 1, config);
+  remus.start();
+  rig.sim.at(0.1, [&] {
+    machine.mark_failed();  // the primary node just died
+    const auto failover = remus.failover();
+    EXPECT_GT(failover.lost_work, 0.0);
+  });
+  EXPECT_NO_THROW(rig.sim.run());
+  EXPECT_EQ(rig.hv_a.get(1).state(), vm::VmState::Failed);
+  EXPECT_DOUBLE_EQ(remus.stats().total_pause_time, 0.0);
+}
+
+TEST(Remus, StopMidShipCancelsFlowAndCommitsNothing) {
+  MigrationRig rig(mib_per_s(1));  // slow link: ship takes ~0.25 s
+  rig.boot(0.0);
+  RemusConfig config;
+  config.epoch_interval = 0.025;
+  config.compress = false;  // deterministic wire size
+  RemusReplicator remus(rig.sim, rig.fabric, rig.hv_a, rig.host_a,
+                        rig.host_b, 1, config);
+  remus.start();
+  rig.sim.at(0.1, [&] { remus.stop(); });  // epoch 1's ship is in flight
+  rig.sim.run();
+  EXPECT_EQ(remus.stats().epochs_captured, 1u);
+  EXPECT_EQ(remus.stats().epochs_committed, 0u);
+  // The cancelled ship no longer occupies the fabric.
+  EXPECT_DOUBLE_EQ(
+      rig.sim.telemetry().metrics().value("net.active_flows"), 0.0);
+}
+
+TEST(Remus, FailoverMidShipReturnsLastAckedImage) {
+  // Epoch 1 commits; failover strikes while epoch 2 is on the wire. The
+  // promoted image must be exactly the epoch-1 state — pre-fix, the
+  // uncancelled ship completion overwrote backup_image_ afterwards.
+  MigrationRig rig(mib_per_s(1));
+  auto& machine = rig.boot(/*write_rate=*/2000.0);
+  RemusConfig config;
+  config.epoch_interval = 0.025;
+  config.compress = false;
+  RemusReplicator remus(rig.sim, rig.fabric, rig.hv_a, rig.host_a,
+                        rig.host_b, 1, config);
+  remus.start();
+  std::vector<std::byte> epoch1;
+  // The epoch timer (queued first) fires at the same instant and captures
+  // before this snapshot runs; the guest is frozen, so both see the same
+  // bytes.
+  rig.sim.at(0.025, [&] { epoch1 = machine.image().flatten(); });
+  std::optional<RemusReplicator::Failover> failover;
+  rig.sim.at(0.35, [&] { failover = remus.failover(); });
+  rig.sim.run();
+  ASSERT_TRUE(failover.has_value());
+  EXPECT_EQ(remus.stats().epochs_committed, 1u);
+  EXPECT_EQ(failover->image, epoch1);
+  EXPECT_DOUBLE_EQ(
+      rig.sim.telemetry().metrics().value("net.active_flows"), 0.0);
 }
 
 TEST(Remus, OverheadIsSmallFractionForIdleGuest) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "net/chunked_stream.hpp"
 #include "net/fabric.hpp"
 #include "net/flow_network.hpp"
 
@@ -321,6 +322,222 @@ TEST(Fabric, LoopbackRejected) {
   Fabric fabric(sim);
   const HostId a = fabric.add_host(100.0);
   EXPECT_THROW(fabric.transfer(a, a, 10, [] {}), InvariantError);
+}
+
+// Regression: the gauge used to be published as active_flows()+1 at start
+// and never decremented, so it could only grow. It must track every start,
+// completion and cancel — including latency-stage flows — and return to 0
+// at quiescence.
+TEST(Fabric, ActiveFlowsGaugeReturnsToZero) {
+  simkit::Simulator sim;
+  Fabric fabric(sim, /*link_latency=*/1.0);
+  const HostId a = fabric.add_host(100.0);
+  const HostId b = fabric.add_host(100.0);
+  const HostId c = fabric.add_host(100.0);
+  auto& metrics = sim.telemetry().metrics();
+
+  fabric.transfer(a, b, 1000, [] {});
+  fabric.transfer(c, b, 1000, [] {});
+  const FlowId doomed = fabric.transfer(a, c, 1u << 20, [] {});
+  // All three are in their latency stage right now; the gauge counts them.
+  EXPECT_DOUBLE_EQ(metrics.value("net.active_flows"), 3.0);
+  sim.at(2.0, [&] {
+    EXPECT_DOUBLE_EQ(metrics.value("net.active_flows"), 3.0);
+    fabric.cancel(doomed);
+    EXPECT_DOUBLE_EQ(metrics.value("net.active_flows"), 2.0);
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(metrics.value("net.active_flows"), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.peak("net.active_flows"), 3.0);
+}
+
+TEST(Fabric, ActiveFlowsGaugeZeroAfterCancelDuringLatency) {
+  simkit::Simulator sim;
+  Fabric fabric(sim, /*link_latency=*/5.0);
+  const HostId a = fabric.add_host(100.0);
+  const HostId b = fabric.add_host(100.0);
+  auto& metrics = sim.telemetry().metrics();
+  const FlowId f = fabric.transfer(a, b, 1000, [] {});
+  EXPECT_DOUBLE_EQ(metrics.value("net.active_flows"), 1.0);
+  sim.at(1.0, [&] { EXPECT_TRUE(fabric.cancel(f)); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(metrics.value("net.active_flows"), 0.0);
+}
+
+// Regression for the zero-share starvation at the water-filling 0-clamp: a
+// denormal capacity (legal: > 0) used to underflow share = residual/n to
+// exactly 0, tripping the "active flow with zero rate" invariant. The
+// share floor keeps every unfixed flow strictly positive.
+TEST(FlowNetwork, DenormalCapacityDoesNotStarveFlows) {
+  simkit::Simulator sim;
+  FlowNetwork fn(sim);
+  const PortId p = fn.add_port(100.0);
+  const FlowId fa = fn.start_flow({p}, 1000, [] {});
+  const FlowId fb = fn.start_flow({p}, 1000, [] {});
+  sim.at(1.0, [&] {
+    fn.set_capacity(p, 5e-324);
+    EXPECT_GT(fn.flow_rate(fa), 0.0);
+    EXPECT_GT(fn.flow_rate(fb), 0.0);
+    // Don't wait the ~1e302 seconds those rates imply.
+    fn.cancel_flow(fa);
+    fn.cancel_flow(fb);
+  });
+  EXPECT_NO_THROW(sim.run());
+  EXPECT_EQ(fn.active_flows(), 0u);
+}
+
+TEST(FlowNetwork, ShrinkingCapacityMidTransferStillCompletes) {
+  simkit::Simulator sim;
+  FlowNetwork fn(sim);
+  const PortId p = fn.add_port(100.0);
+  std::size_t done = 0;
+  for (int i = 0; i < 3; ++i) fn.start_flow({p}, 1000, [&] { ++done; });
+  // Squeeze the port through ever-smaller capacities mid-transfer; every
+  // flow must keep a positive rate and eventually finish.
+  sim.at(1.0, [&] { fn.set_capacity(p, 1.0); });
+  sim.at(2.0, [&] { fn.set_capacity(p, 1e-200); });
+  sim.at(3.0, [&] { fn.set_capacity(p, 200.0); });
+  sim.run();
+  EXPECT_EQ(done, 3u);
+  EXPECT_EQ(fn.active_flows(), 0u);
+}
+
+TEST(ChunkPolicy, CountsAndSizes) {
+  ChunkPolicy off;  // default: disabled
+  EXPECT_FALSE(off.enabled());
+  EXPECT_EQ(off.chunk_count(1000), 1u);
+  EXPECT_EQ(off.chunk_size(1000, 0), 1000u);
+
+  ChunkPolicy p{.chunk_bytes = 300, .pipeline_depth = 2};
+  EXPECT_EQ(p.chunk_count(1000), 4u);
+  EXPECT_EQ(p.chunk_size(1000, 0), 300u);
+  EXPECT_EQ(p.chunk_size(1000, 3), 100u);  // tail
+  EXPECT_EQ(p.chunk_count(900), 3u);
+  EXPECT_EQ(p.chunk_size(900, 2), 300u);   // exact fit: no short tail
+  EXPECT_EQ(p.chunk_count(0), 1u);
+}
+
+TEST(ChunkedStream, DisabledPolicyMatchesPlainTransferTiming) {
+  // chunk_bytes == 0 must be event-for-event identical to Fabric::transfer.
+  double plain_done = -1, stream_done = -1;
+  {
+    simkit::Simulator sim;
+    Fabric fabric(sim, 1e-3);
+    const HostId a = fabric.add_host(100.0);
+    const HostId b = fabric.add_host(100.0);
+    fabric.transfer(a, b, 1000, [&] { plain_done = sim.now(); });
+    sim.run();
+  }
+  {
+    simkit::Simulator sim;
+    Fabric fabric(sim, 1e-3);
+    const HostId a = fabric.add_host(100.0);
+    const HostId b = fabric.add_host(100.0);
+    ChunkedStream::start(fabric, a, b, 1000, ChunkPolicy{}, {},
+                         [&] { stream_done = sim.now(); });
+    sim.run();
+  }
+  EXPECT_DOUBLE_EQ(plain_done, stream_done);
+}
+
+TEST(ChunkedStream, DeliversEveryChunkOnceAndInOrderCounts) {
+  simkit::Simulator sim;
+  Fabric fabric(sim, 0.0);
+  const HostId a = fabric.add_host(100.0);
+  const HostId b = fabric.add_host(100.0);
+  ChunkPolicy p{.chunk_bytes = 250, .pipeline_depth = 2};
+  std::vector<ChunkedStream::Chunk> chunks;
+  bool done = false;
+  auto stream = ChunkedStream::start(
+      fabric, a, b, 1000, p,
+      [&](const ChunkedStream::Chunk& c) { chunks.push_back(c); },
+      [&] { done = true; });
+  EXPECT_EQ(stream->chunks_total(), 4u);
+  sim.run();
+  ASSERT_EQ(chunks.size(), 4u);
+  Bytes total = 0;
+  for (const auto& c : chunks) total += c.bytes;
+  EXPECT_EQ(total, 1000u);
+  EXPECT_TRUE(chunks.back().last);
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(stream->done());
+  // Chunk accounting drained back to zero.
+  EXPECT_EQ(fabric.stream_chunks_inflight(), 0u);
+  EXPECT_DOUBLE_EQ(sim.telemetry().metrics().value("net.chunks"), 4.0);
+  EXPECT_DOUBLE_EQ(sim.telemetry().metrics().value("stream.inflight"), 0.0);
+}
+
+TEST(ChunkedStream, WindowBoundsInflightChunks) {
+  simkit::Simulator sim;
+  Fabric fabric(sim, 0.0);
+  const HostId a = fabric.add_host(100.0);
+  const HostId b = fabric.add_host(100.0);
+  ChunkPolicy p{.chunk_bytes = 100, .pipeline_depth = 3};
+  ChunkedStream::start(fabric, a, b, 1000, p, {});
+  // Only the window is on the wire, not all 10 chunks.
+  EXPECT_EQ(fabric.stream_chunks_inflight(), 3u);
+  EXPECT_DOUBLE_EQ(sim.telemetry().metrics().peak("stream.inflight"), 3.0);
+  sim.run();
+  EXPECT_EQ(fabric.stream_chunks_inflight(), 0u);
+}
+
+TEST(ChunkedStream, PacedStreamWaitsForGrants) {
+  simkit::Simulator sim;
+  Fabric fabric(sim, 0.0);
+  const HostId a = fabric.add_host(100.0);
+  const HostId b = fabric.add_host(100.0);
+  ChunkPolicy p{.chunk_bytes = 100, .pipeline_depth = 8};
+  std::size_t delivered = 0;
+  bool done = false;
+  auto stream = ChunkedStream::start(
+      fabric, a, b, 400, p, [&](const ChunkedStream::Chunk&) { ++delivered; },
+      [&] { done = true; }, /*paced=*/true);
+  EXPECT_EQ(fabric.stream_chunks_inflight(), 0u);  // nothing granted yet
+  sim.at(1.0, [&] { stream->release_to(2); });
+  // Both granted chunks launch together and share the path (fluid model):
+  // 2 x 100 B over 100 B/s finish at t = 3.0.
+  sim.at(3.5, [&] {
+    EXPECT_EQ(delivered, 2u);
+    EXPECT_FALSE(done);
+    stream->release_all();
+  });
+  sim.run();
+  EXPECT_EQ(delivered, 4u);
+  EXPECT_TRUE(done);
+}
+
+TEST(ChunkedStream, CancelMidStreamStopsDeliveryAndDrainsGauges) {
+  simkit::Simulator sim;
+  Fabric fabric(sim, 0.0);
+  const HostId a = fabric.add_host(100.0);
+  const HostId b = fabric.add_host(100.0);
+  ChunkPolicy p{.chunk_bytes = 100, .pipeline_depth = 2};
+  std::size_t delivered = 0;
+  bool done = false;
+  auto stream = ChunkedStream::start(
+      fabric, a, b, 1000, p, [&](const ChunkedStream::Chunk&) { ++delivered; },
+      [&] { done = true; });
+  sim.at(3.5, [&] { stream->cancel(); });
+  sim.run();
+  EXPECT_TRUE(stream->cancelled());
+  EXPECT_FALSE(done);
+  EXPECT_LT(delivered, 10u);
+  EXPECT_EQ(fabric.stream_chunks_inflight(), 0u);
+  EXPECT_DOUBLE_EQ(sim.telemetry().metrics().value("net.active_flows"), 0.0);
+  EXPECT_DOUBLE_EQ(sim.telemetry().metrics().value("stream.inflight"), 0.0);
+}
+
+TEST(ChunkedStream, EnvOverrideParsesKnobs) {
+  ::setenv("VDC_CHUNK_BYTES", "4096", 1);
+  ::setenv("VDC_PIPELINE_DEPTH", "7", 1);
+  const ChunkPolicy p = ChunkPolicy::env_override(ChunkPolicy{});
+  ::unsetenv("VDC_CHUNK_BYTES");
+  ::unsetenv("VDC_PIPELINE_DEPTH");
+  EXPECT_EQ(p.chunk_bytes, 4096u);
+  EXPECT_EQ(p.pipeline_depth, 7u);
+  const ChunkPolicy untouched = ChunkPolicy::env_override(ChunkPolicy{});
+  EXPECT_EQ(untouched.chunk_bytes, 0u);
+  EXPECT_EQ(untouched.pipeline_depth, 4u);
 }
 
 }  // namespace
