@@ -34,6 +34,9 @@ struct Options {
   std::uint64_t seed = 42;
   bool adaptive = false;
   bool sync = false;             // synchronous (non-COW) capture
+  bool heartbeat = false;        // wire-true failure detection
+  double drop = 0.0;             // ambient per-frame drop probability
+  double corrupt = 0.0;          // ambient per-frame corruption probability
 };
 
 void usage() {
@@ -50,6 +53,10 @@ void usage() {
       "  --rs-m M         Reed-Solomon parity blocks (default 2)\n"
       "  --adaptive       adaptive (online Young) checkpoint interval\n"
       "  --sync           synchronous capture (no copy-on-write overlap)\n"
+      "  --heartbeat      wire-true failure detection (measured latency,\n"
+      "                   heartbeats cross the fabric's fault plane)\n"
+      "  --drop P         ambient per-frame drop probability on every NIC\n"
+      "  --corrupt P      ambient per-frame corruption probability\n"
       "  --seed N         RNG seed (default 42)");
 }
 
@@ -68,6 +75,8 @@ bool parse(int argc, char** argv, Options& opt) {
       return false;
     } else if (arg == "--adaptive") {
       opt.adaptive = true;
+    } else if (arg == "--heartbeat") {
+      opt.heartbeat = true;
     } else if (arg == "--sync") {
       opt.sync = true;
     } else {
@@ -91,6 +100,10 @@ bool parse(int argc, char** argv, Options& opt) {
         opt.rs_m = static_cast<std::size_t>(std::atol(value));
       else if (arg == "--seed")
         opt.seed = static_cast<std::uint64_t>(std::atoll(value));
+      else if (arg == "--drop")
+        opt.drop = std::atof(value);
+      else if (arg == "--corrupt")
+        opt.corrupt = std::atof(value);
       else {
         std::fprintf(stderr, "unknown flag %s (try --help)\n", arg.c_str());
         return false;
@@ -156,6 +169,18 @@ int main(int argc, char** argv) {
   job.interval = opt.scheme == "none" ? 0.0 : opt.interval_s;
   job.lambda = opt.mtbf_min > 0 ? 1.0 / minutes(opt.mtbf_min) : 0.0;
   job.seed = opt.seed;
+  if (opt.heartbeat) job.heartbeat = cluster::HeartbeatConfig{};
+  if (opt.drop > 0.0 || opt.corrupt > 0.0) {
+    if (opt.drop < 0.0 || opt.drop > 1.0 || opt.corrupt < 0.0 ||
+        opt.corrupt > 1.0) {
+      std::fprintf(stderr, "--drop/--corrupt must be in [0,1]\n");
+      return 1;
+    }
+    net::LinkFault ambient;
+    ambient.drop = opt.drop;
+    ambient.corrupt = opt.corrupt;
+    job.ambient_link_fault = ambient;
+  }
   if (opt.adaptive && opt.scheme != "none") {
     AdaptiveConfig ac;
     ac.lambda = job.lambda > 0 ? job.lambda : 1e-4;
@@ -192,5 +217,19 @@ int main(int argc, char** argv) {
               r.job_restarts);
   std::printf("lost work       : %.1f min\n", r.lost_work / 60.0);
   std::printf("recovery time   : %.1f s\n", r.total_recovery);
+  const auto& metrics = runner.sim().telemetry().metrics();
+  if (opt.drop > 0.0 || opt.corrupt > 0.0) {
+    std::printf("fabric          : %.0f drops, %.0f retransmits, %.0f "
+                "corrupt frames caught\n",
+                metrics.value("net.drops"), metrics.value("net.retransmits"),
+                metrics.value("net.corrupt_frames"));
+  }
+  if (opt.heartbeat) {
+    std::printf("detection       : %.0f suspected, %.0f false positives, "
+                "%.0f fenced writes\n",
+                metrics.value("hb.suspected"),
+                metrics.value("hb.false_positives"),
+                metrics.value("recovery.fenced"));
+  }
   return 0;
 }

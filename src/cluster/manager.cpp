@@ -142,6 +142,19 @@ void ClusterManager::revive_node(NodeId id) {
   n.alive_ = true;
 }
 
+void ClusterManager::fence_node(NodeId id, std::uint64_t token) {
+  VDC_REQUIRE(id < nodes_.size(), "unknown node");
+  VDC_REQUIRE(token != 0, "fence token must be nonzero");
+  fences_[id] = token;
+}
+
+void ClusterManager::lift_fence(NodeId id) { fences_.erase(id); }
+
+std::uint64_t ClusterManager::fence_token(NodeId id) const {
+  auto it = fences_.find(id);
+  return it == fences_.end() ? 0 : it->second;
+}
+
 void ClusterManager::set_degraded(bool on) {
   if (degraded_ == on) return;
   degraded_ = on;

@@ -141,6 +141,17 @@ class ClusterManager {
 
   void set_on_failure(FailureCallback cb) { on_failure_ = std::move(cb); }
 
+  // --- fencing --------------------------------------------------------------
+  // A node declared failed is fenced with the epoch token current at the
+  // time of the declaration. If it was a false positive — the node is
+  // actually alive behind a partition — any stale parity/checkpoint write
+  // it attempts is rejected until the fence is lifted on rejoin.
+  void fence_node(NodeId id, std::uint64_t token);
+  void lift_fence(NodeId id);
+  bool is_fenced(NodeId id) const { return fences_.count(id) != 0; }
+  /// Token a node was fenced with (0 if unfenced).
+  std::uint64_t fence_token(NodeId id) const;
+
   /// Degraded mode: redundancy is currently reduced (a recovery episode is
   /// in flight or a stripe is damaged). Raised/cleared by the recovery
   /// supervisor; consumers (scrubber, rebalancer, operators) use it to
@@ -179,6 +190,7 @@ class ClusterManager {
   vm::VmId next_vm_id_ = 1;
   bool enforce_capacity_ = false;
   bool degraded_ = false;
+  std::unordered_map<NodeId, std::uint64_t> fences_;
 };
 
 }  // namespace vdc::cluster

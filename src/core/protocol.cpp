@@ -711,6 +711,11 @@ void DvdcCoordinator::run_epoch(const PlacedPlan& plan,
                                      static_cast<double>(wire),
                                  c.last);
               }));
+          // A stream that exhausts its retransmission budget/deadline on a
+          // lossy fabric kills the whole epoch (see on_stream_failed).
+          streams_.back()->set_on_fail([this, gen](const std::string& why) {
+            on_stream_failed(gen, why);
+          });
         }
       }
     }
@@ -734,6 +739,15 @@ void DvdcCoordinator::on_chunk_arrival(std::uint64_t gen,
   if (gen != generation_ || !in_flight_) return;
   GroupWork& gw = *work_[group_idx];
   const auto& contrib = gw.contribs[member_idx];
+
+  if (cluster_.is_fenced(contrib.src_node)) {
+    // Defense in depth: a fenced node (declared dead, possibly a zombie
+    // behind a partition) must not contribute to the stripe. Its write is
+    // rejected and the epoch aborts rather than committing tainted parity.
+    sim_.telemetry().metrics().add("recovery.fenced", 1.0);
+    on_stream_failed(gen, "write from fenced node rejected");
+    return;
+  }
 
   if (last) {
     VDC_ASSERT(arrivals_pending_ > 0);
@@ -779,6 +793,22 @@ void DvdcCoordinator::on_group_parity_done(std::uint64_t gen,
     commit_start_ = sim_.now();
     sim_.after(config_.commit_latency, [this, gen] { try_commit(gen); });
   }
+}
+
+void DvdcCoordinator::on_stream_failed(std::uint64_t gen,
+                                       const std::string& reason) {
+  if (gen != generation_ || !in_flight_) return;
+  VDC_INFO("dvdc", "epoch ", epoch_, " aborted: ", reason);
+  sim_.telemetry().metrics().add("dvdc.epochs_failed", 1.0);
+
+  EpochStats stats = stats_;
+  stats.committed = false;
+  stats.overhead = overhead_;
+  stats.latency = sim_.now() - epoch_start_;
+  auto done = std::move(done_);
+  done_ = nullptr;
+  abort();  // undo folds, drop captures, re-mark dirty pages
+  if (done) done(stats);
 }
 
 void DvdcCoordinator::try_commit(std::uint64_t gen) {

@@ -104,6 +104,10 @@ struct EpochStats {
   Bytes raw_dirty_bytes = 0;    // changed pages before compression
   std::size_t groups = 0;
   bool full_exchange = false;   // at least one group shipped full images
+  /// False when the epoch was aborted because an exchange transfer died on
+  /// the wire (retransmission attempts / deadline exhausted). The previous
+  /// committed checkpoint remains the recovery point.
+  bool committed = true;
 };
 
 /// A plan with its parity holders pinned. Holders stay fixed across epochs
@@ -239,6 +243,9 @@ class DvdcCoordinator {
                         double wire_fraction, bool last);
   void on_group_parity_done(std::uint64_t generation,
                             std::size_t group_idx);
+  /// An exchange stream exhausted its retransmission budget or deadline:
+  /// abort the epoch and complete `done` with `committed = false`.
+  void on_stream_failed(std::uint64_t generation, const std::string& reason);
   void try_commit(std::uint64_t generation);
   simkit::Resource& node_cpu(cluster::NodeId node);
 

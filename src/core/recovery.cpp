@@ -146,6 +146,7 @@ void RecoveryManager::recover(const PlacedPlan& plan,
   ctx->start = sim_.now();
   ctx->stats.success = true;
   ctx->labels = telemetry::Labels{{"seq", std::to_string(++seq_)}};
+  ctx->done_holder.push_back(std::move(done));
   auto& metrics = sim_.telemetry().metrics();
   // `recovery.attempts` is counted by the supervisor (one per episode
   // round, across every backend), not here, so a manager run and a
@@ -167,8 +168,18 @@ void RecoveryManager::recover(const PlacedPlan& plan,
     }
   };
 
-  const auto fail = [&](std::string reason) {
+  // Captures by value so it can also fire asynchronously, mid-attempt,
+  // when a reconstruction stream dies on the wire (retransmission budget
+  // or deadline exhausted). In that case the attempt is torn down like an
+  // abort — streams cancelled, group engines dropped — before reporting.
+  const auto fail = [this, ctx](std::string reason) {
+    if (ctx->aborted) return;  // a cascade abort got here first
+    ctx->aborted = true;
+    for (auto& stream : ctx->streams) stream->cancel();
+    ctx->streams.clear();
+    ctx->group_runs.clear();
     abort_hook_ = nullptr;
+    auto& metrics = sim_.telemetry().metrics();
     metrics.add("recovery.failures", 1.0,
                 telemetry::Labels{{"reason", reason}});
     sim_.telemetry().end_span(ctx->reconstruct_span);
@@ -187,7 +198,7 @@ void RecoveryManager::recover(const PlacedPlan& plan,
     metrics.observe("recovery.duration_s", ctx->stats.duration);
     for (cluster::NodeId nid : cluster_.alive_nodes())
       cluster_.node(nid).hypervisor().resume_all();
-    done(ctx->stats);
+    ctx->done_holder.front()(ctx->stats);
   };
 
   VDC_REQUIRE(!lost.empty(), "recover called with nothing lost");
@@ -446,7 +457,6 @@ void RecoveryManager::recover(const PlacedPlan& plan,
   // 3. Timed execution: inbound streams -> XOR -> forwards, per group in
   // parallel; then instantiate VMs, roll everyone back, resume.
   ctx->groups_pending = ops.size();
-  ctx->done_holder.push_back(std::move(done));
 
   // Shared continuation once every group's data movement is done.
   auto ops_shared = std::make_shared<std::vector<GroupOps>>(std::move(ops));
@@ -649,6 +659,9 @@ void RecoveryManager::recover(const PlacedPlan& plan,
             run->maybe_done();
           },
           /*paced=*/true);
+      fwd->set_on_fail([fail](const std::string& why) {
+        fail("reconstruction forward stream failed: " + why);
+      });
       run->forwards.push_back(fwd);
       ctx->streams.push_back(std::move(fwd));
     }
@@ -681,7 +694,7 @@ void RecoveryManager::recover(const PlacedPlan& plan,
         });
         continue;
       }
-      ctx->streams.push_back(net::ChunkedStream::start(
+      auto inbound = net::ChunkedStream::start(
           cluster_.fabric(), src_host, leader_host, bytes, chunking,
           [this, ctx, wr](const net::ChunkedStream::Chunk& c) {
             auto run = wr.lock();
@@ -690,7 +703,11 @@ void RecoveryManager::recover(const PlacedPlan& plan,
             if (c.last && ++run->streams_finished == run->inbound)
               run->exchange_end = sim_.now();
             if (run->pump) run->pump();
-          }));
+          });
+      inbound->set_on_fail([fail](const std::string& why) {
+        fail("reconstruction inbound stream failed: " + why);
+      });
+      ctx->streams.push_back(std::move(inbound));
     }
   }
 }

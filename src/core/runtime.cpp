@@ -58,8 +58,33 @@ void JobRunner::settle_workloads() {
 }
 
 RunResult JobRunner::run() {
+  detector_.reset();  // must not outlive a previous run's cluster
+  zombies_.clear();
+  pending_rejoins_.clear();
   boot_cluster();
   backend_ = backend_factory_(sim_, *cluster_, rng_);
+
+  if (job_.ambient_link_fault.has_value()) {
+    auto& faults = cluster_->fabric().faults();
+    for (std::uint32_t n = 0; n < cluster_config_.nodes; ++n)
+      faults.set_host_fault(cluster_->node(n).host(),
+                            *job_.ambient_link_fault);
+  }
+  if (job_.heartbeat.has_value()) {
+    detector_ = std::make_unique<cluster::HeartbeatDetector>(
+        sim_, *cluster_, *job_.heartbeat);
+    // Observer node 0 stands in for the coordinator's vantage point; a
+    // zombie counts as live so its beats keep probing the partition.
+    detector_->set_wire_mode(
+        cluster_->fabric(), 0, [this](cluster::NodeId id) {
+          return cluster_->node(id).alive() || zombies_.count(id) != 0;
+        });
+    detector_->set_on_false_positive(
+        [this](cluster::NodeId id) { on_false_positive(id); });
+    detector_->start([this](cluster::NodeId id, SimTime latency) {
+      on_detected(id, latency);
+    });
+  }
 
   result_ = RunResult{};
   result_.total_work = job_.total_work;
@@ -77,8 +102,12 @@ RunResult JobRunner::run() {
   // Failure source, most specific wins: a scripted schedule beats per-node
   // clocks beats the aggregate cluster process.
   if (!job_.failure_schedule.empty()) {
-    injector_ = std::make_unique<failure::ScheduledFailureInjector>(
+    auto scripted = std::make_unique<failure::ScheduledFailureInjector>(
         sim_, job_.failure_schedule);
+    scripted->set_on_event([this](const failure::ScheduledFailure& ev) {
+      on_fault_event(ev);
+    });
+    injector_ = std::move(scripted);
   } else if (job_.node_ttf) {
     injector_ = std::make_unique<failure::FleetFailureInjector>(
         sim_, rng_.fork(), job_.node_ttf, cluster_config_.nodes,
@@ -109,6 +138,7 @@ RunResult JobRunner::run() {
     }
   }
   if (injector_) injector_->stop();
+  if (detector_) detector_->stop();
 
   result_.finished = finished_;
   if (finished_) {
@@ -184,6 +214,19 @@ void JobRunner::on_capture_point() {
   backend_->checkpoint(epoch, [this, cut_time, cut_work](
                                   const EpochStats& stats) {
     auto& metrics = sim_.telemetry().metrics();
+    if (!stats.committed) {
+      // The epoch died on the wire (an exchange stream exhausted its
+      // retransmission budget/deadline). The previous committed cut
+      // stands; resume the guests and try again. Work done since the cut
+      // is simply uncheckpointed, not lost.
+      metrics.add("job.epochs_failed", 1.0);
+      for (cluster::NodeId nid : cluster_->alive_nodes())
+        cluster_->node(nid).hypervisor().resume_all();
+      computing_ = true;
+      resume_time_ = sim_.now();
+      schedule_segment();
+      return;
+    }
     metrics.add("job.epochs", 1.0);
     metrics.add("job.overhead_s", stats.overhead);
     metrics.add("job.latency_s", stats.latency);
@@ -214,6 +257,9 @@ void JobRunner::on_failure_event(cluster::NodeId raw_victim, bool exact) {
     // fails nothing new.
     if (raw_victim >= cluster_->node_count() ||
         !cluster_->node(raw_victim).alive()) {
+      // ...except when the "down" node is a zombie: the partitioned-but-
+      // running hardware really dies now, so its beats stop for good.
+      if (raw_victim < cluster_->node_count()) zombies_.erase(raw_victim);
       metrics.add("job.failures_skipped", 1.0);
       return;
     }
@@ -257,23 +303,35 @@ void JobRunner::on_failure_event(cluster::NodeId raw_victim, bool exact) {
   episode_.lost = lost;
   notify(JobEvent::Kind::Failure, victim);
 
-  // Root span for the whole recovery episode; the detect window is known
-  // up front, the backend's manager nests reconstruct/replace/rollback
-  // under this root while it stays open.
+  // Root span for the whole recovery episode; the backend's manager nests
+  // reconstruct/replace/rollback under this root while it stays open.
   auto& tel = sim_.telemetry();
   const telemetry::Labels victim_labels{{"victim", std::to_string(victim)}};
   episode_.span = tel.begin_span("recovery", victim_labels);
+
+  if (detector_) {
+    // Wire-true detection: the victim just falls silent. Recovery arms
+    // when the detector times out on it; the detect span is recorded then
+    // with the latency actually measured (on_detected).
+    cluster_->fence_node(victim, backend_->committed_epoch() + 1);
+    detector_->note_failure(victim, sim_.now());
+    episode_.awaiting.insert(victim);
+    episode_.on_detected = [this] { start_recovery_attempt(); };
+    return;
+  }
+
+  // Oracle detection: charge the fixed delay.
   tel.record_span("recovery.detect", sim_.now(),
                   sim_.now() + job_.detection_time, victim_labels,
                   episode_.span);
-
   episode_.pending = sim_.after(job_.detection_time, [this] {
     episode_.pending = simkit::kInvalidEvent;
     start_recovery_attempt();
   });
 }
 
-void JobRunner::on_cascade_failure(cluster::NodeId victim) {
+void JobRunner::on_cascade_failure(cluster::NodeId victim,
+                                   bool already_detected) {
   auto& tel = sim_.telemetry();
   auto& metrics = tel.metrics();
   metrics.add("job.failures_during_recovery", 1.0);
@@ -308,6 +366,41 @@ void JobRunner::on_cascade_failure(cluster::NodeId victim) {
   notify(JobEvent::Kind::Cascade, victim);
 
   const telemetry::Labels victim_labels{{"victim", std::to_string(victim)}};
+
+  if (detector_) {
+    // Wire mode: a fresh victim must time out on the detector before the
+    // episode can move again; a suspicion folding in already has.
+    cluster_->fence_node(victim, backend_->committed_epoch() + 1);
+    if (!already_detected) {
+      detector_->note_failure(victim, sim_.now());
+      episode_.awaiting.insert(victim);
+    }
+    const SimTime backoff =
+        episode_.restarting ? 0.0 : retry_backoff(episode_.attempts + 1);
+    const bool restarting = episode_.restarting;
+    episode_.on_detected = [this, backoff, restarting] {
+      if (restarting) {
+        restart_job(episode_.lost);
+        return;
+      }
+      if (backoff > 0.0)
+        sim_.telemetry().record_span(
+            "recovery.retry", sim_.now(), sim_.now() + backoff,
+            {{"attempt", std::to_string(episode_.attempts + 1)}},
+            episode_.span);
+      episode_.pending = sim_.after(backoff, [this] {
+        episode_.pending = simkit::kInvalidEvent;
+        start_recovery_attempt();
+      });
+    };
+    if (episode_.awaiting.empty()) {
+      auto cont = std::move(episode_.on_detected);
+      episode_.on_detected = nullptr;
+      cont();
+    }
+    return;
+  }
+
   tel.record_span("recovery.detect", sim_.now(),
                   sim_.now() + job_.detection_time, victim_labels,
                   episode_.span);
@@ -334,6 +427,165 @@ void JobRunner::on_cascade_failure(cluster::NodeId victim) {
   });
 }
 
+void JobRunner::on_detected(cluster::NodeId node, SimTime latency) {
+  if (finished_) return;
+  if (recovering_ && episode_.awaiting.count(node) != 0) {
+    // A victim's silence has now actually been observed; the detect span
+    // covers the measured window, not a fixed charge.
+    sim_.telemetry().record_span(
+        "recovery.detect", sim_.now() - latency, sim_.now(),
+        {{"victim", std::to_string(node)}}, episode_.span);
+    episode_.awaiting.erase(node);
+    if (episode_.awaiting.empty() && episode_.on_detected) {
+      auto cont = std::move(episode_.on_detected);
+      episode_.on_detected = nullptr;
+      cont();
+    }
+    return;
+  }
+  // Unawaited detection of a live node: the fabric ate its beats — a
+  // false positive in the making (partition / gray link). A stale
+  // detection of an already-handled dead node is ignored.
+  if (node < cluster_->node_count() && cluster_->node(node).alive())
+    on_suspected(node, latency);
+}
+
+void JobRunner::on_suspected(cluster::NodeId victim, SimTime latency) {
+  auto& tel = sim_.telemetry();
+  auto& metrics = tel.metrics();
+  metrics.add("job.suspected_failures", 1.0);
+  VDC_INFO("runtime", "node ", victim,
+           " suspected failed (no beats); declaring it dead");
+  // The cluster acts on its belief: the unreachable node is declared
+  // dead, its VMs are written off (to be recovered elsewhere), and the
+  // node is fenced so any stale write it later attempts is rejected. If
+  // it was alive all along, a beat getting through exposes the mistake.
+  zombies_.insert(victim);
+
+  if (recovering_) {
+    on_cascade_failure(victim, /*already_detected=*/true);
+    return;
+  }
+
+  // Mirror of on_failure_event's healthy-state path, with detection
+  // already satisfied — the timeout that fired IS the detection.
+  const SimTime w = current_work();
+  metrics.add("job.lost_work_s", std::max(0.0, w - committed_work_));
+  computing_ = false;
+  work_at_resume_ = committed_work_;
+  if (pending_event_ != simkit::kInvalidEvent) {
+    sim_.cancel(pending_event_);
+    pending_event_ = simkit::kInvalidEvent;
+  }
+  backend_->abort_checkpoint();
+
+  const std::vector<vm::VmId> lost =
+      cluster_->node(victim).hypervisor().vm_ids();
+  cluster_->kill_node(victim);
+  backend_->on_node_failure(victim);
+  cluster_->fence_node(victim, backend_->committed_epoch() + 1);
+  recovering_ = true;
+  cluster_->set_degraded(true);
+
+  episode_ = Episode{};
+  episode_.start = sim_.now();
+  episode_.victims.push_back(victim);
+  episode_.lost = lost;
+  notify(JobEvent::Kind::Failure, victim);
+
+  const telemetry::Labels victim_labels{{"victim", std::to_string(victim)}};
+  episode_.span = tel.begin_span("recovery", victim_labels);
+  tel.record_span("recovery.detect", sim_.now() - latency, sim_.now(),
+                  victim_labels, episode_.span);
+  start_recovery_attempt();
+}
+
+void JobRunner::on_false_positive(cluster::NodeId node) {
+  if (finished_ || zombies_.count(node) == 0) return;
+  // The zombie resurfaced and immediately tries to resume its old role —
+  // starting with its stale checkpoint/parity writes. Its fence token is
+  // stale, so the writes are rejected; only then may it rejoin, empty.
+  sim_.telemetry().metrics().add("recovery.fenced", 1.0);
+  VDC_INFO("runtime", "node ", node,
+           " reappeared (false-positive detection); stale writes fenced");
+  if (recovering_) {
+    // Mid-episode: reconcile once the episode settles, so the rejoin
+    // can't race the reconstruction that replaced this node's VMs.
+    pending_rejoins_.push_back(node);
+    return;
+  }
+  rejoin_node(node);
+}
+
+void JobRunner::rejoin_node(cluster::NodeId node) {
+  zombies_.erase(node);
+  if (!cluster_->node(node).alive()) cluster_->revive_node(node);
+  cluster_->lift_fence(node);
+  if (detector_) detector_->note_repair(node);
+}
+
+void JobRunner::drain_rejoins() {
+  if (pending_rejoins_.empty()) return;
+  auto pending = std::move(pending_rejoins_);
+  pending_rejoins_.clear();
+  for (cluster::NodeId node : pending)
+    if (zombies_.count(node) != 0) rejoin_node(node);
+}
+
+void JobRunner::on_fault_event(const failure::ScheduledFailure& ev) {
+  using Kind = failure::ScheduledFailure::Kind;
+  if (finished_) return;
+  switch (ev.kind) {
+    case Kind::kFail:
+      break;  // delivered through the failure callback, not here
+    case Kind::kRepair:
+      if (ev.node >= cluster_->node_count()) return;
+      if (!cluster_->node(ev.node).alive() || zombies_.count(ev.node) != 0)
+        rejoin_node(ev.node);
+      break;
+    case Kind::kLink: {
+      if (ev.node >= cluster_->node_count()) return;
+      net::LinkFault fault;
+      fault.drop = ev.drop;
+      fault.corrupt = ev.corrupt;
+      fault.extra_latency = ev.latency;
+      fault.jitter = ev.jitter;
+      fault.rate_factor = ev.rate;
+      auto& faults = cluster_->fabric().faults();
+      const net::HostId src = cluster_->node(ev.node).host();
+      if (ev.peer == failure::ScheduledFailure::kAllNodes) {
+        faults.set_host_fault(src, fault);
+        if (fault.rate_factor != 1.0)
+          cluster_->fabric().set_host_rate_factor(src, fault.rate_factor);
+      } else {
+        if (ev.peer >= cluster_->node_count()) return;
+        faults.set_link_fault(src, cluster_->node(ev.peer).host(), fault);
+      }
+      break;
+    }
+    case Kind::kPartition:
+      if (ev.node >= cluster_->node_count()) return;
+      cluster_->fabric().faults().set_partition_group(
+          cluster_->node(ev.node).host(), ev.group);
+      break;
+    case Kind::kHeal: {
+      auto& faults = cluster_->fabric().faults();
+      if (ev.node == failure::ScheduledFailure::kAllNodes) {
+        faults.heal_all();
+        for (std::uint32_t n = 0; n < cluster_config_.nodes; ++n)
+          cluster_->fabric().set_host_rate_factor(
+              cluster_->node(n).host(), 1.0);
+      } else {
+        if (ev.node >= cluster_->node_count()) return;
+        const net::HostId host = cluster_->node(ev.node).host();
+        faults.heal(host);
+        cluster_->fabric().set_host_rate_factor(host, 1.0);
+      }
+      break;
+    }
+  }
+}
+
 SimTime JobRunner::retry_backoff(std::uint32_t next_attempt) const {
   if (next_attempt <= 1 || job_.recovery_backoff <= 0.0) return 0.0;
   return job_.recovery_backoff *
@@ -356,12 +608,16 @@ void JobRunner::start_recovery_attempt() {
   ++episode_.attempts;
   metrics.add("recovery.attempts", 1.0);
 
-  // The failed machines are rebooted/replaced by the time reconstruction
-  // starts (the constant-cluster-size assumption behind the Section V
-  // model's flat T_r) — recovery can re-place the lost VMs onto them,
-  // preserving group orthogonality even at k = n-1.
-  for (cluster::NodeId nid : episode_.victims)
-    if (!cluster_->node(nid).alive()) cluster_->revive_node(nid);
+  // Oracle mode keeps the constant-cluster-size assumption behind the
+  // Section V model's flat T_r: the failed machines are rebooted/replaced
+  // by the time reconstruction starts, so recovery can re-place the lost
+  // VMs onto them. With wire-true detection a dead node stays down until
+  // a scripted repair or a false-positive rejoin brings it back — reviving
+  // it here would restart its heartbeats and fake a resurrection.
+  if (!detector_) {
+    for (cluster::NodeId nid : episode_.victims)
+      if (!cluster_->node(nid).alive()) cluster_->revive_node(nid);
+  }
 
   // Only what is still missing: an aborted earlier attempt may already
   // have re-placed some of the episode's lost VMs (exact committed-epoch
@@ -397,6 +653,7 @@ void JobRunner::on_recovery_settled(const RecoveryStats& rs) {
     }
     recovering_ = false;
     cluster_->set_degraded(false);
+    drain_rejoins();
     // An attempt that settled trivially (everything already re-placed by
     // an aborted predecessor) never went through the manager's resume;
     // resume_all is idempotent for guests already running.
@@ -432,9 +689,13 @@ void JobRunner::notify(JobEvent::Kind kind, cluster::NodeId node,
 void JobRunner::restart_job(const std::vector<vm::VmId>& missing) {
   // Unrecoverable: re-create whatever is gone with fresh images and start
   // the job over. Victims that never made it through a reconstruction
-  // attempt (give-up path) are still down; bring the hardware back first.
-  for (cluster::NodeId nid : episode_.victims)
-    if (!cluster_->node(nid).alive()) cluster_->revive_node(nid);
+  // attempt (give-up path) are still down; in oracle mode bring the
+  // hardware back first (wire mode leaves them down — see
+  // start_recovery_attempt).
+  if (!detector_) {
+    for (cluster::NodeId nid : episode_.victims)
+      if (!cluster_->node(nid).alive()) cluster_->revive_node(nid);
+  }
   auto workloads = make_workload_factory(cluster_config_);
   for (vm::VmId vmid : missing) {
     if (cluster_->locate(vmid).has_value()) continue;
@@ -472,6 +733,7 @@ void JobRunner::restart_job(const std::vector<vm::VmId>& missing) {
       cluster_->node(nid).hypervisor().resume_all();
     recovering_ = false;
     cluster_->set_degraded(false);
+    drain_rejoins();
     computing_ = true;
     resume_time_ = sim_.now();
     schedule_segment();

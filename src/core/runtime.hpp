@@ -17,6 +17,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_set>
 
 #include "cluster/heartbeat.hpp"
 #include "cluster/manager.hpp"
@@ -119,10 +120,24 @@ struct JobConfig {
   std::shared_ptr<failure::TtfDistribution> node_ttf;
   SimTime node_repair_time = 0.0;
   /// Deterministic scripted fault schedule (exact node ids at absolute
-  /// sim times); takes precedence over every stochastic source above.
+  /// sim times — plus repair / link / partition / heal events, see
+  /// ScheduledFailureInjector::parse); takes precedence over every
+  /// stochastic source above.
   std::vector<failure::ScheduledFailure> failure_schedule;
-  /// Heartbeat detection delay charged before recovery starts.
-  SimTime detection_time = 0.5;
+  /// Heartbeat detection delay charged before recovery starts (oracle
+  /// detection). Defaults to the heartbeat config's expected latency so
+  /// the charged and measured paths agree (0.5 s with stock timing).
+  SimTime detection_time = cluster::HeartbeatConfig{}.expected_detection_latency();
+  /// Wire-true failure detection: when set, a HeartbeatDetector runs with
+  /// real beat frames crossing the fabric's fault plane toward node 0.
+  /// Detection latency is then *measured* (and partitions can produce
+  /// false positives with fencing + rejoin) instead of the fixed
+  /// `detection_time` charge.
+  std::optional<cluster::HeartbeatConfig> heartbeat;
+  /// Ambient per-host link fault installed on every host at run start
+  /// (the lossy-fabric fuzz regime). Drop/corrupt compose per path:
+  /// src-host and dst-host faults are independent trials.
+  std::optional<net::LinkFault> ambient_link_fault;
   /// Penalty to restart the job from scratch (data loss / no checkpoint).
   SimTime restart_time = 30.0;
   /// Recovery supervisor: at most this many reconstruction attempts per
@@ -209,6 +224,10 @@ class JobRunner {
     bool restarting = false;               // escalated to a job restart
     std::uint64_t span = 0;                // "recovery" root span id
     simkit::EventId pending = simkit::kInvalidEvent;  // scheduled attempt
+    /// Wire mode: victims whose detector timeout has not fired yet. The
+    /// continuation runs once the set drains (all victims detected).
+    std::unordered_set<cluster::NodeId> awaiting;
+    std::function<void()> on_detected;
   };
 
   void boot_cluster();
@@ -220,7 +239,25 @@ class JobRunner {
   void on_failure_event(cluster::NodeId raw_victim, bool exact);
   /// A failure struck while an episode was open: kill the victim, abort
   /// any in-flight reconstruction, extend the lost-set, requeue.
-  void on_cascade_failure(cluster::NodeId victim);
+  /// `already_detected` marks a suspicion folding in (the detector's
+  /// timeout already fired for this victim, nothing to await).
+  void on_cascade_failure(cluster::NodeId victim,
+                          bool already_detected = false);
+  /// Scripted non-failure events: repairs and network fault-plane changes.
+  void on_fault_event(const failure::ScheduledFailure& ev);
+  /// Wire mode: the detector reported `node` after `latency` of silence.
+  void on_detected(cluster::NodeId node, SimTime latency);
+  /// Wire mode: the detector timed out on a node that is actually alive
+  /// (partition / gray link) — declare it dead anyway and fence it; the
+  /// mistake surfaces only if a beat gets through later.
+  void on_suspected(cluster::NodeId victim, SimTime latency);
+  /// Wire mode: a beat arrived from a node declared dead — the node is a
+  /// fenced zombie; reconcile (now, or after the current episode).
+  void on_false_positive(cluster::NodeId node);
+  /// Bring a fenced/dead node back empty: revive, lift the fence, re-arm
+  /// its tracker and beat emitter.
+  void rejoin_node(cluster::NodeId node);
+  void drain_rejoins();
   void start_recovery_attempt();
   void on_recovery_settled(const RecoveryStats& rs);
   SimTime retry_backoff(std::uint32_t next_attempt) const;
@@ -239,6 +276,14 @@ class JobRunner {
   std::unique_ptr<cluster::ClusterManager> cluster_;
   std::unique_ptr<CheckpointBackend> backend_;
   std::unique_ptr<failure::FailureInjector> injector_;
+  /// Wire-true detection (JobConfig::heartbeat); null = oracle detection.
+  std::unique_ptr<cluster::HeartbeatDetector> detector_;
+  /// Nodes the cluster declared dead that are physically alive behind a
+  /// partition. Their beat emitters keep running; a beat getting through
+  /// exposes the false positive.
+  std::unordered_set<cluster::NodeId> zombies_;
+  /// False positives discovered mid-episode; reconciled when it settles.
+  std::vector<cluster::NodeId> pending_rejoins_;
 
   RunResult result_;
   // Work tracking.

@@ -1,5 +1,6 @@
 #include "failure/injector.hpp"
 
+#include <cctype>
 #include <cstdlib>
 #include <string>
 #include <utility>
@@ -143,14 +144,65 @@ void ScheduledFailureInjector::schedule_next() {
   pending_ = sim_.at(strike.at, [this, strike] {
     pending_ = simkit::kInvalidEvent;
     ++next_;
-    ++failures_;
-    if (on_failure_) on_failure_(strike.node);
+    if (strike.kind == ScheduledFailure::Kind::kFail) {
+      ++failures_;
+      if (on_failure_) on_failure_(strike.node);
+    } else {
+      if (on_event_) on_event_(strike);
+    }
     if (running_) schedule_next();
   });
 }
 
+namespace {
+
+[[noreturn]] void parse_error(std::size_t line_no, const std::string& what) {
+  throw InvariantError("fault schedule line " + std::to_string(line_no) +
+                       ": " + what);
+}
+
+std::vector<std::string_view> split_fields(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    const std::size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > start) fields.push_back(line.substr(start, i - start));
+  }
+  return fields;
+}
+
+double parse_number(std::string_view tok, std::size_t line_no,
+                    const char* what) {
+  const std::string buf(tok);
+  char* end = nullptr;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size())
+    parse_error(line_no, std::string("expected ") + what);
+  return v;
+}
+
+SimTime parse_time(std::string_view tok, std::size_t line_no) {
+  const double at = parse_number(tok, line_no, "a time in seconds");
+  if (at < 0.0) parse_error(line_no, "time must be non-negative");
+  return at;
+}
+
+NodeId parse_node(std::string_view tok, std::size_t line_no) {
+  const std::string buf(tok);
+  char* end = nullptr;
+  const long node = std::strtol(buf.c_str(), &end, 10);
+  if (end != buf.c_str() + buf.size() || node < 0)
+    parse_error(line_no, "expected a non-negative node id");
+  return static_cast<NodeId>(node);
+}
+
+}  // namespace
+
 std::vector<ScheduledFailure> ScheduledFailureInjector::parse(
     std::string_view text) {
+  using Kind = ScheduledFailure::Kind;
   std::vector<ScheduledFailure> out;
   std::size_t pos = 0, line_no = 0;
   while (pos <= text.size()) {
@@ -161,32 +213,84 @@ std::vector<ScheduledFailure> ScheduledFailureInjector::parse(
     ++line_no;
     if (const auto hash = line.find('#'); hash != std::string_view::npos)
       line = line.substr(0, hash);
-    while (!line.empty() && (line.front() == ' ' || line.front() == '\t'))
-      line.remove_prefix(1);
     while (!line.empty() && (line.back() == ' ' || line.back() == '\t' ||
                              line.back() == '\r'))
       line.remove_suffix(1);
-    if (line.empty()) continue;
+    const auto f = split_fields(line);
+    if (f.empty()) continue;
 
-    const std::string buf(line);
-    char* end = nullptr;
-    const double at = std::strtod(buf.c_str(), &end);
-    if (end == buf.c_str() || at < 0.0)
-      throw InvariantError("fault schedule line " + std::to_string(line_no) +
-                           ": expected '<time> <node>'");
-    char* end2 = nullptr;
-    const long node = std::strtol(end, &end2, 10);
-    if (end2 == end || node < 0)
-      throw InvariantError("fault schedule line " + std::to_string(line_no) +
-                           ": expected a non-negative node id");
-    while (*end2 == ' ' || *end2 == '\t') ++end2;
-    if (*end2 != '\0')
-      throw InvariantError("fault schedule line " + std::to_string(line_no) +
-                           ": trailing junk");
-    if (!out.empty() && at < out.back().at)
-      throw InvariantError("fault schedule line " + std::to_string(line_no) +
-                           ": times must be non-decreasing");
-    out.push_back({at, static_cast<NodeId>(node)});
+    ScheduledFailure ev;
+    // A line starting with a number is the legacy bare `<time> <node>`
+    // pair (= fail); otherwise the first field is an event keyword.
+    if (!f[0].empty() && (std::isdigit(static_cast<unsigned char>(f[0][0])) ||
+                          f[0][0] == '.' || f[0][0] == '+')) {
+      if (f.size() != 2) parse_error(line_no, "expected '<time> <node>'");
+      ev.at = parse_time(f[0], line_no);
+      ev.node = parse_node(f[1], line_no);
+    } else if (f[0] == "fail" || f[0] == "repair") {
+      if (f.size() != 3)
+        parse_error(line_no, "expected '" + std::string(f[0]) +
+                                 " <time> <node>'");
+      ev.kind = f[0] == "fail" ? Kind::kFail : Kind::kRepair;
+      ev.at = parse_time(f[1], line_no);
+      ev.node = parse_node(f[2], line_no);
+    } else if (f[0] == "link") {
+      if (f.size() < 4)
+        parse_error(line_no,
+                    "expected 'link <time> <src> <dst>|- [key=value...]'");
+      ev.kind = Kind::kLink;
+      ev.at = parse_time(f[1], line_no);
+      ev.node = parse_node(f[2], line_no);
+      if (f[3] != "-") ev.peer = parse_node(f[3], line_no);
+      for (std::size_t i = 4; i < f.size(); ++i) {
+        const auto eq = f[i].find('=');
+        if (eq == std::string_view::npos)
+          parse_error(line_no, "expected key=value, got '" +
+                                   std::string(f[i]) + "'");
+        const std::string_view key = f[i].substr(0, eq);
+        const double v = parse_number(f[i].substr(eq + 1), line_no,
+                                      "a number after '='");
+        if (key == "drop") {
+          ev.drop = v;
+        } else if (key == "corrupt") {
+          ev.corrupt = v;
+        } else if (key == "latency") {
+          ev.latency = v;
+        } else if (key == "jitter") {
+          ev.jitter = v;
+        } else if (key == "rate") {
+          ev.rate = v;
+        } else {
+          parse_error(line_no, "unknown link key '" + std::string(key) + "'");
+        }
+      }
+      if (ev.drop < 0.0 || ev.drop > 1.0 || ev.corrupt < 0.0 ||
+          ev.corrupt > 1.0)
+        parse_error(line_no, "drop/corrupt must be probabilities in [0, 1]");
+      if (ev.latency < 0.0 || ev.jitter < 0.0)
+        parse_error(line_no, "latency/jitter must be non-negative");
+      if (ev.rate <= 0.0)
+        parse_error(line_no, "rate factor must be positive");
+    } else if (f[0] == "partition") {
+      if (f.size() != 4)
+        parse_error(line_no, "expected 'partition <time> <node> <group>'");
+      ev.kind = Kind::kPartition;
+      ev.at = parse_time(f[1], line_no);
+      ev.node = parse_node(f[2], line_no);
+      ev.group = parse_node(f[3], line_no);
+    } else if (f[0] == "heal") {
+      if (f.size() != 3) parse_error(line_no, "expected 'heal <time> <node>|all'");
+      ev.kind = Kind::kHeal;
+      ev.at = parse_time(f[1], line_no);
+      ev.node = f[2] == "all" ? ScheduledFailure::kAllNodes
+                              : parse_node(f[2], line_no);
+    } else {
+      parse_error(line_no, "unknown event '" + std::string(f[0]) + "'");
+    }
+
+    if (!out.empty() && ev.at < out.back().at)
+      parse_error(line_no, "times must be non-decreasing");
+    out.push_back(ev);
   }
   return out;
 }

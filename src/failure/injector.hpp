@@ -149,10 +149,32 @@ class ClusterFailureInjector final : public FailureInjector {
   std::uint64_t failures_ = 0;
 };
 
-/// One scripted strike: node `node` fails at absolute sim time `at`.
+/// One scripted event. The original form — node `node` fails at absolute
+/// sim time `at` — is the default kind, so `{at, node}` aggregate
+/// initialization keeps meaning "fail". The other kinds drive the network
+/// fault plane and node repair for partition/gray-link drills.
 struct ScheduledFailure {
+  enum class Kind {
+    kFail,       // kill `node`
+    kRepair,     // repair/revive `node`
+    kLink,       // install a LinkFault on `node` (or directed node->peer)
+    kPartition,  // move `node` into partition group `group`
+    kHeal,       // clear faults on `node` (or every host: node == kAllNodes)
+  };
+  /// Sentinel: "no specific peer" (whole-host link fault) / "every host"
+  /// (heal target).
+  static constexpr NodeId kAllNodes = ~NodeId{0};
+
   SimTime at = 0.0;
   NodeId node = 0;
+  Kind kind = Kind::kFail;
+  NodeId peer = kAllNodes;  // kLink: directed destination, or whole host
+  double drop = 0.0;        // kLink: per-frame drop probability
+  double corrupt = 0.0;     // kLink: per-frame bit-flip probability
+  SimTime latency = 0.0;    // kLink: added one-way latency
+  SimTime jitter = 0.0;     // kLink: uniform extra latency in [0, jitter]
+  double rate = 1.0;        // kLink: NIC rate multiplier (gray link)
+  std::uint32_t group = 0;  // kPartition: target group (0 = connected)
 };
 
 /// Deterministic scripted fault schedule. Events fire at their absolute
@@ -161,6 +183,10 @@ struct ScheduledFailure {
 /// for the cascade/escalation tests and for operator drills.
 class ScheduledFailureInjector final : public FailureInjector {
  public:
+  /// Fires for every non-kFail event (repairs, link faults, partitions,
+  /// heals). kFail strikes go through the FailureInjector callback only.
+  using EventCallback = std::function<void(const ScheduledFailure&)>;
+
   ScheduledFailureInjector(simkit::Simulator& sim,
                            std::vector<ScheduledFailure> schedule);
 
@@ -169,13 +195,23 @@ class ScheduledFailureInjector final : public FailureInjector {
   std::uint64_t failures_injected() const override { return failures_; }
   bool exact_targets() const override { return true; }
 
+  void set_on_event(EventCallback cb) { on_event_ = std::move(cb); }
+
   /// Strikes not yet fired.
   std::size_t remaining() const { return schedule_.size() - next_; }
 
-  /// Parse the fault-schedule text format (see docs/RECOVERY.md): one
-  /// `<time_seconds> <node_id>` pair per line; blank lines and `#`
-  /// comments are ignored. Throws InvariantError on malformed input or
-  /// times out of order.
+  /// Parse the fault-schedule text format (see docs/RECOVERY.md). One
+  /// event per line; blank lines and `#` comments are ignored:
+  ///   <time> <node>                      bare pair (legacy) = fail
+  ///   fail <time> <node>
+  ///   repair <time> <node>
+  ///   link <time> <src> <dst>|- [drop=P] [corrupt=P] [latency=S]
+  ///                              [jitter=S] [rate=F]
+  ///   partition <time> <node> <group>
+  ///   heal <time> <node>|all
+  /// `link ... -` faults every path touching <src>; naming <dst> faults
+  /// only the directed src->dst link (an asymmetric "gray" link). Throws
+  /// InvariantError on malformed input or times out of order.
   static std::vector<ScheduledFailure> parse(std::string_view text);
 
  private:
@@ -185,6 +221,7 @@ class ScheduledFailureInjector final : public FailureInjector {
   std::vector<ScheduledFailure> schedule_;
   std::size_t next_ = 0;
   FailureCallback on_failure_;
+  EventCallback on_event_;
   simkit::EventId pending_ = simkit::kInvalidEvent;
   bool running_ = false;
   std::uint64_t failures_ = 0;

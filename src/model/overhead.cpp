@@ -26,7 +26,7 @@ CheckpointCosts diskfull_costs(const ClusterShape& shape,
   // the replacement node, resume. (Surviving VMs roll back from their own
   // local copies.)
   const double image = static_cast<double>(shape.vm_image);
-  costs.repair = hw.detection_time + image / hw.nas_disk_read +
+  costs.repair = hw.detection_time() + image / hw.nas_disk_read +
                  image / std::min(hw.nas_frontend, hw.nic) + hw.resume_time;
   return costs;
 }
@@ -53,7 +53,7 @@ CheckpointCosts diskless_costs(const ClusterShape& shape,
   // their checkpoints to the reconstruction node (fan-in over one NIC),
   // which XORs them with the parity block and resumes the VM.
   const double k = static_cast<double>(shape.group_size());
-  costs.repair = hw.detection_time + k * image / hw.nic +
+  costs.repair = hw.detection_time() + k * image / hw.nic +
                  k * image / hw.xor_rate + hw.resume_time;
   return costs;
 }

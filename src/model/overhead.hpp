@@ -20,6 +20,7 @@
 
 #include <cstdint>
 
+#include "cluster/heartbeat_config.hpp"
 #include "common/units.hpp"
 
 namespace vdc::model {
@@ -45,8 +46,16 @@ struct HardwareProfile {
   Rate xor_rate = gib_per_s(4);
   /// Guest suspend + device quiesce cost; the paper's 40 ms figure.
   SimTime base_overhead = 0.040;
-  SimTime detection_time = 0.5;  // heartbeat timeout
-  SimTime resume_time = 5.0;     // restore image into a fresh VM + resume
+  /// Heartbeat timing: the model's detection term derives from the same
+  /// config the simulator's wire-true detector runs on, so the two can't
+  /// drift apart (defaults work out to 0.5 s).
+  cluster::HeartbeatConfig heartbeat{};
+  SimTime resume_time = 5.0;  // restore image into a fresh VM + resume
+
+  /// Expected failure-to-detection latency charged per repair.
+  SimTime detection_time() const {
+    return heartbeat.expected_detection_latency();
+  }
 };
 
 struct CheckpointCosts {

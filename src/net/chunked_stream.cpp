@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "common/crc32.hpp"
 
 namespace vdc::net {
 
@@ -47,6 +48,7 @@ ChunkedStream::ChunkedStream(Fabric& fabric, HostId src, HostId dst,
   VDC_REQUIRE(policy.pipeline_depth >= 1, "pipeline depth must be >= 1");
   chunks_total_ = policy_.chunk_count(total_);
   released_ = paced_ ? 0 : chunks_total_;
+  started_at_ = fabric_.network().sim().now();
 }
 
 std::shared_ptr<ChunkedStream> ChunkedStream::start(
@@ -68,23 +70,89 @@ void ChunkedStream::release_to(std::size_t target) {
 }
 
 void ChunkedStream::pump() {
-  while (!cancelled_ && next_launch_ < released_ &&
+  while (!cancelled_ && !failed_ && next_launch_ < released_ &&
          inflight_.size() < policy_.pipeline_depth) {
-    const std::size_t idx = next_launch_++;
-    const Bytes bytes = policy_.chunk_size(total_, idx);
-    fabric_.note_chunk_started();
-    // The flow callback holds the stream alive until delivery or cancel.
-    auto self = shared_from_this();
-    const FlowId fid = fabric_.transfer(
-        src_, dst_, bytes, [self, idx] { self->on_chunk_complete(idx); });
-    inflight_.emplace(idx, fid);
+    launch(next_launch_++);
   }
 }
 
-void ChunkedStream::on_chunk_complete(std::size_t index) {
-  if (cancelled_) return;
+void ChunkedStream::launch(std::size_t index) {
+  if (cancelled_ || failed_) return;
+  const Bytes bytes = policy_.chunk_size(total_, index);
+  fabric_.note_chunk_started();
+  // The flow callback holds the stream alive until delivery or cancel.
+  auto self = shared_from_this();
+  const FlowId fid = fabric_.transfer_judged(
+      src_, dst_, bytes, [self, index](const Judgement& verdict) {
+        self->on_chunk_outcome(index, verdict);
+      });
+  inflight_.emplace(index, fid);
+}
+
+std::array<std::byte, 24> ChunkedStream::frame_descriptor(
+    std::size_t index) const {
+  std::array<std::byte, 24> frame{};
+  const auto put = [&frame](std::size_t off, std::uint64_t v,
+                            std::size_t width) {
+    for (std::size_t i = 0; i < width; ++i)
+      frame[off + i] = static_cast<std::byte>((v >> (8 * i)) & 0xff);
+  };
+  put(0, src_, 4);
+  put(4, dst_, 4);
+  put(8, index, 8);
+  put(16, policy_.chunk_size(total_, index), 8);
+  return frame;
+}
+
+void ChunkedStream::on_chunk_outcome(std::size_t index,
+                                     const Judgement& verdict) {
+  if (cancelled_ || failed_) return;
   inflight_.erase(index);
   fabric_.note_chunk_finished();
+  if (verdict.outcome == Delivery::kDelivered) {
+    deliver(index);
+    return;
+  }
+
+  auto& metrics = fabric_.telemetry().metrics();
+  if (verdict.outcome == Delivery::kCorrupted) {
+    // Receive-side integrity: the chunk descriptor's CRC32 catches the
+    // in-flight bit flip, so the chunk is rejected, never consumed.
+    const auto frame = frame_descriptor(index);
+    const std::uint32_t crc = crc32(frame);
+    VDC_ASSERT(crc_catches_flip(frame, crc, verdict.corrupt_bit));
+    metrics.add("net.corrupt_frames", 1.0);
+  }
+  // (net.drops is counted by the fault plane at judge time.)
+
+  const std::size_t tried = ++attempts_[index];  // failed sends so far
+  if (tried + 1 > policy_.max_attempts) {
+    fail("chunk " + std::to_string(index) + " exhausted " +
+         std::to_string(policy_.max_attempts) + " attempts");
+    return;
+  }
+  if (policy_.transfer_deadline > 0.0 &&
+      sim().now() - started_at_ >= policy_.transfer_deadline) {
+    fail("transfer deadline exceeded");
+    return;
+  }
+  // Retransmit. A corrupted chunk is NAKed by the receiver and goes again
+  // immediately; a dropped chunk waits out the sender's timeout, doubled
+  // per failed attempt.
+  SimTime delay = 0.0;
+  if (verdict.outcome == Delivery::kDropped) {
+    delay = policy_.retransmit_timeout;
+    for (std::size_t i = 1; i < tried; ++i) delay *= policy_.retransmit_backoff;
+  }
+  metrics.add("net.retransmits", 1.0);
+  auto self = shared_from_this();
+  retry_timers_[index] = sim().after(delay, [self, index] {
+    self->retry_timers_.erase(index);
+    self->launch(index);
+  });
+}
+
+void ChunkedStream::deliver(std::size_t index) {
   ++delivered_;
   const Chunk chunk{index, policy_.chunk_size(total_, index),
                     delivered_ == chunks_total_};
@@ -96,20 +164,40 @@ void ChunkedStream::on_chunk_complete(std::size_t index) {
     auto done = std::move(on_done_);
     on_done_ = nullptr;
     on_chunk_ = nullptr;  // break consumer reference cycles at completion
+    on_fail_ = nullptr;
     if (done) done();
   }
 }
 
+void ChunkedStream::fail(std::string reason) {
+  failed_ = true;
+  for (const auto& [idx, fid] : inflight_) {
+    fabric_.cancel(fid);
+    fabric_.note_chunk_finished();
+  }
+  inflight_.clear();
+  for (const auto& [idx, ev] : retry_timers_) sim().cancel(ev);
+  retry_timers_.clear();
+  on_chunk_ = nullptr;
+  on_done_ = nullptr;
+  auto on_fail = std::move(on_fail_);
+  on_fail_ = nullptr;
+  if (on_fail) on_fail(reason);
+}
+
 void ChunkedStream::cancel() {
-  if (cancelled_ || done()) return;
+  if (cancelled_ || failed_ || done()) return;
   cancelled_ = true;
   for (const auto& [idx, fid] : inflight_) {
     fabric_.cancel(fid);
     fabric_.note_chunk_finished();
   }
   inflight_.clear();
+  for (const auto& [idx, ev] : retry_timers_) sim().cancel(ev);
+  retry_timers_.clear();
   on_chunk_ = nullptr;
   on_done_ = nullptr;
+  on_fail_ = nullptr;
 }
 
 }  // namespace vdc::net

@@ -16,13 +16,24 @@
 // the consumer grants chunks via release_to(); recovery uses this to gate
 // forwards of rebuilt data on the decode frontier.
 //
+// Reliable delivery: every chunk is a judged frame against the Fabric's
+// fault plane. A delivered chunk's descriptor CRC is verified on receive;
+// a corrupted chunk is rejected (real CRC32 mismatch) and retransmitted
+// immediately, a dropped chunk is retransmitted after an exponentially
+// backed-off timeout, and a chunk that exhausts its attempt budget — or a
+// transfer that exhausts its deadline — fails the stream through
+// set_on_fail instead of hanging. With the fault plane disabled all of
+// this is inert and the stream is event-for-event identical to before.
+//
 // Cancellation tears down the in-flight chunk flows and drops every
 // callback, composing with DvdcCoordinator::abort and
 // RecoveryManager::abort (and through it CheckpointBackend::abort_recovery).
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <unordered_map>
 
 #include "net/fabric.hpp"
@@ -36,6 +47,19 @@ struct ChunkPolicy {
   Bytes chunk_bytes = 0;
   /// Max chunk flows in flight per stream (>= 1).
   std::size_t pipeline_depth = 4;
+
+  // --- reliable delivery (consulted only when the Fabric's fault plane
+  // is active; inert otherwise) ---
+  /// Sender timeout before the first retransmission of a dropped chunk.
+  SimTime retransmit_timeout = 0.05;
+  /// Timeout multiplier per further attempt (exponential backoff).
+  double retransmit_backoff = 2.0;
+  /// Send attempts per chunk (first try + retransmissions) before the
+  /// stream fails.
+  std::size_t max_attempts = 8;
+  /// Whole-transfer deadline; 0 = unbounded. Checked whenever a chunk
+  /// would be retransmitted, so a stream never hangs on a dead link.
+  SimTime transfer_deadline = 30.0;
 
   bool enabled() const { return chunk_bytes > 0; }
   std::size_t chunk_count(Bytes total) const;
@@ -54,6 +78,7 @@ class ChunkedStream : public std::enable_shared_from_this<ChunkedStream> {
   };
   using ChunkCallback = std::function<void(const Chunk&)>;
   using DoneCallback = std::function<void()>;
+  using FailCallback = std::function<void(const std::string&)>;
 
   /// Start streaming `total` bytes src -> dst. `on_chunk` fires once per
   /// delivered chunk; `on_done` fires after the last chunk's `on_chunk`.
@@ -72,11 +97,18 @@ class ChunkedStream : public std::enable_shared_from_this<ChunkedStream> {
   void release_to(std::size_t target);
   void release_all() { release_to(chunks_total_); }
 
+  /// Reliable-delivery failure: a chunk exhausted its retransmission
+  /// attempts or the transfer blew its deadline (only reachable with the
+  /// fault plane active). In-flight flows are torn down and every other
+  /// callback dropped before `on_fail` fires, exactly once.
+  void set_on_fail(FailCallback on_fail) { on_fail_ = std::move(on_fail); }
+
   /// Cancel in-flight chunk flows, stop launching, drop all callbacks.
   void cancel();
 
   bool done() const { return delivered_ == chunks_total_; }
   bool cancelled() const { return cancelled_; }
+  bool failed() const { return failed_; }
   std::size_t chunks_total() const { return chunks_total_; }
   std::size_t chunks_delivered() const { return delivered_; }
 
@@ -85,8 +117,15 @@ class ChunkedStream : public std::enable_shared_from_this<ChunkedStream> {
                 ChunkPolicy policy, ChunkCallback on_chunk,
                 DoneCallback on_done, bool paced);
 
+  simkit::Simulator& sim() { return fabric_.network().sim(); }
   void pump();
-  void on_chunk_complete(std::size_t index);
+  void launch(std::size_t index);
+  void on_chunk_outcome(std::size_t index, const Judgement& verdict);
+  void deliver(std::size_t index);
+  void fail(std::string reason);
+  /// The per-chunk wire descriptor the receive-side CRC covers:
+  /// {src, dst, index, size}.
+  std::array<std::byte, 24> frame_descriptor(std::size_t index) const;
 
   Fabric& fabric_;
   HostId src_;
@@ -95,6 +134,7 @@ class ChunkedStream : public std::enable_shared_from_this<ChunkedStream> {
   ChunkPolicy policy_;
   ChunkCallback on_chunk_;
   DoneCallback on_done_;
+  FailCallback on_fail_;
   bool paced_;
 
   std::size_t chunks_total_ = 0;
@@ -102,7 +142,12 @@ class ChunkedStream : public std::enable_shared_from_this<ChunkedStream> {
   std::size_t released_ = 0;      // pacing grant (== chunks_total_ unpaced)
   std::size_t delivered_ = 0;
   bool cancelled_ = false;
+  bool failed_ = false;
+  SimTime started_at_ = 0.0;
   std::unordered_map<std::size_t, FlowId> inflight_;  // chunk index -> flow
+  // Reliability state; touched only when a chunk misbehaves.
+  std::unordered_map<std::size_t, std::size_t> attempts_;
+  std::unordered_map<std::size_t, simkit::EventId> retry_timers_;
 };
 
 }  // namespace vdc::net

@@ -27,7 +27,24 @@ HostId Fabric::add_host(Rate nic_rate, const std::string& name,
   tx_.push_back(network_.add_port(nic_rate, name + "/tx"));
   rx_.push_back(network_.add_port(nic_rate, name + "/rx"));
   rack_.push_back(rack);
+  nic_rate_.push_back(nic_rate);
   return id;
+}
+
+LinkFaultInjector& Fabric::faults() {
+  if (!faults_) {
+    faults_ = std::make_unique<LinkFaultInjector>(
+        telemetry_, Rng(0xfab51c0de5ull));
+  }
+  return *faults_;
+}
+
+void Fabric::set_host_rate_factor(HostId host, double factor) {
+  VDC_ASSERT(host < tx_.size());
+  VDC_REQUIRE(factor > 0.0, "rate factor must be positive");
+  const Rate rate = nic_rate_[host] * factor;
+  network_.set_capacity(tx_[host], rate);
+  network_.set_capacity(rx_[host], rate);
 }
 
 void Fabric::set_rack_uplink(RackId rack, Rate rate) {
@@ -43,10 +60,7 @@ PortId Fabric::add_shared_port(Rate rate, const std::string& name) {
   return network_.add_port(rate, name);
 }
 
-FlowId Fabric::transfer(HostId src, HostId dst, Bytes bytes,
-                        FlowNetwork::Callback on_complete) {
-  VDC_ASSERT(src < tx_.size() && dst < rx_.size());
-  VDC_ASSERT_MSG(src != dst, "loopback transfers don't traverse the fabric");
+std::vector<PortId> Fabric::host_path(HostId src, HostId dst) const {
   std::vector<PortId> path{tx_[src]};
   if (rack_[src] != rack_[dst]) {
     // Cross-rack: traverse the oversubscribed core where configured.
@@ -56,9 +70,32 @@ FlowId Fabric::transfer(HostId src, HostId dst, Bytes bytes,
       path.push_back(it->second.down);
   }
   path.push_back(rx_[dst]);
+  return path;
+}
+
+FlowId Fabric::transfer(HostId src, HostId dst, Bytes bytes,
+                        FlowNetwork::Callback on_complete) {
+  VDC_ASSERT(src < tx_.size() && dst < rx_.size());
+  VDC_ASSERT_MSG(src != dst, "loopback transfers don't traverse the fabric");
   account("host", bytes);
-  return network_.start_flow(std::move(path), bytes, std::move(on_complete),
-                             link_latency_);
+  return network_.start_flow(host_path(src, dst), bytes,
+                             std::move(on_complete), link_latency_);
+}
+
+FlowId Fabric::transfer_judged(HostId src, HostId dst, Bytes bytes,
+                               JudgedCallback on_complete) {
+  if (!faults_active()) {
+    return transfer(src, dst, bytes,
+                    [cb = std::move(on_complete)] { cb(Judgement{}); });
+  }
+  VDC_ASSERT(src < tx_.size() && dst < rx_.size());
+  VDC_ASSERT_MSG(src != dst, "loopback transfers don't traverse the fabric");
+  const Judgement verdict = faults_->judge(src, dst);
+  account("host", bytes);
+  return network_.start_flow(
+      host_path(src, dst), bytes,
+      [cb = std::move(on_complete), verdict] { cb(verdict); },
+      link_latency_ + verdict.extra_latency);
 }
 
 FlowId Fabric::transfer_to_port(HostId src, PortId sink, Bytes bytes,

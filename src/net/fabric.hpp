@@ -8,16 +8,17 @@
 // bottleneck of baseline disk-full checkpointing is expressed.
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "net/fault.hpp"
 #include "net/flow_network.hpp"
 
 namespace vdc::net {
 
-using HostId = std::uint32_t;
 using RackId = std::uint32_t;
 
 class Fabric {
@@ -70,6 +71,27 @@ class Fabric {
   FlowId transfer_from_port(PortId source, HostId dst, Bytes bytes,
                             FlowNetwork::Callback on_complete);
 
+  /// Judged host-to-host transfer for the reliable-delivery layer. With
+  /// the fault plane disabled (or never created) this is exactly
+  /// transfer(): same flow, same path, same latency, and the callback
+  /// fires with a default (kDelivered) verdict at completion. With faults
+  /// active the verdict is drawn at launch and handed to the callback at
+  /// completion — a dropped or corrupted frame still burns its wire time,
+  /// which is what the sender's retransmission timer has to ride out.
+  using JudgedCallback = std::function<void(const Judgement&)>;
+  FlowId transfer_judged(HostId src, HostId dst, Bytes bytes,
+                         JudgedCallback on_complete);
+
+  /// Lazily-created fault plane (it owns a private deterministic Rng, so
+  /// merely creating it perturbs nothing). It reports enabled() only once
+  /// a fault has been configured; until then the judged path stays inert.
+  LinkFaultInjector& faults();
+  bool faults_active() const { return faults_ && faults_->enabled(); }
+
+  /// Scale a host's NIC (tx + rx) capacity relative to its original rate;
+  /// factor 1 restores it. The degraded-rate leg of the fault plane.
+  void set_host_rate_factor(HostId host, double factor);
+
   bool cancel(FlowId id) { return network_.cancel_flow(id); }
 
   PortId tx_port(HostId h) const { return tx_.at(h); }
@@ -98,6 +120,8 @@ class Fabric {
   /// the FlowNetwork count hook, not here.
   void account(const char* kind, Bytes bytes);
 
+  std::vector<PortId> host_path(HostId src, HostId dst) const;
+
   FlowNetwork network_;
   telemetry::Telemetry& telemetry_;
   SimTime link_latency_;
@@ -105,7 +129,9 @@ class Fabric {
   std::vector<PortId> tx_;
   std::vector<PortId> rx_;
   std::vector<RackId> rack_;
+  std::vector<Rate> nic_rate_;
   std::unordered_map<RackId, RackUplink> uplinks_;
+  std::unique_ptr<LinkFaultInjector> faults_;
 };
 
 }  // namespace vdc::net

@@ -79,6 +79,8 @@ class FlowNetwork {
   /// Current max-min rate of a flow (0 if unknown/inactive).
   Rate flow_rate(FlowId id) const;
 
+  simkit::Simulator& sim() { return sim_; }
+
   /// Total bytes ever delivered through a port.
   double port_bytes(PortId port) const;
 

@@ -182,6 +182,167 @@ TEST(Heartbeat, RepairReArms) {
   EXPECT_EQ(detections.size(), 2u);
 }
 
+TEST(Heartbeat, StopAndRestartLifecycle) {
+  Rig rig;
+  HeartbeatConfig config;
+  config.period = 0.1;
+  config.timeout = 0.3;
+  HeartbeatDetector detector(rig.sim, rig.cluster, config);
+  int detections = 0;
+  detector.start([&](NodeId, SimTime) { ++detections; });
+  rig.sim.run_until(1.0);
+  detector.stop();
+  // While stopped, a failure goes unnoticed.
+  rig.cluster.kill_node(2);
+  detector.note_failure(2, rig.sim.now());
+  rig.sim.run_until(3.0);
+  EXPECT_EQ(detections, 0);
+  // Restarting picks the failure up.
+  detector.start([&](NodeId n, SimTime) {
+    EXPECT_EQ(n, 2u);
+    ++detections;
+  });
+  rig.sim.run_until(5.0);
+  detector.stop();
+  EXPECT_EQ(detections, 1);
+  // stop() is idempotent and a second restart still works.
+  detector.stop();
+  detector.start([&](NodeId, SimTime) { ++detections; });
+  rig.sim.run_until(6.0);
+  detector.stop();
+  EXPECT_EQ(detections, 1);  // node 2 already reported, no re-report
+}
+
+TEST(Heartbeat, RepairReArmsAfterDetectedFailure) {
+  // note_repair after a *reported* failure must clear the report so the
+  // node's next failure is detected again (regression: a stale `reported`
+  // flag silently disabled detection for revived nodes).
+  Rig rig;
+  HeartbeatConfig config;
+  config.period = 0.1;
+  config.timeout = 0.3;
+  HeartbeatDetector detector(rig.sim, rig.cluster, config);
+  std::vector<SimTime> detections;
+  detector.start([&](NodeId, SimTime) { detections.push_back(rig.sim.now()); });
+  rig.sim.at(1.0, [&] {
+    rig.cluster.kill_node(1);
+    detector.note_failure(1, rig.sim.now());
+  });
+  rig.sim.run_until(2.0);
+  ASSERT_EQ(detections.size(), 1u);  // first failure detected...
+  rig.cluster.revive_node(1);
+  detector.note_repair(1);  // ...then repaired
+  rig.sim.at(3.0, [&] {
+    rig.cluster.kill_node(1);
+    detector.note_failure(1, rig.sim.now());
+  });
+  rig.sim.run_until(5.0);
+  detector.stop();
+  EXPECT_EQ(detections.size(), 2u);
+}
+
+TEST(Heartbeat, NoteFailureOnSuspectedNodeDoesNotRereport) {
+  // Wire mode: a partition gets node 1 suspected; when it then *really*
+  // dies, note_failure must not produce a second report.
+  Rig rig;
+  HeartbeatConfig config;
+  config.period = 0.1;
+  config.timeout = 0.3;
+  HeartbeatDetector detector(rig.sim, rig.cluster, config);
+  detector.set_wire_mode(rig.cluster.fabric(), 0, [&](NodeId n) {
+    return rig.cluster.node(n).alive();
+  });
+  int detections = 0;
+  detector.start([&](NodeId n, SimTime) {
+    EXPECT_EQ(n, 1u);
+    ++detections;
+  });
+  rig.sim.at(1.0, [&] {
+    rig.cluster.fabric().faults().set_partition_group(
+        rig.cluster.node(1).host(), 1);
+  });
+  rig.sim.run_until(2.0);
+  EXPECT_EQ(detections, 1);
+  EXPECT_TRUE(detector.suspected(1));
+  rig.sim.at(2.5, [&] {
+    rig.cluster.kill_node(1);
+    detector.note_failure(1, rig.sim.now());
+  });
+  rig.sim.run_until(5.0);
+  detector.stop();
+  EXPECT_EQ(detections, 1);         // still just the one report
+  EXPECT_FALSE(detector.suspected(1));  // ...now a confirmed failure
+}
+
+TEST(Heartbeat, WireModePartitionCausesFalsePositiveAndHealExposesIt) {
+  Rig rig;
+  HeartbeatConfig config;
+  config.period = 0.1;
+  config.timeout = 0.3;
+  HeartbeatDetector detector(rig.sim, rig.cluster, config);
+  detector.set_wire_mode(rig.cluster.fabric(), 0, [&](NodeId n) {
+    return rig.cluster.node(n).alive();
+  });
+  std::optional<NodeId> false_positive;
+  detector.set_on_false_positive([&](NodeId n) { false_positive = n; });
+  std::optional<std::pair<NodeId, SimTime>> detected;
+  detector.start([&](NodeId n, SimTime latency) { detected = {n, latency}; });
+  rig.sim.at(1.0, [&] {
+    rig.cluster.fabric().faults().set_partition_group(
+        rig.cluster.node(2).host(), 1);
+  });
+  rig.sim.run_until(3.0);
+  // The alive-but-unreachable node was declared failed...
+  ASSERT_TRUE(detected.has_value());
+  EXPECT_EQ(detected->first, 2u);
+  EXPECT_GE(detected->second, config.timeout - 1e-9);
+  EXPECT_TRUE(detector.suspected(2));
+  EXPECT_TRUE(rig.cluster.node(2).alive());
+  EXPECT_FALSE(false_positive.has_value());
+  EXPECT_GE(rig.sim.telemetry().metrics().value("hb.suspected"), 1.0);
+  // ...and healing the partition lets a beat through, exposing the
+  // mistake exactly once.
+  rig.sim.at(3.0, [&] {
+    rig.cluster.fabric().faults().heal(rig.cluster.node(2).host());
+  });
+  rig.sim.run_until(5.0);
+  detector.stop();
+  ASSERT_TRUE(false_positive.has_value());
+  EXPECT_EQ(*false_positive, 2u);
+  EXPECT_DOUBLE_EQ(rig.sim.telemetry().metrics().value("hb.false_positives"),
+                   1.0);
+}
+
+TEST(Heartbeat, WireModeHealthyClusterStaysQuiet) {
+  Rig rig;
+  HeartbeatDetector detector(rig.sim, rig.cluster);
+  detector.set_wire_mode(rig.cluster.fabric(), 0, [&](NodeId n) {
+    return rig.cluster.node(n).alive();
+  });
+  int detections = 0;
+  detector.start([&](NodeId, SimTime) { ++detections; });
+  rig.sim.run_until(10.0);
+  detector.stop();
+  EXPECT_EQ(detections, 0);
+}
+
+TEST(ClusterManager, FencingTokensRoundTrip) {
+  Rig rig;
+  EXPECT_FALSE(rig.cluster.is_fenced(1));
+  EXPECT_EQ(rig.cluster.fence_token(1), 0u);
+  rig.cluster.fence_node(1, 7);
+  EXPECT_TRUE(rig.cluster.is_fenced(1));
+  EXPECT_EQ(rig.cluster.fence_token(1), 7u);
+  rig.cluster.fence_node(1, 9);  // re-fencing overwrites
+  EXPECT_EQ(rig.cluster.fence_token(1), 9u);
+  EXPECT_FALSE(rig.cluster.is_fenced(0));
+  rig.cluster.lift_fence(1);
+  EXPECT_FALSE(rig.cluster.is_fenced(1));
+  EXPECT_EQ(rig.cluster.fence_token(1), 0u);
+  EXPECT_THROW(rig.cluster.fence_node(1, 0), ConfigError);  // 0 reserved
+  EXPECT_THROW(rig.cluster.fence_node(99, 1), ConfigError);
+}
+
 TEST(Heartbeat, InvalidConfigRejected) {
   Rig rig;
   HeartbeatConfig bad;

@@ -199,6 +199,97 @@ TEST(ScheduledInjector, ParseRejectsMalformedInput) {
                InvariantError);
 }
 
+TEST(ScheduledInjector, ParsesLinkFaultEvents) {
+  const auto schedule = ScheduledFailureInjector::parse(
+      "# gray link, then a NIC-wide brownout\n"
+      "link 10 2 3 drop=0.25 corrupt=0.01 latency=0.002 jitter=0.0005\n"
+      "link 20 4 - drop=0.5 rate=0.25\n");
+  ASSERT_EQ(schedule.size(), 2u);
+  using Kind = ScheduledFailure::Kind;
+  EXPECT_EQ(schedule[0].kind, Kind::kLink);
+  EXPECT_DOUBLE_EQ(schedule[0].at, 10.0);
+  EXPECT_EQ(schedule[0].node, 2u);
+  EXPECT_EQ(schedule[0].peer, 3u);
+  EXPECT_DOUBLE_EQ(schedule[0].drop, 0.25);
+  EXPECT_DOUBLE_EQ(schedule[0].corrupt, 0.01);
+  EXPECT_DOUBLE_EQ(schedule[0].latency, 0.002);
+  EXPECT_DOUBLE_EQ(schedule[0].jitter, 0.0005);
+  EXPECT_DOUBLE_EQ(schedule[0].rate, 1.0);
+  // "-" peer = the whole NIC, every direction.
+  EXPECT_EQ(schedule[1].peer, ScheduledFailure::kAllNodes);
+  EXPECT_DOUBLE_EQ(schedule[1].drop, 0.5);
+  EXPECT_DOUBLE_EQ(schedule[1].rate, 0.25);
+}
+
+TEST(ScheduledInjector, ParsesPartitionHealRepairAndMixedKinds) {
+  const auto schedule = ScheduledFailureInjector::parse(
+      "fail 5 1\n"
+      "partition 10 3 1\n"
+      "heal 20 3\n"
+      "repair 25 1\n"
+      "heal 30 all\n"
+      "40 2\n");  // legacy bare form still means fail
+  ASSERT_EQ(schedule.size(), 6u);
+  using Kind = ScheduledFailure::Kind;
+  EXPECT_EQ(schedule[0].kind, Kind::kFail);
+  EXPECT_EQ(schedule[0].node, 1u);
+  EXPECT_EQ(schedule[1].kind, Kind::kPartition);
+  EXPECT_EQ(schedule[1].node, 3u);
+  EXPECT_EQ(schedule[1].group, 1u);
+  EXPECT_EQ(schedule[2].kind, Kind::kHeal);
+  EXPECT_EQ(schedule[2].node, 3u);
+  EXPECT_EQ(schedule[3].kind, Kind::kRepair);
+  EXPECT_EQ(schedule[3].node, 1u);
+  EXPECT_EQ(schedule[4].kind, Kind::kHeal);
+  EXPECT_EQ(schedule[4].node, ScheduledFailure::kAllNodes);
+  EXPECT_EQ(schedule[5].kind, Kind::kFail);
+  EXPECT_EQ(schedule[5].node, 2u);
+}
+
+TEST(ScheduledInjector, ParseRejectsMalformedEvents) {
+  // Unknown keyword / key, bad probabilities, missing fields.
+  EXPECT_THROW(ScheduledFailureInjector::parse("jiggle 5 1\n"),
+               InvariantError);
+  EXPECT_THROW(ScheduledFailureInjector::parse("link 5 1 2 wobble=1\n"),
+               InvariantError);
+  EXPECT_THROW(ScheduledFailureInjector::parse("link 5 1 2 drop=1.5\n"),
+               InvariantError);
+  EXPECT_THROW(ScheduledFailureInjector::parse("link 5 1 2 rate=0\n"),
+               InvariantError);
+  EXPECT_THROW(ScheduledFailureInjector::parse("partition 5 1\n"),
+               InvariantError);
+  EXPECT_THROW(ScheduledFailureInjector::parse("repair 5\n"), InvariantError);
+  // Out-of-order times are rejected across kinds, too.
+  EXPECT_THROW(
+      ScheduledFailureInjector::parse("partition 10 1 1\nfail 5 2\n"),
+      InvariantError);
+}
+
+TEST(ScheduledInjector, DispatchesNonFailureEventsToEventCallback) {
+  simkit::Simulator sim;
+  ScheduledFailureInjector injector(
+      sim, ScheduledFailureInjector::parse("fail 1 0\n"
+                                           "partition 2 1 1\n"
+                                           "heal 3 1\n"
+                                           "repair 4 0\n"));
+  std::vector<NodeId> failures;
+  std::vector<std::pair<ScheduledFailure::Kind, double>> events;
+  injector.set_on_event([&](const ScheduledFailure& ev) {
+    events.emplace_back(ev.kind, sim.now());
+  });
+  injector.start([&](NodeId n) { failures.push_back(n); });
+  sim.run();
+  // Only real failures reach the failure callback (and count as such).
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_EQ(failures[0], 0u);
+  EXPECT_EQ(injector.failures_injected(), 1u);
+  using Kind = ScheduledFailure::Kind;
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0], (std::pair<Kind, double>{Kind::kPartition, 2.0}));
+  EXPECT_EQ(events[1], (std::pair<Kind, double>{Kind::kHeal, 3.0}));
+  EXPECT_EQ(events[2], (std::pair<Kind, double>{Kind::kRepair, 4.0}));
+}
+
 TEST(ClusterInjector, StopFromCallback) {
   simkit::Simulator sim;
   ClusterFailureInjector injector(

@@ -181,7 +181,7 @@ TEST(Overhead, DiskfullDominatedByNasPath) {
   // minutes, not milliseconds.
   EXPECT_GT(costs.overhead, 60.0);
   EXPECT_DOUBLE_EQ(costs.overhead, costs.latency);
-  EXPECT_GT(costs.repair, fig5.hw.detection_time);
+  EXPECT_GT(costs.repair, fig5.hw.detection_time());
 }
 
 TEST(Overhead, DisklessOverlappedIsBaseOnly) {

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <set>
+#include <string>
 
 #include "checkpoint/wire.hpp"
 #include "common/crc32.hpp"
@@ -143,6 +145,52 @@ TEST(Wire, RejectsPayloadBitFlip) {
   auto frame = checkpoint::encode_frame(cp);
   frame[40 + 2000] ^= std::byte{0x01};
   EXPECT_THROW(checkpoint::decode_frame(frame), checkpoint::WireError);
+}
+
+TEST(Wire, EverySingleBitFlipIsRejected) {
+  // Property: flipping ANY single bit of a sealed frame must make decode
+  // throw — the unreliable fabric flips arbitrary bits, and no flip may
+  // slip a corrupted image into a guest. Also checks that each distinct
+  // rejection branch (magic, header crc, payload crc) actually fires.
+  Rng rng(6);
+  checkpoint::Checkpoint cp;
+  cp.vm = 11;
+  cp.epoch = 0xfeedbeefcafe;
+  cp.page_size = 128;
+  cp.payload = random_bytes(rng, 256);
+  const auto frame = checkpoint::encode_frame(cp);
+  std::set<std::string> reasons;
+  for (std::size_t bit = 0; bit < frame.size() * 8; ++bit) {
+    auto flipped = frame;
+    flipped[bit / 8] ^= std::byte{1} << (bit % 8);
+    try {
+      checkpoint::decode_frame(flipped);
+      FAIL() << "bit " << bit << " flip decoded successfully";
+    } catch (const checkpoint::WireError& e) {
+      reasons.insert(e.what());
+    }
+  }
+  EXPECT_TRUE(reasons.count("checkpoint frame: bad magic"));
+  EXPECT_TRUE(reasons.count("checkpoint frame: header crc mismatch"));
+  EXPECT_TRUE(reasons.count("checkpoint frame: payload crc mismatch"));
+}
+
+TEST(Wire, RejectsExtension) {
+  // A frame longer than its declared payload hits the length branch.
+  Rng rng(7);
+  checkpoint::Checkpoint cp;
+  cp.vm = 1;
+  cp.epoch = 2;
+  cp.page_size = 64;
+  cp.payload = random_bytes(rng, 100);
+  auto frame = checkpoint::encode_frame(cp);
+  frame.push_back(std::byte{0});
+  try {
+    checkpoint::decode_frame(frame);
+    FAIL() << "extended frame decoded successfully";
+  } catch (const checkpoint::WireError& e) {
+    EXPECT_STREQ(e.what(), "checkpoint frame: length mismatch");
+  }
 }
 
 TEST(ParallelParity, MatchesSerialAcrossThreadCounts) {
