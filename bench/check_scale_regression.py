@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""CI regression gate for bench/scale_sweep.
+
+Compares a fresh BENCH_scale.json against the committed baseline
+(bench/BENCH_scale_baseline.json) and fails on a >20% regression.
+
+Shared CI runners differ wildly in absolute speed, so the gated metric is
+the calendar/heap events-per-second speedup — both queues run the same
+hold model in the same process, which cancels the machine out. Absolute
+events/s are printed for the record (the uploaded artifact keeps them) but
+only the ratio fails the job.
+
+Usage: check_scale_regression.py BENCH_scale.json [baseline.json]
+"""
+
+import json
+import sys
+
+
+def row_at(report, nodes):
+    for row in report["rows"]:
+        if row["nodes"] == nodes:
+            return row
+    sys.exit(f"no {nodes}-node row in report")
+
+
+def main():
+    if len(sys.argv) < 2:
+        sys.exit(__doc__)
+    current = json.load(open(sys.argv[1]))
+    baseline_path = (
+        sys.argv[2] if len(sys.argv) > 2 else "bench/BENCH_scale_baseline.json"
+    )
+    baseline = json.load(open(baseline_path))
+
+    base_row = baseline["row"]
+    cur_row = row_at(current, base_row["nodes"])
+
+    base = base_row["queue"]["speedup"]
+    cur = cur_row["queue"]["speedup"]
+    floor = 0.8 * base
+
+    print(f"calendar events/s: {cur_row['queue']['calendar_events_per_s']:.3e} "
+          f"(baseline {base_row['queue']['calendar_events_per_s']:.3e})")
+    print(f"heap events/s:     {cur_row['queue']['heap_events_per_s']:.3e} "
+          f"(baseline {base_row['queue']['heap_events_per_s']:.3e})")
+    print(f"speedup: {cur:.2f}x vs baseline {base:.2f}x (floor {floor:.2f}x)")
+
+    if cur < floor:
+        sys.exit(
+            f"FAIL: calendar/heap speedup {cur:.2f}x regressed more than 20% "
+            f"below the committed baseline {base:.2f}x"
+        )
+    print("OK: within 20% of baseline")
+
+
+if __name__ == "__main__":
+    main()

@@ -38,6 +38,9 @@ NodeId ClusterManager::add_node(NodeSpec spec, std::string name) {
   const net::HostId host = fabric_.add_host(spec.nic_rate, name, spec.rack);
   nodes_.push_back(std::make_unique<PhysicalNode>(id, std::move(name), host,
                                                   spec, rng_.fork()));
+  pool_map_.record(PlacementMap::Change::Join, id);
+  sim_.telemetry().metrics().set("cluster.map_version",
+                                 static_cast<double>(pool_map_.version()));
   return id;
 }
 
@@ -73,6 +76,7 @@ vm::VmId ClusterManager::boot_vm(NodeId node_id, Bytes page_size,
                            std::move(workload));
   placement_[id] = node_id;
   names_.bind(id, node_id);
+  pool_map_.touch();
   return id;
 }
 
@@ -108,6 +112,7 @@ void ClusterManager::place(std::unique_ptr<vm::VirtualMachine> m,
   n.hypervisor().adopt(std::move(m));
   placement_[id] = node_id;
   names_.bind(id, node_id);
+  pool_map_.touch();
 }
 
 void ClusterManager::destroy_vm(vm::VmId id) {
@@ -116,6 +121,7 @@ void ClusterManager::destroy_vm(vm::VmId id) {
   node(*loc).hypervisor().destroy_vm(id);
   placement_.erase(id);
   names_.unbind(id);
+  pool_map_.touch();
 }
 
 void ClusterManager::kill_node(NodeId id) {
@@ -130,6 +136,9 @@ void ClusterManager::kill_node(NodeId id) {
     placement_.erase(vmid);
     names_.unbind(vmid);
   }
+  pool_map_.record(PlacementMap::Change::Drain, id);
+  sim_.telemetry().metrics().set("cluster.map_version",
+                                 static_cast<double>(pool_map_.version()));
   VDC_INFO("cluster", "node ", n.name(), " failed, lost ", lost.size(),
            " VMs");
   if (on_failure_) on_failure_(id, lost);
@@ -140,6 +149,9 @@ void ClusterManager::revive_node(NodeId id) {
   VDC_REQUIRE(!n.alive(), "node is not dead");
   VDC_ASSERT(n.hypervisor().vm_count() == 0);
   n.alive_ = true;
+  pool_map_.record(PlacementMap::Change::Join, id);
+  sim_.telemetry().metrics().set("cluster.map_version",
+                                 static_cast<double>(pool_map_.version()));
 }
 
 void ClusterManager::fence_node(NodeId id, std::uint64_t token) {

@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cluster/placement.hpp"
 #include "common/rng.hpp"
 #include "net/fabric.hpp"
 #include "vm/machine.hpp"
@@ -102,6 +103,12 @@ class ClusterManager {
 
   net::Fabric& fabric() { return fabric_; }
   simkit::Simulator& sim() { return sim_; }
+
+  /// The versioned pool map: node joins/drains bump its version, VM
+  /// placement churn bumps its stamp. Layout consumers (GroupPlanner,
+  /// DvdcBackend::ensure_plan) key their caches on it.
+  const PlacementMap& placement_map() const { return pool_map_; }
+  PlacementMap& placement_map() { return pool_map_; }
 
   // --- VM lifecycle --------------------------------------------------------
   /// Boot a VM on `node`; returns its cluster-wide id.
@@ -191,6 +198,7 @@ class ClusterManager {
   bool enforce_capacity_ = false;
   bool degraded_ = false;
   std::unordered_map<NodeId, std::uint64_t> fences_;
+  PlacementMap pool_map_;
 };
 
 }  // namespace vdc::cluster

@@ -6,6 +6,22 @@
 
 namespace vdc {
 
+/// Kahan (compensated) summation: running sums of many small increments
+/// (per-port byte accounting over millions of flow settlements) keep full
+/// precision instead of drifting by one ulp of the running total per add.
+struct KahanSum {
+  double sum = 0.0;
+  double carry = 0.0;  // running compensation
+
+  void add(double x) {
+    const double y = x - carry;
+    const double t = sum + y;
+    carry = (t - sum) - y;
+    sum = t;
+  }
+  double value() const { return sum; }
+};
+
 /// Numerically stable streaming mean/variance (Welford's algorithm).
 class RunningStats {
  public:

@@ -1,5 +1,5 @@
 #pragma once
-// Orthogonal RAID-group planning (paper Section IV-B).
+// RAID-group planning (paper Section IV-B) behind a placement abstraction.
 //
 // VMs are partitioned into RAID groups subject to the orthogonality
 // constraint borrowed from gridding RAID sets across controllers: no two
@@ -9,9 +9,28 @@
 // greedily, always drawing the next group's members from the nodes with
 // the most unassigned VMs (which also balances groups across the cluster),
 // and the parity-holder choice rotates RAID-5-style per group and epoch.
+//
+// Two layouts share that greedy skeleton:
+//  - Orthogonal (the paper's): load ties break by node id, so with equal
+//    loads the same k nodes group together again and again. Simple, but a
+//    node failure then concentrates the whole rebuild on its k-1 habitual
+//    partners.
+//  - Declustered: load ties break by PlacementMap::mix(seed, map_version,
+//    group, node) — a deterministic pseudo-random per-group permutation
+//    (the balanced-design idea behind parity declustering). Group
+//    membership varies across groups, so a failure's rebuild partners
+//    spread over ALL survivors and per-node rebuild load drops toward
+//    groups_of(victim) * (k-1) / survivors. Coverage guarantees are
+//    unchanged: the most-loaded-first primary key is identical.
+//
+// Plans are versioned against the cluster's PlacementMap: a node join or
+// drain bumps the map, and replan() consumes the bump incrementally —
+// groups untouched by the change survive verbatim (membership, relative
+// order) and only broken groups' VMs are re-formed.
 
 #include <cstdint>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "checkpoint/checkpointer.hpp"
@@ -34,14 +53,34 @@ struct GroupPlan {
   /// nor its parity — share a *rack*, so a whole-rack failure erases at
   /// most one block per stripe.
   bool rack_aware = false;
+  /// The cluster PlacementMap version this plan was derived at (0 for
+  /// hand-built plans).
+  cluster::PlacementMap::Version map_version = 0;
 
-  /// Group containing `vm`, if any.
+  /// Group containing `vm`, if any. O(1) via the plan-time index on
+  /// planner-built plans; falls back to scanning groups on hand-built
+  /// plans that never called build_index().
   std::optional<GroupId> group_of(vm::VmId vm) const;
 
+  /// (Re)build the vm -> group index. The planner calls this; call it
+  /// again after mutating `groups` by hand.
+  void build_index();
+
   std::size_t total_members() const;
+
+ private:
+  std::unordered_map<vm::VmId, GroupId> index_;
 };
 
 struct PlannerConfig {
+  enum class Layout : std::uint8_t {
+    /// Deterministic node-id tie-breaks (the paper's layout).
+    Orthogonal,
+    /// Pseudo-random per-group tie-breaks keyed on the pool map —
+    /// spreads rebuild load over all survivors.
+    Declustered,
+  };
+
   /// Target data members per group. 0 = auto: alive_nodes minus
   /// `parity_reserve` (Figure 4 for single parity).
   std::uint32_t group_size = 0;
@@ -54,6 +93,7 @@ struct PlannerConfig {
   /// group must sit in pairwise distinct racks, making rack-level
   /// correlated failures single erasures per stripe.
   bool rack_aware = false;
+  Layout layout = Layout::Orthogonal;
 };
 
 class GroupPlanner {
@@ -64,6 +104,21 @@ class GroupPlanner {
   /// Throws ConfigError if the constraint set is unsatisfiable (e.g. more
   /// than `group_size` VMs would be forced onto one node's group slot).
   GroupPlan plan(const cluster::ClusterManager& cluster) const;
+
+  /// Incremental replan after a pool-map bump or placement churn: every
+  /// group of `previous` that is still intact (members placed on pairwise
+  /// distinct alive nodes, parity-eligible) is kept verbatim; only the
+  /// VMs of broken groups — plus any VMs the old plan never covered — are
+  /// re-formed into new groups. Group ids are renumbered densely, kept
+  /// groups first in their original order.
+  GroupPlan replan(const GroupPlan& previous,
+                   const cluster::ClusterManager& cluster) const;
+
+  /// True when `group` still provides full protection on this cluster
+  /// (the per-group clause of validate()).
+  static bool group_intact(const RaidGroup& group,
+                           const cluster::ClusterManager& cluster,
+                           bool rack_aware);
 
   /// Verify orthogonality: every group's members lie on pairwise distinct
   /// nodes and at least one alive non-member node exists to hold parity.
@@ -85,6 +140,20 @@ class GroupPlanner {
                                        const cluster::ClusterManager& cluster);
 
  private:
+  struct NodeQueue {
+    cluster::NodeId node;
+    std::vector<vm::VmId> vms;  // back() is next to assign
+  };
+  std::uint32_t resolve_group_size(std::size_t alive_nodes) const;
+  /// Run the greedy formation loop over `queues`, appending groups to
+  /// `plan` (ids continue from plan.groups.size()).
+  void form_groups(std::vector<NodeQueue> queues, std::uint32_t k,
+                   const cluster::ClusterManager& cluster,
+                   GroupPlan& plan) const;
+  void check_plan(const GroupPlan& plan,
+                  const cluster::ClusterManager& cluster,
+                  std::size_t expected_members) const;
+
   PlannerConfig config_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <set>
 #include <utility>
 
 #include "common/assert.hpp"
@@ -764,10 +765,34 @@ DvdcBackend::DvdcBackend(simkit::Simulator& sim,
       planner_(with_scheme_reserve(planner, protocol)) {}
 
 void DvdcBackend::ensure_plan() {
-  if (placed_.has_value() && placed_->still_orthogonal(cluster_)) return;
-  placed_ = PlacedPlan::make(planner_.plan(cluster_), cluster_,
+  // Fast path: nothing in the cluster moved since the plan was last
+  // validated (the pool-map stamp covers node joins/drains AND VM
+  // placement churn), so skip even the O(plan) orthogonality walk.
+  const auto stamp = cluster_.placement_map().stamp();
+  if (placed_.has_value() && validated_stamp_ == stamp) return;
+  if (placed_.has_value() && placed_->still_orthogonal(cluster_)) {
+    validated_stamp_ = stamp;
+    return;
+  }
+  // Consume the pool-map bump incrementally: intact groups survive the
+  // replan verbatim, only broken ones re-form (and re-exchange).
+  GroupPlan next = placed_.has_value()
+                       ? planner_.replan(placed_->plan, cluster_)
+                       : planner_.plan(cluster_);
+  auto& metrics = cluster_.sim().telemetry().metrics();
+  metrics.add("plan.rebuilds", 1.0);
+  if (placed_.has_value()) {
+    std::set<std::vector<vm::VmId>> prev_groups;
+    for (const auto& g : placed_->plan.groups) prev_groups.insert(g.members);
+    std::size_t reused = 0;
+    for (const auto& g : next.groups) reused += prev_groups.count(g.members);
+    metrics.set("plan.groups_reused", static_cast<double>(reused));
+  }
+  metrics.set("plan.map_version", static_cast<double>(next.map_version));
+  placed_ = PlacedPlan::make(std::move(next), cluster_,
                              protocol_config_.scheme,
                              protocol_config_.rs_parity);
+  validated_stamp_ = stamp;
 }
 
 const PlacedPlan& DvdcBackend::placed_plan() {

@@ -332,6 +332,9 @@ class DvdcBackend final : public CheckpointBackend {
   RecoveryManager recovery_;
   GroupPlanner planner_;
   std::optional<PlacedPlan> placed_;
+  /// Pool-map stamp at which `placed_` was last validated (the O(1)
+  /// ensure_plan fast path).
+  cluster::PlacementMap::Version validated_stamp_ = 0;
   /// The plan whose epoch is currently committed. Recovery must use THIS
   /// plan (its memberships match the committed parity stripes), even if
   /// `placed_` has since been rebuilt for the next epoch.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <map>
 #include <utility>
 
 namespace vdc::net {
@@ -29,9 +31,17 @@ double floored_share(double residual, std::uint32_t unfixed, double cap) {
 }
 }  // namespace
 
+FlowNetwork::FlowNetwork(simkit::Simulator& sim) : sim_(sim) {
+  const char* env = std::getenv("VDC_FULL_SOLVER");
+  if (env != nullptr && env[0] == '1') incremental_ = false;
+}
+
 PortId FlowNetwork::add_port(Rate capacity, std::string name) {
   VDC_REQUIRE(capacity > 0.0, "port capacity must be positive");
-  ports_.push_back(Port{capacity, std::move(name)});
+  Port port;
+  port.cap = capacity;
+  port.name = std::move(name);
+  ports_.push_back(std::move(port));
   return static_cast<PortId>(ports_.size() - 1);
 }
 
@@ -40,6 +50,7 @@ void FlowNetwork::set_capacity(PortId port, Rate capacity) {
   VDC_ASSERT(port < ports_.size());
   settle_progress();
   ports_[port].cap = capacity;
+  dirty_ports_.insert(port);
   resolve_rates();
   schedule_next_completion();
 }
@@ -56,7 +67,7 @@ const std::string& FlowNetwork::port_name(PortId port) const {
 
 double FlowNetwork::port_bytes(PortId port) const {
   VDC_ASSERT(port < ports_.size());
-  return ports_[port].bytes_through;
+  return ports_[port].bytes_through.value();
 }
 
 FlowId FlowNetwork::start_flow(std::vector<PortId> path, Bytes bytes,
@@ -65,7 +76,7 @@ FlowId FlowNetwork::start_flow(std::vector<PortId> path, Bytes bytes,
   VDC_ASSERT(latency >= 0.0);
   const FlowId id = next_flow_id_++;
   Flow flow{std::move(path), static_cast<double>(bytes),
-            0.0, std::move(on_complete)};
+            0.0, std::move(on_complete), 0};
 
   if (latency > 0.0) {
     auto ev = sim_.after(latency, [this, id, flow = std::move(flow)]() mutable {
@@ -90,6 +101,8 @@ void FlowNetwork::activate(FlowId id, Flow flow) {
     return;
   }
   settle_progress();
+  mark_dirty(flow.path);
+  for (PortId p : flow.path) ports_[p].flows.insert(id);
   flows_.emplace(id, std::move(flow));
   resolve_rates();
   schedule_next_completion();
@@ -106,6 +119,8 @@ bool FlowNetwork::cancel_flow(FlowId id) {
   auto it = flows_.find(id);
   if (it == flows_.end()) return false;
   settle_progress();
+  mark_dirty(it->second.path);
+  for (PortId p : it->second.path) ports_[p].flows.erase(id);
   flows_.erase(it);
   resolve_rates();
   schedule_next_completion();
@@ -126,43 +141,71 @@ void FlowNetwork::settle_progress() {
   const SimTime now = sim_.now();
   const double dt = now - last_settle_;
   last_settle_ = now;
-  if (dt <= 0.0) return;
+  if (dt <= 0.0 || flows_.empty()) return;
   for (auto& [id, flow] : flows_) {
     const double moved = std::min(flow.remaining, flow.rate * dt);
     flow.remaining -= moved;
-    for (PortId p : flow.path) ports_[p].bytes_through += moved;
+    for (PortId p : flow.path) ports_[p].bytes_through.add(moved);
   }
 }
 
-void FlowNetwork::resolve_rates() {
-  // Water-filling max-min fair allocation.
-  if (flows_.empty()) return;
+void FlowNetwork::mark_dirty(const std::vector<PortId>& path) {
+  for (PortId p : path) dirty_ports_.insert(p);
+}
 
-  std::vector<double> residual(ports_.size());
-  std::vector<std::uint32_t> unfixed_on_port(ports_.size(), 0);
-  for (std::size_t p = 0; p < ports_.size(); ++p) residual[p] = ports_[p].cap;
-
-  // Deterministic iteration order: sort flow ids.
-  std::vector<FlowId> ids;
-  ids.reserve(flows_.size());
-  for (auto& [id, f] : flows_) ids.push_back(id);
-  std::sort(ids.begin(), ids.end());
-
-  std::unordered_map<FlowId, bool> fixed;
-  fixed.reserve(ids.size());
-  for (FlowId id : ids) {
-    fixed[id] = false;
-    for (PortId p : flows_[id].path) ++unfixed_on_port[p];
+std::vector<FlowId> FlowNetwork::collect_component(
+    FlowId seed, std::unordered_set<FlowId>& seen,
+    std::unordered_set<PortId>& ports_seen) const {
+  std::vector<FlowId> component;
+  std::vector<FlowId> stack{seed};
+  seen.insert(seed);
+  while (!stack.empty()) {
+    const FlowId id = stack.back();
+    stack.pop_back();
+    component.push_back(id);
+    for (PortId p : flows_.at(id).path) {
+      if (!ports_seen.insert(p).second) continue;
+      for (FlowId other : ports_[p].flows)
+        if (seen.insert(other).second) stack.push_back(other);
+    }
   }
+  std::sort(component.begin(), component.end());
+  return component;
+}
 
+std::vector<Rate> FlowNetwork::solve_component(
+    const std::vector<FlowId>& ids) const {
+  // Water-filling max-min fair allocation over one connected component.
+  // Pure: reads flow paths and port capacities only. Flow ids ascending
+  // and component ports ascending make every float op order-determined,
+  // which is what lets the incremental path match a full solve bitwise.
+  std::vector<PortId> cports;
+  for (FlowId id : ids)
+    for (PortId p : flows_.at(id).path) cports.push_back(p);
+  std::sort(cports.begin(), cports.end());
+  cports.erase(std::unique(cports.begin(), cports.end()), cports.end());
+  const auto local = [&](PortId p) {
+    return static_cast<std::size_t>(
+        std::lower_bound(cports.begin(), cports.end(), p) - cports.begin());
+  };
+
+  std::vector<double> residual(cports.size());
+  std::vector<std::uint32_t> unfixed(cports.size(), 0);
+  for (std::size_t i = 0; i < cports.size(); ++i)
+    residual[i] = ports_[cports[i]].cap;
+  for (FlowId id : ids)
+    for (PortId p : flows_.at(id).path) ++unfixed[local(p)];
+
+  std::vector<char> fixed(ids.size(), 0);
+  std::vector<Rate> rates(ids.size(), 0.0);
   std::size_t remaining_flows = ids.size();
   while (remaining_flows > 0) {
     // Find the port giving the smallest fair share among loaded ports.
     double best_share = std::numeric_limits<double>::infinity();
-    for (std::size_t p = 0; p < ports_.size(); ++p) {
-      if (unfixed_on_port[p] == 0) continue;
+    for (std::size_t i = 0; i < cports.size(); ++i) {
+      if (unfixed[i] == 0) continue;
       const double share =
-          floored_share(residual[p], unfixed_on_port[p], ports_[p].cap);
+          floored_share(residual[i], unfixed[i], ports_[cports[i]].cap);
       best_share = std::min(best_share, share);
     }
     VDC_ASSERT(std::isfinite(best_share));
@@ -171,31 +214,132 @@ void FlowNetwork::resolve_rates() {
     // Freeze every unfixed flow crossing a port that is saturated at
     // best_share (within numerical tolerance).
     bool froze_any = false;
-    for (FlowId id : ids) {
-      if (fixed[id]) continue;
+    for (std::size_t fi = 0; fi < ids.size(); ++fi) {
+      if (fixed[fi]) continue;
+      const Flow& f = flows_.at(ids[fi]);
       bool bottlenecked = false;
-      for (PortId p : flows_[id].path) {
+      for (PortId p : f.path) {
+        const std::size_t i = local(p);
         const double share =
-            floored_share(residual[p], unfixed_on_port[p], ports_[p].cap);
+            floored_share(residual[i], unfixed[i], ports_[cports[i]].cap);
         if (share <= best_share * (1.0 + 1e-12)) {
           bottlenecked = true;
           break;
         }
       }
       if (!bottlenecked) continue;
-      Flow& f = flows_[id];
-      f.rate = best_share;
-      fixed[id] = true;
+      rates[fi] = best_share;
+      fixed[fi] = 1;
       froze_any = true;
       --remaining_flows;
       for (PortId p : f.path) {
-        residual[p] -= best_share;
-        if (residual[p] < 0.0) residual[p] = 0.0;
-        --unfixed_on_port[p];
+        const std::size_t i = local(p);
+        residual[i] -= best_share;
+        if (residual[i] < 0.0) residual[i] = 0.0;
+        --unfixed[i];
       }
     }
     VDC_ASSERT_MSG(froze_any, "water-filling failed to make progress");
   }
+  return rates;
+}
+
+void FlowNetwork::apply_rates(const std::vector<FlowId>& ids,
+                              const std::vector<Rate>& rates) {
+  ++solver_solves_;
+  solver_flows_solved_ += ids.size();
+  const SimTime now = sim_.now();
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    Flow& f = flows_.at(ids[i]);
+    f.rate = rates[i];
+    VDC_ASSERT_MSG(f.rate > 0.0, "active flow with zero rate");
+    ++f.stamp;
+    completions_.push(Completion{now + f.remaining / f.rate, ids[i], f.stamp});
+  }
+}
+
+void FlowNetwork::resolve_rates() {
+  if (!incremental_) {
+    // Full solve: decompose the whole population into components and
+    // re-solve each from scratch (the oracle as the live path).
+    dirty_ports_.clear();
+    if (flows_.empty()) return;
+    std::vector<FlowId> ids;
+    ids.reserve(flows_.size());
+    for (auto& [id, f] : flows_) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    std::unordered_set<FlowId> seen;
+    std::unordered_set<PortId> ports_seen;
+    for (FlowId id : ids) {
+      if (seen.count(id)) continue;
+      const auto component = collect_component(id, seen, ports_seen);
+      apply_rates(component, solve_component(component));
+    }
+    return;
+  }
+
+  if (dirty_ports_.empty()) return;
+  // Re-solve only the connected components the dirty ports belong to.
+  std::vector<PortId> dirty(dirty_ports_.begin(), dirty_ports_.end());
+  std::sort(dirty.begin(), dirty.end());
+  dirty_ports_.clear();
+  std::unordered_set<FlowId> seen;
+  std::unordered_set<PortId> ports_seen;
+  for (PortId p : dirty) {
+    // collect_component owns ports_seen: a port already absorbed into an
+    // earlier component (or flowless) is skipped, but an untouched dirty
+    // port must stay unmarked so the BFS enumerates its flows.
+    if (ports_seen.count(p) != 0) continue;
+    std::vector<FlowId> on_port(ports_[p].flows.begin(),
+                                ports_[p].flows.end());
+    std::sort(on_port.begin(), on_port.end());
+    for (FlowId f : on_port) {
+      if (seen.count(f)) continue;
+      const auto component = collect_component(f, seen, ports_seen);
+      apply_rates(component, solve_component(component));
+    }
+  }
+}
+
+std::vector<std::pair<FlowId, Rate>> FlowNetwork::oracle_rates() const {
+  // Build the adjacency from the flow table alone (deliberately NOT from
+  // Port::flows, so broken incremental bookkeeping can't fool the check).
+  std::map<PortId, std::vector<FlowId>> on_port;
+  std::vector<FlowId> ids;
+  ids.reserve(flows_.size());
+  for (auto& [id, f] : flows_) {
+    ids.push_back(id);
+    for (PortId p : f.path) on_port[p].push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+
+  std::unordered_set<FlowId> seen;
+  std::unordered_set<PortId> ports_seen;
+  std::vector<std::pair<FlowId, Rate>> out;
+  out.reserve(ids.size());
+  for (FlowId seed : ids) {
+    if (seen.count(seed)) continue;
+    // Component BFS over the side adjacency.
+    std::vector<FlowId> component;
+    std::vector<FlowId> stack{seed};
+    seen.insert(seed);
+    while (!stack.empty()) {
+      const FlowId id = stack.back();
+      stack.pop_back();
+      component.push_back(id);
+      for (PortId p : flows_.at(id).path) {
+        if (!ports_seen.insert(p).second) continue;
+        for (FlowId other : on_port[p])
+          if (seen.insert(other).second) stack.push_back(other);
+      }
+    }
+    std::sort(component.begin(), component.end());
+    const auto rates = solve_component(component);
+    for (std::size_t i = 0; i < component.size(); ++i)
+      out.emplace_back(component[i], rates[i]);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 void FlowNetwork::schedule_next_completion() {
@@ -203,37 +347,68 @@ void FlowNetwork::schedule_next_completion() {
     sim_.cancel(timer_);
     timer_ = simkit::kInvalidEvent;
   }
-  if (flows_.empty()) return;
-
-  double next_dt = std::numeric_limits<double>::infinity();
-  for (auto& [id, f] : flows_) {
-    VDC_ASSERT_MSG(f.rate > 0.0, "active flow with zero rate");
-    next_dt = std::min(next_dt, f.remaining / f.rate);
+  // Drop stale completion entries (finished/cancelled flows, superseded
+  // rates) off the top.
+  while (!completions_.empty()) {
+    const Completion& top = completions_.top();
+    auto it = flows_.find(top.id);
+    if (it == flows_.end() || it->second.stamp != top.stamp) {
+      completions_.pop();
+      continue;
+    }
+    break;
   }
-  VDC_ASSERT(std::isfinite(next_dt));
-  timer_ = sim_.after(next_dt, [this] { on_timer(); });
+  if (completions_.empty()) {
+    VDC_ASSERT_MSG(flows_.empty(), "active flow without a completion entry");
+    return;
+  }
+  const SimTime dt = std::max(0.0, completions_.top().at - sim_.now());
+  timer_ = sim_.after(dt, [this] { on_timer(); });
 }
 
 void FlowNetwork::on_timer() {
   timer_ = simkit::kInvalidEvent;
   settle_progress();
+  const SimTime now = sim_.now();
 
-  // Collect finished flows in deterministic (FlowId) order.
+  // Collect finished flows in deterministic (FlowId) order. The second
+  // clause retires flows whose residual is so small that no representable
+  // time step can move it (sub-ulp leftovers from the predicted-finish
+  // arithmetic).
   std::vector<FlowId> done;
   for (auto& [id, f] : flows_)
-    if (f.remaining < kDoneEpsilon) done.push_back(id);
+    if (f.remaining < kDoneEpsilon || now + f.remaining / f.rate <= now)
+      done.push_back(id);
   std::sort(done.begin(), done.end());
 
   std::vector<Callback> callbacks;
   callbacks.reserve(done.size());
   for (FlowId id : done) {
     auto it = flows_.find(id);
+    mark_dirty(it->second.path);
+    for (PortId p : it->second.path) ports_[p].flows.erase(id);
     if (it->second.on_complete)
       callbacks.push_back(std::move(it->second.on_complete));
     flows_.erase(it);
   }
 
   resolve_rates();
+
+  // Re-arm surviving flows whose predicted finish has come due (an early
+  // prediction by a float ulp): refresh their entry at the new now.
+  while (!completions_.empty() && completions_.top().at <= now) {
+    const Completion c = completions_.top();
+    completions_.pop();
+    auto it = flows_.find(c.id);
+    if (it == flows_.end() || it->second.stamp != c.stamp) continue;
+    Flow& f = it->second;
+    ++f.stamp;
+    double at = now + f.remaining / f.rate;
+    if (at <= now)
+      at = std::nextafter(now, std::numeric_limits<double>::infinity());
+    completions_.push(Completion{at, c.id, f.stamp});
+  }
+
   schedule_next_completion();
   if (!done.empty()) notify_count();
 

@@ -1,0 +1,225 @@
+#include "simkit/event_queue.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace vdc::simkit {
+
+namespace {
+
+// Bucket width fitted to the current population: a few times the median
+// inter-event gap near-uniformly sampled across the contents, so the
+// average bucket holds O(1) events of the current "year". The median (not
+// the mean) keeps one far-future outlier — a lone watchdog timer — from
+// stretching every bucket.
+double estimate_width(const std::vector<QueueEntry>& entries) {
+  if (entries.size() < 2) return 1.0;
+  constexpr std::size_t kSample = 64;
+  const std::size_t stride =
+      std::max<std::size_t>(1, entries.size() / kSample);
+  std::vector<double> times;
+  times.reserve(kSample + 1);
+  for (std::size_t i = 0; i < entries.size(); i += stride)
+    times.push_back(entries[i].t);
+  std::sort(times.begin(), times.end());
+  std::vector<double> gaps;
+  gaps.reserve(times.size());
+  for (std::size_t i = 1; i < times.size(); ++i)
+    if (times[i] > times[i - 1]) gaps.push_back(times[i] - times[i - 1]);
+  if (gaps.empty()) return 1.0;  // all sampled times equal
+  std::nth_element(gaps.begin(), gaps.begin() + gaps.size() / 2, gaps.end());
+  // A sampled gap spans ~stride adjacent events; scale back down, then
+  // take ~1.5 true gaps per bucket: wide enough that the runner-up cache
+  // usually has a promotion to offer, narrow enough that a pop's window
+  // scan stays at a couple of entries (empirically the sweet spot for the
+  // stationary timer populations this queue serves).
+  const double width = 1.5 * gaps[gaps.size() / 2] / stride;
+  return (std::isfinite(width) && width > 0.0) ? width : 1.0;
+}
+
+}  // namespace
+
+void CalendarQueue::reset(std::size_t nbuckets, double width,
+                          SimTime cursor) {
+  VDC_ASSERT(nbuckets >= 1 && width > 0.0);
+  VDC_ASSERT((nbuckets & (nbuckets - 1)) == 0);  // mask_ needs a power of 2
+  buckets_.assign(nbuckets, {});
+  width_ = width;
+  inv_width_ = 1.0 / width;
+  mask_ = nbuckets - 1;
+  span_ = width * static_cast<double>(nbuckets);
+  size_ = 0;
+  cursor_ = cursor;
+  cached_ = false;
+  second_ = false;
+}
+
+std::size_t CalendarQueue::bucket_of(SimTime t) const {
+  return static_cast<std::size_t>(slot_of(t) & mask_);
+}
+
+void CalendarQueue::push(QueueEntry e) {
+  if (size_ >= 2 * buckets_.size()) rebuild(2 * buckets_.size());
+  auto& bucket = buckets_[bucket_of(e.t)];
+  bucket.push_back(e);
+  ++size_;
+  if (e.t < cursor_) cursor_ = e.t;
+  if (cached_ && entry_before(e, cached_entry_)) {
+    // The new entry is the minimum; it sits at the back of its bucket.
+    // The displaced minimum becomes the runner-up if it shares the new
+    // minimum's window (otherwise the runner-up invariant breaks).
+    if (slot_of(e.t) == slot_of(cached_entry_.t)) {
+      second_entry_ = cached_entry_;
+      second_pos_ = cached_pos_;
+      second_ = true;
+    } else {
+      second_ = false;
+    }
+    cached_entry_ = e;
+    cached_bucket_ = bucket_of(e.t);
+    cached_pos_ = bucket.size() - 1;
+  } else if (cached_ && second_ && entry_before(e, second_entry_)) {
+    // min <= e < runner-up and windows are monotone in time, so e is in
+    // the minimum's window: it is the new runner-up.
+    second_entry_ = e;
+    second_pos_ = bucket.size() - 1;
+  }
+}
+
+const QueueEntry* CalendarQueue::peek() {
+  if (size_ == 0) return nullptr;
+  if (!cached_) find_min();
+  return &cached_entry_;
+}
+
+void CalendarQueue::pop() {
+  VDC_ASSERT(size_ > 0);
+  if (!cached_) find_min();
+  auto& bucket = buckets_[cached_bucket_];
+  VDC_ASSERT(cached_pos_ < bucket.size());
+  const std::size_t old_back = bucket.size() - 1;
+  bucket[cached_pos_] = bucket.back();
+  bucket.pop_back();
+  --size_;
+  cursor_ = cached_entry_.t;
+  if (second_) {
+    // The popped window is still non-empty, so its runner-up is the next
+    // global minimum — promote it instead of rescanning. The swap-remove
+    // may have moved it from the back into the popped slot.
+    cached_entry_ = second_entry_;
+    if (second_pos_ != old_back) cached_pos_ = second_pos_;
+    second_ = false;
+  } else {
+    cached_ = false;
+  }
+  // Shrink with a 2x hysteresis margin below the grow trigger so a
+  // population hovering at a power of two does not thrash rebuilds.
+  if (buckets_.size() > kMinBuckets && size_ < buckets_.size() / 4)
+    rebuild(buckets_.size() / 2);
+}
+
+void CalendarQueue::find_min() {
+  VDC_ASSERT(size_ > 0);
+  const std::size_t n = buckets_.size();
+  const std::uint64_t cs = slot_of(cursor_);
+
+  // Walk one wheel revolution starting at the cursor's slot: the first
+  // window holding any event holds the global minimum, because every
+  // stored entry's time is >= cursor_ and windows tile time in order.
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::uint64_t target = cs + k;
+    const auto& bucket = buckets_[static_cast<std::size_t>(target & mask_)];
+    bool found = false;
+    bool second = false;
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      if (slot_of(bucket[i].t) != target) continue;
+      if (!found || entry_before(bucket[i], cached_entry_)) {
+        if (found) {  // displaced minimum becomes the runner-up
+          second_entry_ = cached_entry_;
+          second_pos_ = cached_pos_;
+          second = true;
+        }
+        found = true;
+        cached_entry_ = bucket[i];
+        cached_pos_ = i;
+      } else if (!second || entry_before(bucket[i], second_entry_)) {
+        second_entry_ = bucket[i];
+        second_pos_ = i;
+        second = true;
+      }
+    }
+    if (found) {
+      cached_ = true;
+      second_ = second;
+      cached_bucket_ = static_cast<std::size_t>(target & mask_);
+      return;
+    }
+  }
+
+  // Nothing within a revolution of the cursor (sparse far-future events):
+  // direct search, then jump the cursor so later peeks are cheap again.
+  bool found = false;
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t i = 0; i < buckets_[b].size(); ++i) {
+      if (!found || entry_before(buckets_[b][i], cached_entry_)) {
+        found = true;
+        cached_entry_ = buckets_[b][i];
+        cached_bucket_ = b;
+        cached_pos_ = i;
+      }
+    }
+  }
+  VDC_ASSERT(found);
+  cached_ = true;
+  second_ = false;  // the runner-up invariant is per-window; none here
+  cursor_ = cached_entry_.t;
+}
+
+void CalendarQueue::rebuild(std::size_t nbuckets) {
+  std::vector<QueueEntry> all;
+  all.reserve(size_);
+  for (auto& bucket : buckets_)
+    all.insert(all.end(), bucket.begin(), bucket.end());
+  const SimTime cursor = cursor_;
+  reset(std::max(nbuckets, kMinBuckets), estimate_width(all), cursor);
+  for (const QueueEntry& e : all) {
+    buckets_[bucket_of(e.t)].push_back(e);
+    if (e.t < cursor_) cursor_ = e.t;
+  }
+  size_ = all.size();
+}
+
+void CalendarQueue::assign(std::vector<QueueEntry> entries) {
+  SimTime cursor = entries.empty() ? 0.0 : entries.front().t;
+  for (const QueueEntry& e : entries) cursor = std::min(cursor, e.t);
+  std::size_t nbuckets = kMinBuckets;
+  while (nbuckets * 2 < entries.size()) nbuckets *= 2;
+  reset(nbuckets, estimate_width(entries), cursor);
+  for (const QueueEntry& e : entries)
+    buckets_[bucket_of(e.t)].push_back(e);
+  size_ = entries.size();
+}
+
+std::unique_ptr<EventQueue> make_event_queue(QueueKind kind) {
+  switch (kind) {
+    case QueueKind::Calendar:
+      return std::make_unique<CalendarQueue>();
+    case QueueKind::BinaryHeap:
+      break;
+  }
+  return std::make_unique<BinaryHeapQueue>();
+}
+
+QueueKind default_queue_kind() {
+  const char* env = std::getenv("VDC_EVENT_QUEUE");
+  if (env != nullptr && std::strcmp(env, "calendar") == 0)
+    return QueueKind::Calendar;
+  return QueueKind::BinaryHeap;
+}
+
+}  // namespace vdc::simkit

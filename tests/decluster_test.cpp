@@ -1,0 +1,251 @@
+// Declustered placement properties (the PlacementMap-driven layout).
+//
+// The point of declustering: when a node dies, its rebuild partners (the
+// other members of every group it touched) should be spread over ALL
+// survivors instead of the same k-1 habitual neighbours. These tests pin
+// (1) the per-survivor rebuild-load concentration bound for every
+// single-node failure, (2) orthogonality and coverage across pool-map
+// version bumps (join/drain/failure fuzz), and (3) incremental replan
+// reuse of intact groups.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/plan.hpp"
+#include "vm/workload.hpp"
+
+namespace vdc::core {
+namespace {
+
+struct Rig {
+  simkit::Simulator sim;
+  cluster::ClusterManager cluster{sim, Rng(1)};
+
+  Rig(std::uint32_t nodes, std::uint32_t vms_per_node) {
+    for (std::uint32_t n = 0; n < nodes; ++n) cluster.add_node();
+    for (std::uint32_t n = 0; n < nodes; ++n)
+      for (std::uint32_t v = 0; v < vms_per_node; ++v)
+        cluster.boot_vm(n, kib(4), 4, std::make_unique<vm::IdleWorkload>());
+  }
+
+  vm::VmId boot_on(cluster::NodeId n) {
+    return cluster.boot_vm(n, kib(4), 4,
+                           std::make_unique<vm::IdleWorkload>());
+  }
+};
+
+/// Per-survivor rebuild load for the failure of `victim`: for every group
+/// the victim touches, each surviving member-node contributes one unit
+/// (it must serve its checkpoint for the XOR rebuild).
+std::map<cluster::NodeId, std::size_t> rebuild_load_checked(
+    const GroupPlan& plan, const cluster::ClusterManager& cluster,
+    cluster::NodeId victim) {
+  std::map<cluster::NodeId, std::size_t> load;
+  for (const auto& g : plan.groups) {
+    bool hit = false;
+    std::vector<cluster::NodeId> peers;
+    for (vm::VmId m : g.members) {
+      const auto loc = cluster.locate(m);
+      EXPECT_TRUE(loc.has_value()) << "member unplaced";
+      if (!loc.has_value()) continue;
+      if (*loc == victim)
+        hit = true;
+      else
+        peers.push_back(*loc);
+    }
+    if (!hit) continue;
+    for (cluster::NodeId p : peers) ++load[p];
+  }
+  return load;
+}
+
+struct Spread {
+  std::size_t max = 0;
+  std::size_t loaded_survivors = 0;  // survivors with any rebuild work
+  double mean = 0.0;                 // over ALL survivors
+};
+
+Spread spread_for(const GroupPlan& plan,
+                  const cluster::ClusterManager& cluster,
+                  cluster::NodeId victim) {
+  const auto load = rebuild_load_checked(plan, cluster, victim);
+  Spread s;
+  std::size_t total = 0;
+  for (const auto& [node, n] : load) {
+    s.max = std::max(s.max, n);
+    total += n;
+  }
+  s.loaded_survivors = load.size();
+  const std::size_t survivors = cluster.alive_nodes().size() - 1;
+  s.mean = survivors ? static_cast<double>(total) / survivors : 0.0;
+  return s;
+}
+
+// 30 nodes x 10 VMs, k = 5. Under the orthogonal layout equal loads tie
+// to the same 5 nodes over and over, so a failure's entire rebuild lands
+// on 4 partners (max load = 10 = every group the victim touched). The
+// declustered layout must spread each failure over many survivors with a
+// provable-style concentration bound: no survivor serves more than
+// ceil(3 * mean) + 1 units, for EVERY single-node failure.
+TEST(Decluster, RebuildLoadSpreadsOverSurvivors) {
+  PlannerConfig ortho;
+  ortho.group_size = 5;
+  PlannerConfig decl = ortho;
+  decl.layout = PlannerConfig::Layout::Declustered;
+
+  Rig rig(30, 10);
+  const GroupPlan oplan = GroupPlanner(ortho).plan(rig.cluster);
+  const GroupPlan dplan = GroupPlanner(decl).plan(rig.cluster);
+  ASSERT_TRUE(GroupPlanner::validate(oplan, rig.cluster));
+  ASSERT_TRUE(GroupPlanner::validate(dplan, rig.cluster));
+  ASSERT_EQ(dplan.total_members(), 300u);
+
+  std::size_t ortho_worst = 0, decl_worst = 0;
+  std::size_t decl_min_breadth = SIZE_MAX;
+  for (cluster::NodeId victim = 0; victim < 30; ++victim) {
+    const Spread o = spread_for(oplan, rig.cluster, victim);
+    const Spread d = spread_for(dplan, rig.cluster, victim);
+    ortho_worst = std::max(ortho_worst, o.max);
+    decl_worst = std::max(decl_worst, d.max);
+    decl_min_breadth = std::min(decl_min_breadth, d.loaded_survivors);
+    // Concentration bound, every failure: max <= ceil(3*mean) + 1.
+    const auto bound =
+        static_cast<std::size_t>(std::ceil(3.0 * d.mean)) + 1;
+    EXPECT_LE(d.max, bound) << "victim " << victim;
+  }
+  // The orthogonal layout concentrates: some victim's whole rebuild (10
+  // groups) lands on each of its 4 partners.
+  EXPECT_GE(ortho_worst, 10u);
+  // Declustering spreads it: worst survivor strictly better than half the
+  // orthogonal worst, and every failure touches a broad survivor set.
+  EXPECT_LE(decl_worst, ortho_worst / 2);
+  EXPECT_GE(decl_min_breadth, 15u);
+}
+
+// Orthogonality (validate) holds across pool-map version bumps under a
+// join/drain/failure fuzz, replanning incrementally at every bump; the
+// map version recorded in the plan always tracks the cluster's.
+TEST(Decluster, OrthogonalityHoldsAcrossMapVersionBumps) {
+  PlannerConfig config;
+  config.group_size = 4;
+  config.layout = PlannerConfig::Layout::Declustered;
+  // Failures destroy VMs (no recovery wired here), so full coverage of
+  // the survivors is still required — but group count shrinks.
+  GroupPlanner planner(config);
+
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    Rig rig(12, 4);
+    Rng rng(seed);
+    GroupPlan plan = planner.plan(rig.cluster);
+    auto version = rig.cluster.placement_map().version();
+    EXPECT_EQ(plan.map_version, version);
+
+    for (int step = 0; step < 30; ++step) {
+      const double roll = rng.uniform();
+      const auto alive = rig.cluster.alive_nodes();
+      if (roll < 0.35 && alive.size() > 6) {
+        // Drain: node failure loses its VMs.
+        rig.cluster.kill_node(alive[rng.uniform_u64(alive.size())]);
+      } else if (roll < 0.55) {
+        // Join: fresh node plus a few booted VMs.
+        const auto nid = rig.cluster.add_node();
+        for (int v = 0; v < 3; ++v) rig.boot_on(nid);
+      } else if (roll < 0.75) {
+        // Revive a dead node, if any.
+        std::vector<cluster::NodeId> dead;
+        for (cluster::NodeId n = 0; n < rig.cluster.node_count(); ++n)
+          if (!rig.cluster.node(n).alive()) dead.push_back(n);
+        if (dead.empty()) continue;
+        const auto nid = dead[rng.uniform_u64(dead.size())];
+        rig.cluster.revive_node(nid);
+        for (int v = 0; v < 2; ++v) rig.boot_on(nid);
+      } else {
+        // Placement churn without a version bump: boot on a random
+        // alive node.
+        rig.boot_on(alive[rng.uniform_u64(alive.size())]);
+      }
+
+      const auto now_version = rig.cluster.placement_map().version();
+      EXPECT_GE(now_version, version);
+      version = now_version;
+      plan = planner.replan(plan, rig.cluster);
+      EXPECT_EQ(plan.map_version, version);
+      ASSERT_TRUE(GroupPlanner::validate(plan, rig.cluster))
+          << "seed " << seed << " step " << step;
+      // Full coverage after every bump.
+      ASSERT_EQ(plan.total_members(), rig.cluster.all_vms().size());
+      // O(1) index stays consistent with membership.
+      for (const auto& g : plan.groups)
+        for (vm::VmId m : g.members) ASSERT_EQ(plan.group_of(m), g.id);
+    }
+  }
+}
+
+// Incremental replan keeps intact groups verbatim: killing one node must
+// not dissolve groups that had no member there.
+TEST(Decluster, ReplanKeepsIntactGroups) {
+  PlannerConfig config;
+  config.group_size = 4;
+  config.layout = PlannerConfig::Layout::Declustered;
+  GroupPlanner planner(config);
+
+  Rig rig(16, 4);
+  const GroupPlan before = planner.plan(rig.cluster);
+  ASSERT_TRUE(GroupPlanner::validate(before, rig.cluster));
+
+  const cluster::NodeId victim = 3;
+  std::set<std::vector<vm::VmId>> untouched;
+  for (const auto& g : before.groups) {
+    bool hit = false;
+    for (vm::VmId m : g.members)
+      if (rig.cluster.locate(m) == victim) hit = true;
+    if (!hit) untouched.insert(g.members);
+  }
+  ASSERT_FALSE(untouched.empty());
+
+  rig.cluster.kill_node(victim);
+  const GroupPlan after = planner.replan(before, rig.cluster);
+  ASSERT_TRUE(GroupPlanner::validate(after, rig.cluster));
+
+  std::set<std::vector<vm::VmId>> kept;
+  for (const auto& g : after.groups) kept.insert(g.members);
+  for (const auto& members : untouched)
+    EXPECT_TRUE(kept.count(members))
+        << "intact group dissolved by incremental replan";
+  EXPECT_EQ(after.map_version, rig.cluster.placement_map().version());
+}
+
+// The declustered layout is a pure function of (seed, map version):
+// replanning the same cluster state twice gives the identical plan, and
+// different seeds give different group memberships.
+TEST(Decluster, LayoutIsDeterministicInSeedAndVersion) {
+  PlannerConfig config;
+  config.group_size = 4;
+  config.layout = PlannerConfig::Layout::Declustered;
+
+  Rig rig(12, 4);
+  const GroupPlan a = GroupPlanner(config).plan(rig.cluster);
+  const GroupPlan b = GroupPlanner(config).plan(rig.cluster);
+  ASSERT_EQ(a.groups.size(), b.groups.size());
+  for (std::size_t i = 0; i < a.groups.size(); ++i)
+    EXPECT_EQ(a.groups[i].members, b.groups[i].members);
+
+  rig.cluster.placement_map().set_seed(0xfeedface);
+  const GroupPlan c = GroupPlanner(config).plan(rig.cluster);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < std::min(a.groups.size(), c.groups.size()); ++i)
+    if (a.groups[i].members != c.groups[i].members) any_diff = true;
+  EXPECT_TRUE(any_diff) << "seed change did not move the layout";
+  EXPECT_TRUE(GroupPlanner::validate(c, rig.cluster));
+}
+
+}  // namespace
+}  // namespace vdc::core

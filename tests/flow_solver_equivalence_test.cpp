@@ -1,0 +1,158 @@
+// Incremental-solver equivalence: the component-local re-solve must be
+// bit-for-bit identical to a full from-scratch water-filling pass, after
+// every mutation, on adversarial topologies. Both paths funnel through the
+// same pure solve_component(), so equality is by construction — these
+// tests exist to catch bookkeeping rot (stale adjacency, missed dirty
+// marks, component under-collection) the moment it appears.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/flow_network.hpp"
+#include "simkit/simulator.hpp"
+
+namespace vdc::net {
+namespace {
+
+void expect_rates_match_oracle(FlowNetwork& fn, const char* where) {
+  const auto oracle = fn.oracle_rates();
+  for (const auto& [id, rate] : oracle) {
+    // Bitwise equality, not EXPECT_NEAR: the incremental path must run the
+    // exact float ops the full solve runs.
+    ASSERT_EQ(fn.flow_rate(id), rate) << where << " flow " << id;
+  }
+}
+
+// Random starts/cancels/capacity changes over a clustered topology chosen
+// to produce many small components plus occasional giant ones; the live
+// rates must match the oracle bitwise after every operation.
+TEST(FlowSolverEquivalence, RandomizedOpsMatchOracleBitwise) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    simkit::Simulator sim;
+    FlowNetwork fn(sim);
+    ASSERT_TRUE(fn.incremental_solver());
+    Rng rng(seed);
+
+    constexpr int kPorts = 24;
+    std::vector<PortId> ports;
+    for (int i = 0; i < kPorts; ++i)
+      ports.push_back(fn.add_port(rng.uniform(10.0, 500.0)));
+
+    std::vector<FlowId> live;
+    for (int op = 0; op < 400; ++op) {
+      const double roll = rng.uniform();
+      if (roll < 0.55 || live.empty()) {
+        // Start a flow: usually within one cluster of 4 ports (small
+        // components), sometimes spanning clusters (merges them).
+        const int cluster = static_cast<int>(rng.uniform_u64(kPorts / 4)) * 4;
+        std::vector<PortId> path{ports[cluster + rng.uniform_u64(4)]};
+        const PortId second = rng.uniform() < 0.2
+                                  ? ports[rng.uniform_u64(kPorts)]
+                                  : ports[cluster + rng.uniform_u64(4)];
+        if (second != path[0]) path.push_back(second);
+        live.push_back(
+            fn.start_flow(std::move(path), 1 + rng.uniform_u64(1u << 20),
+                          [] {}));
+      } else if (roll < 0.85) {
+        const std::size_t victim = rng.uniform_u64(live.size());
+        fn.cancel_flow(live[victim]);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+      } else {
+        fn.set_capacity(ports[rng.uniform_u64(kPorts)],
+                        rng.uniform(10.0, 500.0));
+      }
+      // Let a little sim time pass so settles and completions interleave.
+      if (rng.chance(0.3)) {
+        const double horizon = sim.now() + rng.uniform(0.0, 5.0);
+        sim.run_until(horizon);
+        // Drop ids whose flows completed meanwhile.
+        std::vector<FlowId> still;
+        for (FlowId id : live)
+          if (fn.flow_rate(id) > 0.0) still.push_back(id);
+        live.swap(still);
+      }
+      expect_rates_match_oracle(fn, "after op");
+    }
+  }
+}
+
+// Twin networks — incremental vs full solver — fed the identical schedule
+// must produce identical completion traces (order AND bitwise times) and
+// identical port byte counters.
+TEST(FlowSolverEquivalence, TwinNetworksCompleteIdentically) {
+  struct Run {
+    explicit Run(bool incremental, std::uint64_t seed) {
+      fn.set_incremental_solver(incremental);
+      Rng rng(seed);
+      for (int i = 0; i < 12; ++i)
+        ports.push_back(fn.add_port(rng.uniform(20.0, 200.0)));
+      for (int i = 0; i < 120; ++i) {
+        const double at = rng.uniform(0.0, 50.0);
+        const PortId a = ports[rng.uniform_u64(ports.size())];
+        const PortId b = ports[rng.uniform_u64(ports.size())];
+        const Bytes bytes = 1 + rng.uniform_u64(1u << 18);
+        const double latency = rng.chance(0.25) ? rng.uniform(0.0, 2.0) : 0.0;
+        const int tag = i;
+        sim.at(at, [this, a, b, bytes, latency, tag] {
+          std::vector<PortId> path{a};
+          if (b != a) path.push_back(b);
+          fn.start_flow(
+              std::move(path), bytes,
+              [this, tag] { trace.emplace_back(tag, sim.now()); }, latency);
+        });
+      }
+      sim.run();
+    }
+    simkit::Simulator sim;
+    FlowNetwork fn{sim};
+    std::vector<PortId> ports;
+    std::vector<std::pair<int, double>> trace;
+  };
+
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Run inc(true, seed);
+    Run full(false, seed);
+    ASSERT_EQ(inc.trace.size(), full.trace.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < inc.trace.size(); ++i) {
+      ASSERT_EQ(inc.trace[i].first, full.trace[i].first)
+          << "seed " << seed << " step " << i;
+      ASSERT_EQ(inc.trace[i].second, full.trace[i].second);
+    }
+    EXPECT_EQ(inc.sim.now(), full.sim.now());
+    for (std::size_t p = 0; p < inc.ports.size(); ++p)
+      EXPECT_EQ(inc.fn.port_bytes(inc.ports[p]),
+                full.fn.port_bytes(full.ports[p]));
+    // The point of the refactor: the incremental path re-solves far fewer
+    // flows for the same answer.
+    EXPECT_LT(inc.fn.solver_flows_solved(), full.fn.solver_flows_solved());
+  }
+}
+
+// Disjoint components: touching one must not re-solve the other (the
+// O(component) cost claim), and must not perturb its rates.
+TEST(FlowSolverEquivalence, DisjointComponentsAreNotResolved) {
+  simkit::Simulator sim;
+  FlowNetwork fn(sim);
+  const PortId a = fn.add_port(100.0);
+  const PortId b = fn.add_port(100.0);
+  fn.start_flow({a}, 1u << 30, [] {});
+  const FlowId fa2 = fn.start_flow({a}, 1u << 30, [] {});
+  const std::uint64_t flows_before = fn.solver_flows_solved();
+
+  // Start and cancel traffic on the unrelated port b.
+  const FlowId fb = fn.start_flow({b}, 1u << 30, [] {});
+  const double rate_a = fn.flow_rate(fa2);
+  fn.cancel_flow(fb);
+  EXPECT_EQ(fn.flow_rate(fa2), rate_a);
+  EXPECT_EQ(fn.flow_rate(fa2), 50.0);
+  // Only {fb}'s singleton component was solved by the two ops.
+  EXPECT_EQ(fn.solver_flows_solved(), flows_before + 1);
+  expect_rates_match_oracle(fn, "after disjoint ops");
+}
+
+}  // namespace
+}  // namespace vdc::net

@@ -111,6 +111,73 @@ TEST(Simulator, MaxEventsBudget) {
   EXPECT_EQ(sim.executed(), 50u);
 }
 
+TEST(Simulator, TombstoneCompactionBoundsQueue) {
+  Simulator sim;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 4096; ++i)
+    ids.push_back(sim.at(1.0 + i, [] {}));
+  EXPECT_EQ(sim.queue_entries(), 4096u);
+  // Cancel-heavy timer churn: without compaction every tombstone would
+  // stay in the queue until its time came up.
+  for (int i = 0; i < 4000; ++i) sim.cancel(ids[i]);
+  EXPECT_EQ(sim.pending_count(), 96u);
+  EXPECT_LT(sim.queue_entries(), 1024u);  // compacted down to live events
+  EXPECT_GE(sim.compactions(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.executed(), 96u);  // survivors still fire
+}
+
+TEST(Simulator, CancelAndQueueMetricsPublished) {
+  Simulator sim;
+  const EventId a = sim.at(1.0, [] {});
+  sim.at(2.0, [] {});
+  sim.at(3.0, [] {});
+  sim.cancel(a);
+  sim.run();
+  const auto& metrics = sim.telemetry().metrics();
+  EXPECT_DOUBLE_EQ(metrics.value("sim.events.cancelled"), 1.0);
+  EXPECT_DOUBLE_EQ(metrics.value("sim.queue.peak"), 3.0);
+  EXPECT_EQ(sim.queue_peak(), 3u);
+  EXPECT_EQ(sim.cancelled(), 1u);
+}
+
+TEST(Simulator, CalendarQueueKeepsOrderingAndFifo) {
+  SimulatorConfig config;
+  config.queue = QueueKind::Calendar;
+  Simulator sim(config);
+  EXPECT_STREQ(sim.queue_name(), "calendar");
+  std::vector<int> order;
+  sim.at(3.0, [&] { order.push_back(30); });
+  sim.at(1.0, [&] { order.push_back(10); });
+  for (int i = 0; i < 10; ++i)
+    sim.at(5.0, [&order, i] { order.push_back(100 + i); });
+  sim.at(2.0, [&] { order.push_back(20); });
+  const EventId victim = sim.at(4.0, [&] { order.push_back(40); });
+  sim.cancel(victim);
+  sim.run();
+  std::vector<int> expect{10, 20, 30};
+  for (int i = 0; i < 10; ++i) expect.push_back(100 + i);
+  EXPECT_EQ(order, expect);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(Simulator, CalendarQueueRunUntilAndFarFuture) {
+  SimulatorConfig config;
+  config.queue = QueueKind::Calendar;
+  Simulator sim(config);
+  int fired = 0;
+  // Dense head plus one sparse far-future watchdog (the pattern that
+  // forces the calendar queue's direct-search fallback).
+  for (int i = 0; i < 100; ++i) sim.after(0.001 * i, [&] { ++fired; });
+  sim.at(1e6, [&] { ++fired; });
+  sim.run_until(1.0);
+  EXPECT_EQ(fired, 100);
+  EXPECT_DOUBLE_EQ(sim.now(), 1.0);
+  sim.run();
+  EXPECT_EQ(fired, 101);
+  EXPECT_DOUBLE_EQ(sim.now(), 1e6);
+}
+
 TEST(Resource, ServesFcfs) {
   Simulator sim;
   Resource r(sim, 1);
