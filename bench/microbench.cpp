@@ -13,6 +13,7 @@
 #include "common/crc32.hpp"
 #include "common/rng.hpp"
 #include "parity/gf256.hpp"
+#include "parity/kernels.hpp"
 #include "parity/parallel.hpp"
 #include "core/protocol.hpp"
 #include "parity/raid5.hpp"
@@ -166,6 +167,68 @@ void BM_Gf256MulAdd(benchmark::State& state) {
 }
 BENCHMARK(BM_Gf256MulAdd);
 
+// --- dispatched kernel tiers -------------------------------------------------
+//
+// Per-tier throughput of the two primitives everything folds through. The
+// tier is forced for the duration of the run and restored after, so these
+// rows are directly comparable within one process: the CI perf-smoke job
+// gates on the SIMD/scalar RATIO (runner speed cancels out), via
+// bench/check_dataplane_regression.py.
+
+/// Run `fn` with `tier` active, restoring the previous tier after; skips
+/// the benchmark when the machine doesn't support the tier.
+template <typename Fn>
+void with_tier(benchmark::State& state, std::int64_t tier_arg, Fn&& fn) {
+  const auto tier = static_cast<vdc::parity::KernelTier>(tier_arg);
+  if (!vdc::parity::tier_supported(tier)) {
+    state.SkipWithError("kernel tier not supported on this machine");
+    return;
+  }
+  const auto previous = vdc::parity::active_kernel().tier;
+  vdc::parity::set_active_tier(tier);
+  state.SetLabel(vdc::parity::tier_name(tier));
+  fn();
+  vdc::parity::set_active_tier(previous);
+}
+
+void BM_KernelXorInto(benchmark::State& state) {
+  with_tier(state, state.range(0), [&] {
+    const auto n = static_cast<std::size_t>(state.range(1));
+    Rng rng(21);
+    auto dst = random_bytes(rng, n);
+    const auto src = random_bytes(rng, n);
+    for (auto _ : state) {
+      vdc::parity::xor_into(dst, src);
+      benchmark::DoNotOptimize(dst.data());
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+  });
+}
+BENCHMARK(BM_KernelXorInto)
+    ->ArgNames({"tier", "bytes"})
+    ->ArgsProduct({{0, 1, 2, 3}, {4096, 1 << 20}});
+
+void BM_KernelGf256MulAdd(benchmark::State& state) {
+  with_tier(state, state.range(0), [&] {
+    const auto n = static_cast<std::size_t>(state.range(1));
+    Rng rng(22);
+    const auto src = random_bytes(rng, n);
+    auto dst = random_bytes(rng, n);
+    for (auto _ : state) {
+      vdc::parity::gf256::mul_add(
+          0xd3, reinterpret_cast<const std::uint8_t*>(src.data()),
+          reinterpret_cast<std::uint8_t*>(dst.data()), n);
+      benchmark::DoNotOptimize(dst.data());
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+  });
+}
+BENCHMARK(BM_KernelGf256MulAdd)
+    ->ArgNames({"tier", "bytes"})
+    ->ArgsProduct({{0, 1, 2, 3}, {4096, 1 << 20}});
+
 void BM_RsEncode(benchmark::State& state) {
   const auto m = static_cast<std::size_t>(state.range(0));
   constexpr std::size_t kBlock = 1 << 19;
@@ -243,11 +306,21 @@ class DataplaneRig {
   void run_epoch() {
     bool committed = false;
     coord_.run_epoch(*placed_, next_epoch_,
-                     [&](const vdc::core::EpochStats&) { committed = true; });
+                     [&](const vdc::core::EpochStats& stats) {
+                       committed = true;
+                       shipped_bytes_ += static_cast<double>(stats.bytes_shipped);
+                       delta_bytes_ += static_cast<double>(stats.delta_bytes);
+                     });
     sim_.run();
     if (!committed) std::abort();
     ++next_epoch_;
   }
+
+  /// Cumulative wire accounting over every committed epoch (simulated, so
+  /// deterministic across machines — the regression check compares these
+  /// exactly, modulo float formatting).
+  double shipped_bytes() const { return shipped_bytes_; }
+  double delta_bytes() const { return delta_bytes_; }
 
   /// Drop the standing parity so the next epoch is a full exchange.
   void force_full_exchange() {
@@ -276,6 +349,8 @@ class DataplaneRig {
   vdc::core::DvdcCoordinator coord_;
   std::optional<vdc::core::PlacedPlan> placed_;
   vdc::checkpoint::Epoch next_epoch_ = 1;
+  double shipped_bytes_ = 0.0;
+  double delta_bytes_ = 0.0;
 };
 
 void dataplane_counters(benchmark::State& state, const DataplaneRig& rig,
@@ -296,6 +371,8 @@ void BM_DataplaneIncrementalEpoch(benchmark::State& state) {
   const double copy0 = rig.metric("dvdc.copy.bytes");
   const double cap0 = rig.metric("dvdc.wall.capture_ns");
   const double fold0 = rig.metric("dvdc.wall.fold_ns");
+  const double wire0 = rig.shipped_bytes();
+  const double delta0 = rig.delta_bytes();
   for (auto _ : state) {
     state.PauseTiming();
     rig.dirty(permille);
@@ -303,6 +380,14 @@ void BM_DataplaneIncrementalEpoch(benchmark::State& state) {
     rig.run_epoch();
   }
   dataplane_counters(state, rig, copy0, cap0, fold0);
+  // Simulated-time byte accounting: identical run to run and machine to
+  // machine, so the regression check gates on these exactly. On the delta
+  // path every shipped byte is a VDD1 frame (wire == delta).
+  const auto iters = static_cast<double>(state.iterations());
+  state.counters["wire_bytes_per_epoch"] =
+      (rig.shipped_bytes() - wire0) / iters;
+  state.counters["delta_wire_bytes_per_epoch"] =
+      (rig.delta_bytes() - delta0) / iters;
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           DataplaneRig::image_bytes());
 }

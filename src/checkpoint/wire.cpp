@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/assert.hpp"
 #include "common/crc32.hpp"
 
 namespace vdc::checkpoint {
@@ -10,6 +11,8 @@ namespace {
 
 constexpr std::size_t kHeaderSize = 40;
 constexpr char kMagic[4] = {'V', 'D', 'C', '1'};
+constexpr std::size_t kDeltaHeaderSize = 56;
+constexpr char kDeltaMagic[4] = {'V', 'D', 'D', '1'};
 
 void put_u32(std::byte* dst, std::uint32_t v) { std::memcpy(dst, &v, 4); }
 void put_u64(std::byte* dst, std::uint64_t v) { std::memcpy(dst, &v, 8); }
@@ -65,6 +68,89 @@ Checkpoint decode_frame(std::span<const std::byte> frame) {
   if (crc32(cp.payload) != payload_crc)
     throw WireError("checkpoint frame: payload crc mismatch");
   return cp;
+}
+
+std::size_t delta_frame_size(const CompressedDelta& delta) {
+  std::size_t payload = 0;
+  for (const auto& p : delta.payload) payload += p.size();
+  return delta_frame_size(delta.pages.size(), payload);
+}
+
+std::vector<std::byte> encode_delta_frame(const CheckpointDelta& cd) {
+  const CompressedDelta& d = cd.delta;
+  VDC_REQUIRE(d.pages.size() == d.payload.size(),
+              "delta frame: pages/payload size mismatch");
+  std::size_t payload_len = 8 * d.pages.size();
+  for (const auto& p : d.payload) payload_len += p.size();
+
+  std::vector<std::byte> frame(kDeltaHeaderSize + payload_len);
+  std::memcpy(frame.data(), kDeltaMagic, 4);
+  put_u32(frame.data() + 8, cd.vm);
+  put_u64(frame.data() + 12, cd.epoch);
+  put_u64(frame.data() + 20, cd.base_epoch);
+  put_u64(frame.data() + 28, d.page_size);
+  put_u64(frame.data() + 36, d.pages.size());
+  put_u64(frame.data() + 44, payload_len);
+
+  std::byte* out = frame.data() + kDeltaHeaderSize;
+  for (std::size_t i = 0; i < d.pages.size(); ++i) {
+    put_u32(out, static_cast<std::uint32_t>(d.pages[i]));
+    put_u32(out + 4, static_cast<std::uint32_t>(d.payload[i].size()));
+    if (!d.payload[i].empty())
+      std::memcpy(out + 8, d.payload[i].data(), d.payload[i].size());
+    out += 8 + d.payload[i].size();
+  }
+  put_u32(frame.data() + 52,
+          crc32({frame.data() + kDeltaHeaderSize, payload_len}));
+  put_u32(frame.data() + 4,
+          crc32({frame.data() + 8, kDeltaHeaderSize - 8}));
+  return frame;
+}
+
+CheckpointDelta decode_delta_frame(std::span<const std::byte> frame) {
+  if (frame.size() < kDeltaHeaderSize)
+    throw WireError("delta frame: truncated header");
+  if (std::memcmp(frame.data(), kDeltaMagic, 4) != 0)
+    throw WireError("delta frame: bad magic");
+  if (get_u32(frame.data() + 4) !=
+      crc32({frame.data() + 8, kDeltaHeaderSize - 8}))
+    throw WireError("delta frame: header crc mismatch");
+
+  CheckpointDelta cd;
+  cd.vm = get_u32(frame.data() + 8);
+  cd.epoch = get_u64(frame.data() + 12);
+  cd.base_epoch = get_u64(frame.data() + 20);
+  cd.delta.page_size = get_u64(frame.data() + 28);
+  const std::uint64_t page_count = get_u64(frame.data() + 36);
+  const std::uint64_t payload_len = get_u64(frame.data() + 44);
+  const std::uint32_t payload_crc = get_u32(frame.data() + 52);
+
+  if (frame.size() != kDeltaHeaderSize + payload_len)
+    throw WireError("delta frame: length mismatch");
+  if (crc32(frame.subspan(kDeltaHeaderSize)) != payload_crc)
+    throw WireError("delta frame: payload crc mismatch");
+  if (page_count > 0 && cd.delta.page_size == 0)
+    throw WireError("delta frame: zero page size");
+
+  const std::byte* in = frame.data() + kDeltaHeaderSize;
+  std::uint64_t remaining = payload_len;
+  for (std::uint64_t i = 0; i < page_count; ++i) {
+    if (remaining < 8)
+      throw WireError("delta frame: truncated page record");
+    const std::uint32_t page = get_u32(in);
+    const std::uint32_t len = get_u32(in + 4);
+    if (remaining - 8 < len)
+      throw WireError("delta frame: page record overruns payload");
+    if (!cd.delta.pages.empty() && page <= cd.delta.pages.back())
+      throw WireError("delta frame: page indices not ascending");
+    cd.delta.pages.push_back(page);
+    cd.delta.payload.emplace_back(in + 8, in + 8 + len);
+    in += 8 + len;
+    remaining -= 8 + len;
+  }
+  if (remaining != 0)
+    throw WireError("delta frame: trailing payload bytes");
+  return cd;
 }
 
 }  // namespace vdc::checkpoint

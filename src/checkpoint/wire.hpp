@@ -17,12 +17,32 @@
 //
 // decode() rejects bad magic, truncated frames, and CRC mismatches with
 // typed errors, so a corrupted frame can never be restored into a guest.
+//
+// The parity-delta wire path ships compressed page deltas instead of full
+// payloads; those ride a sibling frame:
+//
+//   offset  size  field
+//        0     4  magic  "VDD1"
+//        4     4  header crc32 (over bytes 8..55)
+//        8     4  vm id
+//       12     8  epoch
+//       20     8  base epoch (the committed epoch the delta applies over)
+//       28     8  page size
+//       36     8  page count
+//       44     8  payload length
+//       52     4  payload crc32
+//       56     n  payload: page_count records of
+//                   u32 page index, u32 record length, rle(new xor old)
+//
+// Both headers are fully covered by magic + CRCs: every single-bit flip
+// anywhere in a frame is rejected (wire_test proves this exhaustively).
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
 #include "checkpoint/checkpointer.hpp"
+#include "checkpoint/delta.hpp"
 
 namespace vdc::checkpoint {
 
@@ -42,5 +62,31 @@ Checkpoint decode_frame(std::span<const std::byte> frame);
 constexpr std::size_t frame_size(std::size_t payload_bytes) {
   return 40 + payload_bytes;
 }
+
+/// A parity-delta in transit: the compressed changes of one VM between the
+/// committed `base_epoch` and `epoch`. Parity holders fold the decoded
+/// delta (new xor old per page) into their standing blocks in place.
+struct CheckpointDelta {
+  vm::VmId vm = 0;
+  Epoch epoch = 0;
+  Epoch base_epoch = 0;
+  CompressedDelta delta;
+};
+
+/// Serialize a parity delta into a framed byte vector ("VDD1").
+std::vector<std::byte> encode_delta_frame(const CheckpointDelta& delta);
+
+/// Parse and validate a delta frame. Throws WireError on any corruption.
+CheckpointDelta decode_delta_frame(std::span<const std::byte> frame);
+
+/// Delta frame size for `page_count` records totalling `payload_bytes` of
+/// compressed content (header is 56 bytes, each record adds 8).
+constexpr std::size_t delta_frame_size(std::size_t page_count,
+                                       std::size_t payload_bytes) {
+  return 56 + 8 * page_count + payload_bytes;
+}
+
+/// Frame size of `delta` on the wire.
+std::size_t delta_frame_size(const CompressedDelta& delta);
 
 }  // namespace vdc::checkpoint

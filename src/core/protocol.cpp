@@ -10,8 +10,10 @@
 
 #include "common/assert.hpp"
 #include "checkpoint/rle.hpp"
+#include "checkpoint/wire.hpp"
 #include "common/log.hpp"
 #include "parity/gf256.hpp"
+#include "parity/kernels.hpp"
 #include "parity/parallel.hpp"
 #include "parity/pool.hpp"
 #include "parity/raid5.hpp"
@@ -210,6 +212,76 @@ std::int64_t ns_since(WallClock::time_point t0) {
              WallClock::now() - t0)
       .count();
 }
+
+// Enumerates where one member's changed range lands in the group's parity
+// blocks — the codec-specific heart of the parity-delta fold. Linear
+// codes map a range to the same offset in every holder block (coefficient
+// 1 for XOR parity, the Cauchy coefficient for RS); RDP maps it through
+// the row/diagonal geometry (RdpCodec::for_each_update_range). Both
+// capture planes drive their undo-save and fold loops through this, so
+// the touched ranges are identical by construction.
+class DeltaFolder {
+ public:
+  DeltaFolder(ParityScheme scheme, std::size_t k, std::size_t rs_m,
+              Bytes block_size)
+      : scheme_(scheme), block_size_(block_size) {
+    if (scheme == ParityScheme::Rs)
+      rs_ = std::make_unique<parity::ReedSolomonCodec>(k, rs_m);
+    else if (scheme == ParityScheme::Rdp)
+      rdp_ = std::make_unique<parity::RdpCodec>(
+          k, parity::RdpCodec::next_prime_at_least(
+                 std::max<std::size_t>(k + 1, 3)));
+  }
+
+  /// fn(dst_off, src_off, len, coeff): the pieces of member `mi`'s delta
+  /// over [offset, offset+length) that land in holder `hi`'s block.
+  template <typename Fn>
+  void for_each_range(std::size_t hi, std::size_t mi, std::size_t offset,
+                      std::size_t length, Fn&& fn) const {
+    switch (scheme_) {
+      case ParityScheme::Raid5:
+        fn(offset, std::size_t{0}, length, std::uint8_t{1});
+        return;
+      case ParityScheme::Rs:
+        fn(offset, std::size_t{0}, length, rs_->coefficient(hi, mi));
+        return;
+      case ParityScheme::Rdp:
+        rdp_->for_each_update_range(
+            mi, offset, length, block_size_,
+            [&](std::size_t parity, std::size_t dst, std::size_t src,
+                std::size_t len) {
+              if (parity == hi) fn(dst, src, len, std::uint8_t{1});
+            });
+        return;
+    }
+    throw InvariantError("unknown parity scheme");
+  }
+
+  /// Fold `data` (old^new of member `mi` at `offset`) into holder `hi`'s
+  /// block; returns the destination bytes written.
+  Bytes fold(std::size_t hi, std::size_t mi, std::size_t offset,
+             std::span<const std::byte> data, parity::Block& block) const {
+    Bytes folded = 0;
+    for_each_range(
+        hi, mi, offset, data.size(),
+        [&](std::size_t dst, std::size_t src, std::size_t len,
+            std::uint8_t coeff) {
+          VDC_ASSERT(dst + len <= block.size());
+          parity::gf256::mul_add(
+              coeff,
+              reinterpret_cast<const std::uint8_t*>(data.data() + src),
+              reinterpret_cast<std::uint8_t*>(block.data() + dst), len);
+          folded += len;
+        });
+    return folded;
+  }
+
+ private:
+  ParityScheme scheme_;
+  Bytes block_size_;
+  std::unique_ptr<parity::ReedSolomonCodec> rs_;
+  std::unique_ptr<parity::RdpCodec> rdp_;
+};
 }  // namespace
 
 // Legacy data plane: flatten every image, memcmp-diff against the previous
@@ -258,8 +330,15 @@ void DvdcCoordinator::capture_group_reference(
           checkpoint::diff_images(prev_flat, payload, page_size);
       const checkpoint::CompressedDelta compressed =
           checkpoint::compress_delta(diff, prev_flat);
-      contrib.wire = compressed.wire_bytes();
+      // A member with changes ships a framed "VDD1" delta per holder; an
+      // unchanged member ships nothing at all.
+      contrib.wire = compressed.page_count() == 0
+                         ? 0
+                         : checkpoint::delta_frame_size(compressed);
       contrib.xor_bytes = diff.raw_bytes();
+      metrics.add("exchange.delta_bytes",
+                  static_cast<double>(contrib.wire * gw.holders.size()),
+                  epoch_labels_);
       metrics.add("dvdc.epoch.raw_dirty_bytes",
                   static_cast<double>(diff.raw_bytes()), epoch_labels_);
       captured_per_node[*loc] += diff.raw_bytes();
@@ -308,27 +387,21 @@ void DvdcCoordinator::capture_group_reference(
   if (incremental) {
     gw.block_size = committed->block_size;
     gw.new_blocks = committed->blocks;  // copy: abort-safe
-    // Reed-Solomon needs the per-(holder, member) Cauchy coefficient;
-    // for XOR parity every coefficient is 1.
-    std::unique_ptr<parity::ReedSolomonCodec> rs;
-    if (config_.scheme == ParityScheme::Rs)
-      rs = std::make_unique<parity::ReedSolomonCodec>(k, config_.rs_parity);
+    const DeltaFolder folder(config_.scheme, k, config_.rs_parity,
+                             gw.block_size);
+    Bytes fold_bytes = 0;
     for (std::size_t mi = 0; mi < k; ++mi) {
       const auto& delta = xor_deltas[mi];
       for (std::size_t hi = 0; hi < gw.new_blocks.size(); ++hi) {
-        const std::uint8_t coeff =
-            rs ? rs->coefficient(hi, mi) : std::uint8_t{1};
         for (std::size_t i = 0; i < delta.pages.size(); ++i) {
           const std::size_t off = delta.pages[i] * delta.page_size;
-          VDC_ASSERT(off + delta.page_size <= gw.new_blocks[hi].size());
-          parity::gf256::mul_add(
-              coeff,
-              reinterpret_cast<const std::uint8_t*>(delta.contents[i].data()),
-              reinterpret_cast<std::uint8_t*>(gw.new_blocks[hi].data() + off),
-              delta.page_size);
+          fold_bytes += folder.fold(hi, mi, off, delta.contents[i],
+                                    gw.new_blocks[hi]);
         }
       }
     }
+    metrics.add("parity.kernel.fold_bytes", static_cast<double>(fold_bytes),
+                epoch_labels_);
   } else {
     auto codec = make_codec(config_.scheme, k, config_.rs_parity);
     gw.block_size =
@@ -432,8 +505,17 @@ void DvdcCoordinator::capture_group_fast(
       } else {
         for (vm::PageIndex p = 0; p < page_count; ++p) consider(p);
       }
-      contrib.wire = wire + 8ull * delta.pages.size();
+      // Framed "VDD1" delta per holder (56-byte header + 8 bytes per page
+      // record + RLE content), matching the reference plane's
+      // delta_frame_size byte for byte. No changes, no frame.
+      contrib.wire = delta.pages.empty()
+                         ? 0
+                         : checkpoint::delta_frame_size(delta.pages.size(),
+                                                        wire);
       contrib.xor_bytes = delta.raw_bytes();
+      metrics.add("exchange.delta_bytes",
+                  static_cast<double>(contrib.wire * gw.holders.size()),
+                  epoch_labels_);
       metrics.add("dvdc.epoch.raw_dirty_bytes",
                   static_cast<double>(delta.raw_bytes()), epoch_labels_);
       captured_per_node[*loc] += delta.raw_bytes();
@@ -486,51 +568,56 @@ void DvdcCoordinator::capture_group_fast(
     gw.in_place = true;
     gw.block_size = rec->block_size;
 
+    const DeltaFolder folder(config_.scheme, k, config_.rs_parity,
+                             gw.block_size);
+
     // Save the original bytes of every range we are about to touch (first
     // touch per exact range is enough: LIFO replay restores originals even
-    // across overlapping ranges from members with different page sizes).
+    // across overlapping ranges, e.g. members with different page sizes or
+    // RDP row slices meeting on a shared diagonal).
     std::set<std::tuple<std::size_t, std::size_t, std::size_t>> saved;
     for (std::size_t mi = 0; mi < k; ++mi) {
       const auto& delta = xor_deltas[mi];
       for (std::size_t hi = 0; hi < rec->blocks.size(); ++hi) {
         for (std::size_t i = 0; i < delta.pages.size(); ++i) {
           const std::size_t off = delta.pages[i] * delta.page_size;
-          VDC_ASSERT(off + delta.page_size <= rec->blocks[hi].size());
-          if (!saved.insert({hi, off, delta.page_size}).second) continue;
-          gw.undo.push_back(GroupWork::UndoEntry{
-              hi, off,
-              parity::Block(
-                  rec->blocks[hi].begin() + static_cast<std::ptrdiff_t>(off),
-                  rec->blocks[hi].begin() +
-                      static_cast<std::ptrdiff_t>(off + delta.page_size))});
+          folder.for_each_range(
+              hi, mi, off, delta.page_size,
+              [&](std::size_t dst, std::size_t, std::size_t len,
+                  std::uint8_t) {
+                VDC_ASSERT(dst + len <= rec->blocks[hi].size());
+                if (!saved.insert({hi, dst, len}).second) return;
+                gw.undo.push_back(GroupWork::UndoEntry{
+                    hi, dst,
+                    parity::Block(
+                        rec->blocks[hi].begin() +
+                            static_cast<std::ptrdiff_t>(dst),
+                        rec->blocks[hi].begin() +
+                            static_cast<std::ptrdiff_t>(dst + len))});
+              });
         }
       }
     }
 
     // Fold every member's delta into each holder block, holders fanned
     // out over the pool (destination blocks are disjoint; the per-block
-    // mul_add order matches the reference plane).
-    std::unique_ptr<parity::ReedSolomonCodec> rs;
-    if (config_.scheme == ParityScheme::Rs)
-      rs = std::make_unique<parity::ReedSolomonCodec>(k, config_.rs_parity);
+    // fold order matches the reference plane).
+    std::vector<Bytes> fold_bytes(rec->blocks.size(), 0);
     parity::ThreadPool::shared().run(
         rec->blocks.size(), [&](std::size_t hi) {
           for (std::size_t mi = 0; mi < k; ++mi) {
             const auto& delta = xor_deltas[mi];
-            const std::uint8_t coeff =
-                rs ? rs->coefficient(hi, mi) : std::uint8_t{1};
             for (std::size_t i = 0; i < delta.pages.size(); ++i) {
               const std::size_t off = delta.pages[i] * delta.page_size;
-              parity::gf256::mul_add(
-                  coeff,
-                  reinterpret_cast<const std::uint8_t*>(
-                      delta.contents[i].data()),
-                  reinterpret_cast<std::uint8_t*>(rec->blocks[hi].data() +
-                                                  off),
-                  delta.page_size);
+              fold_bytes[hi] += folder.fold(hi, mi, off, delta.contents[i],
+                                            rec->blocks[hi]);
             }
           }
         });
+    Bytes total_fold = 0;
+    for (Bytes b : fold_bytes) total_fold += b;
+    metrics.add("parity.kernel.fold_bytes",
+                static_cast<double>(total_fold), epoch_labels_);
   } else {
     auto codec = make_codec(config_.scheme, k, config_.rs_parity);
     gw.block_size =
@@ -575,6 +662,8 @@ void DvdcCoordinator::run_epoch(const PlacedPlan& plan,
   epoch_span_ = tel.begin_span("epoch", epoch_labels_);
   metrics.set("dvdc.epoch.groups",
               static_cast<double>(plan.plan.groups.size()), epoch_labels_);
+  metrics.set("parity.kernel.tier",
+              static_cast<double>(static_cast<int>(parity::active_kernel().tier)));
 
   // 1. Quiesce: a consistent cluster-wide cut.
   for (cluster::NodeId nid : cluster_.alive_nodes())
@@ -595,11 +684,11 @@ void DvdcCoordinator::run_epoch(const PlacedPlan& plan,
     gw->members = group.members;
 
     const DvdcState::ParityRecord* committed = state_.parity(group.id);
-    // Linear codes (XOR parity, Reed-Solomon) can fold per-page deltas
-    // into the standing parity blocks; RDP's diagonal layout cannot.
-    const bool linear = config_.scheme != ParityScheme::Rdp;
+    // Every scheme folds per-page deltas into the standing parity blocks:
+    // linear codes (XOR parity, Reed-Solomon) at the page's own offset,
+    // RDP through its row/diagonal update geometry (DeltaFolder).
     bool incremental =
-        linear && config_.incremental && committed != nullptr &&
+        config_.incremental && committed != nullptr &&
         committed->scheme == config_.scheme &&
         committed->members == group.members &&
         committed->epoch == state_.committed_epoch() &&
@@ -711,6 +800,9 @@ void DvdcCoordinator::run_epoch(const PlacedPlan& plan,
                                      static_cast<double>(wire),
                                  c.last);
               }));
+          streams_.back()->set_stream_tag(gw.full_exchange
+                                              ? net::kFullStreamTag
+                                              : net::kDeltaStreamTag);
           // A stream that exhausts its retransmission budget/deadline on a
           // lossy fabric kills the whole epoch (see on_stream_failed).
           streams_.back()->set_on_fail([this, gen](const std::string& why) {
@@ -855,6 +947,8 @@ void DvdcCoordinator::try_commit(std::uint64_t gen) {
   auto& metrics = tel.metrics();
   stats_.bytes_shipped = static_cast<Bytes>(
       metrics.value("dvdc.epoch.bytes_shipped", epoch_labels_));
+  stats_.delta_bytes = static_cast<Bytes>(
+      metrics.value("exchange.delta_bytes", epoch_labels_));
   stats_.bytes_xored = static_cast<Bytes>(
       metrics.value("dvdc.epoch.bytes_xored", epoch_labels_));
   stats_.raw_dirty_bytes = static_cast<Bytes>(

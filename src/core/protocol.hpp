@@ -19,10 +19,13 @@
 //                 commits the epoch, old checkpoints are garbage-collected
 //                 and the epoch's stats are reported.
 //
-// Parity schemes: Raid5 (the paper's single XOR parity, incremental delta
-// updates), Rdp (the double-erasure extension the paper cites; full
-// exchange each epoch), and Rs (Cauchy Reed-Solomon over GF(256), any m,
-// incremental like Raid5 since the code is linear).
+// Parity schemes: Raid5 (the paper's single XOR parity), Rdp (the
+// double-erasure extension the paper cites), and Rs (Cauchy Reed-Solomon
+// over GF(256), any m). All three support the parity-delta wire path:
+// after the first epoch each member ships only old^new of its dirty pages
+// ("VDD1" frames) and holders fold the delta into their standing blocks —
+// linear codes at the same offset, RDP through its row/diagonal update
+// geometry — so exchange traffic is O(dirty), not O(image).
 //
 // A failure mid-epoch calls abort(): in-flight state is discarded and the
 // previous committed epoch remains recoverable.
@@ -61,9 +64,8 @@ struct ProtocolConfig {
   ParityScheme scheme = ParityScheme::Raid5;
   /// Parity blocks per group when scheme == Rs (fault tolerance m).
   std::size_t rs_parity = 2;
-  /// Ship page deltas (XOR+RLE) after the first epoch instead of images.
-  /// Effective under Raid5 and Rs (linear codes update in place); RDP
-  /// always does a full exchange.
+  /// Ship page deltas (XOR+RLE "VDD1" frames) after the first epoch
+  /// instead of full images, under every scheme (Raid5, Rs, and Rdp).
   bool incremental = true;
   /// RLE-compress full-exchange streams (zero-page elision): sparse
   /// guest images ship only their touched pages plus a small header.
@@ -100,6 +102,7 @@ struct EpochStats {
   SimTime overhead = 0.0;       // guests suspended
   SimTime latency = 0.0;        // quiesce start -> commit
   Bytes bytes_shipped = 0;      // wire bytes over the fabric
+  Bytes delta_bytes = 0;        // the subset shipped as VDD1 delta frames
   Bytes bytes_xored = 0;        // parity work
   Bytes raw_dirty_bytes = 0;    // changed pages before compression
   std::size_t groups = 0;

@@ -282,6 +282,9 @@ void RecoveryManager::recover(const PlacedPlan& plan,
       stripe[mi] = cp->padded_payload(record->block_size);
       gops.inbound.emplace_back(cluster_.node(*loc).host(),
                                 record->block_size);
+      metrics.add("recovery.served_bytes",
+                  static_cast<double>(record->block_size),
+                  telemetry::Labels{{"node", std::to_string(*loc)}});
     }
     for (std::size_t hi = 0; hi < record->blocks.size(); ++hi) {
       if (record->blocks[hi].empty()) {
@@ -295,6 +298,9 @@ void RecoveryManager::recover(const PlacedPlan& plan,
       }
       gops.inbound.emplace_back(cluster_.node(record->holders[hi]).host(),
                                 record->block_size);
+      metrics.add(
+          "recovery.served_bytes", static_cast<double>(record->block_size),
+          telemetry::Labels{{"node", std::to_string(record->holders[hi])}});
     }
 
     if (erasures > codec->fault_tolerance()) {
@@ -412,6 +418,9 @@ void RecoveryManager::recover(const PlacedPlan& plan,
       padded.push_back(cp->padded_payload(record->block_size));
       gops.inbound.emplace_back(cluster_.node(*loc).host(),
                                 record->block_size);
+      metrics.add("recovery.served_bytes",
+                  static_cast<double>(record->block_size),
+                  telemetry::Labels{{"node", std::to_string(*loc)}});
     }
     if (!complete) continue;  // cannot rebuild; next epoch will
     for (const auto& blk : padded) views.emplace_back(blk);

@@ -89,9 +89,9 @@ void ChunkedStream::launch(std::size_t index) {
   inflight_.emplace(index, fid);
 }
 
-std::array<std::byte, 24> ChunkedStream::frame_descriptor(
+std::array<std::byte, 28> ChunkedStream::frame_descriptor(
     std::size_t index) const {
-  std::array<std::byte, 24> frame{};
+  std::array<std::byte, 28> frame{};
   const auto put = [&frame](std::size_t off, std::uint64_t v,
                             std::size_t width) {
     for (std::size_t i = 0; i < width; ++i)
@@ -101,6 +101,7 @@ std::array<std::byte, 24> ChunkedStream::frame_descriptor(
   put(4, dst_, 4);
   put(8, index, 8);
   put(16, policy_.chunk_size(total_, index), 8);
+  put(24, stream_tag_, 4);
   return frame;
 }
 

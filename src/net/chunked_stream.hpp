@@ -69,6 +69,12 @@ struct ChunkPolicy {
   static ChunkPolicy env_override(ChunkPolicy base);
 };
 
+/// Stream content tags, carried in every chunk's wire descriptor so a
+/// receiver can tell full-checkpoint payloads from parity-delta frames
+/// before consuming a chunk. Values are the frame magics as fourcc.
+constexpr std::uint32_t kFullStreamTag = 0x31434456u;   // "VDC1"
+constexpr std::uint32_t kDeltaStreamTag = 0x31444456u;  // "VDD1"
+
 class ChunkedStream : public std::enable_shared_from_this<ChunkedStream> {
  public:
   struct Chunk {
@@ -103,6 +109,12 @@ class ChunkedStream : public std::enable_shared_from_this<ChunkedStream> {
   /// callback dropped before `on_fail` fires, exactly once.
   void set_on_fail(FailCallback on_fail) { on_fail_ = std::move(on_fail); }
 
+  /// Tag the stream's content type (kFullStreamTag / kDeltaStreamTag).
+  /// Folded into every chunk descriptor, so the receive-side CRC also
+  /// rejects a chunk mis-attributed to the wrong stream kind.
+  void set_stream_tag(std::uint32_t tag) { stream_tag_ = tag; }
+  std::uint32_t stream_tag() const { return stream_tag_; }
+
   /// Cancel in-flight chunk flows, stop launching, drop all callbacks.
   void cancel();
 
@@ -124,8 +136,8 @@ class ChunkedStream : public std::enable_shared_from_this<ChunkedStream> {
   void deliver(std::size_t index);
   void fail(std::string reason);
   /// The per-chunk wire descriptor the receive-side CRC covers:
-  /// {src, dst, index, size}.
-  std::array<std::byte, 24> frame_descriptor(std::size_t index) const;
+  /// {src, dst, index, size, stream tag}.
+  std::array<std::byte, 28> frame_descriptor(std::size_t index) const;
 
   Fabric& fabric_;
   HostId src_;
@@ -143,6 +155,7 @@ class ChunkedStream : public std::enable_shared_from_this<ChunkedStream> {
   std::size_t delivered_ = 0;
   bool cancelled_ = false;
   bool failed_ = false;
+  std::uint32_t stream_tag_ = kFullStreamTag;
   SimTime started_at_ = 0.0;
   std::unordered_map<std::size_t, FlowId> inflight_;  // chunk index -> flow
   // Reliability state; touched only when a chunk misbehaves.

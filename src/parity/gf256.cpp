@@ -1,5 +1,7 @@
 #include "parity/gf256.hpp"
 
+#include "parity/kernels.hpp"
+
 namespace vdc::parity::gf256 {
 namespace detail {
 
@@ -24,17 +26,9 @@ const Tables& tables() {
 
 void mul_add(std::uint8_t c, const std::uint8_t* src, std::uint8_t* dst,
              std::size_t n) {
-  if (c == 0) return;
-  if (c == 1) {
-    for (std::size_t i = 0; i < n; ++i) dst[i] ^= src[i];
-    return;
-  }
-  const auto& t = detail::tables();
-  const unsigned lc = t.log[c];
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::uint8_t s = src[i];
-    if (s != 0) dst[i] ^= t.exp[lc + t.log[s]];
-  }
+  // Dispatch to the active kernel tier (table-blocked / PSHUFB nibble
+  // tables; every tier is bit-exact against the scalar reference).
+  active_kernel().gf256_mul_add(c, src, dst, n);
 }
 
 }  // namespace vdc::parity::gf256

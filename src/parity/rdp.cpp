@@ -69,6 +69,62 @@ std::vector<Block> RdpCodec::encode(std::span<const BlockView> data) const {
   return {std::move(rp), std::move(dp)};
 }
 
+void RdpCodec::for_each_update_range(
+    std::size_t column, std::size_t offset, std::size_t length,
+    std::size_t block_size,
+    const std::function<void(std::size_t parity, std::size_t dst_offset,
+                             std::size_t src_offset, std::size_t len)>& fn)
+    const {
+  VDC_REQUIRE(column < k_, "update: column out of range");
+  VDC_REQUIRE(block_size > 0 && block_size % (p_ - 1) == 0,
+              "update: block size must be a multiple of p-1");
+  VDC_REQUIRE(offset + length <= block_size, "update: range out of bounds");
+
+  const std::size_t rows = p_ - 1;
+  const std::size_t row_bytes = block_size / rows;
+
+  std::size_t src = 0;
+  std::size_t off = offset;
+  std::size_t remaining = length;
+  while (remaining > 0) {
+    const std::size_t r = off / row_bytes;
+    const std::size_t q = off % row_bytes;
+    const std::size_t seg = std::min(remaining, row_bytes - q);
+
+    // Row parity takes the delta at the same offset.
+    fn(0, off, src, seg);
+
+    // The data cell sits on diagonal (r + column) mod p; diagonal p-1 is
+    // not stored. (The per-diagonal column exclusion (d+1) mod p never
+    // hits a data cell: it would require r == p-1, an absent row.)
+    const std::size_t d_cell = (r + column) % p_;
+    if (d_cell != p_ - 1) fn(1, d_cell * row_bytes + q, src, seg);
+
+    // Row parity row r is itself a member of diagonal (r + p-1) mod p =
+    // r-1; row 0's contribution lands on the unstored diagonal p-1.
+    if (r >= 1) fn(1, (r - 1) * row_bytes + q, src, seg);
+
+    src += seg;
+    off += seg;
+    remaining -= seg;
+  }
+}
+
+void RdpCodec::update(std::size_t column, std::size_t offset,
+                      std::span<const std::byte> delta,
+                      std::span<std::byte> row_parity,
+                      std::span<std::byte> diag_parity) const {
+  VDC_REQUIRE(row_parity.size() == diag_parity.size(),
+              "update: parity size mismatch");
+  for_each_update_range(
+      column, offset, delta.size(), row_parity.size(),
+      [&](std::size_t parity, std::size_t dst_off, std::size_t src_off,
+          std::size_t len) {
+        auto dst = (parity == 0 ? row_parity : diag_parity);
+        xor_into(dst.subspan(dst_off, len), delta.subspan(src_off, len));
+      });
+}
+
 void RdpCodec::reconstruct(std::vector<std::optional<Block>>& blocks) const {
   VDC_REQUIRE(blocks.size() == k_ + 2, "reconstruct: wrong stripe width");
 

@@ -21,6 +21,8 @@
 // solve it. For any <= 2 erased columns this recovers everything (the tests
 // verify all erasure pairs exhaustively for several primes).
 
+#include <functional>
+
 #include "parity/codec.hpp"
 
 namespace vdc::parity {
@@ -40,6 +42,37 @@ class RdpCodec final : public GroupCodec {
 
   std::vector<Block> encode(std::span<const BlockView> data) const override;
   void reconstruct(std::vector<std::optional<Block>>& blocks) const override;
+
+  /// Small-write support: visit every parity byte range that changes when
+  /// data column `column` changes over [offset, offset+length) of a
+  /// `block_size`-byte stripe. XORing the column's delta (old^new) into
+  /// each visited range updates both parity blocks exactly — encode is
+  /// GF(2)-linear, so encode(new) == encode(old) ^ encode(delta), and the
+  /// delta of one column decomposes into per-row-slice XORs:
+  ///
+  ///   row r of the column  -> row parity, row r            (always)
+  ///                        -> diagonal (r+column) mod p    (unless p-1,
+  ///                           the unstored diagonal)
+  ///                        -> diagonal r-1, via the row-parity column's
+  ///                           own diagonal membership      (unless r==0,
+  ///                           whose rp row sits on diagonal p-1)
+  ///
+  /// `fn(parity, dst_offset, src_offset, len)` receives ranges with
+  /// parity 0 = row parity, 1 = diagonal parity; src_offset is relative
+  /// to the start of the delta (i.e. to `offset`). In-row byte positions
+  /// are preserved, so ranges never straddle a row boundary.
+  void for_each_update_range(
+      std::size_t column, std::size_t offset, std::size_t length,
+      std::size_t block_size,
+      const std::function<void(std::size_t parity, std::size_t dst_offset,
+                               std::size_t src_offset, std::size_t len)>& fn)
+      const;
+
+  /// In-place small write: fold `delta` (old^new of data column `column`
+  /// over [offset, offset+delta.size())) into the standing parity blocks.
+  void update(std::size_t column, std::size_t offset,
+              std::span<const std::byte> delta, std::span<std::byte> row_parity,
+              std::span<std::byte> diag_parity) const;
 
   /// Smallest prime >= max(n+1, 3); used to pick p for a group of n VMs.
   static std::size_t next_prime_at_least(std::size_t n);

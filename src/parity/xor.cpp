@@ -4,35 +4,15 @@
 #include <cstring>
 
 #include "common/assert.hpp"
+#include "parity/kernels.hpp"
 
 namespace vdc::parity {
 
 void xor_into(std::span<std::byte> dst, std::span<const std::byte> src) {
   VDC_ASSERT_MSG(dst.size() == src.size(), "xor_into size mismatch");
-  std::size_t i = 0;
-  const std::size_t n = dst.size();
-
-  // Word-blocked middle. memcpy in/out keeps this free of alignment UB;
-  // compilers turn the 8-byte memcpys into plain loads/stores.
-  constexpr std::size_t kWord = sizeof(std::uint64_t);
-  for (; i + 4 * kWord <= n; i += 4 * kWord) {
-    std::uint64_t a[4], b[4];
-    std::memcpy(a, dst.data() + i, sizeof a);
-    std::memcpy(b, src.data() + i, sizeof b);
-    a[0] ^= b[0];
-    a[1] ^= b[1];
-    a[2] ^= b[2];
-    a[3] ^= b[3];
-    std::memcpy(dst.data() + i, a, sizeof a);
-  }
-  for (; i + kWord <= n; i += kWord) {
-    std::uint64_t a, b;
-    std::memcpy(&a, dst.data() + i, kWord);
-    std::memcpy(&b, src.data() + i, kWord);
-    a ^= b;
-    std::memcpy(dst.data() + i, &a, kWord);
-  }
-  for (; i < n; ++i) dst[i] ^= src[i];
+  // Dispatch to the active kernel tier (word-blocked / AVX2 / NEON; every
+  // tier is bit-exact against the scalar reference).
+  active_kernel().xor_into(dst.data(), src.data(), dst.size());
 }
 
 std::vector<std::byte> xor_all(

@@ -3,9 +3,10 @@
 //
 // The paper's Section V-B performance argument leans on "an in-memory XOR
 // operation is orders-of-magnitude faster than a disk write of the same
-// size"; bench/xor_vs_disk measures exactly this routine. The kernel works
-// word-at-a-time on the aligned middle of the buffers and byte-at-a-time on
-// the unaligned edges, so any buffer size is accepted.
+// size"; bench/xor_vs_disk measures exactly this routine. xor_into routes
+// through the runtime-dispatched kernel tiers (parity/kernels.hpp):
+// word-blocked by default, AVX2/NEON when the CPU supports them, scalar as
+// the always-available reference — all bit-exact, any buffer size.
 
 #include <cstddef>
 #include <span>

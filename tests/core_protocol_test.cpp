@@ -248,16 +248,28 @@ TEST(Protocol, RdpSchemeBuildsTwoParityBlocks) {
   expect_parity_consistent(rig, placed);
 }
 
-TEST(Protocol, RdpAlwaysFullExchange) {
+TEST(Protocol, RdpIncrementalEpochIsExact) {
+  // The parity-delta path covers RDP too: epoch 2 ships only deltas,
+  // folded into the standing row/diagonal blocks through the update
+  // geometry, and the result must equal a from-scratch re-encode.
   Rig rig(5, 2, 100.0);
   ProtocolConfig config;
   config.scheme = ParityScheme::Rdp;
   DvdcCoordinator coord(rig.sim, rig.cluster, rig.state, config);
   auto placed = rig.plan(ParityScheme::Rdp, 3);
-  rig.run_one(coord, placed, 1);
+  auto s1 = rig.run_one(coord, placed, 1);
+  EXPECT_TRUE(s1.full_exchange);
+  EXPECT_EQ(s1.delta_bytes, 0u);
   rig.cluster.advance_workloads(1.0);
   auto s2 = rig.run_one(coord, placed, 2);
-  EXPECT_TRUE(s2.full_exchange);
+  EXPECT_FALSE(s2.full_exchange);
+  EXPECT_LT(s2.bytes_shipped, s1.bytes_shipped);
+  EXPECT_EQ(s2.delta_bytes, s2.bytes_shipped);
+  expect_parity_consistent(rig, placed);
+  // Further epochs keep folding deltas over the same standing blocks.
+  rig.cluster.advance_workloads(1.0);
+  auto s3 = rig.run_one(coord, placed, 3);
+  EXPECT_FALSE(s3.full_exchange);
   expect_parity_consistent(rig, placed);
 }
 

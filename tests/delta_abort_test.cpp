@@ -1,0 +1,219 @@
+// Abort-path coverage for the parity-delta fold.
+//
+// The fast data plane folds each epoch's deltas into the committed parity
+// record IN PLACE at capture time, before a single byte crosses the wire.
+// An abort must therefore (a) replay the undo log so every touched parity
+// byte returns to its committed value, (b) discard the aborted captures,
+// and (c) re-mark the consumed dirty pages so the next epoch's delta still
+// covers everything changed since the committed cut. This suite proves all
+// three, for each codec's fold geometry: RAID-5 (same-offset XOR), RDP
+// (row/diagonal ranges), and Reed-Solomon (Cauchy-scaled folds).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/plan.hpp"
+#include "core/protocol.hpp"
+#include "vm/workload.hpp"
+
+namespace vdc::core {
+namespace {
+
+struct Rig {
+  simkit::Simulator sim;
+  cluster::ClusterManager cluster{sim, Rng(7)};
+  DvdcState state;
+
+  Rig() {
+    for (int n = 0; n < 5; ++n) cluster.add_node();
+    for (int n = 0; n < 5; ++n)
+      for (int v = 0; v < 2; ++v)
+        cluster.boot_vm(n, kib(1), 32,
+                        std::make_unique<vm::UniformWorkload>(300.0));
+  }
+
+  PlacedPlan plan(ParityScheme scheme) {
+    PlannerConfig pc;
+    pc.group_size = 3;
+    return PlacedPlan::make(GroupPlanner(pc).plan(cluster), cluster, scheme);
+  }
+
+  EpochStats run_one(DvdcCoordinator& coord, const PlacedPlan& placed,
+                     checkpoint::Epoch epoch) {
+    std::optional<EpochStats> stats;
+    coord.run_epoch(placed, epoch, [&](const EpochStats& s) { stats = s; });
+    sim.run();
+    EXPECT_TRUE(stats.has_value());
+    return *stats;
+  }
+};
+
+using ParityBlocks = std::map<GroupId, std::vector<parity::Block>>;
+
+ParityBlocks snapshot_parity(Rig& rig, const PlacedPlan& placed) {
+  ParityBlocks out;
+  for (const auto& group : placed.plan.groups) {
+    const auto* record = rig.state.parity(group.id);
+    EXPECT_NE(record, nullptr);
+    if (record) out[group.id] = record->blocks;
+  }
+  return out;
+}
+
+std::map<vm::VmId, std::set<vm::PageIndex>> snapshot_dirty(Rig& rig) {
+  std::map<vm::VmId, std::set<vm::PageIndex>> out;
+  for (vm::VmId vmid : rig.cluster.all_vms()) {
+    const auto pages =
+        rig.cluster.machine(vmid).image().dirty_pages();
+    out[vmid] = {pages.begin(), pages.end()};
+  }
+  return out;
+}
+
+class DeltaAbort : public ::testing::TestWithParam<ParityScheme> {};
+
+TEST_P(DeltaAbort, MidEpochAbortUnwindsFoldAndRemarksDirty) {
+  Rig rig;
+  ProtocolConfig config;
+  config.scheme = GetParam();
+  DvdcCoordinator coord(rig.sim, rig.cluster, rig.state, config);
+  auto placed = rig.plan(GetParam());
+
+  auto s1 = rig.run_one(coord, placed, 1);
+  ASSERT_TRUE(s1.committed);
+  rig.cluster.advance_workloads(1.0);
+
+  const ParityBlocks committed = snapshot_parity(rig, placed);
+  const auto dirty_before = snapshot_dirty(rig);
+  std::size_t total_dirty = 0;
+  for (const auto& [vmid, pages] : dirty_before) total_dirty += pages.size();
+  ASSERT_GT(total_dirty, 0u) << "workload produced no dirty pages";
+
+  // Launch epoch 2. The fast plane folds deltas into the committed record
+  // in place during capture, so the standing parity is already mutated
+  // when run_epoch returns — exactly the window an abort must unwind.
+  bool finished = false;
+  coord.run_epoch(placed, 2, [&](const EpochStats&) { finished = true; });
+  ASSERT_TRUE(rig.state.fold_in_flight());
+  bool any_mutated = false;
+  for (const auto& [gid, blocks] : committed) {
+    const auto* record = rig.state.parity(gid);
+    ASSERT_NE(record, nullptr);
+    if (record->blocks != blocks) any_mutated = true;
+  }
+  EXPECT_TRUE(any_mutated) << "no in-place fold happened; test is vacuous";
+
+  rig.sim.run(3);  // a few exchange events, then pull the plug
+  ASSERT_FALSE(finished);
+  coord.abort();
+  rig.sim.run();
+
+  // (a) Every parity byte is back to its committed value.
+  EXPECT_FALSE(rig.state.fold_in_flight());
+  EXPECT_EQ(rig.state.committed_epoch(), 1u);
+  for (const auto& [gid, blocks] : committed) {
+    const auto* record = rig.state.parity(gid);
+    ASSERT_NE(record, nullptr);
+    EXPECT_EQ(record->epoch, 1u);
+    ASSERT_EQ(record->blocks.size(), blocks.size());
+    for (std::size_t i = 0; i < blocks.size(); ++i)
+      EXPECT_EQ(record->blocks[i], blocks[i])
+          << "group " << gid << " parity " << i << " not unwound";
+  }
+
+  // (b) The aborted epoch's captures are gone, epoch 1's remain.
+  for (vm::VmId vmid : rig.cluster.all_vms()) {
+    const auto loc = rig.cluster.locate(vmid);
+    ASSERT_TRUE(loc.has_value());
+    EXPECT_EQ(rig.state.node_store(*loc).find(vmid, 2), nullptr);
+    EXPECT_NE(rig.state.node_store(*loc).find(vmid, 1), nullptr);
+  }
+
+  // (c) Every dirty page the capture consumed is marked again.
+  const auto dirty_after = snapshot_dirty(rig);
+  for (const auto& [vmid, pages] : dirty_before) {
+    const auto& after = dirty_after.at(vmid);
+    for (vm::PageIndex p : pages)
+      EXPECT_TRUE(after.count(p))
+          << "vm " << vmid << " page " << p << " lost its dirty bit";
+  }
+
+  // The next epoch folds the same deltas again and commits a stripe that
+  // matches a from-scratch encode of the new checkpoints.
+  auto s2 = rig.run_one(coord, placed, 2);
+  ASSERT_TRUE(s2.committed);
+  EXPECT_FALSE(s2.full_exchange);
+  EXPECT_EQ(rig.state.committed_epoch(), 2u);
+  for (const auto& group : placed.plan.groups) {
+    const auto* record = rig.state.parity(group.id);
+    ASSERT_NE(record, nullptr);
+    auto codec = make_codec(record->scheme, group.members.size(),
+                            config.rs_parity);
+    std::vector<parity::Block> padded;
+    std::vector<parity::BlockView> views;
+    for (vm::VmId m : group.members) {
+      const auto loc = rig.cluster.locate(m);
+      ASSERT_TRUE(loc.has_value());
+      const auto* cp = rig.state.node_store(*loc).find(m, 2);
+      ASSERT_NE(cp, nullptr);
+      padded.push_back(cp->padded_payload(record->block_size));
+    }
+    for (const auto& p : padded) views.emplace_back(p);
+    const auto expect = codec->encode(views);
+    ASSERT_EQ(expect.size(), record->blocks.size());
+    for (std::size_t i = 0; i < expect.size(); ++i)
+      EXPECT_EQ(expect[i], record->blocks[i])
+          << "group " << group.id << " parity " << i;
+  }
+}
+
+TEST_P(DeltaAbort, DoubleAbortThenCommitStaysExact) {
+  // Two consecutive aborted epochs stack their undo replays and dirty
+  // re-marks; the third attempt must still commit an exact stripe.
+  Rig rig;
+  ProtocolConfig config;
+  config.scheme = GetParam();
+  DvdcCoordinator coord(rig.sim, rig.cluster, rig.state, config);
+  auto placed = rig.plan(GetParam());
+  rig.run_one(coord, placed, 1);
+
+  const ParityBlocks committed = snapshot_parity(rig, placed);
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    rig.cluster.advance_workloads(0.5);
+    coord.run_epoch(placed, 2, [](const EpochStats&) {});
+    rig.sim.run(2);
+    coord.abort();
+    rig.sim.run();
+    for (const auto& [gid, blocks] : committed) {
+      const auto* record = rig.state.parity(gid);
+      ASSERT_NE(record, nullptr);
+      EXPECT_EQ(record->blocks, blocks) << "attempt " << attempt;
+    }
+  }
+
+  auto s = rig.run_one(coord, placed, 2);
+  ASSERT_TRUE(s.committed);
+  EXPECT_EQ(rig.state.committed_epoch(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, DeltaAbort,
+                         ::testing::Values(ParityScheme::Raid5,
+                                           ParityScheme::Rdp,
+                                           ParityScheme::Rs),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case ParityScheme::Raid5:
+                               return "Raid5";
+                             case ParityScheme::Rdp:
+                               return "Rdp";
+                             case ParityScheme::Rs:
+                               return "Rs";
+                           }
+                           return "Unknown";
+                         });
+
+}  // namespace
+}  // namespace vdc::core

@@ -230,6 +230,91 @@ TEST(Rdp, TripleErasureThrows) {
   EXPECT_THROW(codec.reconstruct(stripe), DataLossError);
 }
 
+// Small-write oracle: folding old^new through for_each_update_range must
+// land parity exactly where a full re-encode of the mutated data does —
+// for every (p, k), every column, and ranges at every row-boundary shape.
+class RdpUpdateSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(RdpUpdateSweep, InPlaceUpdateMatchesReencode) {
+  const auto [p, k] = GetParam();
+  Rng rng(300 + p * 17 + k);
+  RdpCodec codec(k, p);
+  const std::size_t row_bytes = 8;
+  const std::size_t block = (p - 1) * row_bytes;
+
+  std::vector<Block> data;
+  for (std::size_t i = 0; i < k; ++i) data.push_back(random_block(rng, block));
+  std::vector<BlockView> views(data.begin(), data.end());
+  auto parity = codec.encode(views);
+
+  // Range shapes: within one row, exactly one row, straddling a row
+  // boundary, the whole block, and a tail ending at the block edge.
+  const std::vector<std::pair<std::size_t, std::size_t>> ranges = {
+      {0, 1},
+      {3, row_bytes - 3},
+      {row_bytes, row_bytes},
+      {row_bytes - 2, 5},
+      {0, block},
+      {block - 3, 3},
+  };
+
+  for (std::size_t col = 0; col < k; ++col) {
+    for (const auto& [off, len] : ranges) {
+      if (off + len > block) continue;
+      Block updated = data[col];
+      Block delta(len);
+      for (std::size_t i = 0; i < len; ++i) {
+        const auto nb = static_cast<std::byte>(rng.next() & 0xff);
+        delta[i] = updated[off + i] ^ nb;
+        updated[off + i] = nb;
+      }
+
+      Block rp = parity[0], dp = parity[1];
+      codec.update(col, off, delta, rp, dp);
+
+      std::vector<Block> mutated = data;
+      mutated[col] = updated;
+      std::vector<BlockView> mviews(mutated.begin(), mutated.end());
+      auto expect = codec.encode(mviews);
+      EXPECT_EQ(rp, expect[0]) << "p=" << p << " k=" << k << " col=" << col
+                               << " off=" << off << " len=" << len;
+      EXPECT_EQ(dp, expect[1]) << "p=" << p << " k=" << k << " col=" << col
+                               << " off=" << off << " len=" << len;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PrimesAndWidths, RdpUpdateSweep,
+    ::testing::Values(std::make_tuple(3u, 1u), std::make_tuple(3u, 2u),
+                      std::make_tuple(5u, 2u), std::make_tuple(5u, 4u),
+                      std::make_tuple(7u, 3u), std::make_tuple(7u, 6u),
+                      std::make_tuple(13u, 5u), std::make_tuple(13u, 12u)));
+
+TEST(Rdp, UpdateRangeValidation) {
+  RdpCodec codec(3, 5);
+  const auto nop = [](std::size_t, std::size_t, std::size_t, std::size_t) {};
+  EXPECT_THROW(codec.for_each_update_range(3, 0, 4, 32, nop), ConfigError);
+  EXPECT_THROW(codec.for_each_update_range(0, 0, 4, 30, nop), ConfigError);
+  EXPECT_THROW(codec.for_each_update_range(0, 30, 4, 32, nop), ConfigError);
+  EXPECT_NO_THROW(codec.for_each_update_range(0, 0, 0, 32, nop));
+}
+
+TEST(Rdp, UpdateRangesNeverStraddleRows) {
+  RdpCodec codec(6, 7);
+  const std::size_t row_bytes = 16;
+  const std::size_t block = 6 * row_bytes;
+  codec.for_each_update_range(
+      2, 5, block - 9, block,
+      [&](std::size_t parity, std::size_t dst, std::size_t, std::size_t len) {
+        EXPECT_LE(parity, 1u);
+        EXPECT_EQ(dst / row_bytes, (dst + len - 1) / row_bytes);
+        EXPECT_LE(dst + len, block);
+      });
+}
+
 TEST(Rdp, RowParityMatchesRaid5) {
   // RDP's first parity block is plain row XOR: must equal RAID-5 parity.
   Rng rng(12);

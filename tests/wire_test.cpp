@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstring>
 #include <set>
 #include <string>
 
@@ -190,6 +191,137 @@ TEST(Wire, RejectsExtension) {
     FAIL() << "extended frame decoded successfully";
   } catch (const checkpoint::WireError& e) {
     EXPECT_STREQ(e.what(), "checkpoint frame: length mismatch");
+  }
+}
+
+checkpoint::CheckpointDelta sample_delta(Rng& rng) {
+  checkpoint::CheckpointDelta cd;
+  cd.vm = 23;
+  cd.epoch = 9;
+  cd.base_epoch = 8;
+  cd.delta.page_size = 128;
+  cd.delta.pages = {1, 4, 5, 30};
+  cd.delta.payload.push_back(random_bytes(rng, 60));
+  cd.delta.payload.push_back(random_bytes(rng, 128));
+  cd.delta.payload.push_back({});  // a page whose xor RLEs to nothing
+  cd.delta.payload.push_back(random_bytes(rng, 17));
+  return cd;
+}
+
+TEST(DeltaWire, RoundtripPreservesEverything) {
+  Rng rng(8);
+  const auto cd = sample_delta(rng);
+  const auto frame = checkpoint::encode_delta_frame(cd);
+  EXPECT_EQ(frame.size(), checkpoint::delta_frame_size(cd.delta));
+  EXPECT_EQ(frame.size(),
+            checkpoint::delta_frame_size(4, 60 + 128 + 0 + 17));
+  const auto back = checkpoint::decode_delta_frame(frame);
+  EXPECT_EQ(back.vm, cd.vm);
+  EXPECT_EQ(back.epoch, cd.epoch);
+  EXPECT_EQ(back.base_epoch, cd.base_epoch);
+  EXPECT_EQ(back.delta.page_size, cd.delta.page_size);
+  EXPECT_EQ(back.delta.pages, cd.delta.pages);
+  EXPECT_EQ(back.delta.payload, cd.delta.payload);
+}
+
+TEST(DeltaWire, EmptyDeltaRoundtrips) {
+  checkpoint::CheckpointDelta cd;
+  cd.vm = 1;
+  cd.epoch = 2;
+  cd.base_epoch = 1;
+  const auto frame = checkpoint::encode_delta_frame(cd);
+  EXPECT_EQ(frame.size(), 56u);
+  const auto back = checkpoint::decode_delta_frame(frame);
+  EXPECT_TRUE(back.delta.pages.empty());
+}
+
+TEST(DeltaWire, EverySingleBitFlipIsRejected) {
+  // Property: flipping ANY single bit of a sealed delta frame must make
+  // decode throw. A slipped flip would fold garbage into standing parity
+  // and silently poison every later recovery from that stripe — strictly
+  // worse than corrupting one full checkpoint. Also checks each distinct
+  // rejection branch fires.
+  Rng rng(9);
+  const auto cd = sample_delta(rng);
+  const auto frame = checkpoint::encode_delta_frame(cd);
+  std::set<std::string> reasons;
+  for (std::size_t bit = 0; bit < frame.size() * 8; ++bit) {
+    auto flipped = frame;
+    flipped[bit / 8] ^= std::byte{1} << (bit % 8);
+    try {
+      checkpoint::decode_delta_frame(flipped);
+      FAIL() << "bit " << bit << " flip decoded successfully";
+    } catch (const checkpoint::WireError& e) {
+      reasons.insert(e.what());
+    }
+  }
+  EXPECT_TRUE(reasons.count("delta frame: bad magic"));
+  EXPECT_TRUE(reasons.count("delta frame: header crc mismatch"));
+  EXPECT_TRUE(reasons.count("delta frame: payload crc mismatch"));
+}
+
+TEST(DeltaWire, RejectsTruncationAndExtension) {
+  Rng rng(10);
+  const auto cd = sample_delta(rng);
+  auto frame = checkpoint::encode_delta_frame(cd);
+
+  auto shorter = frame;
+  shorter.resize(shorter.size() - 1);
+  EXPECT_THROW(checkpoint::decode_delta_frame(shorter),
+               checkpoint::WireError);
+  EXPECT_THROW(checkpoint::decode_delta_frame({frame.data(), 20}),
+               checkpoint::WireError);
+
+  auto longer = frame;
+  longer.push_back(std::byte{0});
+  try {
+    checkpoint::decode_delta_frame(longer);
+    FAIL() << "extended delta frame decoded successfully";
+  } catch (const checkpoint::WireError& e) {
+    EXPECT_STREQ(e.what(), "delta frame: length mismatch");
+  }
+}
+
+TEST(DeltaWire, RejectsMalformedPayloadStructure) {
+  // Structural validation beyond the CRCs: decode must reject records
+  // that overrun the payload, out-of-order pages, and trailing bytes even
+  // when the CRCs are recomputed to match (a forged frame, not a flip).
+  const auto reseal = [](std::vector<std::byte> frame) {
+    const std::uint32_t pcrc = crc32(
+        std::span<const std::byte>(frame.data() + 56, frame.size() - 56));
+    std::memcpy(frame.data() + 52, &pcrc, 4);
+    const std::uint32_t hcrc =
+        crc32(std::span<const std::byte>(frame.data() + 8, 48));
+    std::memcpy(frame.data() + 4, &hcrc, 4);
+    return frame;
+  };
+  Rng rng(11);
+  const auto good = checkpoint::encode_delta_frame(sample_delta(rng));
+
+  auto overrun = good;
+  // First record claims more content than the payload holds.
+  const std::uint32_t huge = 1u << 30;
+  std::memcpy(overrun.data() + 56 + 4, &huge, 4);
+  EXPECT_THROW(checkpoint::decode_delta_frame(reseal(overrun)),
+               checkpoint::WireError);
+
+  auto unordered = good;
+  // Second record's page index rewound below the first's.
+  const std::uint32_t zero = 0;
+  std::memcpy(unordered.data() + 56 + 8 + 60, &zero, 4);
+  EXPECT_THROW(checkpoint::decode_delta_frame(reseal(unordered)),
+               checkpoint::WireError);
+
+  checkpoint::CheckpointDelta empty;
+  auto trailing = checkpoint::encode_delta_frame(empty);
+  trailing.resize(trailing.size() + 8);  // bytes after the last record
+  const std::uint64_t len = 8;
+  std::memcpy(trailing.data() + 44, &len, 8);
+  try {
+    checkpoint::decode_delta_frame(reseal(trailing));
+    FAIL() << "trailing payload decoded successfully";
+  } catch (const checkpoint::WireError& e) {
+    EXPECT_STREQ(e.what(), "delta frame: trailing payload bytes");
   }
 }
 
