@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Gate BENCH_dataplane.json against the committed baseline.
 
-Two checks, both designed to be meaningful on noisy shared runners:
+Four checks, all designed to be meaningful on noisy shared runners:
 
 1. Delta-path wire bytes. The dataplane benchmarks account wire traffic in
    SIMULATED time, so `wire_bytes_per_epoch` and `delta_wire_bytes_per_epoch`
@@ -11,7 +11,19 @@ Two checks, both designed to be meaningful on noisy shared runners:
    Both counters must match the SAME expected value: on the delta path every
    shipped byte is a VDD1 frame.
 
-2. Kernel throughput ratios. Absolute MB/s depends on the runner, but the
+2. Copy-bytes ceilings. `copy_bytes_per_epoch` on the fast plane is a
+   simulated-metric count of actual data-plane copies, so it is also
+   deterministic. The baseline sets a per-row MAXIMUM: the zero-copy path
+   keeps per-epoch copies O(dirty bytes), and any reintroduced
+   whole-image flatten blows through the ceiling by three orders of
+   magnitude.
+
+3. Compression honesty. Every incremental row must ship
+   `delta_wire_bytes_per_epoch` <= `trim_wire_bytes_per_epoch`: the
+   per-record min(RLE, trim) choice can never do worse than a trim-only
+   encoder.
+
+4. Kernel throughput ratios. Absolute MB/s depends on the runner, but the
    SIMD and scalar tiers run in the same process seconds apart, so their
    RATIO cancels machine speed. The baseline sets a minimum ratio per kernel
    (measured headroom is ~2x for XOR and ~14x for gf256 at the gated size,
@@ -56,6 +68,31 @@ def main() -> int:
                     f"{name}: {counter} = {got:.0f}, expected {expected:.0f}"
                 )
 
+    for name, ceiling in baseline.get("copy_bytes_per_epoch_max", {}).items():
+        row = rows.get(name)
+        if row is None:
+            failures.append(f"missing benchmark row {name}")
+            continue
+        got = row.get("copy_bytes_per_epoch")
+        if got is None:
+            failures.append(f"{name}: counter copy_bytes_per_epoch missing")
+        elif got > ceiling:
+            failures.append(
+                f"{name}: copy_bytes_per_epoch = {got:.0f} exceeds "
+                f"ceiling {ceiling:.0f}"
+            )
+
+    for name, row in rows.items():
+        trim = row.get("trim_wire_bytes_per_epoch")
+        delta = row.get("delta_wire_bytes_per_epoch")
+        if trim is None or delta is None:
+            continue
+        if delta > trim * 1.0001:
+            failures.append(
+                f"{name}: delta wire bytes {delta:.0f} exceed trim-only "
+                f"bytes {trim:.0f} (compression made things worse)"
+            )
+
     for kernel, spec in baseline["kernel_ratios"].items():
         scalar_name = f"{spec['bench']}/tier:0/bytes:{spec['bytes']}"
         scalar = rows.get(scalar_name)
@@ -88,7 +125,7 @@ def main() -> int:
         for f_ in failures:
             print("FAIL:", f_)
         return 1
-    print("OK: wire bytes exact, kernel ratios above gates")
+    print("OK: wire bytes exact, copy bytes under ceilings, delta <= trim, kernel ratios above gates")
     return 0
 
 

@@ -57,6 +57,21 @@ void apply_delta(std::vector<std::byte>& base, const PageDelta& delta) {
   }
 }
 
+EncodedRecord encode_record(std::span<const std::byte> x) {
+  EncodedRecord rec;
+  std::size_t trim = x.size();
+  while (trim > 0 && x[trim - 1] == std::byte{0}) --trim;
+  rec.trim_len = static_cast<std::uint32_t>(trim);
+  if (rle_encoded_size(x) <= trim) {
+    rec.bytes = rle_encode(x);
+    rec.raw = false;
+  } else {
+    rec.bytes.assign(x.begin(), x.begin() + static_cast<std::ptrdiff_t>(trim));
+    rec.raw = true;
+  }
+  return rec;
+}
+
 Bytes CompressedDelta::wire_bytes() const {
   Bytes total = 0;
   for (const auto& p : payload) total += p.size();
@@ -78,7 +93,10 @@ CompressedDelta compress_delta(const PageDelta& delta,
     std::vector<std::byte> diff = delta.contents[i];
     parity::xor_into(diff, std::span<const std::byte>(
                                base.data() + off, delta.page_size));
-    out.payload.push_back(rle_encode(diff));
+    EncodedRecord rec = encode_record(diff);
+    out.payload.push_back(std::move(rec.bytes));
+    out.raw.push_back(rec.raw ? 1 : 0);
+    out.trim_payload_bytes += rec.trim_len;
   }
   return out;
 }
@@ -93,7 +111,16 @@ PageDelta decompress_delta(const CompressedDelta& compressed,
     const std::size_t off = compressed.pages[i] * compressed.page_size;
     VDC_REQUIRE(off + compressed.page_size <= base.size(),
                 "decompress: page outside base image");
-    auto diff = rle_decode(compressed.payload[i], compressed.page_size);
+    std::vector<std::byte> diff;
+    if (compressed.is_raw(i)) {
+      const auto& p = compressed.payload[i];
+      VDC_REQUIRE(p.size() <= compressed.page_size,
+                  "decompress: raw record longer than page");
+      diff.assign(p.begin(), p.end());
+      diff.resize(compressed.page_size, std::byte{0});
+    } else {
+      diff = rle_decode(compressed.payload[i], compressed.page_size);
+    }
     parity::xor_into(diff, std::span<const std::byte>(
                                base.data() + off, compressed.page_size));
     out.contents.push_back(std::move(diff));

@@ -41,12 +41,34 @@ PageDelta diff_images(std::span<const std::byte> old_image,
 /// Apply a delta onto a flat base image in place.
 void apply_delta(std::vector<std::byte>& base, const PageDelta& delta);
 
+/// One delta record, already encoded for the wire. Encoding is chosen per
+/// record: zero-run RLE of x = old^new, or — when the nonzero bytes cluster
+/// at the front — the raw prefix through the last nonzero byte ("trim"),
+/// whichever is smaller. The decoder zero-fills past a raw prefix.
+struct EncodedRecord {
+  std::vector<std::byte> bytes;  // chosen encoding
+  bool raw = false;              // true: trimmed raw prefix, not RLE
+  std::uint32_t trim_len = 0;    // bytes through the last nonzero byte of x
+};
+
+/// Encode one x = old^new record, picking min(RLE, trim) with ties going to
+/// RLE. Both the fast and reference data planes must funnel through this
+/// single encoder so frames stay byte-identical.
+EncodedRecord encode_record(std::span<const std::byte> x);
+
 struct CompressedDelta {
   Bytes page_size = 0;
   std::vector<vm::PageIndex> pages;
-  std::vector<std::vector<std::byte>> payload;  // rle(new xor old) per page
+  std::vector<std::vector<std::byte>> payload;  // encoded x per page
+  // Per-page raw-mode flags, parallel to `pages`. Empty means all-RLE
+  // (backward compatible with hand-built deltas).
+  std::vector<std::uint8_t> raw;
+  // Trim-only transport size of the payloads (sum of trim_len): what a
+  // trim-only encoder would have shipped, for compression accounting.
+  Bytes trim_payload_bytes = 0;
 
   std::size_t page_count() const { return pages.size(); }
+  bool is_raw(std::size_t i) const { return i < raw.size() && raw[i] != 0; }
   /// Compressed transport size (payload bytes + per-page index overhead).
   Bytes wire_bytes() const;
 };

@@ -29,11 +29,19 @@ std::uint64_t get_varint(std::span<const std::byte> in, std::size_t& pos) {
   }
 }
 
-}  // namespace
+std::size_t varint_size(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
 
-std::vector<std::byte> rle_encode(std::span<const std::byte> data) {
-  std::vector<std::byte> out;
-  out.reserve(data.size() / 8 + 16);
+// Shared run scanner: calls emit(zeros, lit_start, lit_len) for each
+// zero-run/literal-run record, exactly as rle_encode lays them out.
+template <typename Emit>
+void scan_runs(std::span<const std::byte> data, Emit&& emit) {
   std::size_t i = 0;
   while (i < data.size()) {
     // Count the zero run.
@@ -57,13 +65,33 @@ std::vector<std::byte> rle_encode(std::span<const std::byte> data) {
         ++lit_len;
       }
     }
+    emit(zeros, lit_start, lit_len);
+    i = lit_start + lit_len;
+  }
+}
+
+}  // namespace
+
+std::vector<std::byte> rle_encode(std::span<const std::byte> data) {
+  std::vector<std::byte> out;
+  out.reserve(data.size() / 8 + 16);
+  scan_runs(data, [&](std::size_t zeros, std::size_t lit_start,
+                      std::size_t lit_len) {
     put_varint(out, zeros);
     put_varint(out, lit_len);
     out.insert(out.end(), data.begin() + static_cast<std::ptrdiff_t>(lit_start),
                data.begin() + static_cast<std::ptrdiff_t>(lit_start + lit_len));
-    i = lit_start + lit_len;
-  }
+  });
   return out;
+}
+
+std::size_t rle_encoded_size(std::span<const std::byte> data) {
+  std::size_t total = 0;
+  scan_runs(data,
+            [&](std::size_t zeros, std::size_t, std::size_t lit_len) {
+              total += varint_size(zeros) + varint_size(lit_len) + lit_len;
+            });
+  return total;
 }
 
 std::vector<std::byte> rle_decode(std::span<const std::byte> encoded,

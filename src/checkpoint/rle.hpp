@@ -20,6 +20,11 @@ namespace vdc::checkpoint {
 /// per literal run, and collapses zero runs to ~1-5 bytes.
 std::vector<std::byte> rle_encode(std::span<const std::byte> data);
 
+/// Exact size rle_encode(data) would produce, without allocating. Lets the
+/// wire planner price compression (and the full-exchange path report
+/// compressed sizes) with a single scan and zero copies.
+std::size_t rle_encoded_size(std::span<const std::byte> data);
+
 /// Decode an rle_encode() buffer; `expected_size` is the original length.
 /// Throws vdc::Error on malformed input.
 std::vector<std::byte> rle_decode(std::span<const std::byte> encoded,

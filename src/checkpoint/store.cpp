@@ -16,37 +16,103 @@ Bytes StoredCheckpoint::size_bytes() const {
 
 std::span<const std::byte> StoredCheckpoint::page(std::size_t i) const {
   VDC_ASSERT(i < pages.size());
+  VDC_ASSERT_MSG(!patched(i), "use for_each_range on patched chunks");
   return {pages[i]->data(), pages[i]->size()};
 }
 
+Bytes StoredCheckpoint::patch_bytes() const {
+  Bytes total = 0;
+  for (const auto& [i, patch] : patches) total += patch.bytes->size();
+  return total;
+}
+
+void StoredCheckpoint::for_each_range(
+    std::size_t i, std::size_t off, std::size_t len,
+    const std::function<void(std::size_t, std::span<const std::byte>)>& fn)
+    const {
+  VDC_ASSERT(i < pages.size());
+  const auto& base = *pages[i];
+  VDC_ASSERT(off + len <= base.size());
+  if (len == 0) return;
+  const auto it = patches.find(static_cast<std::uint32_t>(i));
+  if (it == patches.end()) {
+    fn(off, {base.data() + off, len});
+    return;
+  }
+  const std::size_t plo = it->second.offset;
+  const std::size_t phi = plo + it->second.bytes->size();
+  const std::size_t end = off + len;
+  // Base bytes before the patch window.
+  if (off < plo) {
+    const std::size_t n = std::min(plo, end) - off;
+    fn(off, {base.data() + off, n});
+  }
+  // Patched bytes.
+  const std::size_t olo = std::max(off, plo);
+  const std::size_t ohi = std::min(end, phi);
+  if (olo < ohi)
+    fn(olo, {it->second.bytes->data() + (olo - plo), ohi - olo});
+  // Base bytes after the patch window.
+  if (end > phi) {
+    const std::size_t lo = std::max(off, phi);
+    fn(lo, {base.data() + lo, end - lo});
+  }
+}
+
+void StoredCheckpoint::for_each_span(
+    const std::function<void(std::size_t, std::span<const std::byte>)>& fn)
+    const {
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < pages.size(); ++i) {
+    const std::size_t base_off = off;
+    for_each_range(i, 0, pages[i]->size(),
+                   [&](std::size_t in_page, std::span<const std::byte> s) {
+                     fn(base_off + in_page, s);
+                   });
+    off += pages[i]->size();
+  }
+}
+
+bool StoredCheckpoint::page_equals(std::size_t i,
+                                   std::span<const std::byte> bytes) const {
+  VDC_ASSERT(i < pages.size());
+  if (bytes.size() != pages[i]->size()) return false;
+  bool equal = true;
+  for_each_range(i, 0, bytes.size(),
+                 [&](std::size_t off, std::span<const std::byte> s) {
+                   if (equal &&
+                       std::memcmp(bytes.data() + off, s.data(), s.size()) != 0)
+                     equal = false;
+                 });
+  return equal;
+}
+
 std::vector<std::byte> StoredCheckpoint::payload() const {
-  std::vector<std::byte> out;
-  out.reserve(size_bytes());
-  for (const auto& p : pages) out.insert(out.end(), p->begin(), p->end());
+  std::vector<std::byte> out(size_bytes());
+  for_each_span([&](std::size_t off, std::span<const std::byte> s) {
+    std::memcpy(out.data() + off, s.data(), s.size());
+  });
   return out;
 }
 
 std::vector<std::byte> StoredCheckpoint::padded_payload(
     std::size_t size) const {
   std::vector<std::byte> out(size, std::byte{0});
-  std::size_t off = 0;
-  for (const auto& p : pages) {
-    VDC_ASSERT(off + p->size() <= size);
-    std::memcpy(out.data() + off, p->data(), p->size());
-    off += p->size();
-  }
+  for_each_span([&](std::size_t off, std::span<const std::byte> s) {
+    VDC_ASSERT(off + s.size() <= size);
+    std::memcpy(out.data() + off, s.data(), s.size());
+  });
   return out;
 }
 
 bool StoredCheckpoint::payload_equals(std::span<const std::byte> flat) const {
-  std::size_t off = 0;
-  for (const auto& p : pages) {
-    if (off + p->size() > flat.size()) return false;
-    if (std::memcmp(flat.data() + off, p->data(), p->size()) != 0)
-      return false;
-    off += p->size();
-  }
-  return off == flat.size();
+  if (flat.size() != size_bytes()) return false;
+  bool equal = true;
+  for_each_span([&](std::size_t off, std::span<const std::byte> s) {
+    if (equal && std::memcmp(flat.data() + off, s.data(), s.size()) != 0)
+      equal = false;
+  });
+  return equal;
 }
 
 std::vector<PageRef> StoredCheckpoint::chop(std::span<const std::byte> flat,
@@ -75,6 +141,9 @@ StoredCheckpoint StoredCheckpoint::from(Checkpoint&& cp) {
 void CheckpointStore::ref_pages(const StoredCheckpoint& cp) {
   for (const auto& p : cp.pages)
     if (++page_refs_[p.get()] == 1) resident_bytes_ += p->size();
+  for (const auto& [i, patch] : cp.patches)
+    if (++patch_refs_[patch.bytes.get()] == 1)
+      patch_resident_bytes_ += patch.bytes->size();
 }
 
 void CheckpointStore::unref_pages(const StoredCheckpoint& cp) {
@@ -84,6 +153,14 @@ void CheckpointStore::unref_pages(const StoredCheckpoint& cp) {
     if (--it->second == 0) {
       resident_bytes_ -= p->size();
       page_refs_.erase(it);
+    }
+  }
+  for (const auto& [i, patch] : cp.patches) {
+    auto it = patch_refs_.find(patch.bytes.get());
+    VDC_ASSERT(it != patch_refs_.end() && it->second > 0);
+    if (--it->second == 0) {
+      patch_resident_bytes_ -= patch.bytes->size();
+      patch_refs_.erase(it);
     }
   }
 }

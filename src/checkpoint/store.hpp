@@ -12,6 +12,7 @@
 // measured against what the node actually holds.
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -27,20 +28,58 @@ namespace vdc::checkpoint {
 /// An immutable, shareable page-sized chunk of checkpoint payload.
 using PageRef = std::shared_ptr<const std::vector<std::byte>>;
 
-/// A checkpoint at rest: the payload as a sequence of page chunks. All
-/// chunks are page_size bytes except possibly the last (a trailing partial
-/// page); page_size == 0 means a single chunk holds the whole payload.
+/// A sub-page overlay on one page chunk: `bytes` replaces the base page
+/// content at [offset, offset + bytes->size()). Patches let an epoch whose
+/// guest touched only a few bytes of a page share the previous epoch's base
+/// buffer and store just the touched extent.
+struct PagePatch {
+  std::uint32_t offset = 0;
+  PageRef bytes;
+};
+
+/// A checkpoint at rest: the payload as a sequence of page chunks plus an
+/// optional sparse patch overlay. All chunks are page_size bytes except
+/// possibly the last (a trailing partial page); page_size == 0 means a
+/// single chunk holds the whole payload. Logical content of chunk i is
+/// pages[i] with patches[i] (if present) applied on top; patch depth is
+/// always exactly one (re-patching rebases onto the same base buffer).
 struct StoredCheckpoint {
   vm::VmId vm = 0;
   Epoch epoch = 0;
   Bytes page_size = 0;
   std::vector<PageRef> pages;
+  std::map<std::uint32_t, PagePatch> patches;
 
-  /// Logical payload size (sum of chunk sizes).
+  /// Logical payload size (sum of chunk sizes; patches replace, not extend).
   Bytes size_bytes() const;
 
-  /// Read-only view of chunk `i`.
+  /// Read-only view of chunk `i`. Only valid for unpatched chunks — the
+  /// scatter-gather readers below handle the general case.
   std::span<const std::byte> page(std::size_t i) const;
+
+  bool patched(std::size_t i) const {
+    return patches.count(static_cast<std::uint32_t>(i)) != 0;
+  }
+
+  /// Bytes held in patch buffers (on top of the base chunks).
+  Bytes patch_bytes() const;
+
+  /// Visit the logical content of chunk `i` over [off, off + len) as up to
+  /// three contiguous spans (base-before-patch, patch, base-after-patch).
+  /// fn(offset_in_page, bytes); spans arrive in ascending offset order.
+  void for_each_range(
+      std::size_t i, std::size_t off, std::size_t len,
+      const std::function<void(std::size_t, std::span<const std::byte>)>& fn)
+      const;
+
+  /// Visit the whole logical payload in order as contiguous spans.
+  /// fn(payload_offset, bytes).
+  void for_each_span(
+      const std::function<void(std::size_t, std::span<const std::byte>)>& fn)
+      const;
+
+  /// True iff chunk `i`'s logical content equals `bytes`.
+  bool page_equals(std::size_t i, std::span<const std::byte> bytes) const;
 
   /// Materialise the payload as one flat byte vector.
   std::vector<std::byte> payload() const;
@@ -85,8 +124,10 @@ class CheckpointStore {
   void drop_vm(vm::VmId vm);
 
   std::size_t entry_count() const;
-  /// Resident bytes: every distinct page buffer counted exactly once.
-  Bytes total_bytes() const { return resident_bytes_; }
+  /// Resident bytes: every distinct page/patch buffer counted exactly once.
+  Bytes total_bytes() const { return resident_bytes_ + patch_resident_bytes_; }
+  /// Resident bytes held in patch buffers only (subset of total_bytes()).
+  Bytes patch_bytes() const { return patch_resident_bytes_; }
 
  private:
   void ref_pages(const StoredCheckpoint& cp);
@@ -97,7 +138,9 @@ class CheckpointStore {
   // Distinct page buffer -> number of StoredCheckpoints in THIS store
   // referencing it (buffers may also be shared across stores).
   std::unordered_map<const void*, std::size_t> page_refs_;
+  std::unordered_map<const void*, std::size_t> patch_refs_;
   Bytes resident_bytes_ = 0;
+  Bytes patch_resident_bytes_ = 0;
 };
 
 }  // namespace vdc::checkpoint

@@ -1,0 +1,236 @@
+#pragma once
+// Streaming (scatter-gather) checkpoint wire plane.
+//
+// The frame formats in wire.hpp describe bytes at rest; this header makes
+// them streamable in both directions without materializing whole frames:
+//
+//  * DeltaFrameSource / CheckpointFrameSource — the SEND side. A frame is
+//    held as header bytes plus a sequence of spans over existing buffers
+//    (encoded delta records, CheckpointStore page refs). `for_each_range`
+//    yields any byte range of the logical frame as views, so ChunkedStream
+//    payloads come straight out of page refs: no flatten(), no whole-frame
+//    vector. CRCs are accumulated incrementally as records are added.
+//
+//  * DeltaReader / FrameReader — the RECEIVE side. Chunks are fed in
+//    arrival order and validated incrementally (magic and header CRC as
+//    soon as the header completes, payload CRC as bytes stream through,
+//    record shape as each record closes). DeltaReader decodes records on
+//    the fly and emits fold callbacks for the literal bytes only — zero
+//    runs just advance the page offset — so parity folds run straight off
+//    the receive buffers. The only per-stream state is a small fixed carry
+//    (partial header/record-meta/varint across a chunk boundary), giving
+//    bounded memory per stream regardless of frame size.
+//
+// Abort safety: readers never touch parity themselves — the fold callback
+// does, under the protocol's undo log, and a stream cancelled mid-frame
+// simply stops feeding (the undo log restores any partial folds).
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "checkpoint/checkpointer.hpp"
+#include "checkpoint/delta.hpp"
+#include "checkpoint/wire.hpp"
+#include "common/units.hpp"
+
+namespace vdc::checkpoint {
+
+/// Visitor for a byte range of a logical frame: called with consecutive
+/// spans covering the range in order.
+using SpanSink = std::function<void(std::span<const std::byte>)>;
+
+/// Send-side scatter-gather view of one VDD1 delta frame. Records are added
+/// in ascending page order (their encoded bytes are moved in, not copied),
+/// then seal() finalizes the CRCs. This class is the layout authority for
+/// the VDD1 format: wire.cpp's encode_delta_frame delegates here.
+class DeltaFrameSource {
+ public:
+  DeltaFrameSource(vm::VmId vm, Epoch epoch, Epoch base_epoch,
+                   Bytes page_size);
+
+  /// Append one encoded record (see encode_record). Pages must ascend.
+  void add_record(vm::PageIndex page, std::vector<std::byte> bytes, bool raw,
+                  std::uint32_t trim_len);
+
+  /// Finalize header + payload CRCs. No add_record after this.
+  void seal();
+  bool sealed() const { return sealed_; }
+
+  std::size_t page_count() const { return recs_.size(); }
+  /// Total frame size in bytes (valid any time; exact after seal()).
+  std::size_t size() const;
+  /// What a trim-only encoder would have shipped for the same records
+  /// (header + per-record meta + trim lengths) — compression accounting.
+  Bytes trim_frame_size() const;
+
+  /// Yield frame bytes [lo, hi) as a sequence of spans, in order. The spans
+  /// point into this source; they stay valid as long as it lives.
+  void for_each_range(std::size_t lo, std::size_t hi,
+                      const SpanSink& fn) const;
+
+  /// Visit each record's encoded payload: fn(page, encoded bytes, raw).
+  void for_each_record(
+      const std::function<void(vm::PageIndex, std::span<const std::byte>,
+                               bool)>& fn) const;
+
+  /// Materialize the whole frame (tests, wire.cpp compatibility shim).
+  std::vector<std::byte> bytes() const;
+
+ private:
+  struct Rec {
+    vm::PageIndex page = 0;
+    std::array<std::byte, 8> meta;  // u32 page, u32 len|mode
+    std::vector<std::byte> payload;
+    bool raw = false;
+  };
+
+  std::array<std::byte, kDeltaFrameHeaderSize> header_{};
+  std::vector<Rec> recs_;
+  // Cumulative frame offset of the END of each record (meta + payload).
+  std::vector<std::size_t> ends_;
+  std::uint32_t payload_crc_ = 0;
+  Bytes trim_total_ = 0;
+  bool sealed_ = false;
+  bool have_page_ = false;
+  vm::PageIndex last_page_ = 0;
+};
+
+/// Send-side scatter-gather view of one VDC1 full-checkpoint frame: header
+/// bytes plus caller-provided payload spans (typically CheckpointStore page
+/// refs — the caller keeps them alive). Layout authority for VDC1.
+class CheckpointFrameSource {
+ public:
+  CheckpointFrameSource(vm::VmId vm, Epoch epoch, Bytes page_size,
+                        std::vector<std::span<const std::byte>> payload);
+
+  std::size_t size() const { return kFrameHeaderSize + payload_len_; }
+  void for_each_range(std::size_t lo, std::size_t hi,
+                      const SpanSink& fn) const;
+  std::vector<std::byte> bytes() const;
+
+ private:
+  std::array<std::byte, kFrameHeaderSize> header_{};
+  std::vector<std::span<const std::byte>> spans_;
+  std::vector<std::size_t> ends_;  // cumulative payload end offsets
+  std::size_t payload_len_ = 0;
+};
+
+/// Enumerate the literal runs of one encoded delta record: the byte ranges
+/// of the decoded page that a fold-from-wire ingest will actually touch
+/// (zero runs touch nothing). fn(offset_in_page, length). Used to build the
+/// undo log without decoding payload bytes.
+void for_each_literal_run(
+    std::span<const std::byte> encoded, bool raw, Bytes page_size,
+    const std::function<void(std::size_t, std::size_t)>& fn);
+
+/// Receive-side incremental VDD1 parser. Feed chunks in frame order; emits
+/// fold callbacks for literal bytes as they arrive. Throws WireError on any
+/// corruption, as early as it is detectable.
+class DeltaReader {
+ public:
+  struct Header {
+    vm::VmId vm = 0;
+    Epoch epoch = 0;
+    Epoch base_epoch = 0;
+    Bytes page_size = 0;
+    std::uint64_t page_count = 0;
+    std::uint64_t payload_len = 0;
+  };
+
+  /// fold(page, offset_in_page, literal bytes): XOR `literal bytes` into
+  /// the page at that offset. Spans point into the fed chunk; consume
+  /// within the callback.
+  using FoldFn =
+      std::function<void(vm::PageIndex, std::size_t, std::span<const std::byte>)>;
+
+  explicit DeltaReader(FoldFn fold);
+
+  /// Consume the next chunk of the frame. Throws WireError on corruption
+  /// or on bytes past the end of the frame.
+  void feed(std::span<const std::byte> chunk);
+
+  bool header_done() const { return state_ != State::Header; }
+  const Header& header() const { return hdr_; }
+  bool complete() const { return state_ == State::Done; }
+  /// Bytes of frame consumed so far.
+  std::size_t consumed() const { return consumed_; }
+
+  /// Upper bound on carried bytes between feeds (partial header / record
+  /// meta / varint). The reader never buffers payload.
+  static constexpr std::size_t kMaxCarry = kDeltaFrameHeaderSize;
+
+ private:
+  enum class State {
+    Header,    // first 56 bytes
+    RecMeta,   // u32 page, u32 len|mode
+    RleZeros,  // varint zero-run length
+    RleLits,   // varint literal-run length
+    RleData,   // literal bytes
+    RawData,   // raw-prefix bytes
+    Done,
+  };
+
+  void finish_header();
+  void finish_record();
+
+  FoldFn fold_;
+  State state_ = State::Header;
+  Header hdr_;
+
+  std::array<std::byte, kMaxCarry> carry_{};
+  std::size_t carry_len_ = 0;
+
+  std::size_t consumed_ = 0;       // total frame bytes consumed
+  std::uint32_t payload_crc_ = 0;  // running CRC over payload bytes
+  std::uint32_t expected_payload_crc_ = 0;
+  std::uint64_t records_done_ = 0;
+
+  // Current record.
+  vm::PageIndex page_ = 0;
+  bool raw_ = false;
+  std::size_t rec_len_ = 0;        // encoded payload length of the record
+  std::size_t rec_consumed_ = 0;   // encoded bytes consumed so far
+  std::size_t decoded_off_ = 0;    // decoded position within the page
+  std::size_t run_remaining_ = 0;  // literal/raw bytes still expected
+  std::uint64_t varint_val_ = 0;   // partial varint accumulator
+  int varint_shift_ = 0;
+  bool have_page_ = false;
+  vm::PageIndex prev_page_ = 0;
+};
+
+/// Receive-side incremental VDC1 parser: validates header + payload CRC and
+/// emits payload spans in order. fn(payload_offset, bytes).
+class FrameReader {
+ public:
+  using DataFn = std::function<void(std::size_t, std::span<const std::byte>)>;
+
+  struct Header {
+    vm::VmId vm = 0;
+    Epoch epoch = 0;
+    Bytes page_size = 0;
+    std::uint64_t payload_len = 0;
+  };
+
+  explicit FrameReader(DataFn data);
+
+  void feed(std::span<const std::byte> chunk);
+  bool header_done() const { return header_done_; }
+  const Header& header() const { return hdr_; }
+  bool complete() const;
+
+ private:
+  DataFn data_;
+  Header hdr_;
+  std::array<std::byte, kFrameHeaderSize> carry_{};
+  std::size_t carry_len_ = 0;
+  std::size_t consumed_ = 0;
+  std::uint32_t payload_crc_ = 0;
+  std::uint32_t expected_payload_crc_ = 0;
+  bool header_done_ = false;
+};
+
+}  // namespace vdc::checkpoint

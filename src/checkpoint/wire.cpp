@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "checkpoint/stream.hpp"
 #include "common/assert.hpp"
 #include "common/crc32.hpp"
 
@@ -9,13 +10,11 @@ namespace vdc::checkpoint {
 
 namespace {
 
-constexpr std::size_t kHeaderSize = 40;
+constexpr std::size_t kHeaderSize = kFrameHeaderSize;
 constexpr char kMagic[4] = {'V', 'D', 'C', '1'};
-constexpr std::size_t kDeltaHeaderSize = 56;
+constexpr std::size_t kDeltaHeaderSize = kDeltaFrameHeaderSize;
 constexpr char kDeltaMagic[4] = {'V', 'D', 'D', '1'};
 
-void put_u32(std::byte* dst, std::uint32_t v) { std::memcpy(dst, &v, 4); }
-void put_u64(std::byte* dst, std::uint64_t v) { std::memcpy(dst, &v, 8); }
 std::uint32_t get_u32(const std::byte* src) {
   std::uint32_t v;
   std::memcpy(&v, src, 4);
@@ -30,20 +29,13 @@ std::uint64_t get_u64(const std::byte* src) {
 }  // namespace
 
 std::vector<std::byte> encode_frame(const Checkpoint& checkpoint) {
-  std::vector<std::byte> frame(kHeaderSize + checkpoint.payload.size());
-  std::memcpy(frame.data(), kMagic, 4);
-  put_u32(frame.data() + 8, checkpoint.vm);
-  put_u64(frame.data() + 12, checkpoint.epoch);
-  put_u64(frame.data() + 20, checkpoint.page_size);
-  put_u64(frame.data() + 28, checkpoint.payload.size());
-  put_u32(frame.data() + 36, crc32(checkpoint.payload));
-  // Header CRC covers everything after itself up to the payload.
-  put_u32(frame.data() + 4,
-          crc32({frame.data() + 8, kHeaderSize - 8}));
+  // CheckpointFrameSource is the layout authority; materialize through it.
+  std::vector<std::span<const std::byte>> spans;
   if (!checkpoint.payload.empty())  // empty payload has a null data()
-    std::memcpy(frame.data() + kHeaderSize, checkpoint.payload.data(),
-                checkpoint.payload.size());
-  return frame;
+    spans.push_back(checkpoint.payload);
+  return CheckpointFrameSource(checkpoint.vm, checkpoint.epoch,
+                               checkpoint.page_size, std::move(spans))
+      .bytes();
 }
 
 Checkpoint decode_frame(std::span<const std::byte> frame) {
@@ -77,34 +69,16 @@ std::size_t delta_frame_size(const CompressedDelta& delta) {
 }
 
 std::vector<std::byte> encode_delta_frame(const CheckpointDelta& cd) {
+  // DeltaFrameSource is the layout authority; materialize through it.
   const CompressedDelta& d = cd.delta;
   VDC_REQUIRE(d.pages.size() == d.payload.size(),
               "delta frame: pages/payload size mismatch");
-  std::size_t payload_len = 8 * d.pages.size();
-  for (const auto& p : d.payload) payload_len += p.size();
-
-  std::vector<std::byte> frame(kDeltaHeaderSize + payload_len);
-  std::memcpy(frame.data(), kDeltaMagic, 4);
-  put_u32(frame.data() + 8, cd.vm);
-  put_u64(frame.data() + 12, cd.epoch);
-  put_u64(frame.data() + 20, cd.base_epoch);
-  put_u64(frame.data() + 28, d.page_size);
-  put_u64(frame.data() + 36, d.pages.size());
-  put_u64(frame.data() + 44, payload_len);
-
-  std::byte* out = frame.data() + kDeltaHeaderSize;
-  for (std::size_t i = 0; i < d.pages.size(); ++i) {
-    put_u32(out, static_cast<std::uint32_t>(d.pages[i]));
-    put_u32(out + 4, static_cast<std::uint32_t>(d.payload[i].size()));
-    if (!d.payload[i].empty())
-      std::memcpy(out + 8, d.payload[i].data(), d.payload[i].size());
-    out += 8 + d.payload[i].size();
-  }
-  put_u32(frame.data() + 52,
-          crc32({frame.data() + kDeltaHeaderSize, payload_len}));
-  put_u32(frame.data() + 4,
-          crc32({frame.data() + 8, kDeltaHeaderSize - 8}));
-  return frame;
+  DeltaFrameSource source(cd.vm, cd.epoch, cd.base_epoch, d.page_size);
+  for (std::size_t i = 0; i < d.pages.size(); ++i)
+    source.add_record(d.pages[i], std::vector<std::byte>(d.payload[i]),
+                      d.is_raw(i), /*trim_len=*/0);
+  source.seal();
+  return source.bytes();
 }
 
 CheckpointDelta decode_delta_frame(std::span<const std::byte> frame) {
@@ -138,13 +112,18 @@ CheckpointDelta decode_delta_frame(std::span<const std::byte> frame) {
     if (remaining < 8)
       throw WireError("delta frame: truncated page record");
     const std::uint32_t page = get_u32(in);
-    const std::uint32_t len = get_u32(in + 4);
+    const std::uint32_t len_mode = get_u32(in + 4);
+    const bool raw = (len_mode & kRawRecordFlag) != 0;
+    const std::uint32_t len = len_mode & ~kRawRecordFlag;
     if (remaining - 8 < len)
       throw WireError("delta frame: page record overruns payload");
+    if (raw && len > cd.delta.page_size)
+      throw WireError("delta frame: raw record longer than page");
     if (!cd.delta.pages.empty() && page <= cd.delta.pages.back())
       throw WireError("delta frame: page indices not ascending");
     cd.delta.pages.push_back(page);
     cd.delta.payload.emplace_back(in + 8, in + 8 + len);
+    cd.delta.raw.push_back(raw ? 1 : 0);
     in += 8 + len;
     remaining -= 8 + len;
   }

@@ -32,7 +32,12 @@
 //       44     8  payload length
 //       52     4  payload crc32
 //       56     n  payload: page_count records of
-//                   u32 page index, u32 record length, rle(new xor old)
+//                   u32 page index, u32 record length, encoded(new xor old)
+//
+// Bit 31 of the record length is the encoding mode: clear = zero-run RLE,
+// set = raw prefix of the xor through its last nonzero byte (the decoder
+// zero-fills the remainder of the page). The low 31 bits are the encoded
+// byte count either way.
 //
 // Both headers are fully covered by magic + CRCs: every single-bit flip
 // anywhere in a frame is rejected (wire_test proves this exhaustively).
@@ -51,6 +56,11 @@ class WireError : public Error {
  public:
   using Error::Error;
 };
+
+inline constexpr std::size_t kFrameHeaderSize = 40;       // "VDC1"
+inline constexpr std::size_t kDeltaFrameHeaderSize = 56;  // "VDD1"
+/// Bit 31 of a delta record's length field: raw-prefix mode.
+inline constexpr std::uint32_t kRawRecordFlag = 0x8000'0000u;
 
 /// Serialize a checkpoint into a framed byte vector.
 std::vector<std::byte> encode_frame(const Checkpoint& checkpoint);

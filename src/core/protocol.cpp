@@ -10,8 +10,10 @@
 
 #include "common/assert.hpp"
 #include "checkpoint/rle.hpp"
+#include "checkpoint/stream.hpp"
 #include "checkpoint/wire.hpp"
 #include "common/log.hpp"
+#include "parity/delta_fold.hpp"
 #include "parity/gf256.hpp"
 #include "parity/kernels.hpp"
 #include "parity/parallel.hpp"
@@ -147,6 +149,12 @@ Bytes DvdcState::memory_bytes() const {
   return total;
 }
 
+Bytes DvdcState::patch_bytes() const {
+  Bytes total = 0;
+  for (const auto& [node, store] : stores_) total += store.patch_bytes();
+  return total;
+}
+
 // --- coordinator ------------------------------------------------------------
 
 struct DvdcCoordinator::GroupWork {
@@ -183,6 +191,24 @@ struct DvdcCoordinator::GroupWork {
   // an abort puts them back so the next capture stays a superset of the
   // changes since the committed epoch.
   std::vector<std::vector<vm::PageIndex>> captured_dirty;  // per member
+
+  // Streaming ingest (fast incremental plane). Each member with changes
+  // keeps its VDD1 frame as a scatter-gather source over the capture's
+  // encoded records; per (member, holder) stream a DeltaReader folds the
+  // literal runs into the standing parity block as in-order chunk bytes
+  // arrive. Out-of-order chunks just park in `delivered` until the
+  // contiguous frontier reaches them.
+  std::vector<std::shared_ptr<checkpoint::DeltaFrameSource>>
+      frames;  // per member; null = no changes
+  std::unique_ptr<parity::DeltaFolder> folder;  // in_place only
+  struct Ingest {
+    std::unique_ptr<checkpoint::DeltaReader> reader;
+    std::vector<std::uint8_t> delivered;  // chunk arrival flags
+    std::size_t frontier = 0;             // first undelivered chunk index
+    Bytes fed_bytes = 0;                  // frame bytes fed so far
+    Bytes wire = 0;                       // total frame size
+  };
+  std::vector<Ingest> ingest;  // mi * holders + hi; in_place only
 };
 
 DvdcCoordinator::DvdcCoordinator(simkit::Simulator& sim,
@@ -213,75 +239,26 @@ std::int64_t ns_since(WallClock::time_point t0) {
       .count();
 }
 
-// Enumerates where one member's changed range lands in the group's parity
-// blocks — the codec-specific heart of the parity-delta fold. Linear
-// codes map a range to the same offset in every holder block (coefficient
-// 1 for XOR parity, the Cauchy coefficient for RS); RDP maps it through
-// the row/diagonal geometry (RdpCodec::for_each_update_range). Both
-// capture planes drive their undo-save and fold loops through this, so
-// the touched ranges are identical by construction.
-class DeltaFolder {
- public:
-  DeltaFolder(ParityScheme scheme, std::size_t k, std::size_t rs_m,
-              Bytes block_size)
-      : scheme_(scheme), block_size_(block_size) {
-    if (scheme == ParityScheme::Rs)
-      rs_ = std::make_unique<parity::ReedSolomonCodec>(k, rs_m);
-    else if (scheme == ParityScheme::Rdp)
-      rdp_ = std::make_unique<parity::RdpCodec>(
-          k, parity::RdpCodec::next_prime_at_least(
-                 std::max<std::size_t>(k + 1, 3)));
+// The codec-specific fold geometry lives in parity::DeltaFolder (extracted
+// so the streaming ingest plane and its tests can fold without the
+// coordinator); this maps the protocol's scheme enum onto its factories.
+std::unique_ptr<parity::DeltaFolder> make_delta_folder(ParityScheme scheme,
+                                                       std::size_t k,
+                                                       std::size_t rs_m,
+                                                       Bytes block_size) {
+  switch (scheme) {
+    case ParityScheme::Raid5:
+      return std::make_unique<parity::DeltaFolder>(
+          parity::DeltaFolder::raid5(block_size));
+    case ParityScheme::Rs:
+      return std::make_unique<parity::DeltaFolder>(
+          parity::DeltaFolder::rs(k, rs_m, block_size));
+    case ParityScheme::Rdp:
+      return std::make_unique<parity::DeltaFolder>(
+          parity::DeltaFolder::rdp(k, block_size));
   }
-
-  /// fn(dst_off, src_off, len, coeff): the pieces of member `mi`'s delta
-  /// over [offset, offset+length) that land in holder `hi`'s block.
-  template <typename Fn>
-  void for_each_range(std::size_t hi, std::size_t mi, std::size_t offset,
-                      std::size_t length, Fn&& fn) const {
-    switch (scheme_) {
-      case ParityScheme::Raid5:
-        fn(offset, std::size_t{0}, length, std::uint8_t{1});
-        return;
-      case ParityScheme::Rs:
-        fn(offset, std::size_t{0}, length, rs_->coefficient(hi, mi));
-        return;
-      case ParityScheme::Rdp:
-        rdp_->for_each_update_range(
-            mi, offset, length, block_size_,
-            [&](std::size_t parity, std::size_t dst, std::size_t src,
-                std::size_t len) {
-              if (parity == hi) fn(dst, src, len, std::uint8_t{1});
-            });
-        return;
-    }
-    throw InvariantError("unknown parity scheme");
-  }
-
-  /// Fold `data` (old^new of member `mi` at `offset`) into holder `hi`'s
-  /// block; returns the destination bytes written.
-  Bytes fold(std::size_t hi, std::size_t mi, std::size_t offset,
-             std::span<const std::byte> data, parity::Block& block) const {
-    Bytes folded = 0;
-    for_each_range(
-        hi, mi, offset, data.size(),
-        [&](std::size_t dst, std::size_t src, std::size_t len,
-            std::uint8_t coeff) {
-          VDC_ASSERT(dst + len <= block.size());
-          parity::gf256::mul_add(
-              coeff,
-              reinterpret_cast<const std::uint8_t*>(data.data() + src),
-              reinterpret_cast<std::uint8_t*>(block.data() + dst), len);
-          folded += len;
-        });
-    return folded;
-  }
-
- private:
-  ParityScheme scheme_;
-  Bytes block_size_;
-  std::unique_ptr<parity::ReedSolomonCodec> rs_;
-  std::unique_ptr<parity::RdpCodec> rdp_;
-};
+  throw InvariantError("unknown parity scheme");
+}
 }  // namespace
 
 // Legacy data plane: flatten every image, memcmp-diff against the previous
@@ -318,16 +295,20 @@ void DvdcCoordinator::capture_group_reference(
     max_payload = std::max<Bytes>(max_payload, payload.size());
     metrics.add("dvdc.pages.copied",
                 static_cast<double>(machine.image().page_count()));
-    metrics.add("dvdc.copy.bytes",
-                static_cast<double>(2 * payload.size()));  // flatten + store
+    // Copy accounting is accumulated at each copy site as it happens
+    // (flatten above, prev materialisation, diff/x buffers, store chop),
+    // never hand-summed in one place where it could go stale.
+    Bytes copied = payload.size();  // flatten()
 
     if (incremental) {
       const checkpoint::StoredCheckpoint* prev =
           store.find(vmid, state_.committed_epoch());
       VDC_ASSERT(prev != nullptr);
       const std::vector<std::byte> prev_flat = prev->payload();
+      copied += prev_flat.size();
       checkpoint::PageDelta diff =
           checkpoint::diff_images(prev_flat, payload, page_size);
+      copied += diff.raw_bytes();  // diff.contents page copies
       const checkpoint::CompressedDelta compressed =
           checkpoint::compress_delta(diff, prev_flat);
       // A member with changes ships a framed "VDD1" delta per holder; an
@@ -336,8 +317,16 @@ void DvdcCoordinator::capture_group_reference(
                          ? 0
                          : checkpoint::delta_frame_size(compressed);
       contrib.xor_bytes = diff.raw_bytes();
+      const Bytes trim =
+          compressed.page_count() == 0
+              ? 0
+              : checkpoint::delta_frame_size(compressed.page_count(),
+                                             compressed.trim_payload_bytes);
       metrics.add("exchange.delta_bytes",
                   static_cast<double>(contrib.wire * gw.holders.size()),
+                  epoch_labels_);
+      metrics.add("dvdc.epoch.trim_bytes",
+                  static_cast<double>(trim * gw.holders.size()),
                   epoch_labels_);
       metrics.add("dvdc.epoch.raw_dirty_bytes",
                   static_cast<double>(diff.raw_bytes()), epoch_labels_);
@@ -350,6 +339,7 @@ void DvdcCoordinator::capture_group_reference(
         parity::xor_into(
             x, std::span<const std::byte>(
                    prev_flat.data() + diff.pages[i] * page_size, page_size));
+        copied += x.size();
         xor_deltas[mi].contents.push_back(std::move(x));
       }
     } else {
@@ -373,6 +363,8 @@ void DvdcCoordinator::capture_group_reference(
     cp.epoch = epoch_;
     cp.page_size = page_size;
     cp.payload = payload;
+    copied += 2 * payload.size();  // cp.payload assign + store chop
+    metrics.add("dvdc.copy.bytes", static_cast<double>(copied));
     store.put(std::move(cp));
 
     state_.register_vm(vmid, VmInfo{machine.name(), page_size,
@@ -387,16 +379,19 @@ void DvdcCoordinator::capture_group_reference(
   if (incremental) {
     gw.block_size = committed->block_size;
     gw.new_blocks = committed->blocks;  // copy: abort-safe
-    const DeltaFolder folder(config_.scheme, k, config_.rs_parity,
-                             gw.block_size);
+    Bytes parity_copied = 0;
+    for (const auto& b : gw.new_blocks) parity_copied += b.size();
+    metrics.add("dvdc.copy.bytes", static_cast<double>(parity_copied));
+    const auto folder = make_delta_folder(config_.scheme, k,
+                                          config_.rs_parity, gw.block_size);
     Bytes fold_bytes = 0;
     for (std::size_t mi = 0; mi < k; ++mi) {
       const auto& delta = xor_deltas[mi];
       for (std::size_t hi = 0; hi < gw.new_blocks.size(); ++hi) {
         for (std::size_t i = 0; i < delta.pages.size(); ++i) {
           const std::size_t off = delta.pages[i] * delta.page_size;
-          fold_bytes += folder.fold(hi, mi, off, delta.contents[i],
-                                    gw.new_blocks[hi]);
+          fold_bytes += folder->fold(hi, mi, off, delta.contents[i],
+                                     gw.new_blocks[hi]);
         }
       }
     }
@@ -413,17 +408,23 @@ void DvdcCoordinator::capture_group_reference(
     for (const auto& p : payloads)
       padded.push_back(parity::padded_copy(p, gw.block_size));
     for (const auto& p : padded) views.emplace_back(p);
+    metrics.add("dvdc.copy.bytes",
+                static_cast<double>(gw.block_size * k));  // padded_copy
     gw.new_blocks = codec->encode(views);
     VDC_ASSERT(gw.new_blocks.size() == gw.holders.size());
   }
   fold_ns += ns_since(t0);
 }
 
-// Fast data plane: the dirty bitmap bounds the candidate pages, unchanged
-// pages are shared (ref-counted) with the previous checkpoint, and deltas
-// fold into the committed parity record in place under an undo log. All
+// Fast data plane: the dirty bitmap (with sub-page write extents) bounds
+// the candidate bytes, unchanged pages are shared (ref-counted) with the
+// previous checkpoint and barely-touched pages become sub-page patches on
+// the shared base, per-member deltas are encoded into scatter-gather VDD1
+// frame sources, and holders fold the literal runs into the committed
+// parity record straight off the wire as chunks arrive (undo-logged). All
 // content, metrics, and simulated timing match the reference plane bit
-// for bit; only the wall-clock cost changes — O(dirty), not O(image).
+// for bit; only the wall-clock cost changes — O(dirty extent), not
+// O(image).
 void DvdcCoordinator::capture_group_fast(
     GroupWork& gw, const RaidGroup& group,
     std::unordered_map<cluster::NodeId, Bytes>& captured_per_node,
@@ -433,10 +434,13 @@ void DvdcCoordinator::capture_group_fast(
   const bool incremental = !gw.full_exchange;
 
   auto t0 = WallClock::now();
-  std::vector<std::vector<std::byte>> payloads;  // full exchange only
-  std::vector<checkpoint::PageDelta> xor_deltas(k);
+  // Full exchange ships flat image views; the spans stay valid through
+  // this capture because the guests are paused at the cut.
+  std::vector<std::span<const std::byte>> flats;
+  std::vector<Bytes> member_page_size(k, 0);
   Bytes max_payload = 0;
   gw.captured_dirty.resize(k);
+  gw.frames.assign(k, nullptr);
 
   for (std::size_t mi = 0; mi < k; ++mi) {
     const vm::VmId vmid = group.members[mi];
@@ -447,20 +451,32 @@ void DvdcCoordinator::capture_group_fast(
     auto& image = machine.image();
     const Bytes page_size = image.page_size();
     const std::size_t page_count = image.page_count();
+    member_page_size[mi] = page_size;
 
     GroupWork::Contribution contrib;
     contrib.src_node = *loc;
     max_payload = std::max<Bytes>(max_payload, image.size_bytes());
+    // Copy accounting is accumulated at each copy site as it happens,
+    // never hand-summed in one place where it could go stale.
+    Bytes copied = 0;
 
     // Consume the dirty log at the cut. The log is trustworthy iff nobody
     // else cleared it since OUR last clear (generation check); otherwise
     // every page is a candidate. Either way the delta below is exact: a
     // candidate only enters the delta if its bytes actually differ from
-    // the committed checkpoint, so the result equals diff_images().
+    // the committed checkpoint, so the result equals diff_images(). The
+    // sub-page write extents must be read before clear_dirty() erases
+    // them.
     const auto baseline = dirty_baseline_.find(vmid);
     const bool log_valid = baseline != dirty_baseline_.end() &&
                            baseline->second == image.dirty_generation();
     gw.captured_dirty[mi] = image.dirty_pages();
+    std::vector<std::pair<std::size_t, std::size_t>> extents;
+    if (incremental && log_valid) {
+      extents.reserve(gw.captured_dirty[mi].size());
+      for (vm::PageIndex p : gw.captured_dirty[mi])
+        extents.push_back(image.dirty_extent(p));
+    }
     image.clear_dirty();
     dirty_baseline_[vmid] = image.dirty_generation();
 
@@ -469,8 +485,8 @@ void DvdcCoordinator::capture_group_fast(
           store.find(vmid, state_.committed_epoch());
       VDC_ASSERT(prev != nullptr);
 
-      // Start from the previous epoch's page vector (pointer copies) and
-      // replace only the changed pages. A store entry chopped at a
+      // Start from the previous epoch's chunks and patches (pointer
+      // copies) and touch only what changed. A store entry chopped at a
       // foreign granularity (e.g. hand-built in a test) is re-chopped.
       checkpoint::StoredCheckpoint next;
       next.vm = vmid;
@@ -478,75 +494,131 @@ void DvdcCoordinator::capture_group_fast(
       next.page_size = page_size;
       if (prev->page_size == page_size && prev->pages.size() == page_count) {
         next.pages = prev->pages;
+        next.patches = prev->patches;
       } else {
         const std::vector<std::byte> prev_flat = prev->payload();
         VDC_REQUIRE(prev_flat.size() == image.size_bytes(),
                     "previous checkpoint size mismatch");
         next.pages = checkpoint::StoredCheckpoint::chop(prev_flat, page_size);
+        copied += 2 * prev_flat.size();  // materialise + re-chop
       }
 
-      checkpoint::PageDelta& delta = xor_deltas[mi];
-      delta.page_size = page_size;
-      Bytes wire = 0;
-      const auto consider = [&](vm::PageIndex p) {
+      if (arena_.size() < page_size) arena_.assign(page_size, std::byte{0});
+      auto frame = std::make_shared<checkpoint::DeltaFrameSource>(
+          vmid, epoch_, state_.committed_epoch(), page_size);
+      std::size_t changed_pages = 0;
+
+      const auto consider = [&](vm::PageIndex p, std::size_t lo,
+                                std::size_t hi) {
+        if (hi <= lo) return;  // empty write extent: bytes can't differ
         const auto cur = image.page(p);
-        const auto old = std::span<const std::byte>(*next.pages[p]);
-        if (std::memcmp(cur.data(), old.data(), page_size) == 0) return;
-        delta.pages.push_back(p);
-        std::vector<std::byte> x(cur.begin(), cur.end());
-        parity::xor_into(x, old);
-        wire += checkpoint::rle_encode(x).size();
-        delta.contents.push_back(std::move(x));
-        next.pages[p] = std::make_shared<const std::vector<std::byte>>(
-            cur.begin(), cur.end());
+        // Outside [lo, hi) the page cannot differ from the committed
+        // copy, so the compare and the x assembly stay extent-bounded.
+        bool changed = false;
+        next.for_each_range(
+            p, lo, hi - lo,
+            [&](std::size_t off, std::span<const std::byte> s) {
+              if (!changed &&
+                  std::memcmp(cur.data() + off, s.data(), s.size()) != 0)
+                changed = true;
+            });
+        if (!changed) return;
+        ++changed_pages;
+
+        // x = cur ^ prev in the zeroed arena: copy the current extent in,
+        // XOR the stored spans on top. The arena is zero outside the
+        // extent by construction, so encoding the full arena page equals
+        // encoding a whole-page diff byte for byte.
+        std::memcpy(arena_.data() + lo, cur.data() + lo, hi - lo);
+        copied += hi - lo;
+        next.for_each_range(
+            p, lo, hi - lo,
+            [&](std::size_t off, std::span<const std::byte> s) {
+              parity::xor_into(
+                  std::span<std::byte>(arena_.data() + off, s.size()), s);
+            });
+        checkpoint::EncodedRecord rec = checkpoint::encode_record(
+            std::span<const std::byte>(arena_.data(), page_size));
+        frame->add_record(p, std::move(rec.bytes), rec.raw, rec.trim_len);
+        std::memset(arena_.data() + lo, 0, hi - lo);
+
+        // Store update: widen any existing patch to one contiguous span
+        // so patch depth stays one; a span covering the whole page (or an
+        // untrusted log) materialises a fresh page chunk instead.
+        std::size_t plo = lo, phi = hi;
+        const auto pit = next.patches.find(static_cast<std::uint32_t>(p));
+        if (pit != next.patches.end()) {
+          plo = std::min<std::size_t>(plo, pit->second.offset);
+          phi = std::max<std::size_t>(
+              phi, pit->second.offset + pit->second.bytes->size());
+        }
+        if (phi - plo == page_size) {
+          next.pages[p] = std::make_shared<const std::vector<std::byte>>(
+              cur.begin(), cur.end());
+          if (pit != next.patches.end()) next.patches.erase(pit);
+          copied += page_size;
+        } else {
+          next.patches[static_cast<std::uint32_t>(p)] = checkpoint::PagePatch{
+              static_cast<std::uint32_t>(plo),
+              std::make_shared<const std::vector<std::byte>>(
+                  cur.begin() + static_cast<std::ptrdiff_t>(plo),
+                  cur.begin() + static_cast<std::ptrdiff_t>(phi))};
+          copied += phi - plo;
+        }
       };
       if (log_valid) {
-        for (vm::PageIndex p : gw.captured_dirty[mi]) consider(p);
+        for (std::size_t i = 0; i < gw.captured_dirty[mi].size(); ++i)
+          consider(gw.captured_dirty[mi][i], extents[i].first,
+                   extents[i].second);
       } else {
-        for (vm::PageIndex p = 0; p < page_count; ++p) consider(p);
+        for (vm::PageIndex p = 0; p < page_count; ++p)
+          consider(p, 0, page_size);
       }
-      // Framed "VDD1" delta per holder (56-byte header + 8 bytes per page
-      // record + RLE content), matching the reference plane's
-      // delta_frame_size byte for byte. No changes, no frame.
-      contrib.wire = delta.pages.empty()
-                         ? 0
-                         : checkpoint::delta_frame_size(delta.pages.size(),
-                                                        wire);
-      contrib.xor_bytes = delta.raw_bytes();
+      // A member with changes keeps its sealed VDD1 frame as a
+      // scatter-gather source (the send side of the streaming dataplane);
+      // an unchanged member ships nothing at all.
+      if (frame->page_count() > 0) {
+        frame->seal();
+        gw.frames[mi] = std::move(frame);
+      }
+      const Bytes raw_dirty = changed_pages * page_size;
+      contrib.wire = gw.frames[mi] ? gw.frames[mi]->size() : 0;
+      contrib.xor_bytes = raw_dirty;
+      const Bytes trim = gw.frames[mi] ? gw.frames[mi]->trim_frame_size() : 0;
       metrics.add("exchange.delta_bytes",
                   static_cast<double>(contrib.wire * gw.holders.size()),
                   epoch_labels_);
+      metrics.add("dvdc.epoch.trim_bytes",
+                  static_cast<double>(trim * gw.holders.size()),
+                  epoch_labels_);
       metrics.add("dvdc.epoch.raw_dirty_bytes",
-                  static_cast<double>(delta.raw_bytes()), epoch_labels_);
-      captured_per_node[*loc] += delta.raw_bytes();
+                  static_cast<double>(raw_dirty), epoch_labels_);
+      captured_per_node[*loc] += raw_dirty;
       metrics.add("dvdc.pages.shared",
-                  static_cast<double>(page_count - delta.pages.size()));
-      metrics.add("dvdc.pages.copied",
-                  static_cast<double>(delta.pages.size()));
-      metrics.add("dvdc.copy.bytes",
-                  static_cast<double>(delta.raw_bytes()));
+                  static_cast<double>(page_count - changed_pages));
+      metrics.add("dvdc.pages.copied", static_cast<double>(changed_pages));
       store.put(std::move(next));
     } else {
-      std::vector<std::byte> payload = image.flatten();
+      const auto flat = image.bytes();
       contrib.wire = config_.compress_full
-                         ? checkpoint::rle_encode(payload).size() + 16
-                         : payload.size();
-      contrib.xor_bytes = payload.size();
+                         ? checkpoint::rle_encoded_size(flat) + 16
+                         : flat.size();
+      contrib.xor_bytes = flat.size();
       metrics.add("dvdc.epoch.raw_dirty_bytes",
-                  static_cast<double>(payload.size()), epoch_labels_);
-      captured_per_node[*loc] += payload.size();
+                  static_cast<double>(flat.size()), epoch_labels_);
+      captured_per_node[*loc] += flat.size();
       metrics.add("dvdc.pages.copied", static_cast<double>(page_count));
-      metrics.add("dvdc.copy.bytes",
-                  static_cast<double>(2 * payload.size()));
 
       checkpoint::StoredCheckpoint next;
       next.vm = vmid;
       next.epoch = epoch_;
       next.page_size = page_size;
-      next.pages = checkpoint::StoredCheckpoint::chop(payload, page_size);
+      next.pages = checkpoint::StoredCheckpoint::chop(flat, page_size);
+      copied += flat.size();  // the store's chunks are the only full copy
       store.put(std::move(next));
-      payloads.push_back(std::move(payload));
+      flats.push_back(flat);
     }
+    metrics.add("dvdc.copy.bytes", static_cast<double>(copied));
     metrics.add("dvdc.epoch.bytes_shipped",
                 static_cast<double>(contrib.wire * gw.holders.size()),
                 epoch_labels_);
@@ -560,64 +632,86 @@ void DvdcCoordinator::capture_group_fast(
   }
   capture_ns += ns_since(t0);
 
-  // Parity content, computed exactly.
+  // Parity: the incremental path folds from the wire (readers built here,
+  // driven by chunk arrivals); full exchange group-encodes from the image
+  // spans directly.
   t0 = WallClock::now();
   if (incremental) {
     DvdcState::ParityRecord* rec = state_.mutable_parity(group.id);
     VDC_ASSERT(rec != nullptr);
     gw.in_place = true;
     gw.block_size = rec->block_size;
+    gw.folder = make_delta_folder(config_.scheme, k, config_.rs_parity,
+                                  gw.block_size);
+    const std::size_t m = rec->blocks.size();
 
-    const DeltaFolder folder(config_.scheme, k, config_.rs_parity,
-                             gw.block_size);
-
-    // Save the original bytes of every range we are about to touch (first
-    // touch per exact range is enough: LIFO replay restores originals even
-    // across overlapping ranges, e.g. members with different page sizes or
-    // RDP row slices meeting on a shared diagonal).
+    // Undo log: save the original bytes of every range the wire folds can
+    // touch — the literal runs of each record, mapped through the fold
+    // geometry. Built fully at capture so a mid-stream abort can replay
+    // it even though the folds happen later, at chunk arrival (replaying
+    // a range that never got folded harmlessly rewrites identical bytes).
+    // First save per exact range is enough: LIFO replay restores
+    // originals even across overlapping ranges, e.g. members with
+    // different page sizes or RDP row slices meeting on a shared
+    // diagonal.
+    Bytes undo_bytes = 0;
     std::set<std::tuple<std::size_t, std::size_t, std::size_t>> saved;
     for (std::size_t mi = 0; mi < k; ++mi) {
-      const auto& delta = xor_deltas[mi];
-      for (std::size_t hi = 0; hi < rec->blocks.size(); ++hi) {
-        for (std::size_t i = 0; i < delta.pages.size(); ++i) {
-          const std::size_t off = delta.pages[i] * delta.page_size;
-          folder.for_each_range(
-              hi, mi, off, delta.page_size,
-              [&](std::size_t dst, std::size_t, std::size_t len,
-                  std::uint8_t) {
-                VDC_ASSERT(dst + len <= rec->blocks[hi].size());
-                if (!saved.insert({hi, dst, len}).second) return;
-                gw.undo.push_back(GroupWork::UndoEntry{
-                    hi, dst,
-                    parity::Block(
-                        rec->blocks[hi].begin() +
-                            static_cast<std::ptrdiff_t>(dst),
-                        rec->blocks[hi].begin() +
-                            static_cast<std::ptrdiff_t>(dst + len))});
-              });
-        }
+      if (!gw.frames[mi]) continue;
+      const Bytes psz = member_page_size[mi];
+      for (std::size_t hi = 0; hi < m; ++hi) {
+        gw.frames[mi]->for_each_record(
+            [&](vm::PageIndex page, std::span<const std::byte> enc,
+                bool raw) {
+              checkpoint::for_each_literal_run(
+                  enc, raw, psz, [&](std::size_t off, std::size_t len) {
+                    gw.folder->for_each_range(
+                        hi, mi, page * psz + off, len,
+                        [&](std::size_t dst, std::size_t, std::size_t l,
+                            std::uint8_t) {
+                          VDC_ASSERT(dst + l <= rec->blocks[hi].size());
+                          if (!saved.insert({hi, dst, l}).second) return;
+                          undo_bytes += l;
+                          gw.undo.push_back(GroupWork::UndoEntry{
+                              hi, dst,
+                              parity::Block(
+                                  rec->blocks[hi].begin() +
+                                      static_cast<std::ptrdiff_t>(dst),
+                                  rec->blocks[hi].begin() +
+                                      static_cast<std::ptrdiff_t>(dst +
+                                                                  l))});
+                        });
+                  });
+            });
       }
     }
+    metrics.add("dvdc.copy.bytes", static_cast<double>(undo_bytes));
 
-    // Fold every member's delta into each holder block, holders fanned
-    // out over the pool (destination blocks are disjoint; the per-block
-    // fold order matches the reference plane).
-    std::vector<Bytes> fold_bytes(rec->blocks.size(), 0);
-    parity::ThreadPool::shared().run(
-        rec->blocks.size(), [&](std::size_t hi) {
-          for (std::size_t mi = 0; mi < k; ++mi) {
-            const auto& delta = xor_deltas[mi];
-            for (std::size_t i = 0; i < delta.pages.size(); ++i) {
-              const std::size_t off = delta.pages[i] * delta.page_size;
-              fold_bytes[hi] += folder.fold(hi, mi, off, delta.contents[i],
-                                            rec->blocks[hi]);
-            }
-          }
-        });
-    Bytes total_fold = 0;
-    for (Bytes b : fold_bytes) total_fold += b;
-    metrics.add("parity.kernel.fold_bytes",
-                static_cast<double>(total_fold), epoch_labels_);
+    // Fold-from-wire ingest: one incremental DeltaReader per
+    // (member, holder) stream, folding literal runs straight into the
+    // standing parity block as in-order chunk bytes arrive
+    // (on_chunk_arrival drives it through ingest_chunk).
+    gw.ingest.resize(k * m);
+    for (std::size_t mi = 0; mi < k; ++mi) {
+      if (!gw.frames[mi]) continue;
+      const Bytes psz = member_page_size[mi];
+      for (std::size_t hi = 0; hi < m; ++hi) {
+        auto& ing = gw.ingest[mi * m + hi];
+        ing.wire = gw.contribs[mi].wire;
+        ing.delivered.assign(
+            std::max<std::size_t>(config_.chunking.chunk_count(ing.wire), 1),
+            0);
+        GroupWork* gwp = &gw;  // stable: owned by work_ via unique_ptr
+        ing.reader = std::make_unique<checkpoint::DeltaReader>(
+            [this, gwp, mi, hi, psz](vm::PageIndex page, std::size_t off,
+                                     std::span<const std::byte> data) {
+              DvdcState::ParityRecord* r = state_.mutable_parity(gwp->gid);
+              VDC_ASSERT(r != nullptr);
+              ingest_fold_bytes_ += gwp->folder->fold(
+                  hi, mi, page * psz + off, data, r->blocks[hi]);
+            });
+      }
+    }
   } else {
     auto codec = make_codec(config_.scheme, k, config_.rs_parity);
     gw.block_size =
@@ -626,9 +720,11 @@ void DvdcCoordinator::capture_group_fast(
     padded.reserve(k);
     std::vector<parity::BlockView> views;
     views.reserve(k);
-    for (const auto& p : payloads)
-      padded.push_back(parity::padded_copy(p, gw.block_size));
+    for (const auto f : flats)
+      padded.push_back(parity::padded_copy(f, gw.block_size));
     for (const auto& p : padded) views.emplace_back(p);
+    metrics.add("dvdc.copy.bytes",
+                static_cast<double>(gw.block_size * k));  // padded_copy
     gw.new_blocks =
         codec->encode_parallel(views, parity::default_parity_threads());
     VDC_ASSERT(gw.new_blocks.size() == gw.holders.size());
@@ -654,6 +750,8 @@ void DvdcCoordinator::run_epoch(const PlacedPlan& plan,
   stats_.groups = plan.plan.groups.size();
   work_.clear();
   groups_pending_ = plan.plan.groups.size();
+  ingest_fold_ns_ = 0;
+  ingest_fold_bytes_ = 0;
 
   auto& tel = sim_.telemetry();
   auto& metrics = tel.metrics();
@@ -730,6 +828,18 @@ void DvdcCoordinator::run_epoch(const PlacedPlan& plan,
       state_.set_fold_in_flight(true);
       break;
     }
+  // Streaming dataplane working set: the capture arena plus the bounded
+  // carry of every live fold-from-wire reader. This is the whole per-epoch
+  // buffer footprint of the zero-copy path — O(page + streams), not
+  // O(frame).
+  std::size_t readers = 0;
+  for (const auto& gw : work_)
+    for (const auto& ing : gw->ingest)
+      if (ing.reader) ++readers;
+  metrics.set(
+      "stream.arena.bytes",
+      static_cast<double>(arena_.size() +
+                          checkpoint::DeltaReader::kMaxCarry * readers));
 
   // 3. Local capture stall, then resume (COW) and start the exchange.
   SimTime stall = config_.base_overhead;
@@ -782,7 +892,12 @@ void DvdcCoordinator::run_epoch(const PlacedPlan& plan,
           if (src == dst) {
             // Member and holder co-located (transiently possible after a
             // recovery re-placement): the contribution is a local memory
-            // copy, no fabric traffic.
+            // copy, no fabric traffic — the whole frame lands as one
+            // chunk, so its ingest reader expects a single delivery.
+            if (gw.in_place && !gw.ingest.empty()) {
+              auto& ing = gw.ingest[mi * gw.holders.size() + hi];
+              if (ing.reader) ing.delivered.assign(1, 0);
+            }
             sim_.after(0.0, [this, gen, gi, mi, hi] {
               on_member_arrival(gen, gi, mi, hi);
             });
@@ -795,7 +910,7 @@ void DvdcCoordinator::run_epoch(const PlacedPlan& plan,
               cluster_.fabric(), src, dst, wire, config_.chunking,
               [this, gen, gi, mi, hi,
                wire](const net::ChunkedStream::Chunk& c) {
-                on_chunk_arrival(gen, gi, mi, hi,
+                on_chunk_arrival(gen, gi, mi, hi, c.index,
                                  static_cast<double>(c.bytes) /
                                      static_cast<double>(wire),
                                  c.last);
@@ -820,13 +935,45 @@ void DvdcCoordinator::on_member_arrival(std::uint64_t gen,
                                         std::size_t holder_idx) {
   // Whole contribution in one piece (zero-wire or co-located): a single
   // chunk carrying the full fold.
-  on_chunk_arrival(gen, group_idx, member_idx, holder_idx, 1.0, true);
+  on_chunk_arrival(gen, group_idx, member_idx, holder_idx, 0, 1.0, true);
+}
+
+void DvdcCoordinator::ingest_chunk(GroupWork& gw, std::size_t member_idx,
+                                   std::size_t holder_idx,
+                                   std::size_t chunk_index) {
+  auto& ing = gw.ingest[member_idx * gw.holders.size() + holder_idx];
+  if (!ing.reader) return;  // member shipped nothing
+  VDC_ASSERT(chunk_index < ing.delivered.size());
+  if (ing.delivered[chunk_index]) return;  // duplicate delivery
+  ing.delivered[chunk_index] = 1;
+  // Advance the contiguous frontier and fold the newly in-order bytes:
+  // the sender's frame source yields exactly [fed, frontier) as views over
+  // its encoded records, and the reader decodes and folds them without
+  // ever materializing the frame.
+  Bytes frontier_bytes = ing.fed_bytes;
+  while (ing.frontier < ing.delivered.size() &&
+         ing.delivered[ing.frontier]) {
+    frontier_bytes +=
+        ing.delivered.size() == 1
+            ? ing.wire
+            : config_.chunking.chunk_size(ing.wire, ing.frontier);
+    ++ing.frontier;
+  }
+  if (frontier_bytes <= ing.fed_bytes) return;  // out-of-order: park it
+  const auto t0 = WallClock::now();
+  gw.frames[member_idx]->for_each_range(
+      ing.fed_bytes, frontier_bytes,
+      [&](std::span<const std::byte> s) { ing.reader->feed(s); });
+  ingest_fold_ns_ += ns_since(t0);
+  ing.fed_bytes = frontier_bytes;
+  if (ing.fed_bytes == ing.wire) VDC_ASSERT(ing.reader->complete());
 }
 
 void DvdcCoordinator::on_chunk_arrival(std::uint64_t gen,
                                        std::size_t group_idx,
                                        std::size_t member_idx,
                                        std::size_t holder_idx,
+                                       std::size_t chunk_index,
                                        double wire_fraction, bool last) {
   if (gen != generation_ || !in_flight_) return;
   GroupWork& gw = *work_[group_idx];
@@ -840,6 +987,11 @@ void DvdcCoordinator::on_chunk_arrival(std::uint64_t gen,
     on_stream_failed(gen, "write from fenced node rejected");
     return;
   }
+
+  // Fold-from-wire: feed the chunk to this stream's ingest reader (after
+  // the fence check — a fenced node's bytes must never touch parity).
+  if (gw.in_place && !gw.ingest.empty())
+    ingest_chunk(gw, member_idx, holder_idx, chunk_index);
 
   if (last) {
     VDC_ASSERT(arrivals_pending_ > 0);
@@ -949,12 +1101,27 @@ void DvdcCoordinator::try_commit(std::uint64_t gen) {
       metrics.value("dvdc.epoch.bytes_shipped", epoch_labels_));
   stats_.delta_bytes = static_cast<Bytes>(
       metrics.value("exchange.delta_bytes", epoch_labels_));
+  stats_.trim_bytes = static_cast<Bytes>(
+      metrics.value("dvdc.epoch.trim_bytes", epoch_labels_));
   stats_.bytes_xored = static_cast<Bytes>(
       metrics.value("dvdc.epoch.bytes_xored", epoch_labels_));
   stats_.raw_dirty_bytes = static_cast<Bytes>(
       metrics.value("dvdc.epoch.raw_dirty_bytes", epoch_labels_));
   stats_.full_exchange =
       metrics.value("dvdc.epoch.full_exchange_groups", epoch_labels_) > 0;
+  // Fold-from-wire accounting, accumulated at chunk arrival over the whole
+  // exchange and reported once per epoch here (the reference plane and
+  // full-exchange folds report theirs at capture, as before).
+  if (ingest_fold_bytes_ > 0)
+    metrics.add("parity.kernel.fold_bytes",
+                static_cast<double>(ingest_fold_bytes_), epoch_labels_);
+  metrics.add("dvdc.wall.fold_ns", static_cast<double>(ingest_fold_ns_));
+  ingest_fold_bytes_ = 0;
+  ingest_fold_ns_ = 0;
+  if (stats_.delta_bytes > 0)
+    metrics.set("wire.compress.ratio",
+                static_cast<double>(stats_.trim_bytes) /
+                    static_cast<double>(stats_.delta_bytes));
   metrics.add("dvdc.epochs_committed", 1.0);
   metrics.observe("dvdc.overhead_s", stats_.overhead);
   metrics.observe("dvdc.latency_s", stats_.latency);
@@ -1027,6 +1194,8 @@ void DvdcCoordinator::abort() {
   }
 
   state_.set_fold_in_flight(false);
+  ingest_fold_ns_ = 0;
+  ingest_fold_bytes_ = 0;
   work_.clear();
   plan_ = nullptr;
   sim_.telemetry().metrics().add("dvdc.epochs_aborted", 1.0);

@@ -103,6 +103,7 @@ struct EpochStats {
   SimTime latency = 0.0;        // quiesce start -> commit
   Bytes bytes_shipped = 0;      // wire bytes over the fabric
   Bytes delta_bytes = 0;        // the subset shipped as VDD1 delta frames
+  Bytes trim_bytes = 0;         // what trim-only encoding would have shipped
   Bytes bytes_xored = 0;        // parity work
   Bytes raw_dirty_bytes = 0;    // changed pages before compression
   std::size_t groups = 0;
@@ -183,6 +184,11 @@ class DvdcState {
   /// walk over blocks or entries.
   Bytes memory_bytes() const;
 
+  /// Bytes held in sub-page patch buffers across all stores (the fast
+  /// plane's extra cost for sharing a base page the guest barely touched;
+  /// included in memory_bytes()).
+  Bytes patch_bytes() const;
+
   /// True while the coordinator is folding deltas into committed parity
   /// blocks in place (epoch start until commit/abort). The scrubber must
   /// defer repairs while set: a half-folded stripe is not corruption.
@@ -237,13 +243,21 @@ class DvdcCoordinator {
       std::int64_t& capture_ns, std::int64_t& fold_ns);
   void on_member_arrival(std::uint64_t generation, std::size_t group_idx,
                          std::size_t member_idx, std::size_t holder_idx);
-  /// One chunk of a (member, holder) stream landed: queue its share of the
-  /// fold on the holder CPU; the stream's last chunk also retires the
-  /// exchange arrival. `wire_fraction` is chunk bytes / stream wire bytes
-  /// (1.0 for unchunked and local/zero-wire contributions).
+  /// One chunk of a (member, holder) stream landed: feed the delta-ingest
+  /// reader (folding any newly in-order bytes into parity straight off the
+  /// wire) and queue the chunk's share of simulated fold time on the holder
+  /// CPU; the stream's last chunk also retires the exchange arrival.
+  /// `wire_fraction` is chunk bytes / stream wire bytes (1.0 for unchunked
+  /// and local/zero-wire contributions); `chunk_index` orders the chunk
+  /// within its stream for the in-order ingest frontier.
   void on_chunk_arrival(std::uint64_t generation, std::size_t group_idx,
                         std::size_t member_idx, std::size_t holder_idx,
-                        double wire_fraction, bool last);
+                        std::size_t chunk_index, double wire_fraction,
+                        bool last);
+  /// Advance the in-order ingest frontier of one (member, holder) stream
+  /// past `chunk_index` and fold the newly contiguous bytes.
+  void ingest_chunk(GroupWork& gw, std::size_t member_idx,
+                    std::size_t holder_idx, std::size_t chunk_index);
   void on_group_parity_done(std::uint64_t generation,
                             std::size_t group_idx);
   /// An exchange stream exhausted its retransmission budget or deadline:
@@ -286,6 +300,16 @@ class DvdcCoordinator {
 
   std::unordered_map<cluster::NodeId, std::unique_ptr<simkit::Resource>>
       cpus_;
+
+  // Fast-plane capture arena: one zeroed page reused to assemble x =
+  // old^new per changed page (re-zeroed after each page), so capture
+  // copies are O(dirty extent), not O(page). Grown to the largest member
+  // page size; persists across epochs.
+  std::vector<std::byte> arena_;
+  // Fold-from-wire accounting for the in-flight epoch: wall time and
+  // destination bytes folded at chunk arrival (reported at commit).
+  std::int64_t ingest_fold_ns_ = 0;
+  Bytes ingest_fold_bytes_ = 0;
 
   // Dirty-log ownership (fast plane only): the dirty generation observed
   // right after this coordinator's last clear_dirty() per VM. If the

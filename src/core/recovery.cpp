@@ -510,8 +510,15 @@ void RecoveryManager::recover(const PlacedPlan& plan,
           state_.node_store(*loc).find(vmid, state_.committed_epoch());
       if (cp == nullptr) continue;  // recovered VM already at the cut
       auto& machine = cluster_.node(*loc).hypervisor().get(vmid);
-      if (!cp->payload_equals(machine.image().bytes()))
-        machine.image().restore(cp->payload());
+      if (!cp->payload_equals(machine.image().bytes())) {
+        // Scatter-gather restore: write the checkpoint's spans (shared
+        // page chunks and sub-page patches) straight into the image, no
+        // flat materialisation of the payload.
+        cp->for_each_span(
+            [&](std::size_t off, std::span<const std::byte> bytes) {
+              machine.image().restore_range(off, bytes);
+            });
+      }
       per_node[*loc] += cp->size_bytes();
     }
     for (const auto& [node, bytes] : per_node)

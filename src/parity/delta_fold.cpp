@@ -1,0 +1,36 @@
+#include "parity/delta_fold.hpp"
+
+#include <algorithm>
+
+#include "parity/gf256.hpp"
+
+namespace vdc::parity {
+
+DeltaFolder::DeltaFolder(Scheme scheme, std::size_t k, std::size_t rs_m,
+                         Bytes block_size)
+    : scheme_(scheme), block_size_(block_size) {
+  if (scheme == Scheme::Rs)
+    rs_ = std::make_shared<ReedSolomonCodec>(k, rs_m);
+  else if (scheme == Scheme::Rdp)
+    rdp_ = std::make_shared<RdpCodec>(
+        k, RdpCodec::next_prime_at_least(std::max<std::size_t>(k + 1, 3)));
+}
+
+Bytes DeltaFolder::fold(std::size_t hi, std::size_t mi, std::size_t offset,
+                        std::span<const std::byte> data, Block& block) const {
+  Bytes folded = 0;
+  for_each_range(
+      hi, mi, offset, data.size(),
+      [&](std::size_t dst, std::size_t src, std::size_t len,
+          std::uint8_t coeff) {
+        VDC_ASSERT(dst + len <= block.size());
+        gf256::mul_add(coeff,
+                       reinterpret_cast<const std::uint8_t*>(data.data() + src),
+                       reinterpret_cast<std::uint8_t*>(block.data() + dst),
+                       len);
+        folded += len;
+      });
+  return folded;
+}
+
+}  // namespace vdc::parity

@@ -34,10 +34,17 @@ void MemoryImage::write(PageIndex i, std::size_t offset,
   preserve_for_snapshot(i);
   std::memcpy(data_.data() + i * page_size_ + offset, bytes.data(),
               bytes.size());
+  const auto lo = static_cast<std::uint32_t>(offset);
+  const auto hi = static_cast<std::uint32_t>(offset + bytes.size());
   if (!dirty_[i]) {
     dirty_[i] = 1;
     ++dirty_count_;
+    extents_[i] = {lo, hi};
+  } else if (auto it = extents_.find(i); it != extents_.end()) {
+    it->second.first = std::min(it->second.first, lo);
+    it->second.second = std::max(it->second.second, hi);
   }
+  // else: already fully dirty (no extent entry) — stays full page.
 }
 
 void MemoryImage::write_page(PageIndex i, std::span<const std::byte> bytes) {
@@ -80,19 +87,30 @@ std::vector<PageIndex> MemoryImage::dirty_pages() const {
   return out;
 }
 
+std::pair<std::size_t, std::size_t> MemoryImage::dirty_extent(
+    PageIndex i) const {
+  VDC_ASSERT(i < page_count_);
+  if (auto it = extents_.find(i); it != extents_.end())
+    return {it->second.first, it->second.second};
+  return {0, page_size_};
+}
+
 void MemoryImage::clear_dirty() {
   std::fill(dirty_.begin(), dirty_.end(), 0);
+  extents_.clear();
   dirty_count_ = 0;
   ++dirty_generation_;
 }
 
 void MemoryImage::mark_all_dirty() {
   std::fill(dirty_.begin(), dirty_.end(), 1);
+  extents_.clear();
   dirty_count_ = page_count_;
 }
 
 void MemoryImage::mark_dirty(PageIndex i) {
   VDC_ASSERT(i < page_count_);
+  extents_.erase(i);
   if (!dirty_[i]) {
     dirty_[i] = 1;
     ++dirty_count_;
@@ -116,6 +134,20 @@ void MemoryImage::restore(std::span<const std::byte> flat) {
     for (PageIndex i = 0; i < page_count_; ++i) preserve_for_snapshot(i);
   std::memcpy(data_.data(), flat.data(), flat.size());
   mark_all_dirty();
+}
+
+void MemoryImage::restore_range(std::size_t offset,
+                                std::span<const std::byte> bytes) {
+  VDC_REQUIRE(offset + bytes.size() <= data_.size(),
+              "restore range out of bounds");
+  if (bytes.empty()) return;
+  const PageIndex first = offset / page_size_;
+  const PageIndex last = (offset + bytes.size() - 1) / page_size_;
+  for (PageIndex i = first; i <= last; ++i) {
+    preserve_for_snapshot(i);
+    mark_dirty(i);
+  }
+  std::memcpy(data_.data() + offset, bytes.data(), bytes.size());
 }
 
 CowSnapshot::~CowSnapshot() {

@@ -12,6 +12,7 @@
 #include <memory>
 #include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/assert.hpp"
@@ -82,6 +83,13 @@ class MemoryImage {
   // --- dirty log -----------------------------------------------------------
   bool is_dirty(PageIndex i) const;
   std::size_t dirty_count() const { return dirty_count_; }
+  /// Byte extent [first, second) of page `i` touched by write() since the
+  /// last clear_dirty(). Pages dirtied wholesale (mark_dirty, mark_all_dirty,
+  /// restore, fill_random) report the full page, so the extent is always a
+  /// safe over-approximation of the bytes that may differ from the last
+  /// clear. Meaningful only while the page is dirty; returns the full page
+  /// otherwise.
+  std::pair<std::size_t, std::size_t> dirty_extent(PageIndex i) const;
   /// Sorted list of dirty page indices.
   std::vector<PageIndex> dirty_pages() const;
   /// Clear the dirty log (checkpoint epoch boundary). Bumps the dirty
@@ -110,6 +118,11 @@ class MemoryImage {
   /// Replace the entire contents (restore from a reconstructed checkpoint).
   void restore(std::span<const std::byte> flat);
 
+  /// Overwrite [offset, offset + bytes.size()) of the flat image (restore
+  /// from scatter-gather checkpoint spans). Touched pages are marked fully
+  /// dirty, matching restore().
+  void restore_range(std::size_t offset, std::span<const std::byte> bytes);
+
  private:
   friend class CowSnapshot;
   void preserve_for_snapshot(PageIndex i);
@@ -118,6 +131,11 @@ class MemoryImage {
   std::size_t page_count_;
   std::vector<std::byte> data_;
   std::vector<std::uint8_t> dirty_;
+  // Sub-page write extents: present entry = union of write() ranges since the
+  // page became dirty; ABSENT entry for a dirty page = full page (the
+  // wholesale-dirty paths erase entries instead of widening them).
+  std::unordered_map<PageIndex, std::pair<std::uint32_t, std::uint32_t>>
+      extents_;
   std::size_t dirty_count_ = 0;
   std::uint64_t dirty_generation_ = 0;
   CowSnapshot* snapshot_ = nullptr;

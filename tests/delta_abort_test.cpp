@@ -1,13 +1,15 @@
 // Abort-path coverage for the parity-delta fold.
 //
 // The fast data plane folds each epoch's deltas into the committed parity
-// record IN PLACE at capture time, before a single byte crosses the wire.
-// An abort must therefore (a) replay the undo log so every touched parity
-// byte returns to its committed value, (b) discard the aborted captures,
-// and (c) re-mark the consumed dirty pages so the next epoch's delta still
-// covers everything changed since the committed cut. This suite proves all
-// three, for each codec's fold geometry: RAID-5 (same-offset XOR), RDP
-// (row/diagonal ranges), and Reed-Solomon (Cauchy-scaled folds).
+// record IN PLACE as delta chunks arrive off the wire, so the standing
+// parity is mutated while the exchange is still in flight. An abort must
+// therefore (a) replay the undo log so every touched parity byte returns
+// to its committed value — including bytes whose fold never ran, (b)
+// discard the aborted captures, and (c) re-mark the consumed dirty pages
+// so the next epoch's delta still covers everything changed since the
+// committed cut. This suite proves all three, for each codec's fold
+// geometry: RAID-5 (same-offset XOR), RDP (row/diagonal ranges), and
+// Reed-Solomon (Cauchy-scaled folds).
 
 #include <gtest/gtest.h>
 
@@ -93,20 +95,22 @@ TEST_P(DeltaAbort, MidEpochAbortUnwindsFoldAndRemarksDirty) {
   ASSERT_GT(total_dirty, 0u) << "workload produced no dirty pages";
 
   // Launch epoch 2. The fast plane folds deltas into the committed record
-  // in place during capture, so the standing parity is already mutated
-  // when run_epoch returns — exactly the window an abort must unwind.
+  // in place as chunks arrive, so pumping the exchange event-by-event must
+  // eventually mutate the standing parity mid-flight — exactly the window
+  // an abort must unwind.
   bool finished = false;
   coord.run_epoch(placed, 2, [&](const EpochStats&) { finished = true; });
   ASSERT_TRUE(rig.state.fold_in_flight());
   bool any_mutated = false;
-  for (const auto& [gid, blocks] : committed) {
-    const auto* record = rig.state.parity(gid);
-    ASSERT_NE(record, nullptr);
-    if (record->blocks != blocks) any_mutated = true;
+  for (int step = 0; step < 10000 && !any_mutated && !finished; ++step) {
+    rig.sim.run(1);
+    for (const auto& [gid, blocks] : committed) {
+      const auto* record = rig.state.parity(gid);
+      ASSERT_NE(record, nullptr);
+      if (record->blocks != blocks) any_mutated = true;
+    }
   }
   EXPECT_TRUE(any_mutated) << "no in-place fold happened; test is vacuous";
-
-  rig.sim.run(3);  // a few exchange events, then pull the plug
   ASSERT_FALSE(finished);
   coord.abort();
   rig.sim.run();
