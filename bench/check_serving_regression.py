@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""CI regression gate for bench/serving_sweep.
+
+Compares a fresh BENCH_serving.json against the committed baseline
+(bench/BENCH_serving_baseline.json) and fails when the client-visible SLO
+regressed: open-loop p99 latency or failover-visible downtime above the
+baseline at any swept interval.
+
+Unlike the throughput benches, every serving number is *simulated* — a
+deterministic function of the seed, independent of the runner's speed —
+so the tolerance only has to absorb float/libm differences across
+toolchains, not machine noise. p99 gates at baseline * 1.10; downtime at
+baseline + max(10%, 0.25 s). Closed-loop numbers and byte/count columns
+are printed for the record (the uploaded artifact keeps them) but only
+the open-loop SLO columns fail the job.
+
+Usage: check_serving_regression.py BENCH_serving.json [baseline.json]
+"""
+
+import json
+import sys
+
+
+def row_at(report, interval):
+    for row in report["rows"]:
+        if row["interval_s"] == interval:
+            return row
+    sys.exit(f"no interval_s={interval} row in report")
+
+
+def main():
+    if len(sys.argv) < 2:
+        sys.exit(__doc__)
+    current = json.load(open(sys.argv[1]))
+    baseline_path = (
+        sys.argv[2] if len(sys.argv) > 2 else "bench/BENCH_serving_baseline.json"
+    )
+    baseline = json.load(open(baseline_path))
+
+    failures = []
+    for base_row in baseline["rows"]:
+        interval = base_row["interval_s"]
+        cur_row = row_at(current, interval)
+
+        base_p99 = base_row["open"]["latency"]["p99_s"]
+        cur_p99 = cur_row["open"]["latency"]["p99_s"]
+        p99_ceiling = base_p99 * 1.10
+
+        base_down = base_row["open"]["downtime_visible_s"]
+        cur_down = cur_row["open"]["downtime_visible_s"]
+        down_ceiling = base_down + max(0.10 * base_down, 0.25)
+
+        delivered = cur_row["open"]["clients"]["delivered"]
+
+        print(
+            f"interval {interval:5}s: open p99 {cur_p99:7.3f}s "
+            f"(ceiling {p99_ceiling:7.3f}s)  downtime {cur_down:6.3f}s "
+            f"(ceiling {down_ceiling:6.3f}s)  delivered {delivered}"
+        )
+        if cur_p99 > p99_ceiling:
+            failures.append(
+                f"interval {interval}s: open-loop p99 {cur_p99:.3f}s exceeds "
+                f"{p99_ceiling:.3f}s (baseline {base_p99:.3f}s + 10%)"
+            )
+        if cur_down > down_ceiling:
+            failures.append(
+                f"interval {interval}s: failover-visible downtime "
+                f"{cur_down:.3f}s exceeds {down_ceiling:.3f}s "
+                f"(baseline {base_down:.3f}s)"
+            )
+        if delivered == 0:
+            failures.append(f"interval {interval}s: delivered nothing")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        sys.exit(1)
+    print("OK: open-loop p99 and failover downtime within baseline ceilings")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+// Serving SLO demo: what checkpoint-interval tuning feels like from a
+// client's seat. Boots a small cluster, points a million simulated
+// clients (aggregated into a handful of open-loop streams) at the
+// guests, kills a node mid-run, and prints the served-latency
+// distribution, the egress held by output commit, and the downtime the
+// clients actually saw — once with a snappy 1 s interval, once with a
+// lazy 8 s one.
+//
+//   $ ./serving_slo
+
+#include <cstdio>
+
+#include "core/runtime.hpp"
+
+using namespace vdc;
+
+int main() {
+  for (const SimTime interval : {1.0, 8.0}) {
+    core::ClusterConfig cc;
+    cc.nodes = 4;
+    cc.vms_per_node = 2;
+    cc.page_size = kib(1);
+    cc.pages_per_vm = 16;
+    cc.write_rate = 150.0;
+
+    workload::TrafficConfig tc;
+    tc.mode = workload::TrafficConfig::Mode::kOpen;
+    tc.clients_per_guest = 125'000;  // 8 guests -> one million clients
+    tc.request_rate = 0.001;         // each mostly idle: 125 req/s a guest
+    tc.client_timeout = 2.0;
+    tc.response_bytes = kib(2);
+    tc.warmup = 2.0;
+
+    core::JobConfig job;
+    job.total_work = 60.0;
+    job.interval = interval;
+    job.seed = 7;
+    failure::ScheduledFailure kill;
+    kill.at = 32.0;
+    kill.node = 1;
+    job.failure_schedule = {kill};
+    job.traffic = tc;
+
+    core::JobRunner runner(job, cc, [cc](simkit::Simulator& sim,
+                                         cluster::ClusterManager& cluster,
+                                         Rng&) {
+      return std::unique_ptr<core::CheckpointBackend>(
+          std::make_unique<core::DvdcBackend>(
+              sim, cluster, core::ProtocolConfig{}, core::RecoveryConfig{},
+              core::make_workload_factory(cc)));
+    });
+    const core::RunResult r = runner.run();
+    const auto s = runner.traffic()->summary();
+
+    std::printf("--- checkpoint interval %.0f s ---\n", interval);
+    std::printf("job:     finished=%s  completion %.1f s  (%.3fx fault-free)"
+                "  %u epochs, %u failure\n",
+                r.finished ? "yes" : "no", r.completion, r.time_ratio,
+                r.epochs, r.failures);
+    std::printf("clients: %llu delivered at %.0f req/s  "
+                "(%llu timeouts, %llu retries)\n",
+                static_cast<unsigned long long>(s.delivered), s.throughput,
+                static_cast<unsigned long long>(s.timeouts),
+                static_cast<unsigned long long>(s.retries));
+    std::printf("latency: p50 %.0f ms  p99 %.0f ms  p999 %.0f ms\n",
+                s.latency_p50 * 1e3, s.latency_p99 * 1e3,
+                s.latency_p999 * 1e3);
+    std::printf("output commit: peak %.0f KiB held, %llu responses dropped "
+                "by the failover rollback\n",
+                static_cast<double>(s.held_bytes_peak) / 1024.0,
+                static_cast<unsigned long long>(s.dropped_failover));
+    std::printf("visible downtime: %.2f s\n\n", s.downtime_visible);
+  }
+  std::printf("shorter intervals commit (and release) egress sooner: lower\n"
+              "p99 and less rolled-back output when the node died — paid\n"
+              "for in checkpoint overhead (the Fig. 5 tradeoff, restated\n"
+              "as an SLO; see bench/serving_sweep for the full curve).\n");
+  return 0;
+}

@@ -65,15 +65,24 @@ class Samples {
   void ensure_sorted() const;
 };
 
-/// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the
-/// first/last bin. Used for dirty-page distributions and latency spreads.
+/// Fixed-bin histogram over [lo, hi). Out-of-range samples are counted in
+/// explicit underflow/overflow counters rather than clamped into the edge
+/// bins — folding a p999 outlier into the top in-range bucket would
+/// silently cap every tail percentile read off the bins. Used for
+/// dirty-page distributions and latency spreads.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
   void add(double x);
   std::size_t bin_count() const { return counts_.size(); }
   std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  /// Every sample ever added, out-of-range ones included.
   std::size_t total() const { return total_; }
+  /// Samples below lo / at or above hi (included in total()).
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+  double low() const { return lo_; }
+  double high() const { return hi_; }
   double bin_low(std::size_t bin) const;
   double bin_high(std::size_t bin) const { return bin_low(bin + 1); }
 
@@ -81,6 +90,8 @@ class Histogram {
   double lo_, hi_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
 };
 
 }  // namespace vdc

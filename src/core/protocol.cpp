@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "common/env.hpp"
 #include "checkpoint/rle.hpp"
 #include "checkpoint/stream.hpp"
 #include "checkpoint/wire.hpp"
@@ -215,8 +216,10 @@ DvdcCoordinator::DvdcCoordinator(simkit::Simulator& sim,
                                  cluster::ClusterManager& cluster,
                                  DvdcState& state, ProtocolConfig config)
     : sim_(sim), cluster_(cluster), state_(state), config_(config) {
-  if (const char* env = std::getenv("VDC_REFERENCE_PLANE"))
-    config_.reference_data_plane = !(env[0] == '\0' || env[0] == '0');
+  // Validated knob: garbage ("off", "yes") warns and keeps the configured
+  // plane instead of silently forcing the O(image) reference path.
+  if (const auto ref = env::bool_knob("VDC_REFERENCE_PLANE"))
+    config_.reference_data_plane = *ref;
   config_.chunking = net::ChunkPolicy::env_override(config_.chunking);
 }
 

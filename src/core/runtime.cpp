@@ -71,6 +71,20 @@ RunResult JobRunner::run() {
       faults.set_host_fault(cluster_->node(n).host(),
                             *job_.ambient_link_fault);
   }
+  traffic_.reset();
+  if (job_.traffic.has_value()) {
+    // The plane's Rng is built directly from (seed, salt) — NOT forked
+    // from rng_ — so the cluster/backend/injector fork chain is identical
+    // with traffic on or off (the bit-identity satellite invariant). The
+    // client host is added after every node host, so node host ids are
+    // unchanged too.
+    Rng traffic_rng(job_.seed ^
+                    (job_.traffic->seed * 0x9e3779b97f4a7c15ull) ^
+                    0x53525645ull /* "SRVE" */);
+    traffic_ = std::make_unique<workload::TrafficPlane>(
+        sim_, *cluster_, *job_.traffic, traffic_rng);
+    traffic_->start();
+  }
   if (job_.heartbeat.has_value()) {
     detector_ = std::make_unique<cluster::HeartbeatDetector>(
         sim_, *cluster_, *job_.heartbeat);
@@ -140,6 +154,7 @@ RunResult JobRunner::run() {
   }
   if (injector_) injector_->stop();
   if (detector_) detector_->stop();
+  if (traffic_) traffic_->stop();
 
   result_.finished = finished_;
   if (finished_) {
@@ -212,7 +227,7 @@ void JobRunner::on_capture_point() {
   const SimTime cut_work = work_at_resume_;
   const checkpoint::Epoch epoch = backend_->committed_epoch() + 1;
 
-  backend_->checkpoint(epoch, [this, cut_time, cut_work](
+  backend_->checkpoint(epoch, [this, cut_time, cut_work, epoch](
                                   const EpochStats& stats) {
     auto& metrics = sim_.telemetry().metrics();
     if (!stats.committed) {
@@ -221,6 +236,9 @@ void JobRunner::on_capture_point() {
       // stands; resume the guests and try again. Work done since the cut
       // is simply uncheckpointed, not lost.
       metrics.add("job.epochs_failed", 1.0);
+      // Output commit: egress buffered for this epoch would have exposed
+      // state that never became durable — drop it; clients retry.
+      if (traffic_) traffic_->on_epoch_abort();
       for (cluster::NodeId nid : cluster_->alive_nodes())
         cluster_->node(nid).hypervisor().resume_all();
       computing_ = true;
@@ -229,6 +247,9 @@ void JobRunner::on_capture_point() {
       return;
     }
     metrics.add("job.epochs", 1.0);
+    // Output commit: the cut is durable, buffered egress may now reach
+    // clients.
+    if (traffic_) traffic_->on_epoch_commit(epoch);
     metrics.add("job.overhead_s", stats.overhead);
     metrics.add("job.latency_s", stats.latency);
     metrics.add("job.bytes_shipped",
@@ -295,6 +316,13 @@ void JobRunner::on_failure_event(cluster::NodeId raw_victim, bool exact) {
       cluster_->node(victim).hypervisor().vm_ids();
   cluster_->kill_node(victim);
   backend_->on_node_failure(victim);
+  if (traffic_) {
+    // The cluster will roll back to the committed cut: uncommitted egress
+    // is dropped before any client can see it, and the victim's service
+    // queue dies with the node.
+    traffic_->on_failover_begin();
+    traffic_->on_node_failure(lost);
+  }
   recovering_ = true;
   cluster_->set_degraded(true);
 
@@ -343,6 +371,7 @@ void JobRunner::on_cascade_failure(cluster::NodeId victim,
       cluster_->node(victim).hypervisor().vm_ids();
   cluster_->kill_node(victim);
   backend_->on_node_failure(victim);
+  if (traffic_) traffic_->on_node_failure(lost);
   if (std::find(episode_.victims.begin(), episode_.victims.end(), victim) ==
       episode_.victims.end())
     episode_.victims.push_back(victim);
@@ -484,6 +513,10 @@ void JobRunner::on_suspected(cluster::NodeId victim, SimTime latency) {
       cluster_->node(victim).hypervisor().vm_ids();
   cluster_->kill_node(victim);
   backend_->on_node_failure(victim);
+  if (traffic_) {
+    traffic_->on_failover_begin();
+    traffic_->on_node_failure(lost);
+  }
   cluster_->fence_node(victim, backend_->committed_epoch() + 1);
   recovering_ = true;
   cluster_->set_degraded(true);
@@ -660,6 +693,9 @@ void JobRunner::on_recovery_settled(const RecoveryStats& rs) {
     // resume_all is idempotent for guests already running.
     for (cluster::NodeId nid : cluster_->alive_nodes())
       cluster_->node(nid).hypervisor().resume_all();
+    // Serving resumes; client-visible downtime keeps running until the
+    // first post-recovery response actually reaches a client.
+    if (traffic_) traffic_->on_failover_end();
     computing_ = true;
     resume_time_ = sim_.now();
     work_at_resume_ = committed_work_;
@@ -720,6 +756,9 @@ void JobRunner::restart_job(const std::vector<vm::VmId>& missing) {
     cluster_->place(std::move(machine), target);
   }
   backend_->on_job_restart();
+  // Epoch numbering starts over with the fresh job; any held egress is
+  // from an execution that no longer exists.
+  if (traffic_) traffic_->on_restart();
   committed_work_ = 0.0;
   work_at_resume_ = 0.0;
   advanced_work_ = 0.0;
@@ -735,6 +774,7 @@ void JobRunner::restart_job(const std::vector<vm::VmId>& missing) {
     recovering_ = false;
     cluster_->set_degraded(false);
     drain_rejoins();
+    if (traffic_) traffic_->on_failover_end();
     computing_ = true;
     resume_time_ = sim_.now();
     schedule_segment();

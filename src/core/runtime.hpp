@@ -25,6 +25,7 @@
 #include "core/protocol.hpp"
 #include "core/recovery.hpp"
 #include "failure/injector.hpp"
+#include "workload/traffic.hpp"
 
 namespace vdc::core {
 
@@ -147,6 +148,12 @@ struct JobConfig {
   /// Sim-time backoff added before retry attempt N (N >= 2):
   /// recovery_backoff * 2^(N-2), on top of the detection delay.
   SimTime recovery_backoff = 1.0;
+  /// Optional serving plane: client request traffic against the guests
+  /// with output-commit egress (released at epoch commit, dropped on
+  /// abort/failover). The plane runs on its own Rng stream derived from
+  /// (seed, traffic->seed) — enabling it leaves the fault schedule and
+  /// epoch wire bytes bit-identical.
+  std::optional<workload::TrafficConfig> traffic;
   /// Optional hook observing job-level events as they happen (see
   /// JobEvent); the test harness's window into mid-run state.
   std::function<void(const JobEvent&)> observer;
@@ -208,6 +215,8 @@ class JobRunner {
   cluster::ClusterManager& cluster() { return *cluster_; }
   simkit::Simulator& sim() { return sim_; }
   CheckpointBackend* backend() { return backend_.get(); }
+  /// Serving plane, or nullptr when JobConfig::traffic is unset.
+  workload::TrafficPlane* traffic() { return traffic_.get(); }
 
  private:
   /// One recovery episode: from the first failure out of healthy state
@@ -275,6 +284,7 @@ class JobRunner {
   Rng rng_;
   std::unique_ptr<cluster::ClusterManager> cluster_;
   std::unique_ptr<CheckpointBackend> backend_;
+  std::unique_ptr<workload::TrafficPlane> traffic_;
   std::unique_ptr<failure::FailureInjector> injector_;
   /// Wire-true detection (JobConfig::heartbeat); null = oracle detection.
   std::unique_ptr<cluster::HeartbeatDetector> detector_;

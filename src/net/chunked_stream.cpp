@@ -1,11 +1,10 @@
 #include "net/chunked_stream.hpp"
 
-#include <cerrno>
-#include <cstdlib>
 #include <utility>
 
 #include "common/assert.hpp"
 #include "common/crc32.hpp"
+#include "common/env.hpp"
 #include "common/log.hpp"
 
 namespace vdc::net {
@@ -23,39 +22,18 @@ Bytes ChunkPolicy::chunk_size(Bytes total, std::size_t index) const {
   return total - chunk_bytes * static_cast<Bytes>(n - 1);  // tail
 }
 
-namespace {
-// Strict non-negative integer parse for the env overrides: the whole
-// string must be a number. atoll-style silent zero for garbage would turn
-// a typo into "disable chunking", so malformed values are rejected with a
-// warning and the configured policy stands.
-bool parse_env_size(const char* name, const char* text, long long& out) {
-  char* end = nullptr;
-  errno = 0;
-  const long long v = std::strtoll(text, &end, 10);
-  if (end == text || *end != '\0' || errno == ERANGE || v < 0) {
-    VDC_WARN("net", "ignoring ", name, "=\"", text,
-             "\": not a non-negative integer");
-    return false;
-  }
-  out = v;
-  return true;
-}
-}  // namespace
-
 ChunkPolicy ChunkPolicy::env_override(ChunkPolicy base) {
-  long long v = 0;
-  if (const char* env = std::getenv("VDC_CHUNK_BYTES")) {
-    if (parse_env_size("VDC_CHUNK_BYTES", env, v))
-      base.chunk_bytes = static_cast<Bytes>(v);
-  }
-  if (const char* env = std::getenv("VDC_PIPELINE_DEPTH")) {
-    if (parse_env_size("VDC_PIPELINE_DEPTH", env, v)) {
-      if (v == 0)
-        VDC_WARN("net",
-                 "ignoring VDC_PIPELINE_DEPTH=0: depth must be >= 1");
-      else
-        base.pipeline_depth = static_cast<std::size_t>(v);
-    }
+  // Strict parses via env::int_knob: the whole string must be a number.
+  // atoll-style silent zero for garbage would turn a typo into "disable
+  // chunking", so malformed values are rejected with a warning and the
+  // configured policy stands.
+  if (const auto v = env::int_knob("VDC_CHUNK_BYTES"))
+    base.chunk_bytes = static_cast<Bytes>(*v);
+  if (const auto v = env::int_knob("VDC_PIPELINE_DEPTH")) {
+    if (*v == 0)
+      VDC_WARN("net", "ignoring VDC_PIPELINE_DEPTH=0: depth must be >= 1");
+    else
+      base.pipeline_depth = static_cast<std::size_t>(*v);
   }
   return base;
 }

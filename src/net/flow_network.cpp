@@ -6,6 +6,8 @@
 #include <map>
 #include <utility>
 
+#include "common/env.hpp"
+
 namespace vdc::net {
 
 namespace {
@@ -32,8 +34,10 @@ double floored_share(double residual, std::uint32_t unfixed, double cap) {
 }  // namespace
 
 FlowNetwork::FlowNetwork(simkit::Simulator& sim) : sim_(sim) {
-  const char* env = std::getenv("VDC_FULL_SOLVER");
-  if (env != nullptr && env[0] == '1') incremental_ = false;
+  // Validated knob: garbage ("yes", "2", ...) warns and keeps the default
+  // instead of silently running the incremental solver.
+  if (const auto full = env::bool_knob("VDC_FULL_SOLVER"))
+    incremental_ = !*full;
 }
 
 PortId FlowNetwork::add_port(Rate capacity, std::string name) {

@@ -6,6 +6,8 @@
 #include <cstring>
 
 #include "common/assert.hpp"
+#include "common/env.hpp"
+#include "common/log.hpp"
 #include "parity/gf256.hpp"
 
 #if defined(__x86_64__) || defined(__i386__)
@@ -254,11 +256,17 @@ const KernelOps* find_ops(KernelTier tier) {
 }
 
 const KernelOps& resolve_initial() {
-  if (const char* env = std::getenv("VDC_PARITY_KERNEL")) {
-    if (const auto tier = parse_tier(env)) {
-      if (const KernelOps* ops = find_ops(*tier)) return *ops;
-      // Unsupported request (e.g. VDC_PARITY_KERNEL=neon on x86): fall
-      // through to auto rather than crash the run.
+  // Validated knob: a misspelt tier ("avx", "sse") warns and keeps auto
+  // selection instead of silently running the scalar reference.
+  if (const auto env = env::enum_knob(
+          "VDC_PARITY_KERNEL", {"scalar", "blocked", "avx2", "neon", "auto"})) {
+    if (*env != "auto") {
+      if (const auto tier = parse_tier(*env))
+        if (const KernelOps* ops = find_ops(*tier)) return *ops;
+      // Valid name, unsupported here (e.g. VDC_PARITY_KERNEL=neon on
+      // x86): fall through to auto rather than crash the run.
+      VDC_WARN("parity", "VDC_PARITY_KERNEL=", *env,
+               " unsupported on this machine; using auto selection");
     }
   }
   return kernel_for(supported_tiers().back());

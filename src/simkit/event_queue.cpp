@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "common/env.hpp"
 
 namespace vdc::simkit {
 
@@ -216,9 +217,10 @@ std::unique_ptr<EventQueue> make_event_queue(QueueKind kind) {
 }
 
 QueueKind default_queue_kind() {
-  const char* env = std::getenv("VDC_EVENT_QUEUE");
-  if (env != nullptr && std::strcmp(env, "calendar") == 0)
-    return QueueKind::Calendar;
+  // Validated knob: a misspelling ("calender") warns and keeps the heap
+  // instead of silently running the wrong queue.
+  if (const auto kind = env::enum_knob("VDC_EVENT_QUEUE", {"heap", "calendar"}))
+    if (*kind == "calendar") return QueueKind::Calendar;
   return QueueKind::BinaryHeap;
 }
 

@@ -24,7 +24,7 @@ std::string labels_json(const Labels& labels) {
 }
 
 std::string metric_json(const Metric& metric) {
-  char buf[256];  // six %.17g fields at up to 24 chars each, plus keys
+  char buf[320];  // seven %.17g fields at up to 24 chars each, plus keys
   std::string out = "{\"type\":\"";
   switch (metric.kind) {
     case MetricKind::Counter:
@@ -55,10 +55,10 @@ std::string metric_json(const Metric& metric) {
       const auto& s = metric.samples;
       std::snprintf(buf, sizeof buf,
                     ",\"count\":%zu,\"mean\":%.17g,\"p50\":%.17g,"
-                    "\"p99\":%.17g,\"min\":%.17g,\"max\":%.17g",
+                    "\"p99\":%.17g,\"p999\":%.17g,\"min\":%.17g,\"max\":%.17g",
                     s.count(), s.mean(), s.percentile(50.0),
-                    s.percentile(99.0), s.percentile(0.0),
-                    s.percentile(100.0));
+                    s.percentile(99.0), s.percentile(99.9),
+                    s.percentile(0.0), s.percentile(100.0));
       out += buf;
       break;
     }

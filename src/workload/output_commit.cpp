@@ -1,0 +1,40 @@
+#include "workload/output_commit.hpp"
+
+#include "common/assert.hpp"
+
+namespace vdc::workload {
+
+void OutputCommitBuffer::hold(HeldEgress egress) {
+  VDC_ASSERT(egress.cut == next_cut_);
+  held_bytes_ += egress.bytes;
+  held_.push_back(egress);
+}
+
+std::vector<HeldEgress> OutputCommitBuffer::commit(Cut cut) {
+  VDC_ASSERT(cut >= committed_);
+  committed_ = cut;
+  if (next_cut_ <= cut) next_cut_ = cut + 1;
+  std::vector<HeldEgress> released;
+  while (!held_.empty() && held_.front().cut <= cut) {
+    held_bytes_ -= held_.front().bytes;
+    released.push_back(held_.front());
+    held_.pop_front();
+  }
+  return released;
+}
+
+std::vector<HeldEgress> OutputCommitBuffer::abort() {
+  std::vector<HeldEgress> dropped(held_.begin(), held_.end());
+  held_.clear();
+  held_bytes_ = 0;
+  return dropped;
+}
+
+std::vector<HeldEgress> OutputCommitBuffer::reset() {
+  auto dropped = abort();
+  next_cut_ = 1;
+  committed_ = 0;
+  return dropped;
+}
+
+}  // namespace vdc::workload

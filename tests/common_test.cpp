@@ -182,17 +182,51 @@ TEST(Samples, PercentileOfEmptyReturnsZero) {
   EXPECT_EQ(s.median(), 7.0);
 }
 
-TEST(Histogram, BinningAndClamping) {
+TEST(Histogram, BinningAndOutOfRangeCounters) {
   Histogram h(0.0, 10.0, 10);
   h.add(0.5);   // bin 0
   h.add(9.5);   // bin 9
-  h.add(-5.0);  // clamps to bin 0
-  h.add(50.0);  // clamps to bin 9
-  EXPECT_EQ(h.count(0), 2u);
-  EXPECT_EQ(h.count(9), 2u);
+  h.add(-5.0);  // below range: counted, not folded into bin 0
+  h.add(50.0);  // above range: counted, not folded into bin 9
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
   EXPECT_EQ(h.total(), 4u);
   EXPECT_DOUBLE_EQ(h.bin_low(3), 3.0);
   EXPECT_DOUBLE_EQ(h.bin_high(3), 4.0);
+}
+
+TEST(Histogram, RangeEdgesAndCounters) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.0);  // lo is inclusive: bin 0
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.underflow(), 0u);
+  h.add(10.0);  // hi is exclusive: overflow, not bin 9
+  EXPECT_EQ(h.count(9), 0u);
+  EXPECT_EQ(h.overflow(), 1u);
+  h.add(std::nextafter(10.0, 0.0));  // largest in-range value: bin 9
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_DOUBLE_EQ(h.low(), 0.0);
+  EXPECT_DOUBLE_EQ(h.high(), 10.0);
+}
+
+TEST(Samples, PercentileInterpolationKat) {
+  // Known-answer checks for the linear-interpolation rule:
+  // rank = p/100 * (n-1), result = lerp(sorted[floor], sorted[ceil]).
+  Samples s;
+  s.add(30.0);
+  s.add(10.0);
+  s.add(20.0);
+  s.add(40.0);  // sorted: 10 20 30 40, ranks 0..3
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 40.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50.0), 25.0);    // rank 1.5
+  EXPECT_DOUBLE_EQ(s.percentile(25.0), 17.5);    // rank 0.75
+  EXPECT_NEAR(s.percentile(99.0), 39.7, 1e-12);  // rank 2.97
+  EXPECT_NEAR(s.percentile(99.9), 39.97, 1e-12);
 }
 
 TEST(Histogram, InvalidConstruction) {
