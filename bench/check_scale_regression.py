@@ -10,6 +10,10 @@ hold model in the same process, which cancels the machine out. Absolute
 events/s are printed for the record (the uploaded artifact keeps them) but
 only the ratio fails the job.
 
+The control-plane election rows are gated on an ABSOLUTE ceiling instead:
+failover is measured in simulated seconds over a deterministic plane, so
+it is machine-independent and needs no baseline to compare against.
+
 Usage: check_scale_regression.py BENCH_scale.json [baseline.json]
 """
 
@@ -52,6 +56,28 @@ def main():
             f"below the committed baseline {base:.2f}x"
         )
     print("OK: within 20% of baseline")
+
+    election = current.get("election")
+    if election is None:
+        sys.exit("FAIL: no election-availability section in the report")
+    ceiling = election["ceiling_s"]
+    for row in election["rows"]:
+        print(
+            f"election failover at {row['nodes']} nodes: "
+            f"{row['failover_max_s']:.3f} s worst of {row['trials']} "
+            f"leader kills (ceiling {ceiling:.1f} s)"
+        )
+        if not row["safety_ok"]:
+            sys.exit(
+                f"FAIL: raft safety invariant violated during the "
+                f"{row['nodes']}-node leader-kill trials"
+            )
+        if row["failover_max_s"] > ceiling:
+            sys.exit(
+                f"FAIL: control-plane failover {row['failover_max_s']:.3f} s "
+                f"at {row['nodes']} nodes exceeds the {ceiling:.1f} s ceiling"
+            )
+    print("OK: election failover under ceiling at every scale")
 
 
 if __name__ == "__main__":

@@ -19,6 +19,11 @@
 //      incremental component solver's flows-solved counter vs the full
 //      solver's (full measured directly up to 1k nodes, arithmetic
 //      otherwise — it is Sum(active) by definition).
+//   4. Election availability — replicated-control-plane failover: kill
+//      the seated leader at 200/1k/10k nodes and measure sim-time to the
+//      next quorum-committed control record. Gated on an absolute sim-time
+//      ceiling (deterministic, so machine-independent) and the raft safety
+//      invariants; check_scale_regression.py re-checks the ceiling in CI.
 //
 // Emits BENCH_scale.json (--json=PATH, default BENCH_scale.json). CI runs
 // the 1k row and gates on events/s regression vs the committed baseline
@@ -39,6 +44,7 @@
 
 #include "bench_util.hpp"
 #include "common/rng.hpp"
+#include "controlplane/raft.hpp"
 #include "core/plan.hpp"
 #include "core/recovery.hpp"
 #include "net/flow_network.hpp"
@@ -410,6 +416,104 @@ SolverStats solver_churn(std::size_t nodes, bool measure_full) {
   return stats;
 }
 
+// --- 4. election availability ------------------------------------------------
+//
+// Replicated-control-plane failover at scale: kill the seated leader and
+// measure SIM time until the next control record is quorum-committed under
+// a successor. The replica set is fixed (3) regardless of cluster size, so
+// the claim being gated is that availability does not degrade with node
+// count — and, because the measurement is simulated time over a
+// deterministic plane, an ABSOLUTE ceiling is stable across CI machines.
+
+struct ElectionStats {
+  std::size_t nodes = 0;
+  std::size_t trials = 0;
+  double failover_min_s = 0.0;
+  double failover_mean_s = 0.0;
+  double failover_max_s = 0.0;
+  std::uint64_t elections = 0;
+  bool safety_ok = true;
+};
+
+/// One kill-the-leader trial. Returns sim-seconds from the kill to the
+/// first record committed by the successor's quorum (< 0: never happened).
+double election_failover_trial(std::size_t nodes, std::uint64_t seed,
+                               std::uint64_t& elections, bool& safety_ok) {
+  simkit::Simulator sim;
+  cluster::ClusterManager cluster(sim, Rng(7));
+  for (std::size_t n = 0; n < nodes; ++n) cluster.add_node();
+  controlplane::ControlPlane plane(sim, cluster,
+                                   controlplane::ControlPlaneConfig{},
+                                   Rng(seed));
+  plane.start();
+
+  // Settle: epoch 1 committed under the bootstrap leader.
+  controlplane::ControlEntry cut;
+  cut.kind = controlplane::ControlEntry::Kind::kEpochCut;
+  cut.value = 1;
+  controlplane::ControlEntry commit = cut;
+  commit.kind = controlplane::ControlEntry::Kind::kEpochCommit;
+  if (!plane.append(cut) || !plane.append(commit)) return -1.0;
+  sim.run_until(1.0);
+  if (plane.leader_view() == nullptr ||
+      plane.leader_view()->committed_epoch != 1) {
+    return -1.0;
+  }
+
+  const double kill_time = sim.now();
+  cluster.kill_node(0);
+  plane.on_node_death(0);
+
+  // The interrupted epoch is re-driven through whoever wins: the commit
+  // callback stamps the quorum-commit time.
+  double committed_at = -1.0;
+  plane.await_leader([&](controlplane::NodeId) {
+    controlplane::ControlEntry cut2 = cut;
+    cut2.value = 2;
+    controlplane::ControlEntry commit2 = commit;
+    commit2.value = 2;
+    plane.append(cut2);
+    plane.append(commit2, [&](bool ok) {
+      if (ok && committed_at < 0.0) committed_at = sim.now();
+    });
+  });
+  sim.run_until(kill_time + 60.0);
+
+  elections += plane.elections();
+  safety_ok = safety_ok && plane.election_safety_ok() &&
+              plane.epoch_sequence_ok() && plane.logs_consistent();
+  plane.stop();
+  return committed_at < 0.0 ? -1.0 : committed_at - kill_time;
+}
+
+ElectionStats election_availability(std::size_t nodes, std::size_t trials) {
+  ElectionStats stats;
+  stats.nodes = nodes;
+  stats.trials = trials;
+  stats.failover_min_s = 1e9;
+  double sum = 0.0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const double failover = election_failover_trial(
+        nodes, 5000 + 17 * t, stats.elections, stats.safety_ok);
+    if (failover < 0.0) {
+      stats.safety_ok = false;  // a trial that never re-committed is a fail
+      continue;
+    }
+    stats.failover_min_s = std::min(stats.failover_min_s, failover);
+    stats.failover_max_s = std::max(stats.failover_max_s, failover);
+    sum += failover;
+  }
+  stats.failover_mean_s = sum / static_cast<double>(trials);
+  std::printf(
+      "election:    %5zu nodes  failover %.3f/%.3f/%.3f s (min/mean/max "
+      "over %zu leader kills)  %llu elections  safety %s\n",
+      stats.nodes, stats.failover_min_s, stats.failover_mean_s,
+      stats.failover_max_s, stats.trials,
+      static_cast<unsigned long long>(stats.elections),
+      stats.safety_ok ? "ok" : "VIOLATED");
+  return stats;
+}
+
 // --- driver -----------------------------------------------------------------
 
 struct Row {
@@ -503,6 +607,8 @@ Row run_scale(std::size_t nodes, std::uint64_t events) {
 }
 
 void write_json(const std::string& path, const std::vector<Row>& rows,
+                const std::vector<ElectionStats>& election,
+                double election_ceiling_s, bool election_pass,
                 std::uint64_t events, double gate_speedup, bool gate_applies,
                 bool gate_pass) {
   std::FILE* out = std::fopen(path.c_str(), "w");
@@ -560,6 +666,21 @@ void write_json(const std::string& path, const std::vector<Row>& rows,
     std::fprintf(out, "    }%s\n", i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"election\": {\n    \"rows\": [\n");
+  for (std::size_t i = 0; i < election.size(); ++i) {
+    const ElectionStats& e = election[i];
+    std::fprintf(
+        out,
+        "      {\"nodes\": %zu, \"trials\": %zu, \"failover_min_s\": %.4f, "
+        "\"failover_mean_s\": %.4f, \"failover_max_s\": %.4f, "
+        "\"elections\": %llu, \"safety_ok\": %s}%s\n",
+        e.nodes, e.trials, e.failover_min_s, e.failover_mean_s,
+        e.failover_max_s, static_cast<unsigned long long>(e.elections),
+        e.safety_ok ? "true" : "false",
+        i + 1 < election.size() ? "," : "");
+  }
+  std::fprintf(out, "    ],\n    \"ceiling_s\": %.2f,\n    \"pass\": %s\n  },\n",
+               election_ceiling_s, election_pass ? "true" : "false");
   std::fprintf(out,
                "  \"gate\": {\"speedup_at_largest\": %.3f, \"required\": 3.0, "
                "\"applies\": %s, \"pass\": %s}\n}\n",
@@ -599,15 +720,37 @@ int main(int argc, char** argv) {
   std::vector<Row> rows;
   for (std::size_t n : node_scales) rows.push_back(run_scale(n, events));
 
+  // Control-plane failover runs at fixed 200/1k/10k scales regardless of
+  // --nodes: the trials are pure sim time over a bare plane, so even the
+  // 10k row is cheap enough for every CI invocation.
+  std::printf("\n-- election availability (leader kill -> next commit) --\n");
+  constexpr double kElectionCeilingS = 2.0;
+  std::vector<ElectionStats> election;
+  for (std::size_t n : {std::size_t{200}, std::size_t{1000},
+                        std::size_t{10000}}) {
+    election.push_back(election_availability(n, /*trials=*/5));
+  }
+  bool election_pass = true;
+  for (const ElectionStats& e : election)
+    election_pass = election_pass && e.safety_ok &&
+                    e.failover_max_s <= kElectionCeilingS;
+
   // The >= 3x events/s gate applies at 10k-node scale: that is where the
   // heap's log(pending) factor bites.
   const Row& largest = rows.back();
   const bool gate_applies = largest.nodes >= 10000;
   const bool gate_pass = !gate_applies || largest.speedup >= 3.0;
-  write_json(json_path, rows, events, largest.speedup, gate_applies,
-             gate_pass);
+  write_json(json_path, rows, election, kElectionCeilingS, election_pass,
+             events, largest.speedup, gate_applies, gate_pass);
 
   int rc = 0;
+  if (!election_pass) {
+    std::fprintf(stderr,
+                 "FAIL: control-plane failover exceeded %.1f s (or a safety "
+                 "invariant broke) after a leader kill\n",
+                 kElectionCeilingS);
+    rc = 1;
+  }
   if (!gate_pass) {
     std::fprintf(stderr,
                  "FAIL: calendar queue %.2fx heap at %zu nodes (need 3x)\n",

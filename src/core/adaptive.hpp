@@ -14,6 +14,7 @@
 // matters for rollback exposure is the commit latency, so the policy can
 // be pointed at either the overhead or the latency signal.
 
+#include <limits>
 #include <memory>
 
 #include "common/units.hpp"
@@ -60,6 +61,16 @@ struct AdaptiveConfig {
   SimTime max_interval = hours(4);
   /// Interval before any cost has been observed.
   SimTime initial = minutes(5);
+  /// Output-commit back-pressure high-water mark (bytes of held guest
+  /// egress). When > 0 and the last epoch's held peak
+  /// (EpochStats::held_egress_peak) exceeded it, a persistent cap on the
+  /// interval shrinks proportionally — peak at 2x the mark halves the
+  /// cap — so committing more often drains the egress buffer. The cap
+  /// recovers by doubling across calm epochs rather than vanishing, which
+  /// keeps the policy from oscillating between one calm short epoch and a
+  /// buffer-blowing long one. Never shortens below min_interval; 0
+  /// disables the term.
+  Bytes held_highwater = 0;
 };
 
 class AdaptiveIntervalPolicy final : public IntervalPolicy {
@@ -75,6 +86,10 @@ class AdaptiveIntervalPolicy final : public IntervalPolicy {
  private:
   AdaptiveConfig config_;
   SimTime cost_estimate_ = -1.0;  // < 0: no observation yet
+  /// Back-pressure cap on the returned interval; +inf until the held
+  /// egress first overshoots the high-water mark.
+  SimTime held_cap_ = std::numeric_limits<double>::infinity();
+  SimTime last_returned_ = 0.0;  // 0: nothing returned yet
 };
 
 }  // namespace vdc::core

@@ -1038,7 +1038,25 @@ void DvdcCoordinator::on_group_parity_done(std::uint64_t gen,
     sim_.telemetry().record_span("epoch.parity", parity_start_, sim_.now(),
                                  epoch_labels_, epoch_span_);
     commit_start_ = sim_.now();
-    sim_.after(config_.commit_latency, [this, gen] { try_commit(gen); });
+    if (config_.commit_gate) {
+      // Two-phase commit: the parity stripe is complete (phase 1); ask
+      // the gate to quorum-log the commit record (phase 2). `earliest`
+      // keeps a fast quorum from beating the broadcast latency, so a
+      // fault-free gated run commits at the exact instant the ungated
+      // path would.
+      config_.commit_gate(
+          epoch_, sim_.now() + config_.commit_latency,
+          [this, gen](bool commit) {
+            if (gen != generation_ || !in_flight_) return;
+            if (!commit) {
+              on_stream_failed(gen, "quorum rejected epoch commit");
+              return;
+            }
+            try_commit(gen);
+          });
+    } else {
+      sim_.after(config_.commit_latency, [this, gen] { try_commit(gen); });
+    }
   }
 }
 

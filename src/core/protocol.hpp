@@ -95,6 +95,17 @@ struct ProtocolConfig {
   Rate snapshot_rate = gib_per_s(8);
   /// Coordinator commit broadcast latency.
   SimTime commit_latency = 1e-3;
+  /// Two-phase commit hook. When set, the coordinator calls it at the
+  /// commit point instead of scheduling try_commit directly: `epoch` is
+  /// the epoch about to commit, `earliest` = now + commit_latency is the
+  /// soonest the commit may take effect (so a quorum that answers faster
+  /// than the broadcast latency cannot make the gated run commit earlier
+  /// than the ungated one), and `proceed(true/false)` finishes or aborts
+  /// the epoch. The runtime wires this to the replicated control plane's
+  /// quorum-logged epoch-commit record.
+  std::function<void(checkpoint::Epoch epoch, SimTime earliest,
+                     std::function<void(bool commit)> proceed)>
+      commit_gate;
 };
 
 struct EpochStats {
@@ -107,6 +118,11 @@ struct EpochStats {
   Bytes bytes_xored = 0;        // parity work
   Bytes raw_dirty_bytes = 0;    // changed pages before compression
   std::size_t groups = 0;
+  /// Peak held guest egress (serve.output_held_bytes) over the window
+  /// ending at this epoch's commit; filled by the runtime when the
+  /// serving plane is on, 0 otherwise. Input to the adaptive interval
+  /// policy's back-pressure term.
+  Bytes held_egress_peak = 0;
   bool full_exchange = false;   // at least one group shipped full images
   /// False when the epoch was aborted because an exchange transfer died on
   /// the wire (retransmission attempts / deadline exhausted). The previous
@@ -226,6 +242,12 @@ class DvdcCoordinator {
 
   bool epoch_in_flight() const { return in_flight_; }
   const ProtocolConfig& config() const { return config_; }
+
+  /// Install (or clear) the two-phase commit gate after construction —
+  /// the runtime wires the control plane in once both exist.
+  void set_commit_gate(decltype(ProtocolConfig::commit_gate) gate) {
+    config_.commit_gate = std::move(gate);
+  }
 
  private:
   struct GroupWork;

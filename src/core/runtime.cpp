@@ -10,6 +10,18 @@
 
 namespace vdc::core {
 
+namespace {
+controlplane::ControlEntry control_record(
+    controlplane::ControlEntry::Kind kind, std::uint64_t value,
+    std::uint64_t arg = 0) {
+  controlplane::ControlEntry entry;
+  entry.kind = kind;
+  entry.value = value;
+  entry.arg = arg;
+  return entry;
+}
+}  // namespace
+
 WorkloadFactory make_workload_factory(const ClusterConfig& config) {
   return [config](vm::VmId) -> std::unique_ptr<vm::Workload> {
     if (config.write_rate <= 0.0)
@@ -85,6 +97,39 @@ RunResult JobRunner::run() {
         sim_, *cluster_, *job_.traffic, traffic_rng);
     traffic_->start();
   }
+  control_.reset();
+  pending_entries_.clear();
+  logged_plan_version_ = 0;
+  commit_gate_used_ = false;
+  capture_wait_seq_ = 0;
+  recovery_wait_seq_ = 0;
+  if (job_.control.has_value()) {
+    // Same independent-stream discipline as the serving plane: enabling
+    // the control plane must leave the cluster/backend/injector fork chain
+    // untouched (the zero-coordinator-fault bit-identity invariant).
+    Rng control_rng(job_.seed ^
+                    (job_.control->seed * 0x9e3779b97f4a7c15ull) ^
+                    0x4354524cull /* "CTRL" */);
+    control_ = std::make_unique<controlplane::ControlPlane>(
+        sim_, *cluster_, *job_.control, control_rng);
+    // A zombie behind a partition keeps its replica running — that is the
+    // deposed-leader scenario the fencing integration exists for.
+    control_->set_live_predicate([this](controlplane::NodeId id) {
+      return cluster_->node(id).alive() || zombies_.count(id) != 0;
+    });
+    control_->set_on_leader_change(
+        [this](controlplane::NodeId, controlplane::Term) {
+          drain_pending_entries();
+        });
+    control_->start();
+    // Epoch commit becomes a two-phase quorum transaction on backends
+    // with a gated commit point (DVDC); others keep the default no-op.
+    backend_->set_commit_gate(
+        [this](checkpoint::Epoch epoch, SimTime earliest,
+               std::function<void(bool)> proceed) {
+          gate_epoch_commit(epoch, earliest, std::move(proceed));
+        });
+  }
   if (job_.heartbeat.has_value()) {
     detector_ = std::make_unique<cluster::HeartbeatDetector>(
         sim_, *cluster_, *job_.heartbeat);
@@ -154,6 +199,7 @@ RunResult JobRunner::run() {
   }
   if (injector_) injector_->stop();
   if (detector_) detector_->stop();
+  if (control_) control_->stop();
   if (traffic_) traffic_->stop();
 
   result_.finished = finished_;
@@ -188,6 +234,9 @@ RunResult JobRunner::run() {
 
 void JobRunner::schedule_segment() {
   VDC_ASSERT(computing_ && !recovering_);
+  // A capture deferred on await_leader() belongs to the segment that was
+  // running when it deferred; a new segment supersedes it.
+  ++capture_wait_seq_;
   if (pending_event_ != simkit::kInvalidEvent) sim_.cancel(pending_event_);
 
   const SimTime w = current_work();
@@ -217,6 +266,20 @@ void JobRunner::schedule_segment() {
 }
 
 void JobRunner::on_capture_point() {
+  if (control_ && !control_->leader().has_value()) {
+    // Leaderless: a cut decided now could not be quorum-logged, so the
+    // capture waits for the election. Guests keep computing meanwhile —
+    // the cut just lands later. The seq guard drops the waiter if a
+    // failure/recovery/new segment moved the job on first.
+    const std::uint64_t seq = capture_wait_seq_;
+    control_->await_leader([this, seq](controlplane::NodeId) {
+      if (finished_ || recovering_ || !computing_ ||
+          seq != capture_wait_seq_)
+        return;
+      on_capture_point();
+    });
+    return;
+  }
   settle_workloads();
   work_at_resume_ = current_work();
   computing_ = false;
@@ -227,6 +290,17 @@ void JobRunner::on_capture_point() {
   const SimTime cut_work = work_at_resume_;
   const checkpoint::Epoch epoch = backend_->committed_epoch() + 1;
 
+  if (control_) {
+    const std::uint64_t pv = cluster_->placement_map().version();
+    if (pv != logged_plan_version_) {
+      logged_plan_version_ = pv;
+      log_entry(control_record(
+          controlplane::ControlEntry::Kind::kPlanVersion, pv));
+    }
+    log_entry(control_record(
+        controlplane::ControlEntry::Kind::kEpochCut, epoch));
+  }
+
   backend_->checkpoint(epoch, [this, cut_time, cut_work, epoch](
                                   const EpochStats& stats) {
     auto& metrics = sim_.telemetry().metrics();
@@ -236,6 +310,8 @@ void JobRunner::on_capture_point() {
       // stands; resume the guests and try again. Work done since the cut
       // is simply uncheckpointed, not lost.
       metrics.add("job.epochs_failed", 1.0);
+      log_entry(control_record(
+          controlplane::ControlEntry::Kind::kEpochAbort, epoch));
       // Output commit: egress buffered for this epoch would have exposed
       // state that never became durable — drop it; clients retry.
       if (traffic_) traffic_->on_epoch_abort();
@@ -247,6 +323,15 @@ void JobRunner::on_capture_point() {
       return;
     }
     metrics.add("job.epochs", 1.0);
+    // Gated backends quorum-log kEpochCommit inside gate_epoch_commit;
+    // for the rest the commit record lands here (view apply is idempotent
+    // either way).
+    if (!commit_gate_used_)
+      log_entry(control_record(
+          controlplane::ControlEntry::Kind::kEpochCommit, epoch));
+    // Sample the epoch window's held-egress peak before the commit
+    // releases the buffer and resets the window.
+    const Bytes held_window = traffic_ ? traffic_->held_peak_window() : 0;
     // Output commit: the cut is durable, buffered egress may now reach
     // clients.
     if (traffic_) traffic_->on_epoch_commit(epoch);
@@ -256,8 +341,11 @@ void JobRunner::on_capture_point() {
                 static_cast<double>(stats.bytes_shipped));
     committed_work_ = cut_work;
     notify(JobEvent::Kind::EpochCommit);
-    if (job_.interval_policy)
-      current_interval_ = job_.interval_policy->next_interval(stats);
+    if (job_.interval_policy) {
+      EpochStats observed = stats;
+      observed.held_egress_peak = held_window;
+      current_interval_ = job_.interval_policy->next_interval(observed);
+    }
 
     // Where did the guests actually resume?
     const SimTime early = backend_->early_resume_delay();
@@ -280,8 +368,11 @@ void JobRunner::on_failure_event(cluster::NodeId raw_victim, bool exact) {
     if (raw_victim >= cluster_->node_count() ||
         !cluster_->node(raw_victim).alive()) {
       // ...except when the "down" node is a zombie: the partitioned-but-
-      // running hardware really dies now, so its beats stop for good.
-      if (raw_victim < cluster_->node_count()) zombies_.erase(raw_victim);
+      // running hardware really dies now, so its beats stop for good
+      // (and its control-plane replica, if any, loses its volatile state).
+      if (raw_victim < cluster_->node_count() &&
+          zombies_.erase(raw_victim) != 0 && control_)
+        control_->on_node_death(raw_victim);
       metrics.add("job.failures_skipped", 1.0);
       return;
     }
@@ -316,6 +407,12 @@ void JobRunner::on_failure_event(cluster::NodeId raw_victim, bool exact) {
       cluster_->node(victim).hypervisor().vm_ids();
   cluster_->kill_node(victim);
   backend_->on_node_failure(victim);
+  // Replica hardware died: volatile raft state goes with it. This runs
+  // BEFORE log_entry so a record about the dead leader routes through
+  // (or queues for) its successor, never through the corpse.
+  if (control_) control_->on_node_death(victim);
+  log_entry(control_record(
+      controlplane::ControlEntry::Kind::kNodeFailed, victim));
   if (traffic_) {
     // The cluster will roll back to the committed cut: uncommitted egress
     // is dropped before any client can see it, and the victim's service
@@ -325,6 +422,8 @@ void JobRunner::on_failure_event(cluster::NodeId raw_victim, bool exact) {
   }
   recovering_ = true;
   cluster_->set_degraded(true);
+  log_entry(control_record(
+      controlplane::ControlEntry::Kind::kRecoveryBegin, victim));
 
   episode_ = Episode{};
   episode_.start = sim_.now();
@@ -343,6 +442,8 @@ void JobRunner::on_failure_event(cluster::NodeId raw_victim, bool exact) {
     // when the detector times out on it; the detect span is recorded then
     // with the latency actually measured (on_detected).
     cluster_->fence_node(victim, backend_->committed_epoch() + 1);
+    log_entry(control_record(controlplane::ControlEntry::Kind::kNodeFenced,
+                             victim, backend_->committed_epoch() + 1));
     detector_->note_failure(victim, sim_.now());
     episode_.awaiting.insert(victim);
     episode_.on_detected = [this] { start_recovery_attempt(); };
@@ -371,6 +472,13 @@ void JobRunner::on_cascade_failure(cluster::NodeId victim,
       cluster_->node(victim).hypervisor().vm_ids();
   cluster_->kill_node(victim);
   backend_->on_node_failure(victim);
+  // A suspected (zombie) victim folding in is physically alive behind the
+  // partition — its replica keeps running; only real deaths reset one.
+  if (control_ && zombies_.count(victim) == 0)
+    control_->on_node_death(victim);
+  log_entry(control_record(
+      controlplane::ControlEntry::Kind::kNodeFailed, victim));
+  ++recovery_wait_seq_;  // a deferred attempt is stale against the new victim
   if (traffic_) traffic_->on_node_failure(lost);
   if (std::find(episode_.victims.begin(), episode_.victims.end(), victim) ==
       episode_.victims.end())
@@ -401,6 +509,8 @@ void JobRunner::on_cascade_failure(cluster::NodeId victim,
     // Wire mode: a fresh victim must time out on the detector before the
     // episode can move again; a suspicion folding in already has.
     cluster_->fence_node(victim, backend_->committed_epoch() + 1);
+    log_entry(control_record(controlplane::ControlEntry::Kind::kNodeFenced,
+                             victim, backend_->committed_epoch() + 1));
     if (!already_detected) {
       detector_->note_failure(victim, sim_.now());
       episode_.awaiting.insert(victim);
@@ -513,13 +623,22 @@ void JobRunner::on_suspected(cluster::NodeId victim, SimTime latency) {
       cluster_->node(victim).hypervisor().vm_ids();
   cluster_->kill_node(victim);
   backend_->on_node_failure(victim);
+  // No control_->on_node_death: the suspect is physically alive behind
+  // the partition, so its replica keeps running — fencing (below) is what
+  // keeps a deposed zombie leader out of the quorum.
+  log_entry(control_record(
+      controlplane::ControlEntry::Kind::kNodeFailed, victim));
   if (traffic_) {
     traffic_->on_failover_begin();
     traffic_->on_node_failure(lost);
   }
   cluster_->fence_node(victim, backend_->committed_epoch() + 1);
+  log_entry(control_record(controlplane::ControlEntry::Kind::kNodeFenced,
+                           victim, backend_->committed_epoch() + 1));
   recovering_ = true;
   cluster_->set_degraded(true);
+  log_entry(control_record(
+      controlplane::ControlEntry::Kind::kRecoveryBegin, victim));
 
   episode_ = Episode{};
   episode_.start = sim_.now();
@@ -552,10 +671,21 @@ void JobRunner::on_false_positive(cluster::NodeId node) {
 }
 
 void JobRunner::rejoin_node(cluster::NodeId node) {
-  zombies_.erase(node);
-  if (!cluster_->node(node).alive()) cluster_->revive_node(node);
+  // `alive()` is the cluster's BELIEF: a suspected zombie was kill_node'd
+  // on suspicion, so it reads dead here even though the hardware (and its
+  // control replica) kept running the whole time.
+  const bool was_zombie = zombies_.erase(node) != 0;
+  const bool was_dead = !cluster_->node(node).alive();
+  if (was_dead) cluster_->revive_node(node);
   cluster_->lift_fence(node);
   if (detector_) detector_->note_repair(node);
+  // A physically revived replica rejoins the quorum empty (unsynced); a
+  // zombie's replica never died — lifting the fence is all it needs.
+  // Wiping a zombie here can strand the quorum: wipe two of three
+  // replicas with no leader seated and nobody can ever be elected.
+  if (control_ && was_dead && !was_zombie) control_->on_node_rejoin(node);
+  log_entry(control_record(
+      controlplane::ControlEntry::Kind::kNodeRejoined, node));
 }
 
 void JobRunner::drain_rejoins() {
@@ -617,6 +747,25 @@ void JobRunner::on_fault_event(const failure::ScheduledFailure& ev) {
       }
       break;
     }
+    case Kind::kKillLeader: {
+      // The victim is resolved at fire time: whoever leads the control
+      // plane now (node 0, the implicit coordinator, without one). During
+      // an election gap there is no leader to kill — the strike fizzles.
+      const auto target = leader_target();
+      if (!target.has_value() || *target >= cluster_->node_count()) {
+        sim_.telemetry().metrics().add("job.failures_skipped", 1.0);
+        return;
+      }
+      on_failure_event(*target, /*exact=*/true);
+      break;
+    }
+    case Kind::kPartitionLeader: {
+      const auto target = leader_target();
+      if (!target.has_value() || *target >= cluster_->node_count()) return;
+      cluster_->fabric().faults().set_partition_group(
+          cluster_->node(*target).host(), ev.group);
+      break;
+    }
   }
 }
 
@@ -639,19 +788,41 @@ void JobRunner::start_recovery_attempt() {
     on_recovery_settled(rs);
     return;
   }
-  ++episode_.attempts;
-  metrics.add("recovery.attempts", 1.0);
-
   // Oracle mode keeps the constant-cluster-size assumption behind the
   // Section V model's flat T_r: the failed machines are rebooted/replaced
   // by the time reconstruction starts, so recovery can re-place the lost
   // VMs onto them. With wire-true detection a dead node stays down until
   // a scripted repair or a false-positive rejoin brings it back — reviving
-  // it here would restart its heartbeats and fake a resurrection.
+  // it here would restart its heartbeats and fake a resurrection. Revive
+  // BEFORE the leader gate below: the quorum may need these replicas back
+  // before it can elect the leader the attempt waits on.
   if (!detector_) {
     for (cluster::NodeId nid : episode_.victims)
-      if (!cluster_->node(nid).alive()) cluster_->revive_node(nid);
+      if (!cluster_->node(nid).alive()) {
+        cluster_->revive_node(nid);
+        if (control_) control_->on_node_rejoin(nid);
+        log_entry(control_record(
+            controlplane::ControlEntry::Kind::kNodeRejoined, nid));
+      }
   }
+
+  if (control_ && !control_->leader().has_value()) {
+    // Leaderless: recovery decisions must be quorum-logged to be
+    // replayable on takeover, so the attempt waits for the election. The
+    // seq guard drops the waiter if a cascade/settle moved the episode on.
+    const std::uint64_t seq = ++recovery_wait_seq_;
+    control_->await_leader([this, seq](controlplane::NodeId) {
+      if (finished_ || !recovering_ || episode_.backend_active ||
+          episode_.pending != simkit::kInvalidEvent ||
+          seq != recovery_wait_seq_)
+        return;
+      start_recovery_attempt();
+    });
+    return;
+  }
+
+  ++episode_.attempts;
+  metrics.add("recovery.attempts", 1.0);
 
   // Only what is still missing: an aborted earlier attempt may already
   // have re-placed some of the episode's lost VMs (exact committed-epoch
@@ -670,6 +841,9 @@ void JobRunner::start_recovery_attempt() {
 void JobRunner::on_recovery_settled(const RecoveryStats& rs) {
   auto& tel = sim_.telemetry();
   auto& metrics = tel.metrics();
+  ++recovery_wait_seq_;  // any deferred attempt is now stale
+  log_entry(control_record(controlplane::ControlEntry::Kind::kRecoverySettled,
+                           episode_.attempts, rs.success ? 1 : 0));
   tel.end_span(episode_.span);
   episode_.span = telemetry::kNoSpan;
   metrics.add("job.recovery_s", sim_.now() - episode_.start);
@@ -729,10 +903,18 @@ void JobRunner::restart_job(const std::vector<vm::VmId>& missing) {
   // attempt (give-up path) are still down; in oracle mode bring the
   // hardware back first (wire mode leaves them down — see
   // start_recovery_attempt).
+  ++recovery_wait_seq_;  // any deferred attempt is now stale
   if (!detector_) {
     for (cluster::NodeId nid : episode_.victims)
-      if (!cluster_->node(nid).alive()) cluster_->revive_node(nid);
+      if (!cluster_->node(nid).alive()) {
+        cluster_->revive_node(nid);
+        if (control_) control_->on_node_rejoin(nid);
+        log_entry(control_record(
+            controlplane::ControlEntry::Kind::kNodeRejoined, nid));
+      }
   }
+  log_entry(control_record(
+      controlplane::ControlEntry::Kind::kJobRestart, 0));
   auto workloads = make_workload_factory(cluster_config_);
   for (vm::VmId vmid : missing) {
     if (cluster_->locate(vmid).has_value()) continue;
@@ -779,6 +961,84 @@ void JobRunner::restart_job(const std::vector<vm::VmId>& missing) {
     resume_time_ = sim_.now();
     schedule_segment();
   });
+}
+
+void JobRunner::log_entry(const controlplane::ControlEntry& entry) {
+  if (!control_) return;
+  // Self-healing append: a record that lands in a leader's log but never
+  // commits there (the leader dies, or a deposed zombie held it) is
+  // re-proposed through the successor — in original order, because waiter
+  // callbacks fail in append order at the leader change. Leaderless
+  // appends queue for the next election (drain_pending_entries).
+  const bool appended = control_->append(
+      entry, [this, entry](bool committed) {
+        if (!committed) log_entry(entry);
+      });
+  if (!appended) pending_entries_.push_back(entry);
+}
+
+void JobRunner::drain_pending_entries() {
+  if (!control_) return;
+  std::vector<controlplane::ControlEntry> queued;
+  queued.swap(pending_entries_);
+  for (const auto& entry : queued) log_entry(entry);
+}
+
+void JobRunner::gate_epoch_commit(checkpoint::Epoch epoch, SimTime earliest,
+                                  std::function<void(bool)> proceed) {
+  VDC_ASSERT(control_ != nullptr);
+  commit_gate_used_ = true;
+  // Two-phase commit: the epoch finishes only when (a) the quorum has the
+  // kEpochCommit record AND (b) the protocol's own commit point
+  // (`earliest`) has passed. On a clean fabric the quorum round-trip
+  // beats commit_latency, so the gate adds no time — gated and ungated
+  // runs commit at the same instant (the bit-identity invariant). A
+  // quorum rejection (leader killed/deposed before the record committed)
+  // aborts the epoch; the runtime retries it wholesale, and the view's
+  // idempotent apply absorbs a re-proposal of an orphaned commit record.
+  struct Gate {
+    bool quorum = false;
+    bool due = false;
+    bool done = false;
+    std::function<void(bool)> proceed;
+  };
+  auto gate = std::make_shared<Gate>();
+  gate->proceed = std::move(proceed);
+  auto resolve = [gate](bool ok) {
+    if (gate->done) return;
+    if (!ok) {
+      gate->done = true;
+      gate->proceed(false);
+      return;
+    }
+    if (gate->quorum && gate->due) {
+      gate->done = true;
+      gate->proceed(true);
+    }
+  };
+  const bool appended = control_->append(
+      control_record(controlplane::ControlEntry::Kind::kEpochCommit, epoch),
+      [gate, resolve](bool committed) {
+        gate->quorum = committed;
+        resolve(committed);
+      });
+  if (!appended) {
+    // Leaderless at the commit point: abort; the epoch is re-cut/retried
+    // once the election settles.
+    resolve(false);
+    return;
+  }
+  sim_.at(earliest, [gate, resolve] {
+    gate->due = true;
+    resolve(true);
+  });
+}
+
+std::optional<cluster::NodeId> JobRunner::leader_target() const {
+  if (!control_) return cluster::NodeId{0};
+  const auto l = control_->leader();
+  if (!l.has_value()) return std::nullopt;
+  return static_cast<cluster::NodeId>(*l);
 }
 
 // --- DVDC backend ------------------------------------------------------------

@@ -21,6 +21,7 @@
 
 #include "cluster/heartbeat.hpp"
 #include "cluster/manager.hpp"
+#include "controlplane/raft.hpp"
 #include "core/adaptive.hpp"
 #include "core/protocol.hpp"
 #include "core/recovery.hpp"
@@ -34,6 +35,14 @@ class CheckpointBackend {
  public:
   using EpochDone = std::function<void(const EpochStats&)>;
   using RecoveryDone = std::function<void(const RecoveryStats&)>;
+  /// Two-phase epoch commit hook (see ProtocolConfig::commit_gate): when
+  /// installed, the backend must route each epoch's commit point through
+  /// `gate(epoch, earliest, proceed)` and finish the epoch only when
+  /// proceed(true) fires — proceed(false) means the quorum rejected the
+  /// commit and the epoch must abort uncommitted.
+  using CommitGate =
+      std::function<void(checkpoint::Epoch, SimTime earliest,
+                         std::function<void(bool commit)> proceed)>;
 
   virtual ~CheckpointBackend() = default;
 
@@ -75,6 +84,10 @@ class CheckpointBackend {
   /// The job restarted from scratch (data loss): drop stale redundancy
   /// state so the next checkpoint starts a fresh stripe generation.
   virtual void on_job_restart() {}
+
+  /// Install the two-phase commit gate (default: backend has no gated
+  /// commit point; the runtime only installs one on backends that do).
+  virtual void set_commit_gate(CommitGate gate) { (void)gate; }
 
   virtual std::string name() const = 0;
 };
@@ -154,6 +167,17 @@ struct JobConfig {
   /// (seed, traffic->seed) — enabling it leaves the fault schedule and
   /// epoch wire bytes bit-identical.
   std::optional<workload::TrafficConfig> traffic;
+  /// Optional replicated control plane: the first `control->replicas`
+  /// nodes host a raft-style quorum that logs every coordinator decision
+  /// (epoch cut/commit/abort, membership, recovery transitions, plan
+  /// versions) and turns epoch commit into a two-phase quorum
+  /// transaction. The leader can then be killed mid-epoch (see the
+  /// kill-leader / partition-leader schedule grammar) and the job
+  /// continues after re-election. Runs on its own Rng stream derived from
+  /// (seed, control->seed) — enabling it with zero coordinator faults
+  /// leaves the fault schedule, epoch wire bytes and serve.* metrics
+  /// bit-identical to the single-coordinator baseline.
+  std::optional<controlplane::ControlPlaneConfig> control;
   /// Optional hook observing job-level events as they happen (see
   /// JobEvent); the test harness's window into mid-run state.
   std::function<void(const JobEvent&)> observer;
@@ -217,6 +241,8 @@ class JobRunner {
   CheckpointBackend* backend() { return backend_.get(); }
   /// Serving plane, or nullptr when JobConfig::traffic is unset.
   workload::TrafficPlane* traffic() { return traffic_.get(); }
+  /// Control plane, or nullptr when JobConfig::control is unset.
+  controlplane::ControlPlane* control() { return control_.get(); }
 
  private:
   /// One recovery episode: from the first failure out of healthy state
@@ -275,6 +301,17 @@ class JobRunner {
   void restart_job(const std::vector<vm::VmId>& missing);
   SimTime current_work() const;
   void settle_workloads();
+  /// Append a control record through the plane's current leader, queuing
+  /// it for the next leader when there is none. No-op without a plane.
+  void log_entry(const controlplane::ControlEntry& entry);
+  void drain_pending_entries();
+  /// The protocol's two-phase commit gate: quorum-log kEpochCommit and
+  /// fire `proceed` no earlier than `earliest` (see commit_gate docs).
+  void gate_epoch_commit(checkpoint::Epoch epoch, SimTime earliest,
+                         std::function<void(bool)> proceed);
+  /// Who the leader-targeted fault events strike right now: the control
+  /// plane's leader, or node 0 (the implicit coordinator) without one.
+  std::optional<cluster::NodeId> leader_target() const;
 
   JobConfig job_;
   ClusterConfig cluster_config_;
@@ -285,6 +322,18 @@ class JobRunner {
   std::unique_ptr<cluster::ClusterManager> cluster_;
   std::unique_ptr<CheckpointBackend> backend_;
   std::unique_ptr<workload::TrafficPlane> traffic_;
+  std::unique_ptr<controlplane::ControlPlane> control_;
+  /// Control records appended while leaderless; flushed on election.
+  std::vector<controlplane::ControlEntry> pending_entries_;
+  /// Placement-map version last logged as a kPlanVersion record.
+  std::uint64_t logged_plan_version_ = 0;
+  /// The backend routed an epoch through gate_epoch_commit: kEpochCommit
+  /// records are then quorum-logged by the gate, not by on_capture_point.
+  bool commit_gate_used_ = false;
+  /// Monotone guards: a capture/recovery deferred on await_leader() is
+  /// dropped if the job moved on before the election resolved.
+  std::uint64_t capture_wait_seq_ = 0;
+  std::uint64_t recovery_wait_seq_ = 0;
   std::unique_ptr<failure::FailureInjector> injector_;
   /// Wire-true detection (JobConfig::heartbeat); null = oracle detection.
   std::unique_ptr<cluster::HeartbeatDetector> detector_;
@@ -327,6 +376,9 @@ class DvdcBackend final : public CheckpointBackend {
     return state_.committed_epoch();
   }
   void on_job_restart() override;
+  void set_commit_gate(CommitGate gate) override {
+    coordinator_.set_commit_gate(std::move(gate));
+  }
   std::string name() const override { return "dvdc"; }
 
   DvdcState& state() { return state_; }

@@ -284,6 +284,36 @@ std::vector<ScheduledFailure> ScheduledFailureInjector::parse(
       ev.at = parse_time(f[1], line_no);
       ev.node = f[2] == "all" ? ScheduledFailure::kAllNodes
                               : parse_node(f[2], line_no);
+    } else if (f[0] == "kill-leader" || f[0] == "partition-leader") {
+      // Leader-targeted events name no node: the victim is whoever leads
+      // the control plane when the event fires. An optional "at"/"AT"
+      // keyword reads naturally in drill scripts.
+      const bool partition = f[0] == "partition-leader";
+      std::size_t ti = 1;
+      if (f.size() >= 2 && (f[1] == "at" || f[1] == "AT")) ti = 2;
+      const std::size_t want = ti + (partition ? 2 : 1);
+      if (f.size() != want) {
+        if (f.size() > want)
+          parse_error(line_no,
+                      "'" + std::string(f[0]) +
+                          "' takes no node id — the victim is whoever "
+                          "leads at fire time (got extra field '" +
+                          std::string(f[want]) + "')");
+        parse_error(line_no, partition
+                                 ? "expected 'partition-leader [at] <time> "
+                                   "<group>'"
+                                 : "expected 'kill-leader [at] <time>'");
+      }
+      ev.kind = partition ? Kind::kPartitionLeader : Kind::kKillLeader;
+      ev.at = parse_time(f[ti], line_no);
+      ev.node = ScheduledFailure::kAllNodes;  // resolved at fire time
+      if (partition) {
+        ev.group = parse_node(f[ti + 1], line_no);
+        if (ev.group == 0)
+          parse_error(line_no,
+                      "partition-leader group must be nonzero (0 means "
+                      "'connected'; use 'heal' to reconnect)");
+      }
     } else {
       parse_error(line_no, "unknown event '" + std::string(f[0]) + "'");
     }

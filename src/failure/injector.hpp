@@ -160,6 +160,11 @@ struct ScheduledFailure {
     kLink,       // install a LinkFault on `node` (or directed node->peer)
     kPartition,  // move `node` into partition group `group`
     kHeal,       // clear faults on `node` (or every host: node == kAllNodes)
+    // Leader-targeted events: the victim is whoever leads the control
+    // plane *at fire time* (node 0 when no control plane is running), so
+    // `node` carries the kAllNodes sentinel and the consumer resolves it.
+    kKillLeader,       // kill the current control-plane leader
+    kPartitionLeader,  // move the current leader into partition `group`
   };
   /// Sentinel: "no specific peer" (whole-host link fault) / "every host"
   /// (heal target).
@@ -209,6 +214,8 @@ class ScheduledFailureInjector final : public FailureInjector {
   ///                              [jitter=S] [rate=F]
   ///   partition <time> <node> <group>
   ///   heal <time> <node>|all
+  ///   kill-leader [at] <time>
+  ///   partition-leader [at] <time> <group>
   /// `link ... -` faults every path touching <src>; naming <dst> faults
   /// only the directed src->dst link (an asymmetric "gray" link). Throws
   /// InvariantError on malformed input or times out of order.

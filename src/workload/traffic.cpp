@@ -165,6 +165,9 @@ void TrafficPlane::on_timeout(std::uint64_t id) {
 void TrafficPlane::on_epoch_commit(Cut cut) {
   release(buffer_.commit(cut));
   update_held_gauge();
+  // New epoch window for the back-pressure peak: start it at whatever is
+  // still held (egress tagged past the committed cut).
+  held_window_peak_ = buffer_.held_bytes();
 }
 
 void TrafficPlane::release(std::vector<HeldEgress> released) {
@@ -295,6 +298,7 @@ void TrafficPlane::update_held_gauge() {
   metrics().set("serve.output_held_bytes",
                 static_cast<double>(buffer_.held_bytes()));
   held_peak_ = std::max(held_peak_, buffer_.held_bytes());
+  held_window_peak_ = std::max(held_window_peak_, buffer_.held_bytes());
 }
 
 void TrafficPlane::stop() {

@@ -157,6 +157,12 @@ class TrafficPlane {
   const Samples& latencies() const { return latency_; }
   bool recovering() const { return recovering_; }
 
+  /// Peak held egress since the last epoch commit (the current epoch
+  /// window). The runtime samples this just before on_epoch_commit —
+  /// which resets the window — and feeds it into the adaptive interval
+  /// policy as back-pressure (EpochStats::held_egress_peak).
+  Bytes held_peak_window() const { return held_window_peak_; }
+
  private:
   struct Stream {
     vm::VmId guest = 0;
@@ -208,6 +214,7 @@ class TrafficPlane {
   Samples latency_;
   Histogram latency_hist_;
   Bytes held_peak_ = 0;
+  Bytes held_window_peak_ = 0;  // peak since last commit (see accessor)
   std::uint64_t delivered_ = 0;
   std::uint64_t sent_ = 0;
   std::uint64_t retries_ = 0;

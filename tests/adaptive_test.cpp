@@ -84,6 +84,42 @@ TEST(AdaptivePolicy, RespectsClamps) {
   EXPECT_DOUBLE_EQ(policy2.next_interval(stats_with(1e6, 1e6)), 60.0);
 }
 
+TEST(AdaptivePolicy, HeldBytesBackPressureShortensInterval) {
+  AdaptiveConfig config;
+  config.lambda = 1e-4;
+  config.alpha = 1.0;  // estimate = last observation, no smoothing
+  config.held_highwater = mib(1);
+  AdaptiveIntervalPolicy policy(config);
+
+  EpochStats calm = stats_with(10.0, 10.0);
+  calm.held_egress_peak = kib(256);  // under the mark: pure Young
+  const SimTime base = policy.next_interval(calm);
+  EXPECT_NEAR(base, std::sqrt(2.0 * 10.0 / 1e-4), 1.0);
+
+  // 4x overshoot -> the interval that caused it shrinks by 4x.
+  EpochStats hot = calm;
+  hot.held_egress_peak = mib(4);
+  const SimTime capped = policy.next_interval(hot);
+  EXPECT_NEAR(capped, base / 4.0, 1.0);
+
+  // Extreme overshoot still respects the floor.
+  EpochStats blown = calm;
+  blown.held_egress_peak = gib(4);
+  EXPECT_DOUBLE_EQ(policy.next_interval(blown), config.min_interval);
+
+  // Calm epochs recover the cap by doubling — NOT an instant jump back
+  // to Young (which would oscillate between a calm short epoch and a
+  // buffer-blowing long one).
+  EXPECT_DOUBLE_EQ(policy.next_interval(calm), 2.0 * config.min_interval);
+  EXPECT_DOUBLE_EQ(policy.next_interval(calm), 4.0 * config.min_interval);
+
+  // highwater = 0 disables the term entirely.
+  AdaptiveConfig off = config;
+  off.held_highwater = 0;
+  AdaptiveIntervalPolicy relaxed(off);
+  EXPECT_NEAR(relaxed.next_interval(blown), base, 1.0);
+}
+
 TEST(AdaptivePolicy, InvalidConfigRejected) {
   AdaptiveConfig bad;
   bad.lambda = 0.0;

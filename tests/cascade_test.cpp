@@ -270,5 +270,58 @@ TEST(Cascade, RestrikingTheReplacementNodeRetriesRecovery) {
   EXPECT_FALSE(runner.cluster().degraded());
 }
 
+TEST(Cascade, LeaderKillMidRecoveryCompletesAllWork) {
+  // The coordinator dies WHILE supervising someone else's recovery: the
+  // first strike opens an episode, then a scheduled kill-leader lands
+  // inside it. The kill folds the control leader into the episode as a
+  // cascade, a successor is elected (the next recovery attempt waits on
+  // the election), the successor's replayed log carries the open
+  // episode, and the job commits the same total work as an undisturbed
+  // run would.
+  const ClusterConfig cc = cascade_cluster();
+  JobConfig job = base_job();
+  job.control = controlplane::ControlPlaneConfig{};
+  // Node 0 is the bootstrap leader; make the first victim a data node so
+  // the kill-leader at 362 is a genuine mid-recovery coordinator loss.
+  job.failure_schedule = failure::ScheduledFailureInjector::parse(
+      "fail 360 5\n"
+      "kill-leader at 362\n");
+  double final_watermark = 0.0;
+  std::size_t cascades = 0;
+  job.observer = [&](const JobEvent& ev) {
+    if (ev.kind == JobEvent::Kind::Cascade) ++cascades;
+    if (ev.kind == JobEvent::Kind::Rollback ||
+        ev.kind == JobEvent::Kind::Restart) {
+      final_watermark = ev.committed_work;
+    } else {
+      EXPECT_GE(ev.committed_work, final_watermark - 1e-9);
+      final_watermark = std::max(final_watermark, ev.committed_work);
+    }
+  };
+  JobRunner runner(job, cc, dvdc_factory(cc));
+  const RunResult r = runner.run();
+
+  ASSERT_TRUE(r.finished);
+  EXPECT_EQ(r.failures, 2u);
+  EXPECT_GE(cascades, 1u);
+  // Same total committed work as an undisturbed run. The final stretch
+  // past the last commit runs uncheckpointed, so the watermark tops out
+  // at the last interval boundary in both runs.
+  EXPECT_DOUBLE_EQ(final_watermark, job.total_work - job.interval);
+  auto* cp = runner.control();
+  ASSERT_NE(cp, nullptr);
+  EXPECT_GE(cp->elections(), 1u);
+  EXPECT_TRUE(cp->election_safety_ok());
+  EXPECT_TRUE(cp->epoch_sequence_ok());
+  EXPECT_TRUE(cp->logs_consistent());
+  // The post-election leader's replayed view converged with the data
+  // plane: the episode is closed and the last epoch is the committed one.
+  ASSERT_TRUE(cp->leader().has_value());
+  EXPECT_FALSE(cp->leader_view()->episode_open);
+  EXPECT_EQ(cp->leader_view()->committed_epoch,
+            runner.backend()->committed_epoch());
+  expect_all_running(runner.cluster(), cc);
+}
+
 }  // namespace
 }  // namespace vdc::core

@@ -265,6 +265,56 @@ TEST(ScheduledInjector, ParseRejectsMalformedEvents) {
       InvariantError);
 }
 
+TEST(ScheduledInjector, ParsesLeaderTargetedEvents) {
+  // Leader-targeted events name no node: the victim is whoever holds the
+  // control-plane lease when the event fires, so `node` parses to the
+  // kAllNodes sentinel and resolution happens at fire time.
+  const auto schedule = ScheduledFailureInjector::parse(
+      "kill-leader at 10\n"
+      "kill-leader 20\n"  // the "at" is optional, as with other kinds
+      "partition-leader at 30 2\n"
+      "partition-leader 40 1\n"
+      "heal 50 all\n");
+  ASSERT_EQ(schedule.size(), 5u);
+  using Kind = ScheduledFailure::Kind;
+  EXPECT_EQ(schedule[0].kind, Kind::kKillLeader);
+  EXPECT_DOUBLE_EQ(schedule[0].at, 10.0);
+  EXPECT_EQ(schedule[0].node, ScheduledFailure::kAllNodes);
+  EXPECT_EQ(schedule[1].kind, Kind::kKillLeader);
+  EXPECT_DOUBLE_EQ(schedule[1].at, 20.0);
+  EXPECT_EQ(schedule[1].node, ScheduledFailure::kAllNodes);
+  EXPECT_EQ(schedule[2].kind, Kind::kPartitionLeader);
+  EXPECT_DOUBLE_EQ(schedule[2].at, 30.0);
+  EXPECT_EQ(schedule[2].node, ScheduledFailure::kAllNodes);
+  EXPECT_EQ(schedule[2].group, 2u);
+  EXPECT_EQ(schedule[3].kind, Kind::kPartitionLeader);
+  EXPECT_EQ(schedule[3].group, 1u);
+}
+
+TEST(ScheduledInjector, ParseRejectsMalformedLeaderTargets) {
+  // A leader event naming an explicit victim is a contradiction — clear
+  // error, not a silent ignore.
+  EXPECT_THROW(ScheduledFailureInjector::parse("kill-leader at 10 3\n"),
+               InvariantError);
+  EXPECT_THROW(
+      ScheduledFailureInjector::parse("partition-leader at 10 1 3\n"),
+      InvariantError);
+  // Missing fields.
+  EXPECT_THROW(ScheduledFailureInjector::parse("kill-leader\n"),
+               InvariantError);
+  EXPECT_THROW(ScheduledFailureInjector::parse("kill-leader at\n"),
+               InvariantError);
+  EXPECT_THROW(ScheduledFailureInjector::parse("partition-leader at 10\n"),
+               InvariantError);
+  // Group 0 means "connected" — partitioning into it is a no-op typo.
+  EXPECT_THROW(ScheduledFailureInjector::parse("partition-leader at 10 0\n"),
+               InvariantError);
+  // Times must still be non-decreasing across leader events.
+  EXPECT_THROW(
+      ScheduledFailureInjector::parse("kill-leader at 10\nfail 5 2\n"),
+      InvariantError);
+}
+
 TEST(ScheduledInjector, DispatchesNonFailureEventsToEventCallback) {
   simkit::Simulator sim;
   ScheduledFailureInjector injector(

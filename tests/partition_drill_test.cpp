@@ -141,5 +141,82 @@ TEST(PartitionDrill, WireModeFaultFreeMatchesOracleCompletion) {
   EXPECT_DOUBLE_EQ(b.sim().telemetry().metrics().value("hb.suspected"), 0.0);
 }
 
+TEST(PartitionDrill, LeaderKillMidEpochMatchesUndisturbedWork) {
+  // A scheduled coordinator kill between two commits: the control-plane
+  // leader dies with epoch work uncommitted, a successor is elected, the
+  // interrupted epoch is re-cut, and the job ends having committed
+  // exactly as much work as a run nobody disturbed.
+  JobConfig quiet;
+  quiet.total_work = minutes(5);
+  quiet.interval = minutes(1);
+  quiet.control = controlplane::ControlPlaneConfig{};
+  JobConfig drill = quiet;
+  drill.failure_schedule =
+      failure::ScheduledFailureInjector::parse("kill-leader at 90\n");
+  WatermarkAudit quiet_audit, audit;
+  quiet.observer = [&quiet_audit](const JobEvent& ev) { quiet_audit(ev); };
+  drill.observer = [&audit](const JobEvent& ev) { audit(ev); };
+
+  JobRunner a(quiet, drill_cluster(), dvdc_factory());
+  const RunResult ra = a.run();
+  JobRunner b(drill, drill_cluster(), dvdc_factory());
+  const RunResult rb = b.run();
+
+  ASSERT_TRUE(ra.finished);
+  ASSERT_TRUE(rb.finished);
+  EXPECT_EQ(rb.failures, 1u);
+  EXPECT_EQ(rb.job_restarts, 0u);
+  // Same total committed work as the undisturbed run (the final stretch
+  // past the last commit runs uncheckpointed in both).
+  EXPECT_DOUBLE_EQ(audit.watermark, quiet_audit.watermark);
+  EXPECT_DOUBLE_EQ(rb.total_work, ra.total_work);
+  EXPECT_GE(audit.count(JobEvent::Kind::Failure), 1u);
+  auto* cp = b.control();
+  ASSERT_NE(cp, nullptr);
+  EXPECT_GE(cp->elections(), 1u);
+  EXPECT_TRUE(cp->election_safety_ok());
+  EXPECT_TRUE(cp->epoch_sequence_ok());
+  EXPECT_TRUE(cp->logs_consistent());
+  EXPECT_EQ(cp->leader_view()->committed_epoch,
+            b.backend()->committed_epoch());
+}
+
+TEST(PartitionDrill, LeaderPartitionedThenHealsMatchesUndisturbedWork) {
+  // Wire mode with the control plane on: isolating the leader (who is
+  // also the heartbeat observer) triggers cluster-wide false positives
+  // and possibly a restart — the drill must still commit every unit of
+  // work the undisturbed run does, with a monotone watermark throughout.
+  JobConfig quiet;
+  quiet.total_work = minutes(5);
+  quiet.interval = minutes(1);
+  quiet.heartbeat = cluster::HeartbeatConfig{};
+  quiet.control = controlplane::ControlPlaneConfig{};
+  JobConfig drill = quiet;
+  drill.failure_schedule = failure::ScheduledFailureInjector::parse(
+      "partition-leader at 70 1\n"
+      "heal 85 all\n");
+  WatermarkAudit quiet_audit, audit;
+  quiet.observer = [&quiet_audit](const JobEvent& ev) { quiet_audit(ev); };
+  drill.observer = [&audit](const JobEvent& ev) { audit(ev); };
+
+  JobRunner a(quiet, drill_cluster(), dvdc_factory());
+  const RunResult ra = a.run();
+  JobRunner b(drill, drill_cluster(), dvdc_factory());
+  const RunResult rb = b.run();
+
+  ASSERT_TRUE(ra.finished);
+  ASSERT_TRUE(rb.finished);
+  EXPECT_DOUBLE_EQ(audit.watermark, quiet_audit.watermark);
+  EXPECT_DOUBLE_EQ(rb.total_work, ra.total_work);
+  auto* cp = b.control();
+  ASSERT_NE(cp, nullptr);
+  EXPECT_GE(cp->elections(), 1u);
+  EXPECT_TRUE(cp->election_safety_ok());
+  EXPECT_TRUE(cp->epoch_sequence_ok());
+  EXPECT_TRUE(cp->logs_consistent());
+  EXPECT_GE(b.sim().telemetry().metrics().value("job.suspected_failures"),
+            1.0);
+}
+
 }  // namespace
 }  // namespace vdc::core
